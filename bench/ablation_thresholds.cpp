@@ -1,0 +1,81 @@
+//===- bench/ablation_thresholds.cpp - Selection threshold sweep --------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sensitivity of the Section 6.1 selection thresholds: sweeps the
+// misspeculation-cost fraction and the pre-fork size fraction and reports
+// how many loops are selected and the resulting program speedups on a
+// three-benchmark subset (fast, memory-light representatives). DESIGN.md
+// calls these two thresholds the load-bearing design choices.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Ablation: selection-threshold sensitivity (Section 6.1)\n";
+  outs() << "==============================================================\n";
+
+  const char *Subset[] = {"gzip", "twolf", "gap"};
+
+  outs() << "\n-- misspeculation-cost fraction sweep "
+            "(pre-fork fixed at 0.34) --\n";
+  {
+    Table T({"cost fraction", "selected loops", "avg speedup"});
+    for (double CostFraction : {0.005, 0.02, 0.08, 0.3, 1.0}) {
+      uint64_t Selected = 0;
+      double GainSum = 0.0;
+      for (const char *Name : Subset) {
+        EvalOptions Opts;
+        Opts.Compiler.CostFraction = CostFraction;
+        WorkloadEval E = evaluateWorkload(workloadByName(Name),
+                                          {CompilationMode::Best}, Opts);
+        const ModeEval &ME = E.Modes.at(CompilationMode::Best);
+        Selected += ME.Report.numSelected();
+        GainSum += ME.speedupOver(E.Seq) - 1.0;
+      }
+      T.beginRow();
+      T.cell(CostFraction, 3);
+      T.cell(Selected);
+      T.percentCell(GainSum / 3.0, 1);
+    }
+    T.print(outs());
+  }
+
+  outs() << "\n-- pre-fork size fraction sweep (cost fixed at 0.08) --\n";
+  {
+    Table T({"pre-fork fraction", "selected loops", "avg speedup"});
+    for (double PreFork : {0.05, 0.15, 0.34, 0.6, 0.9}) {
+      uint64_t Selected = 0;
+      double GainSum = 0.0;
+      for (const char *Name : Subset) {
+        EvalOptions Opts;
+        Opts.Compiler.PreForkSizeFraction = PreFork;
+        WorkloadEval E = evaluateWorkload(workloadByName(Name),
+                                          {CompilationMode::Best}, Opts);
+        const ModeEval &ME = E.Modes.at(CompilationMode::Best);
+        Selected += ME.Report.numSelected();
+        GainSum += ME.speedupOver(E.Seq) - 1.0;
+      }
+      T.beginRow();
+      T.cell(PreFork, 2);
+      T.cell(Selected);
+      T.percentCell(GainSum / 3.0, 1);
+    }
+    T.print(outs());
+  }
+
+  outs() << "\nShape check: an over-strict cost threshold starves selection;\n"
+            "an over-lax one admits loops whose misspeculation erases the\n"
+            "gain. A tiny pre-fork budget blocks the code motion that\n"
+            "removes violations; a huge one serializes the loop.\n";
+  return 0;
+}

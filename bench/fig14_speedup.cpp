@@ -1,0 +1,64 @@
+//===- bench/fig14_speedup.cpp - Paper Figure 14 ------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 14: program speedup of the SPT code over the base
+// reference, per benchmark, for the three compilations the paper
+// evaluates: BASIC (edge profiling + type-based aliasing + reordering),
+// BEST (+ dependence profiling + software value prediction) and
+// ANTICIPATED (+ while-loop unrolling + global export). The paper reports
+// averages of about 1%, 8% and 15.6% respectively; the shape to check is
+// basic << best < anticipated, with mcf-like dependence-bound programs
+// stuck near zero in every mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Figure 14: SPT speedup over base, per compilation\n";
+  outs() << " (paper averages: basic ~1%, best ~8%, anticipated ~15.6%)\n";
+  outs() << "==============================================================\n";
+
+  const std::vector<CompilationMode> Modes = {CompilationMode::Basic,
+                                              CompilationMode::Best,
+                                              CompilationMode::Anticipated};
+  EvalOptions Opts;
+  Opts.Verbose = true;
+  std::vector<WorkloadEval> Evals = evaluateAll(Modes, Opts);
+
+  Table T({"program", "basic", "best", "anticipated", "#loops best"});
+  double Sum[3] = {0, 0, 0};
+  for (const WorkloadEval &E : Evals) {
+    T.beginRow();
+    T.cell(E.Name);
+    for (size_t MI = 0; MI != Modes.size(); ++MI) {
+      const ModeEval &ME = E.Modes.at(Modes[MI]);
+      const double Gain = ME.speedupOver(E.Seq) - 1.0;
+      Sum[MI] += Gain;
+      T.percentCell(Gain, 1);
+    }
+    T.cell(static_cast<uint64_t>(
+        E.Modes.at(CompilationMode::Best).Report.numSelected()));
+  }
+  T.beginRow();
+  T.cell(std::string("average"));
+  for (size_t MI = 0; MI != 3; ++MI)
+    T.percentCell(Sum[MI] / static_cast<double>(Evals.size()), 1);
+  T.cell(std::string(""));
+  T.print(outs());
+
+  outs() << "\nShape check: basic gains little (type-based aliasing alone\n"
+            "cannot expose speculative parallelism); best adds dependence\n"
+            "profiles and SVP; anticipated adds while-loop unrolling and\n"
+            "global export and roughly doubles best, as in the paper.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/fig16_coverage.cpp - Paper Figure 16 -----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 16: the runtime coverage of the selected SPT loops
+// (fraction of total base execution cycles spent inside them) against the
+// maximum coverage of all loops under the same hardware size limit, plus
+// the number of SPT loops generated per benchmark. The paper reports ~30%
+// SPT coverage vs a 68% ceiling (realizing ~40% of the opportunity) with
+// ~30 loops per benchmark; our programs are far smaller, so the loop
+// counts are smaller, but the coverage-vs-ceiling relation is the shape
+// to check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Figure 16: SPT loop runtime coverage (best mode)\n";
+  outs() << "==============================================================\n";
+
+  EvalOptions Opts;
+  Table T({"program", "SPT loops", "SPT coverage", "max coverage",
+           "realized"});
+  double SumCov = 0.0, SumMax = 0.0;
+  int N = 0;
+  for (const Workload &W : allWorkloads()) {
+    WorkloadEval E = evaluateWorkload(W, {CompilationMode::Best}, Opts);
+    const double Cov = selectedLoopCoverage(E, CompilationMode::Best);
+    const double Max =
+        maxLoopCoverage(E, Opts.Compiler.MaxBodyWeight);
+    T.beginRow();
+    T.cell(E.Name);
+    T.cell(static_cast<uint64_t>(
+        E.Modes.at(CompilationMode::Best).Report.numSelected()));
+    T.percentCell(Cov, 1);
+    T.percentCell(Max, 1);
+    T.percentCell(Max > 0 ? Cov / Max : 0.0, 1);
+    SumCov += Cov;
+    SumMax += Max;
+    ++N;
+  }
+  T.beginRow();
+  T.cell(std::string("average"));
+  T.cell(std::string(""));
+  T.percentCell(SumCov / N, 1);
+  T.percentCell(SumMax / N, 1);
+  T.percentCell(SumMax > 0 ? SumCov / SumMax : 0.0, 1);
+  T.print(outs());
+
+  outs() << "\nShape check: the compiler realizes a meaningful fraction of\n"
+            "the loop-coverage ceiling (the paper: 30% of 68%), selecting\n"
+            "a few hot loops per benchmark rather than everything.\n";
+  return 0;
+}

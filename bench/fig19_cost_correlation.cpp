@@ -1,0 +1,86 @@
+//===- bench/fig19_cost_correlation.cpp - Paper Figure 19 ---------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 19: for each selected SPT loop, the
+// compiler-estimated misspeculation cost (normalized to the loop body, so
+// it is comparable to a ratio) against the actual re-execution ratio
+// measured by the simulator. The paper finds the two well correlated with
+// conservative estimates (points clustered near the estimate axis), and a
+// few loops near the measured axis whose costs were *underestimated*
+// because callees touched globals the analysis missed. We print the
+// scatter and the Pearson correlation twice: once with call effects
+// modeled in the cost estimate (our default) and once with the paper's
+// blind spot reproduced (ModelCallEffectsInCost=false).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/OStream.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+using namespace spt;
+using namespace spt::bench;
+
+namespace {
+
+/// Runs the scatter for one configuration; returns (correlation, n).
+std::pair<double, uint64_t> scatter(bool ModelCallEffects, bool Print) {
+  Correlation Corr;
+  Table T({"program", "loop", "est. cost ratio", "actual reexec ratio"});
+  for (const Workload &W : allWorkloads()) {
+    EvalOptions Opts;
+    Opts.Compiler.ModelCallEffectsInCost = ModelCallEffects;
+    WorkloadEval E = evaluateWorkload(W, {CompilationMode::Best}, Opts);
+    const ModeEval &ME = E.Modes.at(CompilationMode::Best);
+    for (const LoopRecord &Rec : ME.Report.Loops) {
+      if (!Rec.Selected)
+        continue;
+      auto StatIt = ME.Spt.PerLoop.find(Rec.SptLoopId);
+      if (StatIt == ME.Spt.PerLoop.end() || StatIt->second.Joins == 0)
+        continue;
+      const double EstRatio =
+          Rec.Partition.BodyWeight > 0
+              ? Rec.Partition.Cost / Rec.Partition.BodyWeight
+              : 0.0;
+      const double Actual = StatIt->second.reexecRatio();
+      Corr.add(EstRatio, Actual);
+      T.beginRow();
+      T.cell(W.Name);
+      T.cell(Rec.FuncName + "#" + std::to_string(Rec.Header));
+      T.cell(EstRatio, 4);
+      T.cell(Actual, 4);
+    }
+  }
+  if (Print)
+    T.print(outs());
+  return {Corr.pearson(), Corr.count()};
+}
+
+} // namespace
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Figure 19: estimated misspeculation cost vs measured\n";
+  outs() << " re-execution ratio (best mode)\n";
+  outs() << "==============================================================\n";
+
+  outs() << "\n-- call effects modeled in the cost estimate (default) --\n";
+  auto [CorrOn, NOn] = scatter(/*ModelCallEffects=*/true, /*Print=*/true);
+  outs() << "Pearson r = " << formatDouble(CorrOn, 3) << " over "
+         << NOn << " loops\n";
+
+  outs() << "\n-- the paper's blind spot: callee effects ignored --\n";
+  auto [CorrOff, NOff] = scatter(/*ModelCallEffects=*/false, /*Print=*/true);
+  outs() << "Pearson r = " << formatDouble(CorrOff, 3) << " over "
+         << NOff << " loops\n";
+
+  outs() << "\nShape check: estimates and measurements correlate; with the\n"
+            "blind spot enabled, loops whose callees touch globals appear\n"
+            "near the measured axis (cost underestimated), as the paper\n"
+            "observed and called an area for improvement.\n";
+  return 0;
+}

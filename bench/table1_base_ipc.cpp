@@ -1,0 +1,65 @@
+//===- bench/table1_base_ipc.cpp - Paper Table 1 ------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 1: IPC (excluding nops; our IR has none) of the
+// non-SPT base reference code on a single core, per benchmark. The paper's
+// measured values are printed alongside for shape comparison — absolute
+// numbers differ (its substrate was the authors' Itanium2 testbed; ours is
+// the simulator in sim/), but the ranking pressure points (mcf and vortex
+// memory-bound at the bottom, gzip/bzip2 at the top) should reproduce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <map>
+#include <string>
+
+using namespace spt;
+using namespace spt::bench;
+
+namespace {
+
+const std::map<std::string, double> PaperIpc = {
+    {"bzip2", 1.69}, {"crafty", 1.49}, {"gap", 1.30},    {"gcc", 1.33},
+    {"gzip", 1.77},  {"mcf", 0.44},    {"parser", 1.30}, {"twolf", 1.05},
+    {"vortex", 0.56}, {"vpr", 1.22},
+};
+
+} // namespace
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Table 1: IPC of the non-SPT base reference (single core)\n";
+  outs() << "==============================================================\n";
+
+  Table T({"program", "instrs", "cycles", "IPC (ours)", "IPC (paper)"});
+  double SumOurs = 0.0, SumPaper = 0.0;
+  for (const Workload &W : allWorkloads()) {
+    WorkloadEval E = evaluateWorkload(W, {});
+    T.beginRow();
+    T.cell(W.Name);
+    T.cell(static_cast<uint64_t>(E.Seq.Instrs));
+    T.cell(static_cast<uint64_t>(E.Seq.cycles()));
+    T.cell(E.Seq.ipc(), 2);
+    T.cell(PaperIpc.at(W.Name), 2);
+    SumOurs += E.Seq.ipc();
+    SumPaper += PaperIpc.at(W.Name);
+  }
+  T.beginRow();
+  T.cell(std::string("average"));
+  T.cell(std::string(""));
+  T.cell(std::string(""));
+  T.cell(SumOurs / 10.0, 2);
+  T.cell(SumPaper / 10.0, 2);
+  T.print(outs());
+
+  outs() << "\nShape check: mcf and vortex are memory-bound outliers at the\n"
+            "bottom; gzip/bzip2-class integer codes sit at the top.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- examples/value_prediction.cpp - Figure 13 SVP demo ---------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates software value prediction (paper Section 7.2, Figure 13).
+// The loop's carried value x advances by a fixed stride, but through a
+// computation far too heavy to move into the pre-fork region — without
+// SVP the loop is rejected for cost; with SVP (prediction in the pre-fork
+// region, check-and-recovery in the post-fork region) the critical
+// dependence becomes a rarely-violated one and the loop speculates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SptCompiler.h"
+#include "ir/IR.h"
+#include "lang/Frontend.h"
+#include "sim/SeqSim.h"
+#include "sim/SptSim.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+#include "transform/Cleanup.h"
+
+using namespace spt;
+
+namespace {
+
+// x = bar(x) in the paper's Figure 13: here bar is a heavyweight pure
+// computation with a perfectly strided result.
+const char *Source = R"SPTC(
+int out[8192];
+
+int main() {
+  int x; int s; int i; int r;
+  s = 0;
+  for (r = 0; r < 6; r = r + 1) {
+    x = 1;
+    for (i = 0; i < 2048; i = i + 1) {
+      fp t;
+      t = sqrt(itof(x)) + sqrt(itof(x + i));
+      t = t + sqrt(itof(x * 3 + 7));
+      x = x + 2 + ftoi(t) * 0;   // "bar(x)": net stride exactly 2.
+      out[i & 8191] = x + ftoi(t);
+      s = (s + x) & 1073741823;
+    }
+  }
+  return s;
+}
+)SPTC";
+
+double evaluate(CompilationMode Mode, bool &SvpUsed, bool &Selected) {
+  auto Base = compileOrDie(Source);
+  cleanupModule(*Base);
+  auto Spt = compileOrDie(Source);
+  SptCompilerOptions Opts;
+  Opts.Mode = Mode;
+  CompilationReport Report = compileSpt(*Spt, Opts);
+  SvpUsed = false;
+  Selected = false;
+  for (const LoopRecord &Rec : Report.Loops) {
+    SvpUsed |= Rec.SvpApplied;
+    if (Rec.Depth == 2)
+      Selected |= Rec.Selected;
+  }
+  SeqSimResult Seq = runSequential(*Base, "main");
+  SptSimResult Par = runSpt(*Spt, "main", {}, Report.SptLoops);
+  if (Par.Result.I != Seq.Result.I) {
+    outs() << "CHECKSUM MISMATCH\n";
+    return 0.0;
+  }
+  return Seq.cycles() / Par.cycles();
+}
+
+} // namespace
+
+int main() {
+  outs() << "Software value prediction (paper Figure 13)\n";
+  outs() << "===========================================\n\n";
+  outs() << "The hot loop carries x through three sqrt() calls; its move\n"
+            "closure exceeds the pre-fork size threshold, so plain code\n"
+            "reordering cannot remove the violation.\n\n";
+
+  bool SvpBasic = false, SelBasic = false;
+  const double Basic = evaluate(CompilationMode::Basic, SvpBasic, SelBasic);
+  outs() << "basic:  speedup " << formatDouble(Basic, 3) << "x, SVP "
+         << (SvpBasic ? "applied" : "not applied") << ", hot loop "
+         << (SelBasic ? "selected" : "rejected") << "\n";
+
+  bool SvpBest = false, SelBest = false;
+  const double Best = evaluate(CompilationMode::Best, SvpBest, SelBest);
+  outs() << "best:   speedup " << formatDouble(Best, 3) << "x, SVP "
+         << (SvpBest ? "applied" : "not applied") << ", hot loop "
+         << (SelBest ? "selected" : "rejected") << "\n\n";
+
+  if (SvpBest && SelBest && Best > Basic) {
+    outs() << "SVP turned the critical dependence into a predictable one\n"
+              "(prediction moved to the pre-fork region; the recovery path\n"
+              "never fires at stride 2), enabling the speculation.\n";
+    return 0;
+  }
+  outs() << "unexpected outcome; inspect with benchmark_explorer\n";
+  return 1;
+}

@@ -1,0 +1,69 @@
+//===- analysis/CallEffects.cpp - Side-effect summaries for calls ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallEffects.h"
+
+#include <cassert>
+
+using namespace spt;
+
+CallEffects CallEffects::compute(const Module &M) {
+  CallEffects CE;
+  CE.NumClasses = static_cast<uint32_t>(M.numArrays()) + 2;
+  CE.PerFunc.assign(M.numFunctions(), Effects());
+
+  // Seed external builtins.
+  for (uint32_t FI = 0; FI != M.numFunctions(); ++FI) {
+    const Function *F = M.function(FI);
+    if (!F->isExternal())
+      continue;
+    Effects &E = CE.PerFunc[FI];
+    const std::string &Name = F->name();
+    if (Name == "rnd") {
+      E.Reads.insert(CE.rngClass());
+      E.Writes.insert(CE.rngClass());
+    } else if (Name == "print_int" || Name == "print_fp") {
+      E.Writes.insert(CE.ioClass());
+    }
+    // sqrt/log/exp: pure, empty effects.
+  }
+
+  // Fixpoint over defined functions.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t FI = 0; FI != M.numFunctions(); ++FI) {
+      const Function *F = M.function(FI);
+      if (F->isExternal())
+        continue;
+      Effects &E = CE.PerFunc[FI];
+      const size_t Before = E.Reads.size() + E.Writes.size();
+      for (const auto &BB : *F) {
+        for (const Instr &I : BB->Instrs) {
+          switch (I.Op) {
+          case Opcode::Load:
+            E.Reads.insert(I.arrayId());
+            break;
+          case Opcode::Store:
+            E.Writes.insert(I.arrayId());
+            break;
+          case Opcode::Call: {
+            const Effects &Callee = CE.PerFunc[I.calleeIndex()];
+            E.Reads.insert(Callee.Reads.begin(), Callee.Reads.end());
+            E.Writes.insert(Callee.Writes.begin(), Callee.Writes.end());
+            break;
+          }
+          default:
+            break;
+          }
+        }
+      }
+      if (E.Reads.size() + E.Writes.size() != Before)
+        Changed = true;
+    }
+  }
+  return CE;
+}

@@ -1,0 +1,66 @@
+//===- analysis/CallEffects.h - Side-effect summaries for calls ------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-module side-effect summaries: which alias classes each function
+/// may read and write, transitively through calls. Alias classes are the
+/// module's arrays plus two synthetic classes:
+///
+///  - the RNG class, read+written by rnd() (its hidden generator state
+///    imposes ordering between rnd() calls), and
+///  - the IO class, written by print_int/print_fp.
+///
+/// This is the stand-in for ORC's type-based memory disambiguation on the
+/// call side: a Call statement in a loop body participates in the
+/// dependence graph through these summaries, so loops with side-effecting
+/// calls grow the conservative dependences the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_ANALYSIS_CALLEFFECTS_H
+#define SPT_ANALYSIS_CALLEFFECTS_H
+
+#include "ir/IR.h"
+
+#include <set>
+#include <vector>
+
+namespace spt {
+
+/// Per-function read/write alias-class summaries for one module.
+class CallEffects {
+public:
+  /// Computes summaries for every function (fixpoint over the call graph;
+  /// recursion converges because effect sets only grow).
+  static CallEffects compute(const Module &M);
+
+  /// Alias classes are [0, numArrays) for arrays, then RNG, then IO.
+  uint32_t numAliasClasses() const { return NumClasses; }
+  uint32_t rngClass() const { return NumClasses - 2; }
+  uint32_t ioClass() const { return NumClasses - 1; }
+
+  struct Effects {
+    std::set<uint32_t> Reads;
+    std::set<uint32_t> Writes;
+
+    bool pure() const { return Writes.empty(); }
+  };
+
+  const Effects &effectsOf(uint32_t FuncIndex) const {
+    return PerFunc[FuncIndex];
+  }
+  const Effects &effectsOf(const Module &M, const Function &F) const {
+    return PerFunc[M.indexOf(&F)];
+  }
+
+private:
+  uint32_t NumClasses = 0;
+  std::vector<Effects> PerFunc;
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_CALLEFFECTS_H

@@ -1,0 +1,253 @@
+//===- analysis/Cfg.cpp - CFG orders, dominators, control deps -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Dominators and postdominators use the Cooper-Harvey-Kennedy iterative
+// algorithm over (reverse) RPO. Control dependence follows Ferrante et al.:
+// for each CFG edge A->S, every block on the postdominator-tree path from S
+// up to (exclusive) ipostdom(A) is control dependent on that edge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spt;
+
+namespace {
+
+/// DFS postorder helper producing reverse postorder.
+void computeRpo(const Function &F, std::vector<BlockId> &Rpo,
+                std::vector<uint32_t> &RpoIndex) {
+  const size_t N = F.numBlocks();
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done.
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  std::vector<BlockId> Postorder;
+  Postorder.reserve(N);
+
+  Stack.emplace_back(F.entry(), 0);
+  State[F.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const BasicBlock *BB = F.block(B);
+    if (NextSucc < BB->Succs.size()) {
+      const BlockId S = BB->Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[B] = 2;
+    Postorder.push_back(B);
+    Stack.pop_back();
+  }
+
+  Rpo.assign(Postorder.rbegin(), Postorder.rend());
+  RpoIndex.assign(N, ~0u);
+  for (uint32_t I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}
+
+/// Cooper-Harvey-Kennedy "intersect" walking two dominator-tree paths to
+/// their common ancestor. \p Order maps node -> traversal index (lower =
+/// closer to root); \p IDom is the current tree.
+uint32_t intersect(uint32_t A, uint32_t B, const std::vector<uint32_t> &IDom,
+                   const std::vector<uint32_t> &Order) {
+  while (A != B) {
+    while (Order[A] > Order[B])
+      A = IDom[A];
+    while (Order[B] > Order[A])
+      B = IDom[B];
+  }
+  return A;
+}
+
+} // namespace
+
+CfgInfo CfgInfo::compute(const Function &F) {
+  CfgInfo Info;
+  Info.F = &F;
+  const size_t N = F.numBlocks();
+
+  Info.Preds.assign(N, {});
+  for (const auto &BB : F)
+    for (BlockId S : BB->Succs)
+      Info.Preds[S].push_back(BB->id());
+
+  computeRpo(F, Info.Rpo, Info.RpoIndex);
+
+  //===--------------------------------------------------------------------===
+  // Dominators.
+  //===--------------------------------------------------------------------===
+  Info.IDom.assign(N, NoBlock);
+  {
+    std::vector<uint32_t> IDom(N, ~0u);
+    const BlockId Entry = F.entry();
+    IDom[Entry] = Entry;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B : Info.Rpo) {
+        if (B == Entry)
+          continue;
+        uint32_t New = ~0u;
+        for (BlockId P : Info.Preds[B]) {
+          if (!Info.reachable(P) || IDom[P] == ~0u)
+            continue;
+          New = New == ~0u ? P : intersect(New, P, IDom, Info.RpoIndex);
+        }
+        if (New != ~0u && IDom[B] != New) {
+          IDom[B] = New;
+          Changed = true;
+        }
+      }
+    }
+    for (size_t B = 0; B != N; ++B) {
+      if (B == Entry || IDom[B] == ~0u)
+        continue;
+      Info.IDom[B] = IDom[B];
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Postdominators with a virtual exit (index N).
+  //===--------------------------------------------------------------------===
+  const uint32_t VExit = static_cast<uint32_t>(N);
+  std::vector<std::vector<uint32_t>> RevSuccs(N + 1); // Edges of reverse CFG.
+  std::vector<std::vector<uint32_t>> RevPreds(N + 1);
+  for (const auto &BB : F) {
+    if (BB->Succs.empty() && Info.reachable(BB->id())) {
+      RevSuccs[VExit].push_back(BB->id()); // VExit "precedes" exits reversed.
+      RevPreds[BB->id()].push_back(VExit);
+    }
+    for (BlockId S : BB->Succs) {
+      RevSuccs[S].push_back(BB->id());
+      RevPreds[BB->id()].push_back(S);
+    }
+  }
+
+  // RPO of the reverse CFG starting from the virtual exit.
+  std::vector<uint32_t> RevRpo;
+  std::vector<uint32_t> RevRpoIndex(N + 1, ~0u);
+  {
+    std::vector<uint8_t> State(N + 1, 0);
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    std::vector<uint32_t> Postorder;
+    Stack.emplace_back(VExit, 0);
+    State[VExit] = 1;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      if (NextSucc < RevSuccs[B].size()) {
+        const uint32_t S = RevSuccs[B][NextSucc++];
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.emplace_back(S, 0);
+        }
+        continue;
+      }
+      State[B] = 2;
+      Postorder.push_back(B);
+      Stack.pop_back();
+    }
+    RevRpo.assign(Postorder.rbegin(), Postorder.rend());
+    for (uint32_t I = 0; I != RevRpo.size(); ++I)
+      RevRpoIndex[RevRpo[I]] = I;
+  }
+
+  std::vector<uint32_t> PDom(N + 1, ~0u);
+  PDom[VExit] = VExit;
+  {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t B : RevRpo) {
+        if (B == VExit)
+          continue;
+        uint32_t New = ~0u;
+        for (uint32_t P : RevPreds[B]) {
+          if (RevRpoIndex[P] == ~0u || PDom[P] == ~0u)
+            continue;
+          New = New == ~0u ? P : intersect(New, P, PDom, RevRpoIndex);
+        }
+        if (New != ~0u && PDom[B] != New) {
+          PDom[B] = New;
+          Changed = true;
+        }
+      }
+    }
+  }
+  Info.IPDom.assign(N, NoBlock);
+  for (size_t B = 0; B != N; ++B)
+    if (PDom[B] != ~0u && PDom[B] != VExit)
+      Info.IPDom[B] = PDom[B];
+
+  //===--------------------------------------------------------------------===
+  // Control dependence.
+  //===--------------------------------------------------------------------===
+  Info.CtrlDeps.assign(N, {});
+  for (const auto &BB : F) {
+    const BlockId A = BB->id();
+    if (!Info.reachable(A) || BB->Succs.size() < 2)
+      continue;
+    const uint32_t Stop = PDom[A]; // May be VExit or ~0u.
+    for (uint32_t SuccIdx = 0; SuccIdx != BB->Succs.size(); ++SuccIdx) {
+      uint32_t Walk = BB->Succs[SuccIdx];
+      // Walk the postdominator tree from the successor up to ipostdom(A).
+      while (Walk != Stop && Walk != ~0u && Walk != VExit) {
+        Info.CtrlDeps[Walk].push_back(ControlDep{A, SuccIdx});
+        if (PDom[Walk] == ~0u)
+          break;
+        Walk = PDom[Walk];
+      }
+    }
+  }
+  // Deduplicate (a block may be reached from both arms through cycles).
+  for (auto &Deps : Info.CtrlDeps) {
+    std::sort(Deps.begin(), Deps.end(),
+              [](const ControlDep &L, const ControlDep &R) {
+                return L.Branch != R.Branch ? L.Branch < R.Branch
+                                            : L.SuccIndex < R.SuccIndex;
+              });
+    Deps.erase(std::unique(Deps.begin(), Deps.end(),
+                           [](const ControlDep &L, const ControlDep &R) {
+                             return L.Branch == R.Branch &&
+                                    L.SuccIndex == R.SuccIndex;
+                           }),
+               Deps.end());
+  }
+
+  return Info;
+}
+
+bool CfgInfo::dominates(BlockId A, BlockId B) const {
+  if (!reachable(A) || !reachable(B))
+    return false;
+  BlockId Walk = B;
+  for (;;) {
+    if (Walk == A)
+      return true;
+    const BlockId Next = IDom[Walk];
+    if (Next == NoBlock || Next == Walk)
+      return false;
+    Walk = Next;
+  }
+}
+
+bool CfgInfo::postdominates(BlockId A, BlockId B) const {
+  BlockId Walk = B;
+  for (;;) {
+    if (Walk == A)
+      return true;
+    const BlockId Next = IPDom[Walk];
+    if (Next == NoBlock || Next == Walk)
+      return false;
+    Walk = Next;
+  }
+}

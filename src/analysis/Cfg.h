@@ -1,0 +1,76 @@
+//===- analysis/Cfg.h - CFG orders, dominators, control deps ---------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow facts: predecessor lists, reverse postorder,
+/// dominators, postdominators (with a virtual exit) and control-dependence
+/// sets. These feed loop detection, the annotated CFG the paper's cost
+/// model is built on, and the legality analysis of the SPT transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_ANALYSIS_CFG_H
+#define SPT_ANALYSIS_CFG_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace spt {
+
+/// Computed control-flow facts for one function. Invalidated by any CFG
+/// edit; recompute after transformations.
+class CfgInfo {
+public:
+  /// Computes all facts for \p F.
+  static CfgInfo compute(const Function &F);
+
+  const Function &function() const { return *F; }
+
+  const std::vector<BlockId> &preds(BlockId B) const { return Preds[B]; }
+
+  /// Blocks in reverse postorder (entry first). Unreachable blocks are
+  /// excluded; reachable(B) tells whether a block appears.
+  const std::vector<BlockId> &rpo() const { return Rpo; }
+  bool reachable(BlockId B) const { return RpoIndex[B] != ~0u; }
+  uint32_t rpoIndex(BlockId B) const { return RpoIndex[B]; }
+
+  /// Immediate dominator; entry and unreachable blocks yield NoBlock.
+  BlockId idom(BlockId B) const { return IDom[B]; }
+  /// Returns true when \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Immediate postdominator w.r.t. a virtual exit collecting all Ret
+  /// blocks; NoBlock when the virtual exit itself is the ipostdom or the
+  /// block cannot reach an exit.
+  BlockId ipostdom(BlockId B) const { return IPDom[B]; }
+  /// Returns true when \p A postdominates \p B (reflexive).
+  bool postdominates(BlockId A, BlockId B) const;
+
+  /// Control dependence: the set of (branch block, successor index) pairs
+  /// that control execution of \p B. A block with an empty set executes
+  /// whenever the function (or enclosing region) does.
+  struct ControlDep {
+    BlockId Branch;
+    uint32_t SuccIndex;
+  };
+  const std::vector<ControlDep> &controlDeps(BlockId B) const {
+    return CtrlDeps[B];
+  }
+
+private:
+  const Function *F = nullptr;
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<BlockId> Rpo;
+  std::vector<uint32_t> RpoIndex;
+  std::vector<BlockId> IDom;
+  std::vector<BlockId> IPDom;
+  std::vector<std::vector<ControlDep>> CtrlDeps;
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_CFG_H

@@ -1,0 +1,111 @@
+//===- analysis/DepGraphDot.cpp - Graphviz export of dependence graphs -----===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepGraphDot.h"
+
+#include "ir/IRPrinter.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <set>
+
+using namespace spt;
+
+namespace {
+
+const char *edgeColor(DepKind Kind) {
+  switch (Kind) {
+  case DepKind::FlowReg:
+    return "black";
+  case DepKind::FlowMem:
+    return "blue";
+  case DepKind::AntiReg:
+  case DepKind::AntiMem:
+    return "gray";
+  case DepKind::OutReg:
+  case DepKind::OutMem:
+    return "gray60";
+  case DepKind::Control:
+    return "darkgreen";
+  }
+  return "black";
+}
+
+/// Escapes a label for DOT.
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+void spt::writeDepGraphDot(OStream &OS, const Module &M,
+                           const LoopDepGraph &G, const DotOptions &Opts) {
+  std::set<uint32_t> Vcs(G.violationCandidates().begin(),
+                         G.violationCandidates().end());
+
+  OS << "digraph " << Opts.Name << " {\n";
+  OS << "  rankdir=TB;\n  node [fontsize=10, shape=ellipse];\n";
+
+  for (uint32_t SI = 0; SI != G.size(); ++SI) {
+    const LoopStmt &S = G.stmt(SI);
+    std::string Label;
+    if (S.I) {
+      Label = instrToString(M, G.function(), *S.I);
+      // Trim the trailing "; id N" comment for readability.
+      const size_t Semi = Label.rfind("  ; id ");
+      if (Semi != std::string::npos)
+        Label = Label.substr(0, Semi);
+    } else {
+      Label = "s" + std::to_string(SI);
+    }
+    Label += "\\nfreq " + formatDouble(S.IterFreq, 2);
+
+    OS << "  n" << SI << " [label=\"" << escape(Label) << "\"";
+    if (Vcs.count(SI))
+      OS << ", peripheries=2";
+    const bool PreFork =
+        SI < Opts.InPreFork.size() && Opts.InPreFork[SI] != 0;
+    if (PreFork)
+      OS << ", style=filled, fillcolor=lightgoldenrod";
+    else if (!S.Movable)
+      OS << ", style=filled, fillcolor=mistyrose";
+    OS << "];\n";
+  }
+
+  for (const DepEdge &E : G.edges()) {
+    const bool Ordering = E.Kind == DepKind::AntiReg ||
+                          E.Kind == DepKind::AntiMem ||
+                          E.Kind == DepKind::OutReg ||
+                          E.Kind == DepKind::OutMem;
+    if (Ordering && !Opts.ShowOrderingEdges)
+      continue;
+    if (E.Kind == DepKind::Control && !Opts.ShowControlEdges)
+      continue;
+    if (E.Prob <= 1e-9 && isFlowDep(E.Kind) && E.Cross)
+      continue;
+    OS << "  n" << E.Src << " -> n" << E.Dst << " [color="
+       << edgeColor(E.Kind);
+    if (E.Cross)
+      OS << ", style=dashed";
+    if (isFlowDep(E.Kind) && E.Prob < 0.999)
+      OS << ", label=\"" << formatDouble(E.Prob, 2) << "\"";
+    OS << "];\n";
+  }
+  OS << "}\n";
+}
+
+std::string spt::depGraphToDot(const Module &M, const LoopDepGraph &G,
+                               const DotOptions &Opts) {
+  StringOStream OS;
+  writeDepGraphDot(OS, M, G, Opts);
+  return OS.str();
+}

@@ -1,0 +1,51 @@
+//===- analysis/DepGraphDot.h - Graphviz export of dependence graphs -------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a loop's annotated dependence graph — and optionally a chosen
+/// partition — as Graphviz DOT, in the visual language of the paper's
+/// Figures 5-7: solid edges for intra-iteration dependences, dashed for
+/// cross-iteration ones, probabilities as edge labels, violation
+/// candidates double-circled, and pre-fork statements filled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_ANALYSIS_DEPGRAPHDOT_H
+#define SPT_ANALYSIS_DEPGRAPHDOT_H
+
+#include "analysis/DepGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class OStream;
+
+/// DOT rendering options.
+struct DotOptions {
+  /// Pre-fork membership by statement index (may be empty: no partition).
+  std::vector<uint8_t> InPreFork;
+  /// Include anti/output edges (off: the paper's figures show true
+  /// dependences only).
+  bool ShowOrderingEdges = false;
+  /// Include control-dependence edges.
+  bool ShowControlEdges = false;
+  /// Graph name.
+  std::string Name = "depgraph";
+};
+
+/// Writes the DOT text for \p G to \p OS.
+void writeDepGraphDot(OStream &OS, const Module &M, const LoopDepGraph &G,
+                      const DotOptions &Opts = DotOptions());
+
+/// Convenience: returns the DOT text as a string.
+std::string depGraphToDot(const Module &M, const LoopDepGraph &G,
+                          const DotOptions &Opts = DotOptions());
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_DEPGRAPHDOT_H

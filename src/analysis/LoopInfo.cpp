@@ -1,0 +1,115 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection -----------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace spt;
+
+LoopNest LoopNest::compute(const Function &F, const CfgInfo &Cfg) {
+  LoopNest Nest;
+  const size_t N = F.numBlocks();
+  Nest.InnerMap.assign(N, nullptr);
+
+  // Collect back edges grouped by header.
+  std::map<BlockId, std::vector<BlockId>> HeaderToLatches;
+  for (const auto &BB : F) {
+    if (!Cfg.reachable(BB->id()))
+      continue;
+    for (BlockId S : BB->Succs)
+      if (Cfg.dominates(S, BB->id()))
+        HeaderToLatches[S].push_back(BB->id());
+  }
+
+  // Build each loop's block set by backward reachability from the latches
+  // (not crossing the header).
+  for (auto &[Header, Latches] : HeaderToLatches) {
+    auto L = std::make_unique<Loop>();
+    L->Id = static_cast<uint32_t>(Nest.Loops.size());
+    L->Header = Header;
+    L->Latches = Latches;
+    L->InLoop.assign(N, 0);
+    L->InLoop[Header] = 1;
+    L->Blocks.push_back(Header);
+
+    std::vector<BlockId> Work = Latches;
+    while (!Work.empty()) {
+      const BlockId B = Work.back();
+      Work.pop_back();
+      if (L->InLoop[B])
+        continue;
+      L->InLoop[B] = 1;
+      L->Blocks.push_back(B);
+      for (BlockId P : Cfg.preds(B))
+        if (Cfg.reachable(P) && !L->InLoop[P])
+          Work.push_back(P);
+    }
+    std::sort(L->Blocks.begin() + 1, L->Blocks.end());
+
+    // Exit edges.
+    for (BlockId B : L->Blocks) {
+      const BasicBlock *BB = F.block(B);
+      for (uint32_t SI = 0; SI != BB->Succs.size(); ++SI)
+        if (!L->InLoop[BB->Succs[SI]])
+          L->Exits.push_back(Loop::ExitEdge{B, SI, BB->Succs[SI]});
+    }
+    Nest.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B when B contains A's header and A != B.
+  // With natural loops (merged by header) containment is a partial order;
+  // the parent is the smallest strictly-containing loop.
+  for (auto &A : Nest.Loops) {
+    Loop *Best = nullptr;
+    for (auto &B : Nest.Loops) {
+      if (A.get() == B.get() || !B->contains(A->Header))
+        continue;
+      if (B->Header == A->Header)
+        continue; // Identical headers cannot happen (merged).
+      if (!Best || Best->Blocks.size() > B->Blocks.size())
+        Best = B.get();
+    }
+    A->Parent = Best;
+    if (Best)
+      Best->Children.push_back(A.get());
+    else
+      Nest.TopLevel.push_back(A.get());
+  }
+
+  // Depths.
+  for (auto &L : Nest.Loops) {
+    uint32_t D = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++D;
+    L->Depth = D;
+  }
+
+  // Innermost map: the containing loop with the greatest depth.
+  for (auto &L : Nest.Loops)
+    for (BlockId B : L->Blocks) {
+      Loop *&Slot = Nest.InnerMap[B];
+      if (!Slot || Slot->Depth < L->Depth)
+        Slot = L.get();
+    }
+
+  return Nest;
+}
+
+std::vector<const Loop *> LoopNest::innermostFirst() const {
+  std::vector<const Loop *> Order;
+  Order.reserve(Loops.size());
+  for (const auto &L : Loops)
+    Order.push_back(L.get());
+  std::sort(Order.begin(), Order.end(), [](const Loop *A, const Loop *B) {
+    if (A->Depth != B->Depth)
+      return A->Depth > B->Depth;
+    return A->Id < B->Id;
+  });
+  return Order;
+}

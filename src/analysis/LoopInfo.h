@@ -1,0 +1,89 @@
+//===- analysis/LoopInfo.h - Natural loop detection ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops found from back edges (latch -> header where the header
+/// dominates the latch), organized into a loop-nest forest. Every nesting
+/// level of every loop is a speculative-parallelization candidate in the
+/// paper's first compilation pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_ANALYSIS_LOOPINFO_H
+#define SPT_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Cfg.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <vector>
+
+namespace spt {
+
+/// One natural loop. Back edges sharing a header are merged into a single
+/// loop (as in LLVM's LoopInfo).
+struct Loop {
+  uint32_t Id = 0; // Index within the function's LoopNest.
+  BlockId Header = NoBlock;
+  std::vector<BlockId> Latches;   // Sources of back edges.
+  std::vector<BlockId> Blocks;    // All member blocks, header first.
+  std::vector<uint8_t> InLoop;    // Indexed by BlockId.
+  Loop *Parent = nullptr;
+  std::vector<Loop *> Children;
+  uint32_t Depth = 1; // 1 for top-level loops.
+
+  /// Exit edges: (InsideBlock, SuccIndex) whose target is outside the loop.
+  struct ExitEdge {
+    BlockId From = NoBlock;
+    uint32_t SuccIndex = 0;
+    BlockId To = NoBlock;
+  };
+  std::vector<ExitEdge> Exits;
+
+  bool contains(BlockId B) const {
+    return B < InLoop.size() && InLoop[B] != 0;
+  }
+
+  /// True when the edge \p From -> Succs[SuccIdx] is one of this loop's
+  /// back edges.
+  bool isBackEdge(BlockId From, BlockId To) const {
+    if (To != Header)
+      return false;
+    for (BlockId L : Latches)
+      if (L == From)
+        return true;
+    return false;
+  }
+};
+
+/// The loop forest of one function.
+class LoopNest {
+public:
+  static LoopNest compute(const Function &F, const CfgInfo &Cfg);
+
+  size_t numLoops() const { return Loops.size(); }
+  Loop *loop(uint32_t Id) { return Loops[Id].get(); }
+  const Loop *loop(uint32_t Id) const { return Loops[Id].get(); }
+
+  const std::vector<Loop *> &topLevel() const { return TopLevel; }
+
+  /// The innermost loop containing \p B, or null.
+  const Loop *innermostFor(BlockId B) const {
+    return B < InnerMap.size() ? InnerMap[B] : nullptr;
+  }
+
+  /// All loops, innermost-first (children before parents).
+  std::vector<const Loop *> innermostFirst() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+  std::vector<Loop *> InnerMap; // Innermost loop per block.
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,96 @@
+//===- analysis/ProfileData.h - Raw profile data structures ----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain data produced by the offline profilers (profile/) and consumed by
+/// the analyses. Lives in analysis/ so the dependence-graph builder does
+/// not depend on the profiling implementation — mirroring the paper, where
+/// "there was no change to the underlying cost computation module" when
+/// profile feedback was added (Section 7.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_ANALYSIS_PROFILEDATA_H
+#define SPT_ANALYSIS_PROFILEDATA_H
+
+#include "analysis/Freq.h" // FunctionEdgeCounts
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace spt {
+
+/// Edge-profile counts for every function of a module.
+struct EdgeProfileData {
+  std::map<const Function *, FunctionEdgeCounts> PerFunc;
+
+  const FunctionEdgeCounts *countsFor(const Function *F) const {
+    auto It = PerFunc.find(F);
+    return It == PerFunc.end() ? nullptr : &It->second;
+  }
+};
+
+/// Observed counts for one (writer statement, reader statement) pair
+/// within one loop.
+struct MemDepCounts {
+  uint64_t Intra = 0; ///< Read the value written in the same iteration.
+  uint64_t Cross = 0; ///< Read the value written in the previous iteration.
+  uint64_t Far = 0;   ///< Read a value written two or more iterations ago.
+};
+
+/// Dependence profile of one loop. Statement ids refer to the loop's
+/// enclosing function; accesses performed inside callees are attributed to
+/// the Call statement in the loop body.
+struct LoopDepProfileData {
+  /// (writer stmt, reader stmt) -> counts.
+  std::map<std::pair<StmtId, StmtId>, MemDepCounts> Pairs;
+  /// Executions of each memory-touching statement while the loop was the
+  /// attribution context.
+  std::map<StmtId, uint64_t> StmtExec;
+  uint64_t Activations = 0; ///< Times the loop was entered.
+  /// Total header visits, including the final visit that exits the loop
+  /// (so a counted for-loop with trip count T contributes T+1 per
+  /// activation).
+  uint64_t Iterations = 0;
+};
+
+/// Dependence profiles for every loop of a module, keyed by
+/// (function, loop id within its LoopNest).
+struct DepProfileData {
+  std::map<std::pair<const Function *, uint32_t>, LoopDepProfileData> PerLoop;
+
+  const LoopDepProfileData *profileFor(const Function *F,
+                                       uint32_t LoopId) const {
+    auto It = PerLoop.find({F, LoopId});
+    return It == PerLoop.end() ? nullptr : &It->second;
+  }
+};
+
+/// Value-pattern statistics for one statement's destination register,
+/// sampled once per loop iteration (used by software value prediction).
+struct StrideStats {
+  uint64_t Samples = 0;   ///< Consecutive-sample pairs observed.
+  uint64_t SameValue = 0; ///< Pairs with identical values (last-value hit).
+  /// Pairs whose delta equals BestStride (the most frequent delta).
+  uint64_t BestStrideHits = 0;
+  int64_t BestStride = 0;
+};
+
+/// Value profiles keyed by (function, statement id).
+struct ValueProfileData {
+  std::map<std::pair<const Function *, StmtId>, StrideStats> PerStmt;
+
+  const StrideStats *statsFor(const Function *F, StmtId Id) const {
+    auto It = PerStmt.find({F, Id});
+    return It == PerStmt.end() ? nullptr : &It->second;
+  }
+};
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_PROFILEDATA_H

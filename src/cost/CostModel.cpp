@@ -1,0 +1,153 @@
+//===- cost/CostModel.cpp - Misspeculation cost model ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/CostModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace spt;
+
+namespace {
+
+double clamp01(double X) { return X < 0.0 ? 0.0 : (X > 1.0 ? 1.0 : X); }
+
+} // namespace
+
+MisspecCostModel::MisspecCostModel(const LoopDepGraph &G) : G(&G) {
+  const uint32_t N = static_cast<uint32_t>(G.size());
+
+  // Seeds: every cross-iteration flow edge, grouped by violation candidate.
+  for (const DepEdge &E : G.edges())
+    if (E.Cross && isFlowDep(E.Kind) && E.Prob > 1e-9)
+      Seeds.push_back(CrossSeed{E.Src, E.Dst, E.Prob});
+
+  // Reachability: BFS from seed targets over intra flow+control edges.
+  Reach.assign(N, 0);
+  std::vector<uint32_t> Work;
+  for (const CrossSeed &S : Seeds)
+    if (!Reach[S.Dst]) {
+      Reach[S.Dst] = 1;
+      Work.push_back(S.Dst);
+    }
+  while (!Work.empty()) {
+    const uint32_t Cur = Work.back();
+    Work.pop_back();
+    for (uint32_t EI : G.outEdges(Cur)) {
+      const DepEdge &E = G.edges()[EI];
+      if (E.Cross || !(isFlowDep(E.Kind) || E.Kind == DepKind::Control))
+        continue;
+      if (E.Prob <= 1e-9 || Reach[E.Dst])
+        continue;
+      Reach[E.Dst] = 1;
+      Work.push_back(E.Dst);
+    }
+  }
+
+  // Propagation edges among reachable nodes.
+  for (const DepEdge &E : G.edges()) {
+    if (E.Cross || !(isFlowDep(E.Kind) || E.Kind == DepKind::Control))
+      continue;
+    if (E.Prob <= 1e-9 || !Reach[E.Src] || !Reach[E.Dst])
+      continue;
+    Prop.push_back(PropEdge{E.Src, E.Dst, E.Prob});
+  }
+  InOf.assign(N, {});
+  for (uint32_t PI = 0; PI != Prop.size(); ++PI)
+    InOf[Prop[PI].Dst].push_back(PI);
+
+  // Kahn topological order over the reachable propagation subgraph.
+  std::vector<uint32_t> InDegree(N, 0);
+  for (const PropEdge &E : Prop)
+    ++InDegree[E.Dst];
+  std::vector<uint32_t> Queue;
+  for (uint32_t SI = 0; SI != N; ++SI)
+    if (Reach[SI] && InDegree[SI] == 0)
+      Queue.push_back(SI);
+  std::vector<uint8_t> Emitted(N, 0);
+  while (!Queue.empty()) {
+    // Pop the smallest for determinism.
+    auto MinIt = std::min_element(Queue.begin(), Queue.end());
+    const uint32_t Cur = *MinIt;
+    Queue.erase(MinIt);
+    Order.push_back(Cur);
+    Emitted[Cur] = 1;
+    for (const PropEdge &E : Prop)
+      if (E.Src == Cur && --InDegree[E.Dst] == 0)
+        Queue.push_back(E.Dst);
+  }
+  for (uint32_t SI = 0; SI != N; ++SI)
+    if (Reach[SI] && !Emitted[SI]) {
+      Order.push_back(SI); // Member of a cycle.
+      Cyclic = true;
+    }
+}
+
+double MisspecCostModel::violationProbability(uint32_t StmtIdx) const {
+  return clamp01(G->stmt(StmtIdx).IterFreq);
+}
+
+void MisspecCostModel::propagate(std::vector<double> &V,
+                                 const PartitionSet &InPreFork) const {
+  assert(InPreFork.size() == G->size() && "partition size mismatch");
+  const uint32_t N = static_cast<uint32_t>(G->size());
+  V.assign(N, 0.0);
+
+  // Base contributions from the pseudo nodes: v(VC') is 0 when the
+  // candidate sits in the pre-fork region, else its violation probability.
+  std::vector<double> Base(N, 0.0);
+  for (const CrossSeed &S : Seeds) {
+    if (InPreFork[S.Vc])
+      continue;
+    const double VPseudo = violationProbability(S.Vc);
+    const double Contribution = S.Prob * VPseudo;
+    Base[S.Dst] = 1.0 - (1.0 - Base[S.Dst]) * (1.0 - Contribution);
+  }
+
+  // Sweep in quasi-topological order; repeat to fixpoint when cyclic.
+  const int MaxSweeps = Cyclic ? 100 : 1;
+  for (int Sweep = 0; Sweep != MaxSweeps; ++Sweep) {
+    double MaxDelta = 0.0;
+    for (uint32_t C : Order) {
+      double KeepProb = 1.0 - Base[C];
+      for (uint32_t PI : InOf[C]) {
+        const PropEdge &E = Prop[PI];
+        KeepProb *= (1.0 - E.Prob * V[E.Src]);
+      }
+      const double NewV = clamp01(1.0 - KeepProb);
+      MaxDelta = std::max(MaxDelta, std::fabs(NewV - V[C]));
+      V[C] = NewV;
+    }
+    if (MaxDelta < 1e-10)
+      break;
+  }
+}
+
+double MisspecCostModel::cost(const PartitionSet &InPreFork) const {
+  std::vector<double> V;
+  propagate(V, InPreFork);
+  double Total = 0.0;
+  for (uint32_t SI = 0; SI != G->size(); ++SI) {
+    if (!Reach[SI])
+      continue;
+    const LoopStmt &S = G->stmt(SI);
+    Total += V[SI] * S.Weight * S.IterFreq;
+  }
+  return Total;
+}
+
+std::vector<double>
+MisspecCostModel::reexecProbabilities(const PartitionSet &InPreFork) const {
+  std::vector<double> V;
+  propagate(V, InPreFork);
+  return V;
+}
+
+double MisspecCostModel::emptyPartitionCost() const {
+  PartitionSet Empty(G->size(), 0);
+  return cost(Empty);
+}

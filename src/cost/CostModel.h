@@ -1,0 +1,102 @@
+//===- cost/CostModel.h - Misspeculation cost model -------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The misspeculation cost model of the paper's Section 4 — the central
+/// service component of the cost-driven framework. Given a loop's annotated
+/// dependence graph and an SPT loop partition (the set of statements placed
+/// in the pre-fork region), it computes the expected amount of computation
+/// within a speculatively executed iteration that must be re-executed.
+///
+/// Construction (4.2.2): the cost graph starts from one pseudo node per
+/// violation candidate, whose out-edges are the candidate's cross-iteration
+/// true-dependence edges; every operation reachable from those targets via
+/// intra-iteration dependence edges joins the graph. Each edge carries the
+/// conditional probability that re-execution of its source misspeculates
+/// its destination.
+///
+/// Evaluation (4.2.3): pseudo nodes get re-execution probability 0 when
+/// their candidate sits in the pre-fork region, else the candidate's
+/// violation probability. Probabilities then propagate in topological order
+/// with x = 1 - (1 - x) * (1 - r * v(p)) under the independence
+/// approximation the paper states. Cycles (possible through inner loops)
+/// are resolved by sweeping to a fixpoint, which the monotone update
+/// reaches quickly.
+///
+/// Cost (4.2.4): sum over operation nodes of v(c) * Cost(c), where Cost(c)
+/// is the operation's weight times its per-iteration execution frequency;
+/// pseudo nodes are excluded, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_COST_COSTMODEL_H
+#define SPT_COST_COSTMODEL_H
+
+#include "analysis/DepGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spt {
+
+/// A partition: InPreFork[stmt index] != 0 when the statement is placed in
+/// the pre-fork region.
+using PartitionSet = std::vector<uint8_t>;
+
+/// The reusable (per-loop) cost-graph; evaluate per candidate partition.
+class MisspecCostModel {
+public:
+  explicit MisspecCostModel(const LoopDepGraph &G);
+
+  const LoopDepGraph &depGraph() const { return *G; }
+
+  /// Misspeculation cost of \p InPreFork (size must equal G->size()).
+  double cost(const PartitionSet &InPreFork) const;
+
+  /// Per-statement re-execution probabilities for \p InPreFork. Entries
+  /// for statements outside the cost graph are 0.
+  std::vector<double> reexecProbabilities(const PartitionSet &InPreFork) const;
+
+  /// Violation probability of a violation candidate (how often the main
+  /// thread modifies its result per iteration, paper step 1).
+  double violationProbability(uint32_t StmtIdx) const;
+
+  /// Statements that belong to the cost graph (reachable from some
+  /// violation candidate's cross edges).
+  const std::vector<uint8_t> &reachable() const { return Reach; }
+
+  /// Cost of the trivial partition (empty pre-fork region).
+  double emptyPartitionCost() const;
+
+  /// True when the evaluation needed fixpoint sweeps (cyclic cost graph).
+  bool hasCycles() const { return Cyclic; }
+
+private:
+  struct CrossSeed {
+    uint32_t Vc;   ///< Violation-candidate statement index.
+    uint32_t Dst;  ///< Target statement index.
+    double Prob;   ///< Cross-dependence probability.
+  };
+  struct PropEdge {
+    uint32_t Src;
+    uint32_t Dst;
+    double Prob;
+  };
+
+  void propagate(std::vector<double> &V, const PartitionSet &InPreFork) const;
+
+  const LoopDepGraph *G;
+  std::vector<CrossSeed> Seeds;
+  std::vector<PropEdge> Prop;               ///< Intra flow+control edges.
+  std::vector<std::vector<uint32_t>> InOf;  ///< Prop-edge indices per Dst.
+  std::vector<uint8_t> Reach;
+  std::vector<uint32_t> Order; ///< Quasi-topological processing order.
+  bool Cyclic = false;
+};
+
+} // namespace spt
+
+#endif // SPT_COST_COSTMODEL_H

@@ -1,0 +1,610 @@
+//===- driver/SptCompiler.cpp - Two-pass cost-driven SPT compilation ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SptCompiler.h"
+
+#include "analysis/CallEffects.h"
+#include "analysis/Cfg.h"
+#include "analysis/DepGraph.h"
+#include "analysis/Freq.h"
+#include "analysis/LoopInfo.h"
+#include "cost/CostModel.h"
+#include "ir/Verifier.h"
+#include "profile/Profiler.h"
+#include "support/Debug.h"
+#include "transform/Cleanup.h"
+#include "transform/SptTransform.h"
+#include "transform/Unroll.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+using namespace spt;
+
+const char *spt::compilationModeName(CompilationMode Mode) {
+  switch (Mode) {
+  case CompilationMode::Basic:
+    return "basic";
+  case CompilationMode::Best:
+    return "best";
+  case CompilationMode::Anticipated:
+    return "anticipated";
+  }
+  spt_unreachable("unknown compilation mode");
+}
+
+const char *spt::rejectReasonName(RejectReason Reason) {
+  switch (Reason) {
+  case RejectReason::Selected:
+    return "valid partition";
+  case RejectReason::NeverExecuted:
+    return "never executed";
+  case RejectReason::TooManyVcs:
+    return "too many violation candidates";
+  case RejectReason::BodyTooLarge:
+    return "body too large";
+  case RejectReason::BodyTooSmall:
+    return "body too small";
+  case RejectReason::LowTripCount:
+    return "low iteration count";
+  case RejectReason::HighCost:
+    return "high misspeculation cost";
+  case RejectReason::NoGain:
+    return "no estimated gain";
+  case RejectReason::Nested:
+    return "nested in a selected loop";
+  case RejectReason::TransformFailed:
+    return "transformation not realizable";
+  }
+  spt_unreachable("unknown reject reason");
+}
+
+namespace {
+
+/// Fresh structural + frequency analyses of one function, using measured
+/// edge counts when available.
+struct FuncAnalysis {
+  CfgInfo Cfg;
+  LoopNest Nest;
+  CfgProbabilities Probs;
+  FreqInfo Freq;
+  const FunctionEdgeCounts *Counts = nullptr;
+
+  FuncAnalysis(const Function &F, const EdgeProfileData *Prof)
+      : Cfg(CfgInfo::compute(F)), Nest(LoopNest::compute(F, Cfg)),
+        Probs(CfgProbabilities::staticHeuristic(F, Cfg, Nest)),
+        Freq(FreqInfo::compute(F, Cfg, Nest, Probs)) {
+    if (!Prof)
+      return;
+    Counts = Prof->countsFor(&F);
+    if (!Counts || Counts->Block.size() != F.numBlocks())
+      return; // The function changed since profiling; keep static.
+    bool Executed = false;
+    for (uint64_t C : Counts->Block)
+      Executed |= C != 0;
+    if (!Executed)
+      return;
+    Probs = CfgProbabilities::fromEdgeCounts(F, *Counts);
+    Freq = FreqInfo::fromBlockCounts(F, *Counts);
+  }
+
+  const Loop *loopByHeader(BlockId Header) const {
+    for (uint32_t I = 0; I != Nest.numLoops(); ++I)
+      if (Nest.loop(I)->Header == Header)
+        return Nest.loop(I);
+    return nullptr;
+  }
+};
+
+/// Expected dynamic weight of one invocation of every function,
+/// transitively through calls (fixpoint over the call graph; recursion is
+/// bounded by clamping). This is what a Call statement really costs when
+/// sizing a loop body for the hardware's speculative-buffer limit — a flat
+/// per-call weight would make a loop that calls the whole program look
+/// tiny.
+std::map<const Function *, double> computeFunctionWeights(const Module &M) {
+  std::map<const Function *, double> Weights;
+  constexpr double Clamp = 1e7;
+  for (int Round = 0; Round != 6; ++Round) {
+    for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+      const Function *F = M.function(static_cast<uint32_t>(FI));
+      if (F->isExternal() || F->numBlocks() == 0) {
+        Weights[F] = opClassWeight(OpClass::Call);
+        continue;
+      }
+      CfgInfo Cfg = CfgInfo::compute(*F);
+      LoopNest Nest = LoopNest::compute(*F, Cfg);
+      CfgProbabilities Probs =
+          CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
+      FreqInfo Freq = FreqInfo::compute(*F, Cfg, Nest, Probs);
+      double W = 0.0;
+      for (const auto &BB : *F) {
+        const double BF = Freq.blockFreq(BB->id());
+        for (const Instr &I : BB->Instrs) {
+          if (I.Op == Opcode::Call) {
+            auto It = Weights.find(M.function(I.calleeIndex()));
+            W += BF * (It != Weights.end()
+                           ? It->second
+                           : opClassWeight(OpClass::Call));
+          } else {
+            W += BF * opClassWeight(opcodeClass(I.Op));
+          }
+        }
+      }
+      Weights[F] = std::min(W, Clamp);
+    }
+  }
+  return Weights;
+}
+
+/// Weight of one statement for critical-path purposes; calls count half
+/// their callee's expected invocation weight (callees pipeline
+/// internally).
+double weightOfStmtImpl(const Module &M, const LoopStmt &S,
+                        const std::map<const Function *, double> &FW) {
+  if (S.I->Op == Opcode::Call) {
+    auto It = FW.find(M.function(S.I->calleeIndex()));
+    if (It != FW.end())
+      return It->second * 0.5;
+  }
+  return S.Weight;
+}
+
+/// Dynamic weight of one loop iteration; Call statements cost their
+/// callee's expected invocation weight when \p FuncWeights is provided.
+double loopDynamicWeight(const Module &M, const Function &F, const Loop &L,
+                         const FreqInfo &Freq,
+                         const std::map<const Function *, double>
+                             *FuncWeights = nullptr) {
+  double W = 0.0;
+  for (BlockId B : L.Blocks) {
+    const double IterFreq = Freq.freqPerIteration(L, B);
+    for (const Instr &I : F.block(B)->Instrs) {
+      double OpW = opClassWeight(opcodeClass(I.Op));
+      if (I.Op == Opcode::Call && FuncWeights) {
+        auto It = FuncWeights->find(M.function(I.calleeIndex()));
+        if (It != FuncWeights->end())
+          OpW = It->second;
+      }
+      W += OpW * IterFreq;
+    }
+  }
+  return W;
+}
+
+/// One compilation run's mutable state.
+class Compilation {
+public:
+  Compilation(Module &M, const SptCompilerOptions &Opts)
+      : M(M), Opts(Opts) {}
+
+  CompilationReport run();
+
+private:
+  bool wantDepProfiles() const {
+    return Opts.Mode != CompilationMode::Basic && Opts.EnableDepProfiles;
+  }
+  bool wantSvp() const {
+    return Opts.Mode != CompilationMode::Basic && Opts.EnableSvp;
+  }
+  bool unrollWhileLoops() const {
+    return Opts.Mode == CompilationMode::Anticipated;
+  }
+
+  DepGraphOptions depGraphOptions(const Function &F, const Loop &L) const {
+    DepGraphOptions DG;
+    if (wantDepProfiles() && Profile)
+      DG.DepProfile = Profile->Deps.profileFor(&F, L.Id);
+    DG.ModelCallEffectsInCost = Opts.ModelCallEffectsInCost;
+    DG.AllowImpureCallMotion = Opts.Mode == CompilationMode::Anticipated;
+    DG.CoarseAliasClasses = Opts.Mode == CompilationMode::Basic;
+    DG.CallWeights = &FuncWeights;
+    return DG;
+  }
+
+  PartitionOptions partitionOptions() const {
+    PartitionOptions P;
+    P.PreForkSizeFraction = Opts.PreForkSizeFraction;
+    P.MaxViolationCandidates = Opts.MaxViolationCandidates;
+    return P;
+  }
+
+  std::vector<Function *> definedFunctions() {
+    std::vector<Function *> Out;
+    for (size_t I = 0; I != M.numFunctions(); ++I) {
+      Function *F = M.function(static_cast<uint32_t>(I));
+      if (!F->isExternal() && F->numBlocks() > 0)
+        Out.push_back(F);
+    }
+    return Out;
+  }
+
+  void stageUnroll();
+  void stageProfile();
+  void stageSvp();
+  void passOne();
+  void passTwo();
+
+  Module &M;
+  const SptCompilerOptions &Opts;
+  CompilationReport Report;
+  std::unique_ptr<ProfileBundle> Profile;
+  /// (function name, header) -> unroll factor applied in stage A, plus
+  /// whether the loop was counted before unrolling (unrolling duplicates
+  /// the induction update, so the unrolled form no longer looks counted).
+  struct UnrollInfo {
+    uint32_t Factor = 1;
+    bool WasCounted = false;
+  };
+  std::map<std::pair<std::string, BlockId>, UnrollInfo> Unrolled;
+  /// Expected per-invocation weight of every function (recomputed after
+  /// unrolling changes loop shapes).
+  std::map<const Function *, double> FuncWeights;
+  std::map<std::pair<std::string, BlockId>, bool> SvpByLoop;
+  /// Pass-1 loop block sets for overlap detection in pass 2.
+  std::map<std::pair<std::string, BlockId>, std::set<BlockId>> LoopBlocks;
+};
+
+void Compilation::stageUnroll() {
+  for (Function *F : definedFunctions()) {
+    // Gather candidate headers innermost-first from a snapshot.
+    std::vector<BlockId> Headers;
+    {
+      FuncAnalysis A(*F, nullptr);
+      for (const Loop *L : A.Nest.innermostFirst())
+        Headers.push_back(L->Header);
+    }
+    for (BlockId Header : Headers) {
+      FuncAnalysis A(*F, nullptr);
+      const Loop *L = A.loopByHeader(Header);
+      if (!L)
+        continue;
+      const double W = loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
+      if (W >= Opts.MinBodyWeight || W <= 0.0)
+        continue;
+      const bool Counted = isCountedLoop(*F, *L);
+      if (!Counted && !unrollWhileLoops())
+        continue; // ORC's LNO only unrolls DO loops (Section 7.1).
+      const double Needed = Opts.MinBodyWeight / W;
+      const uint32_t Factor = static_cast<uint32_t>(std::min<double>(
+          Opts.MaxUnrollFactor, std::max(2.0, std::ceil(Needed))));
+      UnrollResult R = unrollLoop(*F, *L, Factor);
+      if (R.Ok)
+        Unrolled[{F->name(), Header}] = UnrollInfo{Factor, Counted};
+    }
+  }
+}
+
+void Compilation::stageProfile() {
+  ProfilerOptions POpts;
+  POpts.CollectEdges = true;
+  POpts.CollectDeps = wantDepProfiles();
+  POpts.CollectValues = wantSvp();
+  POpts.AttributeCalleeAccesses = Opts.AttributeCalleeAccesses;
+  POpts.MaxSteps = Opts.ProfileMaxSteps;
+  POpts.RngSeed = Opts.RngSeed;
+
+  if (wantSvp()) {
+    // Watch every register-defining violation candidate (found with the
+    // static dependence graph) for value patterns.
+    CallEffects Effects = CallEffects::compute(M);
+    for (Function *F : definedFunctions()) {
+      FuncAnalysis A(*F, nullptr);
+      for (uint32_t LI = 0; LI != A.Nest.numLoops(); ++LI) {
+        const Loop *L = A.Nest.loop(LI);
+        LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
+                                             A.Freq, Effects,
+                                             depGraphOptions(*F, *L));
+        for (uint32_t Vc : G.violationCandidates()) {
+          const LoopStmt &S = G.stmt(Vc);
+          if (S.I->Dst != NoReg && S.I->Ty == Type::Int)
+            POpts.ValueWatch.insert({F, S.Id});
+        }
+      }
+    }
+  }
+
+  Profile = std::make_unique<ProfileBundle>(
+      profileRun(M, Opts.ProfileEntry, Opts.ProfileArgs, POpts));
+}
+
+void Compilation::stageSvp() {
+  if (!wantSvp())
+    return;
+  CallEffects Effects = CallEffects::compute(M);
+  bool AnyApplied = false;
+
+  for (Function *F : definedFunctions()) {
+    // Bounded rewrite loop: each application changes the CFG, so
+    // re-analyze between applications.
+    for (unsigned Round = 0; Round != 8; ++Round) {
+      FuncAnalysis A(*F, &Profile->Edges);
+      bool Applied = false;
+      for (uint32_t LI = 0; LI != A.Nest.numLoops() && !Applied; ++LI) {
+        const Loop *L = A.Nest.loop(LI);
+        if (SvpByLoop.count({F->name(), L->Header}))
+          continue; // One prediction per loop keeps this tractable.
+        // SVP targets loops that would otherwise be *rejected for cost*:
+        // hot, reasonably sized, trip count fine, but with a critical
+        // dependence (paper Section 7.2). Applying it elsewhere only adds
+        // prediction overhead to code that never speculates.
+        if (!A.Counts || L->Header >= A.Counts->Block.size() ||
+            A.Counts->Block[L->Header] < 16)
+          continue;
+        const double BodyW =
+            loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
+        if (BodyW < Opts.MinBodyWeight || BodyW > Opts.MaxBodyWeight)
+          continue;
+        if (A.Freq.avgTripCount(*L) < Opts.MinTripCount)
+          continue;
+        LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
+                                             A.Freq, Effects,
+                                             depGraphOptions(*F, *L));
+        MisspecCostModel Model(G);
+        PartitionSearch Search(G, Model, partitionOptions());
+        PartitionResult Current = Search.run();
+        if (!Current.Searched ||
+            Current.Cost <= Opts.CostFraction * BodyW)
+          continue; // Plain reordering already handles this loop.
+        SvpOptions SOpts = Opts.Svp;
+        SOpts.PreForkSizeFraction = Opts.PreForkSizeFraction;
+        auto Cands = findSvpCandidates(G, Search, Profile->Values, SOpts);
+        if (Cands.empty())
+          continue;
+        SvpResult R = applySvp(*F, *L, Cands.front());
+        if (R.Ok) {
+          SvpByLoop[{F->name(), L->Header}] = true;
+          Applied = true;
+          AnyApplied = true;
+        }
+      }
+      if (!Applied)
+        break;
+    }
+  }
+
+  if (AnyApplied) {
+    if (std::string Err = verifyModule(M); !Err.empty())
+      spt_fatal("SVP broke the module");
+    // Re-profile: the recovery branches' frequencies (the misprediction
+    // rates) and the shifted dependence structure must be measured.
+    ProfilerOptions POpts;
+    POpts.CollectEdges = true;
+    POpts.CollectDeps = wantDepProfiles();
+    POpts.CollectValues = false;
+    POpts.AttributeCalleeAccesses = Opts.AttributeCalleeAccesses;
+    POpts.MaxSteps = Opts.ProfileMaxSteps;
+    POpts.RngSeed = Opts.RngSeed;
+    ValueProfileData SavedValues = std::move(Profile->Values);
+    Profile = std::make_unique<ProfileBundle>(
+        profileRun(M, Opts.ProfileEntry, Opts.ProfileArgs, POpts));
+    Profile->Values = std::move(SavedValues);
+  }
+}
+
+void Compilation::passOne() {
+  CallEffects Effects = CallEffects::compute(M);
+  for (Function *F : definedFunctions()) {
+    FuncAnalysis A(*F, &Profile->Edges);
+    for (uint32_t LI = 0; LI != A.Nest.numLoops(); ++LI) {
+      const Loop *L = A.Nest.loop(LI);
+      LoopRecord Rec;
+      Rec.FuncName = F->name();
+      Rec.Header = L->Header;
+      Rec.Depth = L->Depth;
+      Rec.Counted = isCountedLoop(*F, *L);
+      auto UnrollIt = Unrolled.find({F->name(), L->Header});
+      if (UnrollIt != Unrolled.end()) {
+        Rec.UnrollFactor = UnrollIt->second.Factor;
+        Rec.Counted = Rec.Counted || UnrollIt->second.WasCounted;
+      }
+      Rec.SvpApplied = SvpByLoop.count({F->name(), L->Header}) != 0;
+      Rec.BodyWeight = loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
+      Rec.TripCount = A.Freq.avgTripCount(*L);
+      if (A.Counts && L->Header < A.Counts->Block.size())
+        Rec.ProfiledIterations = A.Counts->Block[L->Header];
+      Rec.Work = static_cast<double>(Rec.ProfiledIterations) *
+                 Rec.BodyWeight;
+      LoopBlocks[{F->name(), L->Header}] =
+          std::set<BlockId>(L->Blocks.begin(), L->Blocks.end());
+
+      // Selection criteria (Section 6.1), cheapest first.
+      if (Rec.ProfiledIterations == 0) {
+        Rec.Reason = RejectReason::NeverExecuted;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+      if (Rec.BodyWeight > Opts.MaxBodyWeight) {
+        Rec.Reason = RejectReason::BodyTooLarge;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+      if (Rec.BodyWeight < Opts.MinBodyWeight) {
+        Rec.Reason = RejectReason::BodyTooSmall;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+      if (Rec.TripCount < Opts.MinTripCount) {
+        Rec.Reason = RejectReason::LowTripCount;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+
+      LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
+                                           A.Freq, Effects,
+                                           depGraphOptions(*F, *L));
+      MisspecCostModel Model(G);
+      PartitionSearch Search(G, Model, partitionOptions());
+      Rec.Partition = Search.run();
+      if (!Rec.Partition.Searched) {
+        Rec.Reason = RejectReason::TooManyVcs;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+      if (Rec.Partition.Cost > Opts.CostFraction * Rec.BodyWeight) {
+        Rec.Reason = RejectReason::HighCost;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+
+      // Analytic steady-state estimate. The speculative thread executes
+      // one whole iteration serially, so its leg is bounded below by the
+      // iteration's dependence critical path; the sequential core instead
+      // overlaps consecutive iterations up to its issue bandwidth. A pair
+      // of iterations costs 2 * seqIter sequentially versus
+      // pre-fork + spec-leg + overheads + expected re-execution under SPT.
+      double CriticalPath = 0.0;
+      {
+        std::vector<double> Longest(G.size(), 0.0);
+        // Statements are in RPO order; intra edges are forward except
+        // through inner back edges, which a longest-path estimate may
+        // safely ignore.
+        for (uint32_t SI = 0; SI != G.size(); ++SI) {
+          double Here =
+              Longest[SI] + weightOfStmtImpl(M, G.stmt(SI), FuncWeights);
+          CriticalPath = std::max(CriticalPath, Here);
+          for (uint32_t EI : G.outEdges(SI)) {
+            const DepEdge &DE = G.edges()[EI];
+            if (!DE.Cross && isFlowDep(DE.Kind) && DE.Dst > SI)
+              Longest[DE.Dst] = std::max(Longest[DE.Dst], Here);
+          }
+        }
+      }
+      const double SeqIter =
+          std::max(Rec.BodyWeight * 0.55, CriticalPath * 0.8);
+      const double SpecLeg = std::max(Rec.BodyWeight * 0.5, CriticalPath);
+      const double ParPair = Rec.Partition.PreForkWeight + SpecLeg +
+                             Opts.ForkOverheadWeight +
+                             Opts.CommitOverheadWeight +
+                             Opts.JoinSerializationWeight +
+                             Rec.Partition.Cost;
+      Rec.GainEstimate = (2.0 * SeqIter) / ParPair;
+      if (Rec.GainEstimate <= Opts.MinGainEstimate) {
+        Rec.Reason = RejectReason::NoGain;
+        Report.Loops.push_back(std::move(Rec));
+        continue;
+      }
+
+      Rec.Reason = RejectReason::Selected;
+      Report.Loops.push_back(std::move(Rec));
+    }
+  }
+}
+
+void Compilation::passTwo() {
+  // Rank tentative selections by expected absolute benefit.
+  std::vector<size_t> Order;
+  for (size_t I = 0; I != Report.Loops.size(); ++I)
+    if (Report.Loops[I].Reason == RejectReason::Selected)
+      Order.push_back(I);
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    const LoopRecord &RA = Report.Loops[A];
+    const LoopRecord &RB = Report.Loops[B];
+    const double BA = RA.Work * (RA.GainEstimate - 1.0);
+    const double BB = RB.Work * (RB.GainEstimate - 1.0);
+    if (BA != BB)
+      return BA > BB;
+    return A < B;
+  });
+
+  // Resolve overlaps within a function: a loop nested in (or containing)
+  // an already-picked loop loses.
+  std::map<std::string, std::vector<BlockId>> PickedHeaders;
+  std::vector<size_t> Picked;
+  for (size_t I : Order) {
+    LoopRecord &Rec = Report.Loops[I];
+    const auto &Blocks = LoopBlocks[{Rec.FuncName, Rec.Header}];
+    bool Overlaps = false;
+    for (BlockId Other : PickedHeaders[Rec.FuncName]) {
+      const auto &OtherBlocks = LoopBlocks[{Rec.FuncName, Other}];
+      if (Blocks.count(Other) || OtherBlocks.count(Rec.Header))
+        Overlaps = true;
+    }
+    if (Overlaps) {
+      Rec.Reason = RejectReason::Nested;
+      continue;
+    }
+    PickedHeaders[Rec.FuncName].push_back(Rec.Header);
+    Picked.push_back(I);
+  }
+
+  // Final partition + transformation, assigning SPT loop ids.
+  CallEffects Effects = CallEffects::compute(M);
+  int64_t NextLoopId = 1;
+  for (size_t I : Picked) {
+    LoopRecord &Rec = Report.Loops[I];
+    Function *F = M.findFunction(Rec.FuncName);
+    FuncAnalysis A(*F, &Profile->Edges);
+    const Loop *L = A.loopByHeader(Rec.Header);
+    if (!L) {
+      Rec.Reason = RejectReason::TransformFailed;
+      continue;
+    }
+    LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L, A.Freq,
+                                         Effects, depGraphOptions(*F, *L));
+    MisspecCostModel Model(G);
+    PartitionResult P = PartitionSearch(G, Model, partitionOptions()).run();
+    if (!P.Searched) {
+      Rec.Reason = RejectReason::TransformFailed;
+      continue;
+    }
+    SptTransformResult T = applySptTransform(M, *F, A.Cfg, *L, G,
+                                             P.InPreFork, NextLoopId);
+    if (!T.Ok) {
+      Rec.Reason = RejectReason::TransformFailed;
+      Rec.FailureDetail = T.Error;
+      continue;
+    }
+    Rec.Partition = std::move(P);
+    Rec.Selected = true;
+    Rec.SptLoopId = NextLoopId;
+    Rec.NumCarriedRegs = T.NumCarriedRegs;
+    Rec.NumMovedStmts = T.NumMovedStmts;
+    Report.SptLoops[NextLoopId] = SptLoopDesc{F, T.PreForkEntry};
+    ++NextLoopId;
+  }
+
+  for (Function *F : definedFunctions())
+    cleanupFunction(*F);
+  // Cleanup may thread jumps through a restore block that carried no
+  // copies; follow such chains so the recorded iteration boundary matches
+  // where the back edges now land.
+  for (auto &[Id, Desc] : Report.SptLoops) {
+    (void)Id;
+    BlockId Cur = Desc.PreForkEntry;
+    for (int Hops = 0; Hops != 16; ++Hops) {
+      const BasicBlock *BB = Desc.F->block(Cur);
+      if (BB->Instrs.size() == 1 && BB->Instrs[0].Op == Opcode::Jmp)
+        Cur = BB->Succs[0];
+      else
+        break;
+    }
+    Desc.PreForkEntry = Cur;
+  }
+  if (std::string Err = verifyModule(M); !Err.empty())
+    spt_fatal("SPT compilation broke the module");
+}
+
+CompilationReport Compilation::run() {
+  Report.Mode = Opts.Mode;
+  FuncWeights = computeFunctionWeights(M);
+  stageUnroll();
+  FuncWeights = computeFunctionWeights(M); // Unrolling grew some bodies.
+  stageProfile();
+  stageSvp();
+  passOne();
+  passTwo();
+  return Report;
+}
+
+} // namespace
+
+CompilationReport spt::compileSpt(Module &M, const SptCompilerOptions &Opts) {
+  Compilation C(M, Opts);
+  return C.run();
+}

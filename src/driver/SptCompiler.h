@@ -1,0 +1,167 @@
+//===- driver/SptCompiler.h - Two-pass cost-driven SPT compilation ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The overall compilation framework of the paper's Figure 4: the
+/// cost-model/partition core wrapped in a two-pass process with enabling
+/// techniques.
+///
+/// Stage A  Loop preprocessing: unroll loops whose bodies are too small to
+///          amortize thread overheads (counted loops in BASIC/BEST —
+///          ORC's LNO could only unroll DO loops — plus while loops in
+///          ANTICIPATED).
+/// Stage B  Offline profiling: one instrumented run collecting edge
+///          profiles (all modes), dependence profiles and value profiles
+///          (BEST/ANTICIPATED).
+/// Stage C  Software value prediction: rewrite critical, predictable
+///          violation candidates (BEST/ANTICIPATED), then re-profile so
+///          the recovery paths' rarity is measured.
+/// Pass 1   For every loop at every nesting level: build the annotated
+///          dependence graph, search the optimal partition, record the
+///          outcome and the selection verdict (cost, pre-fork size, body
+///          size, iteration count — Section 6.1).
+/// Pass 2   Global selection among the candidates (non-overlapping,
+///          benefit-ranked), re-partition and apply the SPT
+///          transformation, assigning SPT loop ids.
+///
+/// The resulting CompilationReport carries everything the benchmark
+/// harnesses need: per-loop verdicts (Figure 15), selected-loop partitions
+/// and sizes (Figure 17), estimated misspeculation costs (Figure 19), and
+/// the loop-id map that drives the SPT simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_DRIVER_SPTCOMPILER_H
+#define SPT_DRIVER_SPTCOMPILER_H
+
+#include "analysis/ProfileData.h"
+#include "interp/Interp.h"
+#include "partition/Partition.h"
+#include "sim/SptSim.h"
+#include "svp/Svp.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// The paper's three evaluated compilations (Section 8).
+enum class CompilationMode {
+  Basic,       ///< Edge profiling + type-based aliasing + reordering.
+  Best,        ///< + dependence profiling + software value prediction.
+  Anticipated, ///< + while-loop unrolling + global export (call motion).
+};
+
+const char *compilationModeName(CompilationMode Mode);
+
+/// Why a loop candidate was not SPT-transformed (Figure 15 categories).
+enum class RejectReason {
+  Selected,       ///< Not rejected: a valid partition was chosen.
+  NeverExecuted,  ///< No profile coverage to judge it by.
+  TooManyVcs,     ///< Skipped by the partition searcher (Section 5.2.1).
+  BodyTooLarge,   ///< Exceeds the machine's speculative-size limit.
+  BodyTooSmall,   ///< Too small even after permitted unrolling.
+  LowTripCount,   ///< Expected iterations below the threshold.
+  HighCost,       ///< No partition below the cost threshold.
+  NoGain,         ///< Analytic speedup estimate not positive.
+  Nested,         ///< Overlaps a selected loop in the same function.
+  TransformFailed ///< The partition could not be realized.
+};
+
+const char *rejectReasonName(RejectReason Reason);
+
+/// Compiler thresholds and mode knobs.
+struct SptCompilerOptions {
+  CompilationMode Mode = CompilationMode::Best;
+
+  /// Entry point and arguments of the profiling run.
+  std::string ProfileEntry = "main";
+  std::vector<Value> ProfileArgs;
+
+  // Section 6.1 selection criteria.
+  double CostFraction = 0.08;        ///< Cost < fraction * body weight.
+  double PreForkSizeFraction = 0.34; ///< Pre-fork < fraction * body.
+  double MinBodyWeight = 200.0;      ///< Dynamic weight per iteration.
+  double MaxBodyWeight = 1500.0;     ///< Hardware speculative-size limit.
+  double MinTripCount = 2.0;
+  uint32_t MaxViolationCandidates = 30;
+  uint32_t MaxUnrollFactor = 16;
+
+  /// Machine overheads used in the analytic gain estimate.
+  double ForkOverheadWeight = 6.0;
+  double CommitOverheadWeight = 5.0;
+  /// Pipeline-restart cost the speculative core pays per thread (its
+  /// scheduling window starts cold at each fork).
+  double JoinSerializationWeight = 20.0;
+  /// Minimum analytically estimated speedup to select a loop.
+  double MinGainEstimate = 1.15;
+
+  SvpOptions Svp;
+  /// Ablation switches within BEST/ANTICIPATED: individually disable the
+  /// enabling techniques the mode would otherwise use.
+  bool EnableSvp = true;
+  bool EnableDepProfiles = true;
+
+  /// Figure 19 ablation: model call effects in cost estimation.
+  bool ModelCallEffectsInCost = true;
+  /// Attribute callee memory accesses to call sites while profiling.
+  bool AttributeCalleeAccesses = true;
+
+  uint64_t RngSeed = 0x5eed5eed5eedull;
+  uint64_t ProfileMaxSteps = 500000000ull;
+};
+
+/// One loop candidate's pass-1/pass-2 record.
+struct LoopRecord {
+  std::string FuncName;
+  BlockId Header = NoBlock; ///< Stable identity across stages.
+  uint32_t Depth = 1;
+  bool Counted = false;
+  uint32_t UnrollFactor = 1;
+  bool SvpApplied = false;
+
+  double BodyWeight = 0.0; ///< Dynamic weight per iteration.
+  double TripCount = 0.0;
+  uint64_t ProfiledIterations = 0;
+  /// Total profiled work (iterations * body weight), the coverage proxy
+  /// used for ranking and Figure 16.
+  double Work = 0.0;
+
+  PartitionResult Partition;
+  double GainEstimate = 0.0; ///< Analytic speedup estimate (>= 0).
+  RejectReason Reason = RejectReason::Selected;
+  /// Human-readable detail for TransformFailed rejections.
+  std::string FailureDetail;
+  bool Selected = false;
+  int64_t SptLoopId = -1;
+  uint32_t NumCarriedRegs = 0;
+  uint32_t NumMovedStmts = 0;
+};
+
+/// Everything the compilation produced.
+struct CompilationReport {
+  CompilationMode Mode = CompilationMode::Best;
+  std::vector<LoopRecord> Loops;
+  /// Loop-id map for runSpt().
+  std::map<int64_t, SptLoopDesc> SptLoops;
+
+  size_t numSelected() const {
+    size_t N = 0;
+    for (const LoopRecord &R : Loops)
+      if (R.Selected)
+        ++N;
+    return N;
+  }
+};
+
+/// Runs the full two-pass compilation on \p M (mutating it) and returns
+/// the report. The module must verify; it verifies again afterwards.
+CompilationReport compileSpt(Module &M, const SptCompilerOptions &Opts);
+
+} // namespace spt
+
+#endif // SPT_DRIVER_SPTCOMPILER_H

@@ -1,0 +1,456 @@
+//===- interp/Interp.cpp - Steppable IR interpreter -------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "support/Debug.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace spt;
+
+Interpreter::MemHooks::~MemHooks() = default;
+
+Interpreter::Interpreter(const Module &M, InterpOptions Opts)
+    : M(M), Mem(&OwnMemory), Rng(Opts.RngSeed), Opts(Opts) {
+  OwnMemory.resize(M.numArrays());
+  ArrayBase.resize(M.numArrays());
+  uint64_t Base = 0x1000;
+  for (size_t I = 0; I != M.numArrays(); ++I) {
+    const ArrayDecl &A = M.array(static_cast<uint32_t>(I));
+    OwnMemory[I].assign(A.Size, Value());
+    ArrayBase[I] = Base;
+    Base += A.Size * 8;
+    // Pad between arrays so streaming through one never prefetches
+    // another's line in the cache model.
+    Base = (Base + 255) & ~uint64_t(255);
+  }
+}
+
+Interpreter::Interpreter(const Module &M, Interpreter &Other)
+    : M(M), Mem(Other.Mem), ArrayBase(Other.ArrayBase),
+      Rng(Other.Rng), Opts(Other.Opts) {
+  assert(&M == &Other.M && "memory sharing requires the same module");
+}
+
+void Interpreter::reset() {
+  for (size_t I = 0; I != Mem->size(); ++I) {
+    const ArrayDecl &A = M.array(static_cast<uint32_t>(I));
+    (*Mem)[I].assign(A.Size, Value());
+  }
+  Stack.clear();
+  RetValue = Value();
+  InstrsExecuted = 0;
+  Output.clear();
+  Rng.reseed(Opts.RngSeed);
+}
+
+void Interpreter::startAt(const Function *F, BlockId Block, uint32_t Index,
+                          std::vector<Value> Regs) {
+  assert(Stack.empty() && "previous call still active");
+  assert(Regs.size() == F->numRegs() && "register file size mismatch");
+  Frame Fr;
+  Fr.F = F;
+  Fr.Block = Block;
+  Fr.Index = Index;
+  Fr.Regs = std::move(Regs);
+  Stack.push_back(std::move(Fr));
+}
+
+void Interpreter::startCall(const Function *F, const std::vector<Value> &Args) {
+  assert(Stack.empty() && "previous call still active");
+  assert(!F->isExternal() && "cannot start an external function");
+  assert(Args.size() == F->numParams() && "wrong argument count");
+  Frame Fr;
+  Fr.F = F;
+  Fr.Block = F->entry();
+  Fr.Index = 0;
+  Fr.Regs.assign(F->numRegs(), Value());
+  for (size_t I = 0; I != Args.size(); ++I)
+    Fr.Regs[I] = Args[I];
+  Stack.push_back(std::move(Fr));
+}
+
+Value Interpreter::evalBuiltin(const Function &Callee,
+                               const std::vector<Value> &Args) {
+  const std::string &Name = Callee.name();
+  if (Name == "sqrt")
+    return Value::ofFp(Args[0].F <= 0.0 ? 0.0 : std::sqrt(Args[0].F));
+  if (Name == "log")
+    return Value::ofFp(Args[0].F <= 0.0 ? 0.0 : std::log(Args[0].F));
+  if (Name == "exp")
+    return Value::ofFp(std::exp(Args[0].F));
+  if (Name == "rnd") {
+    const int64_t Bound = Args[0].I;
+    return Value::ofInt(Bound <= 0 ? 0 : Rng.nextBelow(Bound));
+  }
+  if (Name == "print_int") {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld\n",
+                  static_cast<long long>(Args[0].I));
+    Output += Buf;
+    return Value();
+  }
+  if (Name == "print_fp") {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f\n", Args[0].F);
+    Output += Buf;
+    return Value();
+  }
+  spt_fatal("unknown external function called");
+}
+
+StepResult Interpreter::step() {
+  assert(!Stack.empty() && "step() on a finished machine");
+  Frame &Fr = Stack.back();
+  const BasicBlock *BB = Fr.F->block(Fr.Block);
+  assert(Fr.Index < BB->Instrs.size() && "frame position out of range");
+  const Instr &I = BB->Instrs[Fr.Index];
+
+  StepResult R;
+  R.F = Fr.F;
+  R.I = &I;
+  R.Block = Fr.Block;
+  R.Index = Fr.Index;
+  ++InstrsExecuted;
+
+  auto RegV = [&](size_t SrcIdx) -> Value & { return Fr.Regs[I.Srcs[SrcIdx]]; };
+  auto setDst = [&](Value V) {
+    if (I.Dst != NoReg)
+      Fr.Regs[I.Dst] = V;
+    R.Result = V;
+  };
+  auto advance = [&]() { ++Fr.Index; };
+
+  switch (I.Op) {
+  case Opcode::Add:
+    setDst(Value::ofInt(RegV(0).I + RegV(1).I));
+    advance();
+    break;
+  case Opcode::Sub:
+    setDst(Value::ofInt(RegV(0).I - RegV(1).I));
+    advance();
+    break;
+  case Opcode::Mul:
+    setDst(Value::ofInt(RegV(0).I * RegV(1).I));
+    advance();
+    break;
+  case Opcode::Div: {
+    const int64_t D = RegV(1).I;
+    setDst(Value::ofInt(D == 0 ? 0 : RegV(0).I / D));
+    advance();
+    break;
+  }
+  case Opcode::Rem: {
+    const int64_t D = RegV(1).I;
+    setDst(Value::ofInt(D == 0 ? 0 : RegV(0).I % D));
+    advance();
+    break;
+  }
+  case Opcode::Neg:
+    setDst(Value::ofInt(-RegV(0).I));
+    advance();
+    break;
+  case Opcode::And:
+    setDst(Value::ofInt(RegV(0).I & RegV(1).I));
+    advance();
+    break;
+  case Opcode::Or:
+    setDst(Value::ofInt(RegV(0).I | RegV(1).I));
+    advance();
+    break;
+  case Opcode::Xor:
+    setDst(Value::ofInt(RegV(0).I ^ RegV(1).I));
+    advance();
+    break;
+  case Opcode::Shl:
+    setDst(Value::ofInt(RegV(0).I << (RegV(1).I & 63)));
+    advance();
+    break;
+  case Opcode::Shr:
+    setDst(Value::ofInt(RegV(0).I >> (RegV(1).I & 63)));
+    advance();
+    break;
+  case Opcode::Not:
+    setDst(Value::ofInt(~RegV(0).I));
+    advance();
+    break;
+  case Opcode::Min:
+    setDst(Value::ofInt(RegV(0).I < RegV(1).I ? RegV(0).I : RegV(1).I));
+    advance();
+    break;
+  case Opcode::Max:
+    setDst(Value::ofInt(RegV(0).I > RegV(1).I ? RegV(0).I : RegV(1).I));
+    advance();
+    break;
+  case Opcode::Abs:
+    setDst(Value::ofInt(RegV(0).I < 0 ? -RegV(0).I : RegV(0).I));
+    advance();
+    break;
+
+  case Opcode::FAdd:
+    setDst(Value::ofFp(RegV(0).F + RegV(1).F));
+    advance();
+    break;
+  case Opcode::FSub:
+    setDst(Value::ofFp(RegV(0).F - RegV(1).F));
+    advance();
+    break;
+  case Opcode::FMul:
+    setDst(Value::ofFp(RegV(0).F * RegV(1).F));
+    advance();
+    break;
+  case Opcode::FDiv: {
+    const double D = RegV(1).F;
+    setDst(Value::ofFp(D == 0.0 ? 0.0 : RegV(0).F / D));
+    advance();
+    break;
+  }
+  case Opcode::FNeg:
+    setDst(Value::ofFp(-RegV(0).F));
+    advance();
+    break;
+  case Opcode::FAbs:
+    setDst(Value::ofFp(std::fabs(RegV(0).F)));
+    advance();
+    break;
+  case Opcode::FMin:
+    setDst(Value::ofFp(RegV(0).F < RegV(1).F ? RegV(0).F : RegV(1).F));
+    advance();
+    break;
+  case Opcode::FMax:
+    setDst(Value::ofFp(RegV(0).F > RegV(1).F ? RegV(0).F : RegV(1).F));
+    advance();
+    break;
+
+  case Opcode::IntToFp:
+    setDst(Value::ofFp(static_cast<double>(RegV(0).I)));
+    advance();
+    break;
+  case Opcode::FpToInt:
+    setDst(Value::ofInt(static_cast<int64_t>(RegV(0).F)));
+    advance();
+    break;
+
+  case Opcode::CmpEq:
+    setDst(Value::ofInt(RegV(0).I == RegV(1).I));
+    advance();
+    break;
+  case Opcode::CmpNe:
+    setDst(Value::ofInt(RegV(0).I != RegV(1).I));
+    advance();
+    break;
+  case Opcode::CmpLt:
+    setDst(Value::ofInt(RegV(0).I < RegV(1).I));
+    advance();
+    break;
+  case Opcode::CmpLe:
+    setDst(Value::ofInt(RegV(0).I <= RegV(1).I));
+    advance();
+    break;
+  case Opcode::CmpGt:
+    setDst(Value::ofInt(RegV(0).I > RegV(1).I));
+    advance();
+    break;
+  case Opcode::CmpGe:
+    setDst(Value::ofInt(RegV(0).I >= RegV(1).I));
+    advance();
+    break;
+  case Opcode::FCmpEq:
+    setDst(Value::ofInt(RegV(0).F == RegV(1).F));
+    advance();
+    break;
+  case Opcode::FCmpNe:
+    setDst(Value::ofInt(RegV(0).F != RegV(1).F));
+    advance();
+    break;
+  case Opcode::FCmpLt:
+    setDst(Value::ofInt(RegV(0).F < RegV(1).F));
+    advance();
+    break;
+  case Opcode::FCmpLe:
+    setDst(Value::ofInt(RegV(0).F <= RegV(1).F));
+    advance();
+    break;
+  case Opcode::FCmpGt:
+    setDst(Value::ofInt(RegV(0).F > RegV(1).F));
+    advance();
+    break;
+  case Opcode::FCmpGe:
+    setDst(Value::ofInt(RegV(0).F >= RegV(1).F));
+    advance();
+    break;
+
+  case Opcode::Copy:
+    setDst(RegV(0));
+    advance();
+    break;
+  case Opcode::ConstInt:
+    setDst(Value::ofInt(I.IntImm));
+    advance();
+    break;
+  case Opcode::ConstFp:
+    setDst(Value::ofFp(I.FpImm));
+    advance();
+    break;
+  case Opcode::Select:
+    setDst(RegV(0).I != 0 ? RegV(1) : RegV(2));
+    advance();
+    break;
+
+  case Opcode::Load: {
+    const uint32_t Id = I.arrayId();
+    const int64_t Index = RegV(0).I;
+    R.IsLoad = true;
+    Value Loaded;
+    if (Index < 0 ||
+        static_cast<uint64_t>(Index) >= (*Mem)[Id].size()) {
+      R.OutOfBounds = true;
+      R.Addr = ArrayBase[Id]; // Clamped address for the cache model.
+      Loaded = Value();
+    } else {
+      R.Addr = addressOf(Id, static_cast<uint64_t>(Index));
+      Loaded = (*Mem)[Id][static_cast<size_t>(Index)];
+    }
+    if (Hooks_)
+      Loaded = Hooks_->onLoad(R.Addr, Loaded);
+    setDst(Loaded);
+    advance();
+    break;
+  }
+  case Opcode::Store: {
+    const uint32_t Id = I.arrayId();
+    const int64_t Index = RegV(0).I;
+    const Value V = RegV(1);
+    R.IsStore = true;
+    R.Result = V;
+    if (Index < 0 ||
+        static_cast<uint64_t>(Index) >= (*Mem)[Id].size()) {
+      R.OutOfBounds = true;
+      R.Addr = ArrayBase[Id];
+      if (Hooks_)
+        Hooks_->onStore(R.Addr, V); // Buffered even when out of bounds.
+    } else {
+      R.Addr = addressOf(Id, static_cast<uint64_t>(Index));
+      const bool Consumed = Hooks_ && Hooks_->onStore(R.Addr, V);
+      if (!Consumed)
+        (*Mem)[Id][static_cast<size_t>(Index)] = V;
+    }
+    advance();
+    break;
+  }
+
+  case Opcode::Call: {
+    const Function *Callee = M.function(I.calleeIndex());
+    std::vector<Value> Args;
+    Args.reserve(I.Srcs.size());
+    for (size_t A = 0; A != I.Srcs.size(); ++A)
+      Args.push_back(Fr.Regs[I.Srcs[A]]);
+    if (Callee->isExternal()) {
+      const Value V = evalBuiltin(*Callee, Args);
+      setDst(V);
+      advance();
+      break;
+    }
+    R.IsCallEnter = true;
+    advance(); // Return will resume after the call.
+    Frame New;
+    New.F = Callee;
+    New.Block = Callee->entry();
+    New.Index = 0;
+    New.RetDst = I.Dst;
+    New.Regs.assign(Callee->numRegs(), Value());
+    for (size_t A = 0; A != Args.size(); ++A)
+      New.Regs[A] = Args[A];
+    Stack.push_back(std::move(New));
+    break;
+  }
+
+  case Opcode::Br: {
+    const bool Taken = RegV(0).I != 0;
+    R.IsBranch = true;
+    R.BranchTaken = Taken;
+    const BlockId Target = BB->Succs[Taken ? 0 : 1];
+    R.NextBlock = Target;
+    Fr.Block = Target;
+    Fr.Index = 0;
+    break;
+  }
+  case Opcode::Jmp: {
+    R.IsBranch = true;
+    R.BranchTaken = true;
+    const BlockId Target = BB->Succs[0];
+    R.NextBlock = Target;
+    Fr.Block = Target;
+    Fr.Index = 0;
+    break;
+  }
+  case Opcode::Ret: {
+    R.IsReturn = true;
+    Value V;
+    if (!I.Srcs.empty())
+      V = RegV(0);
+    const Reg Dst = Fr.RetDst;
+    Stack.pop_back();
+    if (Stack.empty())
+      RetValue = V;
+    else if (Dst != NoReg)
+      Stack.back().Regs[Dst] = V;
+    R.Result = V;
+    break;
+  }
+
+  case Opcode::SptFork:
+    R.IsFork = true;
+    advance();
+    break;
+  case Opcode::SptKill:
+    R.IsKill = true;
+    advance();
+    break;
+  }
+
+  // Fall off the end of a block is impossible: blocks end in terminators.
+  return R;
+}
+
+uint64_t Interpreter::run(uint64_t MaxSteps) {
+  uint64_t Steps = 0;
+  while (!done() && Steps < MaxSteps) {
+    step();
+    ++Steps;
+  }
+  return Steps;
+}
+
+RunOutcome spt::runFunction(const Module &M, const std::string &FnName,
+                            const std::vector<Value> &Args,
+                            uint64_t MaxSteps) {
+  const Function *F = M.findFunction(FnName);
+  if (!F)
+    spt_fatal("runFunction: no such function");
+  Interpreter In(M);
+  In.startCall(F, Args);
+  const uint64_t Steps = In.run(MaxSteps);
+  if (!In.done())
+    spt_fatal("runFunction: step budget exhausted (infinite loop?)");
+  RunOutcome O;
+  O.Result = In.returnValue();
+  O.Output = In.output();
+  O.Instrs = Steps;
+  return O;
+}
+
+Value Interpreter::peekAddr(uint64_t Addr) const {
+  for (size_t Id = 0; Id != ArrayBase.size(); ++Id) {
+    const uint64_t Base = ArrayBase[Id];
+    const uint64_t Size = (*Mem)[Id].size() * 8;
+    if (Addr >= Base && Addr < Base + Size)
+      return (*Mem)[Id][(Addr - Base) / 8];
+  }
+  return Value();
+}

@@ -1,0 +1,231 @@
+//===- interp/Interp.h - Steppable IR interpreter --------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A precise, steppable interpreter for the SPT IR. One Interpreter instance
+/// is one hardware context: a call stack, a register file per frame, and a
+/// view of the module's array memory. Profilers (edge, dependence, value)
+/// and the SPT simulator drive it one instruction at a time through step(),
+/// which reports everything they need: the executed instruction, memory
+/// addresses touched and taken branch directions.
+///
+/// Design notes:
+///  - Arrays live in a flat byte-address space (8 bytes per element) so the
+///    cache model and the dependence profiler share one address notion.
+///  - Out-of-bounds accesses do not abort: loads yield 0, stores are
+///    dropped, and the step result is flagged. The SPT simulator's ghost
+///    (speculative) runs can legitimately compute wild addresses from stale
+///    inputs; real TLS hardware would buffer and squash such accesses.
+///  - Division by zero yields 0 for the same reason.
+///  - rnd() is deterministic (support/Random.h) and part of the machine
+///    state, so a context snapshot (used by speculative runs) clones it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_INTERP_INTERP_H
+#define SPT_INTERP_INTERP_H
+
+#include "ir/IR.h"
+#include "support/Random.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// A dynamically typed 8-byte value. The static type is always known from
+/// the consuming instruction, so no tag is stored.
+struct Value {
+  union {
+    int64_t I;
+    double F;
+  };
+
+  Value() : I(0) {}
+  static Value ofInt(int64_t V) {
+    Value X;
+    X.I = V;
+    return X;
+  }
+  static Value ofFp(double V) {
+    Value X;
+    X.F = V;
+    return X;
+  }
+};
+
+/// What one step() executed. Pointers remain valid while the module lives.
+struct StepResult {
+  const Function *F = nullptr;
+  const Instr *I = nullptr;
+  BlockId Block = NoBlock;
+  uint32_t Index = 0; // Instruction index within the block.
+
+  bool IsLoad = false;
+  bool IsStore = false;
+  uint64_t Addr = 0;        // Flat byte address of a Load/Store.
+  bool OutOfBounds = false; // Access outside the array; load got 0.
+
+  bool IsBranch = false;
+  bool BranchTaken = false; // For Br: whether Succs[0] was chosen.
+  BlockId NextBlock = NoBlock; // Control-flow successor entered, if any.
+
+  bool IsCallEnter = false; // Entered a non-external callee frame.
+  bool IsReturn = false;    // Popped a frame (or finished the start call).
+  bool IsFork = false;      // Executed SptFork.
+  bool IsKill = false;      // Executed SptKill.
+
+  /// The value written to I->Dst (when the instruction defines one) or the
+  /// value stored by a Store.
+  Value Result;
+};
+
+/// One activation record.
+struct Frame {
+  const Function *F = nullptr;
+  BlockId Block = 0;
+  uint32_t Index = 0;
+  Reg RetDst = NoReg; // Caller register awaiting our return value.
+  std::vector<Value> Regs;
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  uint64_t RngSeed = 0x5eed5eed5eedull;
+};
+
+/// The steppable machine. Memory (arrays) is owned by the interpreter;
+/// speculative contexts share it read-mostly via the SPT simulator's
+/// buffering (see sim/SptSim.h).
+class Interpreter {
+public:
+  explicit Interpreter(const Module &M, InterpOptions Opts = InterpOptions());
+
+  /// Creates an interpreter that *shares* \p Other's array memory (used
+  /// for speculative ghost contexts, which redirect their writes through
+  /// MemHooks while reading the shared image). The ghost's RNG state is
+  /// cloned from \p Other at construction.
+  Interpreter(const Module &M, Interpreter &Other);
+
+  const Module &module() const { return M; }
+
+  /// Re-zeroes all array memory and clears the call stack and output.
+  void reset();
+
+  /// Direct access to an array's storage (for input generators and tests).
+  std::vector<Value> &arrayData(uint32_t Id) {
+    assert(Id < Mem->size() && "array id out of range");
+    return (*Mem)[Id];
+  }
+  const std::vector<Value> &arrayData(uint32_t Id) const {
+    assert(Id < Mem->size() && "array id out of range");
+    return (*Mem)[Id];
+  }
+
+  /// Flat byte address of element \p Index of array \p Id.
+  uint64_t addressOf(uint32_t Id, uint64_t Index) const {
+    return ArrayBase[Id] + Index * 8;
+  }
+
+  /// Reads the current value at a flat byte address (used by the SPT
+  /// simulator's undo log). Returns zero for addresses outside any array.
+  Value peekAddr(uint64_t Addr) const;
+
+  /// Begins executing \p F with \p Args. Any previous call stack must have
+  /// finished (done() == true).
+  void startCall(const Function *F, const std::vector<Value> &Args);
+
+  /// Begins executing mid-function: one frame for \p F positioned at
+  /// (\p Block, \p Index) with the given register file. Used to launch
+  /// speculative ghost contexts at a loop's iteration entry.
+  void startAt(const Function *F, BlockId Block, uint32_t Index,
+               std::vector<Value> Regs);
+
+  /// True when the call stack is empty (the start call returned).
+  bool done() const { return Stack.empty(); }
+
+  /// Executes exactly one instruction. Must not be called when done().
+  StepResult step();
+
+  /// Runs until done() or \p MaxSteps executed; returns steps executed.
+  uint64_t run(uint64_t MaxSteps = ~0ull);
+
+  /// The value returned by the finished start call.
+  Value returnValue() const { return RetValue; }
+
+  /// Total instructions executed since construction/reset.
+  uint64_t instrCount() const { return InstrsExecuted; }
+
+  /// Text emitted by print_int/print_fp since reset.
+  const std::string &output() const { return Output; }
+
+  /// The current innermost frame (for inspection by drivers).
+  const Frame &topFrame() const {
+    assert(!Stack.empty() && "no active frame");
+    return Stack.back();
+  }
+  Frame &topFrame() {
+    assert(!Stack.empty() && "no active frame");
+    return Stack.back();
+  }
+
+  size_t stackDepth() const { return Stack.size(); }
+
+  /// Frame at \p Depth (0 = outermost start call).
+  const Frame &frame(size_t Depth) const {
+    assert(Depth < Stack.size() && "frame depth out of range");
+    return Stack[Depth];
+  }
+
+  /// The machine's deterministic RNG (rnd() builtin state).
+  Random &rng() { return Rng; }
+
+  /// Memory-read/write hooks used by the SPT simulator to redirect
+  /// speculative accesses into a buffer. When set, they fully replace the
+  /// default array access. Plain profiling leaves them unset.
+  struct MemHooks {
+    virtual ~MemHooks();
+    /// Returns the loaded value for \p Addr; \p Fallback is the value in
+    /// main memory.
+    virtual Value onLoad(uint64_t Addr, Value Fallback) = 0;
+    /// Returns true when the store was consumed (buffered); false writes
+    /// through to main memory.
+    virtual bool onStore(uint64_t Addr, Value V) = 0;
+  };
+  void setMemHooks(MemHooks *Hooks) { Hooks_ = Hooks; }
+
+private:
+  Value evalBuiltin(const Function &Callee, const std::vector<Value> &Args);
+
+  const Module &M;
+  std::vector<std::vector<Value>> OwnMemory;
+  /// Points at OwnMemory, or at another interpreter's memory image.
+  std::vector<std::vector<Value>> *Mem;
+  std::vector<uint64_t> ArrayBase;
+  std::vector<Frame> Stack;
+  Value RetValue;
+  uint64_t InstrsExecuted = 0;
+  std::string Output;
+  Random Rng;
+  InterpOptions Opts;
+  MemHooks *Hooks_ = nullptr;
+};
+
+/// Convenience: interprets \p FnName(\p Args) in a fresh interpreter and
+/// returns (return value, printed output).
+struct RunOutcome {
+  Value Result;
+  std::string Output;
+  uint64_t Instrs = 0;
+};
+RunOutcome runFunction(const Module &M, const std::string &FnName,
+                       const std::vector<Value> &Args = {},
+                       uint64_t MaxSteps = 500000000ull);
+
+} // namespace spt
+
+#endif // SPT_INTERP_INTERP_H

@@ -1,0 +1,60 @@
+//===- ir/IRBuilder.cpp - Convenience construction of IR -----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace spt;
+
+Reg IRBuilder::emit(Opcode Op, Type Ty, std::vector<Reg> Srcs, int64_t IntImm,
+                    double FpImm, bool WantValue) {
+  assert(Block && "no insertion block set");
+  assert(!Block->hasTerminator() && "appending after a terminator");
+  Instr I;
+  I.Op = Op;
+  I.Ty = Ty;
+  I.Srcs = std::move(Srcs);
+  I.IntImm = IntImm;
+  I.FpImm = FpImm;
+  I.Id = F->newStmtId();
+  if (WantValue && producesValue(Op))
+    I.Dst = F->newReg();
+  Block->Instrs.push_back(std::move(I));
+  return Block->Instrs.back().Dst;
+}
+
+void IRBuilder::copyTo(Reg Dst, Type Ty, Reg Src) {
+  assert(Block && "no insertion block set");
+  assert(!Block->hasTerminator() && "appending after a terminator");
+  Instr I;
+  I.Op = Opcode::Copy;
+  I.Ty = Ty;
+  I.Dst = Dst;
+  I.Srcs = {Src};
+  I.Id = F->newStmtId();
+  Block->Instrs.push_back(std::move(I));
+}
+
+void IRBuilder::br(Reg Cond, BasicBlock *Then, BasicBlock *Else) {
+  emit(Opcode::Br, Type::Void, {Cond}, 0, 0.0, /*WantValue=*/false);
+  Block->Succs = {Then->id(), Else->id()};
+}
+
+void IRBuilder::jmp(BasicBlock *Target) {
+  emit(Opcode::Jmp, Type::Void, {}, 0, 0.0, /*WantValue=*/false);
+  Block->Succs = {Target->id()};
+}
+
+void IRBuilder::ret() {
+  emit(Opcode::Ret, Type::Void, {}, 0, 0.0, /*WantValue=*/false);
+  Block->Succs.clear();
+}
+
+void IRBuilder::ret(Reg Value) {
+  emit(Opcode::Ret, Type::Void, {Value}, 0, 0.0, /*WantValue=*/false);
+  Block->Succs.clear();
+}

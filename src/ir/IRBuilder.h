@@ -1,0 +1,109 @@
+//===- ir/IRBuilder.h - Convenience construction of IR -------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder that appends instructions to a current insertion block,
+/// allocating result registers and stable statement ids. Used by the SPTc
+/// frontend lowering, by the SPT/SVP transformations, and by tests that
+/// hand-construct loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_IR_IRBUILDER_H
+#define SPT_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+namespace spt {
+
+/// Appends instructions to a designated basic block of one function.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F) {}
+
+  Function *function() { return F; }
+
+  /// Sets the block that subsequent emissions append to.
+  void setInsertBlock(BasicBlock *BB) { Block = BB; }
+  BasicBlock *insertBlock() { return Block; }
+
+  /// Creates a block (does not change the insertion point).
+  BasicBlock *makeBlock(std::string Label) {
+    return F->addBlock(std::move(Label));
+  }
+
+  /// Emits a generic instruction; allocates Dst when the opcode produces a
+  /// value and \p WantValue is true. Returns the result register or NoReg.
+  Reg emit(Opcode Op, Type Ty, std::vector<Reg> Srcs, int64_t IntImm = 0,
+           double FpImm = 0.0, bool WantValue = true);
+
+  // Constants and moves.
+  Reg constInt(int64_t V) { return emit(Opcode::ConstInt, Type::Int, {}, V); }
+  Reg constFp(double V) {
+    return emit(Opcode::ConstFp, Type::Fp, {}, 0, V);
+  }
+  Reg copy(Type Ty, Reg Src) { return emit(Opcode::Copy, Ty, {Src}); }
+
+  /// Emits a Copy whose destination is the existing register \p Dst.
+  void copyTo(Reg Dst, Type Ty, Reg Src);
+
+  // Integer arithmetic.
+  Reg add(Reg A, Reg B) { return emit(Opcode::Add, Type::Int, {A, B}); }
+  Reg sub(Reg A, Reg B) { return emit(Opcode::Sub, Type::Int, {A, B}); }
+  Reg mul(Reg A, Reg B) { return emit(Opcode::Mul, Type::Int, {A, B}); }
+  Reg div(Reg A, Reg B) { return emit(Opcode::Div, Type::Int, {A, B}); }
+  Reg rem(Reg A, Reg B) { return emit(Opcode::Rem, Type::Int, {A, B}); }
+
+  // Floating point arithmetic.
+  Reg fadd(Reg A, Reg B) { return emit(Opcode::FAdd, Type::Fp, {A, B}); }
+  Reg fsub(Reg A, Reg B) { return emit(Opcode::FSub, Type::Fp, {A, B}); }
+  Reg fmul(Reg A, Reg B) { return emit(Opcode::FMul, Type::Fp, {A, B}); }
+  Reg fdiv(Reg A, Reg B) { return emit(Opcode::FDiv, Type::Fp, {A, B}); }
+  Reg fabs(Reg A) { return emit(Opcode::FAbs, Type::Fp, {A}); }
+
+  // Comparisons.
+  Reg cmpLt(Reg A, Reg B) { return emit(Opcode::CmpLt, Type::Int, {A, B}); }
+  Reg cmpLe(Reg A, Reg B) { return emit(Opcode::CmpLe, Type::Int, {A, B}); }
+  Reg cmpEq(Reg A, Reg B) { return emit(Opcode::CmpEq, Type::Int, {A, B}); }
+  Reg cmpNe(Reg A, Reg B) { return emit(Opcode::CmpNe, Type::Int, {A, B}); }
+
+  // Memory.
+  Reg load(Type Ty, uint32_t ArrayId, Reg Index) {
+    return emit(Opcode::Load, Ty, {Index}, ArrayId);
+  }
+  void store(uint32_t ArrayId, Reg Index, Reg Value) {
+    emit(Opcode::Store, Type::Void, {Index, Value}, ArrayId, 0.0,
+         /*WantValue=*/false);
+  }
+
+  // Calls.
+  Reg call(Type RetTy, uint32_t CalleeIndex, std::vector<Reg> Args) {
+    return emit(Opcode::Call, RetTy, std::move(Args), CalleeIndex, 0.0,
+                RetTy != Type::Void);
+  }
+
+  // Control flow. Successor lists are set on the insertion block.
+  void br(Reg Cond, BasicBlock *Then, BasicBlock *Else);
+  void jmp(BasicBlock *Target);
+  void ret();
+  void ret(Reg Value);
+
+  // SPT markers.
+  void sptFork(int64_t LoopId) {
+    emit(Opcode::SptFork, Type::Void, {}, LoopId, 0.0, /*WantValue=*/false);
+  }
+  void sptKill(int64_t LoopId) {
+    emit(Opcode::SptKill, Type::Void, {}, LoopId, 0.0, /*WantValue=*/false);
+  }
+
+private:
+  Function *F;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace spt
+
+#endif // SPT_IR_IRBUILDER_H

@@ -1,0 +1,129 @@
+//===- ir/IRPrinter.cpp - Textual dump of the IR -------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/IR.h"
+#include "support/OStream.h"
+
+using namespace spt;
+
+static void printReg(OStream &OS, Reg R) {
+  if (R == NoReg)
+    OS << "r<none>";
+  else
+    OS << 'r' << R;
+}
+
+void spt::printInstr(OStream &OS, const Module &M, const Function &F,
+                     const Instr &I) {
+  if (I.Dst != NoReg) {
+    printReg(OS, I.Dst);
+    OS << " = ";
+  }
+  OS << opcodeName(I.Op);
+
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    OS << ' ' << I.IntImm;
+    break;
+  case Opcode::ConstFp:
+    OS << ' ';
+    OS.writeDouble(I.FpImm, 17);
+    break;
+  case Opcode::Load:
+    OS << ' ' << M.array(I.arrayId()).Name << '[';
+    printReg(OS, I.Srcs[0]);
+    OS << ']';
+    break;
+  case Opcode::Store:
+    OS << ' ' << M.array(I.arrayId()).Name << '[';
+    printReg(OS, I.Srcs[0]);
+    OS << "], ";
+    printReg(OS, I.Srcs[1]);
+    break;
+  case Opcode::Call: {
+    OS << ' ' << M.function(I.calleeIndex())->name() << '(';
+    for (size_t A = 0; A != I.Srcs.size(); ++A) {
+      if (A != 0)
+        OS << ", ";
+      printReg(OS, I.Srcs[A]);
+    }
+    OS << ')';
+    break;
+  }
+  case Opcode::SptFork:
+  case Opcode::SptKill:
+    OS << " loop" << I.IntImm;
+    break;
+  default:
+    for (size_t A = 0; A != I.Srcs.size(); ++A) {
+      OS << (A == 0 ? " " : ", ");
+      printReg(OS, I.Srcs[A]);
+    }
+    break;
+  }
+  OS << "  ; id " << static_cast<uint64_t>(I.Id);
+  (void)F;
+}
+
+void spt::printFunction(OStream &OS, const Module &M, const Function &F) {
+  OS << typeName(F.returnType()) << ' ' << F.name() << '(';
+  for (unsigned P = 0; P != F.numParams(); ++P) {
+    if (P != 0)
+      OS << ", ";
+    OS << 'r' << P;
+  }
+  OS << ')';
+  if (F.isExternal()) {
+    OS << " external\n";
+    return;
+  }
+  OS << " {\n";
+  for (const auto &BB : F) {
+    OS << BB->label() << ":  ; bb" << static_cast<uint64_t>(BB->id());
+    if (!BB->Succs.empty()) {
+      OS << " -> ";
+      for (size_t S = 0; S != BB->Succs.size(); ++S) {
+        if (S != 0)
+          OS << ", ";
+        OS << "bb" << static_cast<uint64_t>(BB->Succs[S]);
+      }
+    }
+    OS << '\n';
+    for (const Instr &I : BB->Instrs) {
+      OS << "  ";
+      printInstr(OS, M, F, I);
+      OS << '\n';
+    }
+  }
+  OS << "}\n";
+}
+
+void spt::printModule(OStream &OS, const Module &M) {
+  for (size_t A = 0; A != M.numArrays(); ++A) {
+    const ArrayDecl &D = M.array(static_cast<uint32_t>(A));
+    OS << typeName(D.ElemTy) << ' ' << D.Name << '['
+       << static_cast<uint64_t>(D.Size) << "]\n";
+  }
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    OS << '\n';
+    printFunction(OS, M, *M.function(static_cast<uint32_t>(I)));
+  }
+}
+
+std::string spt::functionToString(const Module &M, const Function &F) {
+  StringOStream OS;
+  printFunction(OS, M, F);
+  return OS.str();
+}
+
+std::string spt::instrToString(const Module &M, const Function &F,
+                               const Instr &I) {
+  StringOStream OS;
+  printInstr(OS, M, F, I);
+  return OS.str();
+}

@@ -1,0 +1,43 @@
+//===- ir/IRPrinter.h - Textual dump of the IR ---------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of modules, functions and instructions. Used by
+/// tests (golden-text comparisons of transformations) and for debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_IR_IRPRINTER_H
+#define SPT_IR_IRPRINTER_H
+
+#include <string>
+
+namespace spt {
+
+class Module;
+class Function;
+struct Instr;
+class OStream;
+
+/// Prints one instruction, e.g. "r5 = add r3, r4  ; id 12".
+void printInstr(OStream &OS, const Module &M, const Function &F,
+                const Instr &I);
+
+/// Prints a function with block labels and successor edges.
+void printFunction(OStream &OS, const Module &M, const Function &F);
+
+/// Prints the whole module: arrays, then functions.
+void printModule(OStream &OS, const Module &M);
+
+/// Convenience: returns printFunction output as a string.
+std::string functionToString(const Module &M, const Function &F);
+
+/// Convenience: returns printInstr output as a string.
+std::string instrToString(const Module &M, const Function &F, const Instr &I);
+
+} // namespace spt
+
+#endif // SPT_IR_IRPRINTER_H

@@ -1,0 +1,259 @@
+//===- ir/Opcode.cpp - Instruction opcodes and classification -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include "support/Debug.h"
+
+using namespace spt;
+
+const char *spt::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Abs:
+    return "abs";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::FAbs:
+    return "fabs";
+  case Opcode::FMin:
+    return "fmin";
+  case Opcode::FMax:
+    return "fmax";
+  case Opcode::IntToFp:
+    return "itof";
+  case Opcode::FpToInt:
+    return "ftoi";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::FCmpEq:
+    return "fcmpeq";
+  case Opcode::FCmpNe:
+    return "fcmpne";
+  case Opcode::FCmpLt:
+    return "fcmplt";
+  case Opcode::FCmpLe:
+    return "fcmple";
+  case Opcode::FCmpGt:
+    return "fcmpgt";
+  case Opcode::FCmpGe:
+    return "fcmpge";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::ConstInt:
+    return "iconst";
+  case Opcode::ConstFp:
+    return "fconst";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::SptFork:
+    return "spt_fork";
+  case Opcode::SptKill:
+    return "spt_kill";
+  }
+  spt_unreachable("unknown opcode");
+}
+
+OpClass spt::opcodeClass(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Neg:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Not:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Abs:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::Copy:
+  case Opcode::ConstInt:
+  case Opcode::ConstFp:
+  case Opcode::Select:
+  case Opcode::IntToFp:
+  case Opcode::FpToInt:
+    return OpClass::IntAlu;
+  case Opcode::Mul:
+    return OpClass::IntMul;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return OpClass::IntDiv;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::FMin:
+  case Opcode::FMax:
+  case Opcode::FCmpEq:
+  case Opcode::FCmpNe:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+  case Opcode::FCmpGt:
+  case Opcode::FCmpGe:
+    return OpClass::FpAlu;
+  case Opcode::FMul:
+    return OpClass::FpMul;
+  case Opcode::FDiv:
+    return OpClass::FpDiv;
+  case Opcode::Load:
+    return OpClass::MemLoad;
+  case Opcode::Store:
+    return OpClass::MemStore;
+  case Opcode::Call:
+    return OpClass::Call;
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    return OpClass::Branch;
+  case Opcode::SptFork:
+  case Opcode::SptKill:
+    return OpClass::Marker;
+  }
+  spt_unreachable("unknown opcode");
+}
+
+bool spt::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Jmp || Op == Opcode::Ret;
+}
+
+bool spt::touchesMemory(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::Call;
+}
+
+bool spt::hasSideEffects(Opcode Op) {
+  return Op == Opcode::Store || Op == Opcode::Call || isTerminator(Op) ||
+         Op == Opcode::SptFork || Op == Opcode::SptKill;
+}
+
+int spt::expectedNumSrcs(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstFp:
+  case Opcode::Jmp:
+  case Opcode::SptFork:
+  case Opcode::SptKill:
+    return 0;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Abs:
+  case Opcode::FNeg:
+  case Opcode::FAbs:
+  case Opcode::IntToFp:
+  case Opcode::FpToInt:
+  case Opcode::Copy:
+  case Opcode::Load:
+  case Opcode::Br:
+    return 1;
+  case Opcode::Select:
+    return 3;
+  case Opcode::Call:
+  case Opcode::Ret:
+    return -1;
+  default:
+    return 2;
+  }
+}
+
+bool spt::producesValue(Opcode Op) {
+  switch (Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::SptFork:
+  case Opcode::SptKill:
+    return false;
+  case Opcode::Call:
+    return true; // May produce a value; Dst may still be NoReg for void.
+  default:
+    return true;
+  }
+}
+
+bool spt::isComparison(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::FCmpEq:
+  case Opcode::FCmpNe:
+  case Opcode::FCmpLt:
+  case Opcode::FCmpLe:
+  case Opcode::FCmpGt:
+  case Opcode::FCmpGe:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,34 @@
+//===- ir/Verifier.h - IR structural invariants --------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural invariants every pass must preserve: terminators,
+/// successor arities, operand counts, register/array/callee validity and
+/// statement-id uniqueness. Run after the frontend and after every
+/// transformation in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_IR_VERIFIER_H
+#define SPT_IR_VERIFIER_H
+
+#include <string>
+
+namespace spt {
+
+class Module;
+class Function;
+
+/// Verifies \p F against \p M. Returns an empty string on success, or a
+/// description of the first violation found.
+std::string verifyFunction(const Module &M, const Function &F);
+
+/// Verifies every function of \p M. Returns an empty string on success.
+std::string verifyModule(const Module &M);
+
+} // namespace spt
+
+#endif // SPT_IR_VERIFIER_H

@@ -1,0 +1,65 @@
+//===- lang/Ast.cpp - SPTc abstract syntax trees --------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace spt;
+
+ExprPtr spt::makeIntLit(int64_t V, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::IntLit, Loc);
+  E->IntValue = V;
+  return E;
+}
+
+ExprPtr spt::makeFpLit(double V, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::FpLit, Loc);
+  E->FpValue = V;
+  return E;
+}
+
+ExprPtr spt::makeVar(std::string Name, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Var, Loc);
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr spt::makeIndex(std::string Name, ExprPtr Subscript, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Index, Loc);
+  E->Name = std::move(Name);
+  E->Lhs = std::move(Subscript);
+  return E;
+}
+
+ExprPtr spt::makeUnary(UnOp Op, ExprPtr Operand, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Unary, Loc);
+  E->UOp = Op;
+  E->Lhs = std::move(Operand);
+  return E;
+}
+
+ExprPtr spt::makeBinary(BinOp Op, ExprPtr Lhs, ExprPtr Rhs, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Binary, Loc);
+  E->BOp = Op;
+  E->Lhs = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+ExprPtr spt::makeCond(ExprPtr C, ExprPtr T, ExprPtr F, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Cond, Loc);
+  E->Lhs = std::move(C);
+  E->Rhs = std::move(T);
+  E->Aux = std::move(F);
+  return E;
+}
+
+ExprPtr spt::makeCall(std::string Name, std::vector<ExprPtr> Args,
+                      SrcLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Call, Loc);
+  E->Name = std::move(Name);
+  E->Args = std::move(Args);
+  return E;
+}

@@ -1,0 +1,204 @@
+//===- lang/Ast.h - SPTc abstract syntax trees ----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPTc AST produced by the parser and consumed by lowering. Nodes use
+/// a Kind tag for dispatch (the library does not use RTTI) and own their
+/// children through unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_AST_H
+#define SPT_LANG_AST_H
+
+#include "ir/IR.h" // for spt::Type
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// Source position for diagnostics.
+struct SrcLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operators after desugaring (compound assignments and ++/-- are
+/// desugared by the parser into plain assignments over these).
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LAnd, // Short-circuit logical and.
+  LOr,  // Short-circuit logical or.
+};
+
+/// Unary operators.
+enum class UnOp : uint8_t {
+  Neg,    // -x
+  LogNot, // !x
+  BitNot, // ~x
+};
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  IntLit,
+  FpLit,
+  Var,
+  Index, // array[expr]
+  Unary,
+  Binary,
+  Cond, // c ? a : b
+  Call,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node; fields are populated per Kind.
+struct Expr {
+  ExprKind Kind;
+  SrcLoc Loc;
+
+  // IntLit / FpLit.
+  int64_t IntValue = 0;
+  double FpValue = 0.0;
+
+  // Var / Index / Call: the referenced name.
+  std::string Name;
+
+  // Unary / Binary / Cond / Index / Call children.
+  UnOp UOp = UnOp::Neg;
+  BinOp BOp = BinOp::Add;
+  ExprPtr Lhs; // Unary operand; Binary lhs; Cond condition; Index subscript.
+  ExprPtr Rhs; // Binary rhs; Cond then-value.
+  ExprPtr Aux; // Cond else-value.
+  std::vector<ExprPtr> Args; // Call arguments.
+
+  explicit Expr(ExprKind K, SrcLoc L) : Kind(K), Loc(L) {}
+};
+
+/// Creates an integer literal node.
+ExprPtr makeIntLit(int64_t V, SrcLoc Loc);
+/// Creates a floating literal node.
+ExprPtr makeFpLit(double V, SrcLoc Loc);
+/// Creates a variable reference.
+ExprPtr makeVar(std::string Name, SrcLoc Loc);
+/// Creates an array subscript.
+ExprPtr makeIndex(std::string Name, ExprPtr Subscript, SrcLoc Loc);
+/// Creates a unary expression.
+ExprPtr makeUnary(UnOp Op, ExprPtr Operand, SrcLoc Loc);
+/// Creates a binary expression.
+ExprPtr makeBinary(BinOp Op, ExprPtr Lhs, ExprPtr Rhs, SrcLoc Loc);
+/// Creates a conditional (ternary) expression.
+ExprPtr makeCond(ExprPtr C, ExprPtr T, ExprPtr F, SrcLoc Loc);
+/// Creates a call expression.
+ExprPtr makeCall(std::string Name, std::vector<ExprPtr> Args, SrcLoc Loc);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,   // Local variable declaration with optional init.
+  Assign, // Scalar or array-element assignment.
+  ExprEval, // Expression evaluated for side effects (calls).
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One statement node; fields are populated per Kind.
+struct Stmt {
+  StmtKind Kind;
+  SrcLoc Loc;
+
+  // Block.
+  std::vector<StmtPtr> Body;
+
+  // Decl.
+  Type DeclTy = Type::Int;
+  std::string Name;
+
+  // Assign: Target is a Var or Index expr; Value the right-hand side.
+  ExprPtr Target;
+  ExprPtr Value; // Also: Decl init, ExprEval expr, Return value, loop cond.
+
+  // If / While / DoWhile / For.
+  StmtPtr Then; // Loop body; if-then.
+  StmtPtr Else; // If-else.
+  StmtPtr Init; // For init.
+  StmtPtr Step; // For step.
+
+  explicit Stmt(StmtKind K, SrcLoc L) : Kind(K), Loc(L) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+/// A function parameter.
+struct ParamAst {
+  Type Ty = Type::Int;
+  std::string Name;
+};
+
+/// A parsed function definition.
+struct FuncAst {
+  Type RetTy = Type::Void;
+  std::string Name;
+  std::vector<ParamAst> Params;
+  StmtPtr Body; // Always a Block.
+  SrcLoc Loc;
+};
+
+/// A parsed global array declaration.
+struct ArrayAst {
+  Type ElemTy = Type::Int;
+  std::string Name;
+  uint64_t Size = 0;
+  SrcLoc Loc;
+};
+
+/// A whole parsed translation unit.
+struct ProgramAst {
+  std::vector<ArrayAst> Arrays;
+  std::vector<std::unique_ptr<FuncAst>> Funcs;
+};
+
+} // namespace spt
+
+#endif // SPT_LANG_AST_H

@@ -1,0 +1,47 @@
+//===- lang/Frontend.cpp - One-call SPTc compilation ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Frontend.h"
+
+#include "ir/IR.h"
+#include "ir/Verifier.h"
+#include "lang/Lower.h"
+#include "lang/Parser.h"
+#include "support/Debug.h"
+#include "support/OStream.h"
+
+using namespace spt;
+
+CompileResult spt::compileSource(const std::string &Source) {
+  CompileResult Result;
+
+  Parser P(Source);
+  ProgramAst Ast = P.parseProgram();
+  if (!P.errors().empty()) {
+    Result.Errors = P.errors();
+    return Result;
+  }
+
+  LowerResult Lowered = lowerProgram(Ast);
+  Result.M = std::move(Lowered.M);
+  Result.Errors = std::move(Lowered.Errors);
+  if (!Result.Errors.empty())
+    return Result;
+
+  if (std::string Err = verifyModule(*Result.M); !Err.empty())
+    Result.Errors.push_back("verifier: " + Err);
+  return Result;
+}
+
+std::unique_ptr<Module> spt::compileOrDie(const std::string &Source) {
+  CompileResult Result = compileSource(Source);
+  if (!Result.ok()) {
+    for (const std::string &E : Result.Errors)
+      errs() << "sptc error: " << E << '\n';
+    spt_fatal("SPTc compilation failed");
+  }
+  return std::move(Result.M);
+}

@@ -1,0 +1,42 @@
+//===- lang/Frontend.h - One-call SPTc compilation -------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The convenience entry point used throughout tests, examples and the
+/// workload registry: parse + lower + verify SPTc source in one call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_FRONTEND_H
+#define SPT_LANG_FRONTEND_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class Module;
+
+/// Result of compiling SPTc source text.
+struct CompileResult {
+  std::unique_ptr<Module> M;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses, lowers and verifies \p Source. On any parse/semantic/verifier
+/// error the Errors list is non-empty and M may be null or partial.
+CompileResult compileSource(const std::string &Source);
+
+/// Like compileSource but aborts with the first error message; for tests
+/// and workloads whose sources are known-good.
+std::unique_ptr<Module> compileOrDie(const std::string &Source);
+
+} // namespace spt
+
+#endif // SPT_LANG_FRONTEND_H

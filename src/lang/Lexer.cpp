@@ -1,0 +1,337 @@
+//===- lang/Lexer.cpp - SPTc lexer ----------------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Debug.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace spt;
+
+const char *spt::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FpLiteral:
+    return "floating-point literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwFp:
+    return "'fp'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::PercentAssign:
+    return "'%='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  }
+  spt_unreachable("unknown token kind");
+}
+
+Lexer::Lexer(std::string Src) : Source(std::move(Src)) {}
+
+char Lexer::peek(size_t Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/') && peek() != '\0')
+        advance();
+      if (peek() != '\0') {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Line = TokLine;
+  T.Col = TokCol;
+  return T;
+}
+
+Token Lexer::makeError(const std::string &Msg) {
+  Token T = makeToken(TokKind::Error);
+  T.Text = Msg;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  const size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFp = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFp = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Ahead = 1;
+    if (peek(Ahead) == '+' || peek(Ahead) == '-')
+      ++Ahead;
+    if (std::isdigit(static_cast<unsigned char>(peek(Ahead)))) {
+      IsFp = true;
+      while (Ahead-- > 0)
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  const std::string Spelling = Source.substr(Start, Pos - Start);
+  Token T = makeToken(IsFp ? TokKind::FpLiteral : TokKind::IntLiteral);
+  T.Text = Spelling;
+  if (IsFp)
+    T.FpValue = std::strtod(Spelling.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoll(Spelling.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  const size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  const std::string Name = Source.substr(Start, Pos - Start);
+
+  struct Keyword {
+    const char *Name;
+    TokKind Kind;
+  };
+  static const Keyword Keywords[] = {
+      {"int", TokKind::KwInt},       {"fp", TokKind::KwFp},
+      {"void", TokKind::KwVoid},     {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},     {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},         {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn}, {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue},
+  };
+  for (const Keyword &K : Keywords)
+    if (Name == K.Name)
+      return makeToken(K.Kind);
+
+  Token T = makeToken(TokKind::Identifier);
+  T.Text = Name;
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  TokLine = Line;
+  TokCol = Col;
+
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokKind::Eof);
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen);
+  case ')':
+    return makeToken(TokKind::RParen);
+  case '{':
+    return makeToken(TokKind::LBrace);
+  case '}':
+    return makeToken(TokKind::RBrace);
+  case '[':
+    return makeToken(TokKind::LBracket);
+  case ']':
+    return makeToken(TokKind::RBracket);
+  case ',':
+    return makeToken(TokKind::Comma);
+  case ';':
+    return makeToken(TokKind::Semicolon);
+  case '?':
+    return makeToken(TokKind::Question);
+  case ':':
+    return makeToken(TokKind::Colon);
+  case '~':
+    return makeToken(TokKind::Tilde);
+  case '^':
+    return makeToken(TokKind::Caret);
+  case '+':
+    if (match('='))
+      return makeToken(TokKind::PlusAssign);
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus);
+    return makeToken(TokKind::Plus);
+  case '-':
+    if (match('='))
+      return makeToken(TokKind::MinusAssign);
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus);
+    return makeToken(TokKind::Minus);
+  case '*':
+    return makeToken(match('=') ? TokKind::StarAssign : TokKind::Star);
+  case '/':
+    return makeToken(match('=') ? TokKind::SlashAssign : TokKind::Slash);
+  case '%':
+    return makeToken(match('=') ? TokKind::PercentAssign : TokKind::Percent);
+  case '&':
+    return makeToken(match('&') ? TokKind::AmpAmp : TokKind::Amp);
+  case '|':
+    return makeToken(match('|') ? TokKind::PipePipe : TokKind::Pipe);
+  case '!':
+    return makeToken(match('=') ? TokKind::NotEq : TokKind::Bang);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign);
+  case '<':
+    if (match('<'))
+      return makeToken(TokKind::Shl);
+    return makeToken(match('=') ? TokKind::Le : TokKind::Lt);
+  case '>':
+    if (match('>'))
+      return makeToken(TokKind::Shr);
+    return makeToken(match('=') ? TokKind::Ge : TokKind::Gt);
+  default:
+    return makeError(std::string("unexpected character '") + C + "'");
+  }
+}

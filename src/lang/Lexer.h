@@ -1,0 +1,51 @@
+//===- lang/Lexer.h - SPTc lexer ------------------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for SPTc. Supports // and /* */ comments, decimal
+/// integer and floating-point literals, and the operators in Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_LEXER_H
+#define SPT_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+
+namespace spt {
+
+/// Produces a token stream from SPTc source text.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes and returns the next token. After Eof, keeps returning Eof.
+  Token next();
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+
+  Token makeToken(TokKind Kind);
+  Token makeError(const std::string &Msg);
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  unsigned TokLine = 1;
+  unsigned TokCol = 1;
+};
+
+} // namespace spt
+
+#endif // SPT_LANG_LEXER_H

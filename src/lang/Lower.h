@@ -1,0 +1,45 @@
+//===- lang/Lower.h - SPTc AST to IR lowering ------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed SPTc program into the SPT IR. Performs the (minimal)
+/// semantic checking of SPTc along the way: name resolution, arity checks
+/// and the numeric typing rules (implicit int->fp widening; fp->int only
+/// via the ftoi builtin).
+///
+/// Runtime builtins are materialized as external functions on first use:
+/// sqrt/log/exp (fp->fp), rnd (int->int, deterministic), print_int and
+/// print_fp. Pure math helpers (fabs, iabs, imin, imax, fmin, fmax, itof,
+/// ftoi) lower directly to IR opcodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_LOWER_H
+#define SPT_LANG_LOWER_H
+
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class Module;
+
+/// Result of lowering: the module plus any semantic errors. The module is
+/// meaningful only when Errors is empty.
+struct LowerResult {
+  std::unique_ptr<Module> M;
+  std::vector<std::string> Errors;
+};
+
+/// Lowers \p Program into a fresh module.
+LowerResult lowerProgram(const ProgramAst &Program);
+
+} // namespace spt
+
+#endif // SPT_LANG_LOWER_H

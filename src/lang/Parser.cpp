@@ -1,0 +1,564 @@
+//===- lang/Parser.cpp - SPTc recursive-descent parser --------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "support/Debug.h"
+
+#include <cassert>
+
+using namespace spt;
+
+Parser::Parser(std::string Source) : Lex(std::move(Source)) {}
+
+const Token &Parser::peek(size_t Ahead) {
+  while (Lookahead.size() <= Ahead) {
+    Token T = Lex.next();
+    if (T.Kind == TokKind::Error) {
+      error(T.Text);
+      T.Kind = TokKind::Eof; // Treat lexical errors as end of input.
+    }
+    Lookahead.push_back(std::move(T));
+  }
+  return Lookahead[Ahead];
+}
+
+Token Parser::consume() {
+  peek();
+  Token T = std::move(Lookahead.front());
+  Lookahead.pop_front();
+  return T;
+}
+
+bool Parser::accept(TokKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  error(std::string("expected ") + tokKindName(Kind) + " " + Context +
+        ", found " + tokKindName(peek().Kind));
+  return false;
+}
+
+SrcLoc Parser::loc() {
+  const Token &T = peek();
+  return SrcLoc{T.Line, T.Col};
+}
+
+void Parser::error(const std::string &Msg) {
+  const Token &T = Lookahead.empty() ? peek() : Lookahead.front();
+  Errors.push_back(std::to_string(T.Line) + ":" + std::to_string(T.Col) +
+                   ": " + Msg);
+}
+
+void Parser::syncToStatementEnd() {
+  while (!check(TokKind::Eof) && !check(TokKind::Semicolon) &&
+         !check(TokKind::RBrace))
+    consume();
+  accept(TokKind::Semicolon);
+}
+
+bool Parser::parseType(Type &Out) {
+  if (accept(TokKind::KwInt)) {
+    Out = Type::Int;
+    return true;
+  }
+  if (accept(TokKind::KwFp)) {
+    Out = Type::Fp;
+    return true;
+  }
+  return false;
+}
+
+ProgramAst Parser::parseProgram() {
+  ProgramAst Program;
+  while (!check(TokKind::Eof) && Errors.size() < 50)
+    parseTopLevel(Program);
+  return Program;
+}
+
+void Parser::parseTopLevel(ProgramAst &Program) {
+  const SrcLoc Loc = loc();
+
+  Type Ty = Type::Void;
+  bool IsVoid = accept(TokKind::KwVoid);
+  if (!IsVoid && !parseType(Ty)) {
+    error("expected 'int', 'fp' or 'void' at top level, found " +
+          std::string(tokKindName(peek().Kind)));
+    consume();
+    return;
+  }
+
+  if (!check(TokKind::Identifier)) {
+    error("expected name after type at top level");
+    syncToStatementEnd();
+    return;
+  }
+  std::string Name = consume().Text;
+
+  // Array declaration: type name [ size ] ;
+  if (!IsVoid && check(TokKind::LBracket)) {
+    consume();
+    if (!check(TokKind::IntLiteral)) {
+      error("expected array size literal");
+      syncToStatementEnd();
+      return;
+    }
+    const int64_t Size = consume().IntValue;
+    if (Size <= 0)
+      error("array size must be positive");
+    expect(TokKind::RBracket, "after array size");
+    expect(TokKind::Semicolon, "after array declaration");
+    Program.Arrays.push_back(
+        ArrayAst{Ty, std::move(Name), static_cast<uint64_t>(Size), Loc});
+    return;
+  }
+
+  // Otherwise a function definition.
+  if (auto F = parseFunction(IsVoid ? Type::Void : Ty, std::move(Name), Loc))
+    Program.Funcs.push_back(std::move(F));
+}
+
+std::unique_ptr<FuncAst> Parser::parseFunction(Type RetTy, std::string Name,
+                                               SrcLoc Loc) {
+  auto F = std::make_unique<FuncAst>();
+  F->RetTy = RetTy;
+  F->Name = std::move(Name);
+  F->Loc = Loc;
+
+  if (!expect(TokKind::LParen, "to begin parameter list"))
+    return nullptr;
+  if (!check(TokKind::RParen)) {
+    do {
+      ParamAst P;
+      if (!parseType(P.Ty)) {
+        error("expected parameter type");
+        return nullptr;
+      }
+      if (!check(TokKind::Identifier)) {
+        error("expected parameter name");
+        return nullptr;
+      }
+      P.Name = consume().Text;
+      F->Params.push_back(std::move(P));
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "to end parameter list"))
+    return nullptr;
+
+  if (!check(TokKind::LBrace)) {
+    error("expected function body");
+    return nullptr;
+  }
+  F->Body = parseBlock();
+  return F;
+}
+
+StmtPtr Parser::parseBlock() {
+  const SrcLoc Loc = loc();
+  expect(TokKind::LBrace, "to begin block");
+  auto Block = std::make_unique<Stmt>(StmtKind::Block, Loc);
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof) &&
+         Errors.size() < 50) {
+    if (StmtPtr S = parseStatement())
+      Block->Body.push_back(std::move(S));
+  }
+  expect(TokKind::RBrace, "to end block");
+  return Block;
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (peek().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwDo:
+    return parseDoWhile();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwInt:
+  case TokKind::KwFp:
+    return parseDecl();
+  case TokKind::KwReturn: {
+    const SrcLoc Loc = loc();
+    consume();
+    auto S = std::make_unique<Stmt>(StmtKind::Return, Loc);
+    if (!check(TokKind::Semicolon))
+      S->Value = parseExpr();
+    expect(TokKind::Semicolon, "after return");
+    return S;
+  }
+  case TokKind::KwBreak: {
+    const SrcLoc Loc = loc();
+    consume();
+    expect(TokKind::Semicolon, "after break");
+    return std::make_unique<Stmt>(StmtKind::Break, Loc);
+  }
+  case TokKind::KwContinue: {
+    const SrcLoc Loc = loc();
+    consume();
+    expect(TokKind::Semicolon, "after continue");
+    return std::make_unique<Stmt>(StmtKind::Continue, Loc);
+  }
+  case TokKind::Semicolon:
+    consume();
+    return nullptr;
+  default: {
+    StmtPtr S = parseSimpleStmt();
+    if (!S) {
+      syncToStatementEnd();
+      return nullptr;
+    }
+    expect(TokKind::Semicolon, "after statement");
+    return S;
+  }
+  }
+}
+
+StmtPtr Parser::parseIf() {
+  const SrcLoc Loc = loc();
+  consume(); // if
+  auto S = std::make_unique<Stmt>(StmtKind::If, Loc);
+  expect(TokKind::LParen, "after 'if'");
+  S->Value = parseExpr();
+  expect(TokKind::RParen, "after if condition");
+  S->Then = parseStatement();
+  if (accept(TokKind::KwElse))
+    S->Else = parseStatement();
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  const SrcLoc Loc = loc();
+  consume(); // while
+  auto S = std::make_unique<Stmt>(StmtKind::While, Loc);
+  expect(TokKind::LParen, "after 'while'");
+  S->Value = parseExpr();
+  expect(TokKind::RParen, "after while condition");
+  S->Then = parseStatement();
+  return S;
+}
+
+StmtPtr Parser::parseDoWhile() {
+  const SrcLoc Loc = loc();
+  consume(); // do
+  auto S = std::make_unique<Stmt>(StmtKind::DoWhile, Loc);
+  S->Then = parseStatement();
+  expect(TokKind::KwWhile, "after do body");
+  expect(TokKind::LParen, "after 'while'");
+  S->Value = parseExpr();
+  expect(TokKind::RParen, "after do-while condition");
+  expect(TokKind::Semicolon, "after do-while");
+  return S;
+}
+
+StmtPtr Parser::parseFor() {
+  const SrcLoc Loc = loc();
+  consume(); // for
+  auto S = std::make_unique<Stmt>(StmtKind::For, Loc);
+  expect(TokKind::LParen, "after 'for'");
+  if (!check(TokKind::Semicolon)) {
+    if (check(TokKind::KwInt) || check(TokKind::KwFp))
+      S->Init = parseDecl(); // Consumes the ';'.
+    else {
+      S->Init = parseSimpleStmt();
+      expect(TokKind::Semicolon, "after for-init");
+    }
+  } else {
+    consume();
+  }
+  if (!check(TokKind::Semicolon))
+    S->Value = parseExpr();
+  expect(TokKind::Semicolon, "after for-condition");
+  if (!check(TokKind::RParen))
+    S->Step = parseSimpleStmt();
+  expect(TokKind::RParen, "after for clauses");
+  S->Then = parseStatement();
+  return S;
+}
+
+StmtPtr Parser::parseDecl() {
+  const SrcLoc Loc = loc();
+  auto S = std::make_unique<Stmt>(StmtKind::Decl, Loc);
+  if (!parseType(S->DeclTy)) {
+    error("expected type in declaration");
+    return nullptr;
+  }
+  if (!check(TokKind::Identifier)) {
+    error("expected name in declaration");
+    return nullptr;
+  }
+  S->Name = consume().Text;
+  if (accept(TokKind::Assign))
+    S->Value = parseExpr();
+  expect(TokKind::Semicolon, "after declaration");
+  return S;
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  const SrcLoc Loc = loc();
+  if (!check(TokKind::Identifier)) {
+    error("expected statement, found " +
+          std::string(tokKindName(peek().Kind)));
+    return nullptr;
+  }
+
+  // Call statement: ident ( ...
+  if (peek(1).Kind == TokKind::LParen) {
+    auto S = std::make_unique<Stmt>(StmtKind::ExprEval, Loc);
+    S->Value = parsePrimary();
+    return S;
+  }
+
+  std::string Name = consume().Text;
+
+  // Optional array subscript target.
+  ExprPtr Target;
+  if (accept(TokKind::LBracket)) {
+    ExprPtr Sub = parseExpr();
+    expect(TokKind::RBracket, "after subscript");
+    Target = makeIndex(Name, std::move(Sub), Loc);
+  } else {
+    Target = makeVar(Name, Loc);
+  }
+
+  TokKind K = peek().Kind;
+  BinOp CompoundOp = BinOp::Add;
+  bool IsCompound = false;
+  switch (K) {
+  case TokKind::Assign:
+    break;
+  case TokKind::PlusAssign:
+    IsCompound = true;
+    CompoundOp = BinOp::Add;
+    break;
+  case TokKind::MinusAssign:
+    IsCompound = true;
+    CompoundOp = BinOp::Sub;
+    break;
+  case TokKind::StarAssign:
+    IsCompound = true;
+    CompoundOp = BinOp::Mul;
+    break;
+  case TokKind::SlashAssign:
+    IsCompound = true;
+    CompoundOp = BinOp::Div;
+    break;
+  case TokKind::PercentAssign:
+    IsCompound = true;
+    CompoundOp = BinOp::Rem;
+    break;
+  case TokKind::PlusPlus:
+  case TokKind::MinusMinus: {
+    consume();
+    auto S = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+    // Desugar x++ / x-- into x = x (+|-) 1. For array elements the
+    // subscript appears twice; lowering evaluates it once per occurrence,
+    // which matches C semantics for side-effect-free subscripts (SPTc
+    // subscripts cannot have side effects: no assignment expressions).
+    if (Target->Kind == ExprKind::Index) {
+      error("'++'/'--' on array elements is not supported; "
+            "write 'a[i] = a[i] + 1'");
+      return nullptr;
+    }
+    ExprPtr ReadBack = makeVar(Target->Name, Loc);
+    S->Value = makeBinary(K == TokKind::PlusPlus ? BinOp::Add : BinOp::Sub,
+                          std::move(ReadBack), makeIntLit(1, Loc), Loc);
+    S->Target = std::move(Target);
+    return S;
+  }
+  default:
+    error("expected assignment operator, found " +
+          std::string(tokKindName(K)));
+    return nullptr;
+  }
+  consume(); // The assignment operator.
+
+  ExprPtr Value = parseExpr();
+  auto S = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+  if (IsCompound) {
+    if (Target->Kind == ExprKind::Index) {
+      error("compound assignment to array elements is not supported; "
+            "write 'a[i] = a[i] op e'");
+      return nullptr;
+    }
+    ExprPtr ReadBack = makeVar(Target->Name, Loc);
+    Value = makeBinary(CompoundOp, std::move(ReadBack), std::move(Value), Loc);
+  }
+  S->Target = std::move(Target);
+  S->Value = std::move(Value);
+  return S;
+}
+
+ExprPtr Parser::parseExpr() { return parseTernary(); }
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr Cond = parseBinaryRhs(0, parseUnary());
+  if (!accept(TokKind::Question))
+    return Cond;
+  const SrcLoc Loc = Cond ? Cond->Loc : loc();
+  ExprPtr Then = parseExpr();
+  expect(TokKind::Colon, "in conditional expression");
+  ExprPtr Else = parseExpr();
+  return makeCond(std::move(Cond), std::move(Then), std::move(Else), Loc);
+}
+
+namespace {
+
+/// Precedence table; higher binds tighter. Returns -1 for non-operators.
+int binaryPrecedence(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+BinOp binOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return BinOp::LOr;
+  case TokKind::AmpAmp:
+    return BinOp::LAnd;
+  case TokKind::Pipe:
+    return BinOp::Or;
+  case TokKind::Caret:
+    return BinOp::Xor;
+  case TokKind::Amp:
+    return BinOp::And;
+  case TokKind::EqEq:
+    return BinOp::Eq;
+  case TokKind::NotEq:
+    return BinOp::Ne;
+  case TokKind::Lt:
+    return BinOp::Lt;
+  case TokKind::Le:
+    return BinOp::Le;
+  case TokKind::Gt:
+    return BinOp::Gt;
+  case TokKind::Ge:
+    return BinOp::Ge;
+  case TokKind::Shl:
+    return BinOp::Shl;
+  case TokKind::Shr:
+    return BinOp::Shr;
+  case TokKind::Plus:
+    return BinOp::Add;
+  case TokKind::Minus:
+    return BinOp::Sub;
+  case TokKind::Star:
+    return BinOp::Mul;
+  case TokKind::Slash:
+    return BinOp::Div;
+  case TokKind::Percent:
+    return BinOp::Rem;
+  default:
+    spt_unreachable("not a binary operator token");
+  }
+}
+
+} // namespace
+
+ExprPtr Parser::parseBinaryRhs(int MinPrec, ExprPtr Lhs) {
+  for (;;) {
+    const int Prec = binaryPrecedence(peek().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return Lhs;
+    const TokKind OpTok = consume().Kind;
+    ExprPtr Rhs = parseUnary();
+    // Left associativity: bind tighter operators into Rhs first.
+    while (binaryPrecedence(peek().Kind) > Prec)
+      Rhs = parseBinaryRhs(binaryPrecedence(peek().Kind), std::move(Rhs));
+    const SrcLoc Loc = Lhs ? Lhs->Loc : loc();
+    Lhs = makeBinary(binOpFor(OpTok), std::move(Lhs), std::move(Rhs), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  const SrcLoc Loc = loc();
+  if (accept(TokKind::Minus))
+    return makeUnary(UnOp::Neg, parseUnary(), Loc);
+  if (accept(TokKind::Bang))
+    return makeUnary(UnOp::LogNot, parseUnary(), Loc);
+  if (accept(TokKind::Tilde))
+    return makeUnary(UnOp::BitNot, parseUnary(), Loc);
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  const SrcLoc Loc = loc();
+  switch (peek().Kind) {
+  case TokKind::IntLiteral:
+    return makeIntLit(consume().IntValue, Loc);
+  case TokKind::FpLiteral:
+    return makeFpLit(consume().FpValue, Loc);
+  case TokKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    expect(TokKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  case TokKind::Identifier: {
+    std::string Name = consume().Text;
+    if (accept(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          Args.push_back(parseExpr());
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "after call arguments");
+      return makeCall(std::move(Name), std::move(Args), Loc);
+    }
+    if (accept(TokKind::LBracket)) {
+      ExprPtr Sub = parseExpr();
+      expect(TokKind::RBracket, "after subscript");
+      return makeIndex(std::move(Name), std::move(Sub), Loc);
+    }
+    return makeVar(std::move(Name), Loc);
+  }
+  default:
+    error("expected expression, found " +
+          std::string(tokKindName(peek().Kind)));
+    consume();
+    return makeIntLit(0, Loc);
+  }
+}

@@ -1,0 +1,79 @@
+//===- lang/Parser.h - SPTc recursive-descent parser ----------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for SPTc with two-token lookahead. Errors are
+/// collected as "line:col: message" strings; parsing continues after a
+/// statement-level error by synchronizing to the next ';' or '}'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_PARSER_H
+#define SPT_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// Parses a full SPTc translation unit.
+class Parser {
+public:
+  explicit Parser(std::string Source);
+
+  /// Parses the program. Check errors() afterwards; the returned AST is
+  /// meaningful only when there are no errors.
+  ProgramAst parseProgram();
+
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  // Token stream with lookahead.
+  const Token &peek(size_t Ahead = 0);
+  Token consume();
+  bool check(TokKind Kind) { return peek().Kind == Kind; }
+  bool accept(TokKind Kind);
+  /// Consumes a token of \p Kind or reports an error. Returns success.
+  bool expect(TokKind Kind, const char *Context);
+  SrcLoc loc();
+
+  void error(const std::string &Msg);
+  void syncToStatementEnd();
+
+  // Grammar productions.
+  bool parseType(Type &Out);
+  void parseTopLevel(ProgramAst &Program);
+  std::unique_ptr<FuncAst> parseFunction(Type RetTy, std::string Name,
+                                         SrcLoc Loc);
+  StmtPtr parseBlock();
+  StmtPtr parseStatement();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+  StmtPtr parseFor();
+  StmtPtr parseDecl();
+  /// Parses an assignment or call statement without the trailing ';'.
+  StmtPtr parseSimpleStmt();
+
+  ExprPtr parseExpr();
+  ExprPtr parseTernary();
+  ExprPtr parseBinaryRhs(int MinPrec, ExprPtr Lhs);
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  Lexer Lex;
+  std::deque<Token> Lookahead;
+  std::vector<std::string> Errors;
+  bool AtEof = false;
+};
+
+} // namespace spt
+
+#endif // SPT_LANG_PARSER_H

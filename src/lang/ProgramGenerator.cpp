@@ -1,0 +1,314 @@
+//===- lang/ProgramGenerator.cpp - Random SPTc program generation ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ProgramGenerator.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace spt;
+
+namespace {
+
+/// Shared generation state: RNG, the array universe, and the body text
+/// plus the main-scope declarations it requires.
+struct GenState {
+  Random Rng;
+  std::string Body;
+  std::vector<std::string> MainIntDecls;
+  std::vector<std::string> IntArrays; // Power-of-two sizes.
+  std::vector<unsigned> IntSizes;
+  std::vector<std::string> FpArrays;
+  std::vector<unsigned> FpSizes;
+  bool HasImpureHelper = false;
+  unsigned NextVar = 0;
+
+  explicit GenState(uint64_t Seed) : Rng(Seed) {}
+
+  void line(const std::string &Text) {
+    Body += Text;
+    Body += '\n';
+  }
+
+  /// Allocates a unique name; when \p MainScope is true it will be
+  /// declared as an int at the top of main().
+  std::string fresh(const char *Prefix, bool MainScope = true) {
+    std::string Name = std::string(Prefix) + std::to_string(NextVar++);
+    if (MainScope)
+      MainIntDecls.push_back(Name);
+    return Name;
+  }
+
+  size_t pickIntArray() {
+    return static_cast<size_t>(
+        Rng.nextBelow(static_cast<int64_t>(IntArrays.size())));
+  }
+  std::string mask(size_t ArrayIdx) const {
+    return std::to_string(IntSizes[ArrayIdx] - 1);
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Loop templates. Each appends one loop fragment to the body and returns
+// the int variable carrying its checksum contribution.
+//===----------------------------------------------------------------------===
+
+std::string tmplReduction(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  const std::string El =
+      G.IntArrays[A] + "[" + I + " & " + G.mask(A) + "]";
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1)");
+  G.line("    " + S + " = (" + S + " + " + El + " * " +
+         std::to_string(G.Rng.nextInRange(1, 7)) + " + (" + El + " >> " +
+         std::to_string(G.Rng.nextInRange(1, 5)) + ")) & 1073741823;");
+  return S;
+}
+
+std::string tmplRecurrence(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  const int64_t Dist = G.Rng.nextInRange(1, 3);
+  const std::string Arr = G.IntArrays[A];
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = " + std::to_string(Dist) + "; " + I + " < " +
+         std::to_string(Trip) + "; " + I + " = " + I + " + 1) {");
+  G.line("    " + Arr + "[" + I + " & " + G.mask(A) + "] = (" + Arr + "[(" +
+         I + " - " + std::to_string(Dist) + ") & " + G.mask(A) + "] * 3 + " +
+         I + ") & 1073741823;");
+  G.line("    " + S + " = (" + S + " + " + Arr + "[" + I + " & " + G.mask(A) +
+         "]) & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplScatter(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  const std::string H = G.fresh("h", /*MainScope=*/false);
+  const int64_t Mul = G.Rng.nextInRange(3, 41) | 1;
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1) {");
+  G.line("    int " + H + ";");
+  G.line("    " + H + " = (" + I + " * " + std::to_string(Mul) + ") & " +
+         G.mask(A) + ";");
+  G.line("    " + G.IntArrays[A] + "[" + H + "] = (" + G.IntArrays[A] + "[" +
+         H + "] + " + I + ") & 1073741823;");
+  G.line("    " + S + " = (" + S + " + " + H + ") & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplConditionalCarry(GenState &G, unsigned Trip) {
+  const std::string I = G.fresh("i"), S = G.fresh("s"), T = G.fresh("t");
+  G.line("  " + S + " = 0;");
+  G.line("  " + T + " = 1;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1) {");
+  G.line("    if (" + I + " % " + std::to_string(G.Rng.nextInRange(2, 9)) +
+         " == 0) " + T + " = " + T + " + " +
+         std::to_string(G.Rng.nextInRange(1, 5)) + ";");
+  G.line("    " + S + " = (" + S + " + " + T + " + " + I +
+         ") & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplWhileScan(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string P = G.fresh("p"), S = G.fresh("s");
+  G.line("  " + S + " = 0;");
+  G.line("  " + P + " = 0;");
+  G.line("  while (" + P + " < " + std::to_string(Trip) + ") {");
+  G.line("    " + S + " = (" + S + " + " + G.IntArrays[A] + "[" + P + " & " +
+         G.mask(A) + "]) & 1073741823;");
+  G.line("    " + P + " = " + P + " + 1 + (" + S + " & 1);");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplNest(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), J = G.fresh("j"), S = G.fresh("s");
+  const unsigned Inner = static_cast<unsigned>(G.Rng.nextInRange(4, 24));
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip / 8 + 2) +
+         "; " + I + " = " + I + " + 1) {");
+  G.line("    for (" + J + " = 0; " + J + " < " + std::to_string(Inner) +
+         "; " + J + " = " + J + " + 1)");
+  G.line("      " + S + " = (" + S + " + " + G.IntArrays[A] + "[(" + I +
+         " * " + std::to_string(Inner) + " + " + J + ") & " + G.mask(A) +
+         "] + " + J + ") & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplCallLoop(GenState &G, unsigned Trip) {
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  const bool Impure = G.HasImpureHelper && G.Rng.nextBool(0.5);
+  const std::string Callee = Impure ? "impureHelper" : "pureHelper";
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1)");
+  G.line("    " + S + " = (" + S + " + " + Callee + "(" + I +
+         ")) & 1073741823;");
+  return S;
+}
+
+std::string tmplStride(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), S = G.fresh("s"), X = G.fresh("x");
+  G.line("  " + S + " = 0;");
+  G.line("  " + X + " = 1;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1) {");
+  G.line("    " + X + " = " + X + " + " +
+         std::to_string(G.Rng.nextInRange(1, 6)) + " + (" + G.IntArrays[A] +
+         "[" + I + " & " + G.mask(A) + "] & 0);");
+  G.line("    " + S + " = (" + S + " + " + X + ") & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplBreakSearch(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  G.line("  " + S + " = 0 - 1;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1) {");
+  G.line("    if ((" + G.IntArrays[A] + "[" + I + " & " + G.mask(A) +
+         "] & 1023) == " + std::to_string(G.Rng.nextInRange(0, 1000)) +
+         ") { " + S + " = " + I + "; break; }");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplRmwSweep(GenState &G, unsigned Trip) {
+  const size_t A = G.pickIntArray();
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  const std::string El =
+      G.IntArrays[A] + "[" + I + " & " + G.mask(A) + "]";
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1) {");
+  G.line("    " + El + " = (" + El + " * 5 + " + I + ") & 1073741823;");
+  G.line("    " + S + " = (" + S + " + " + El + ") & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+std::string tmplFpLoop(GenState &G, unsigned Trip) {
+  if (G.FpArrays.empty())
+    return tmplReduction(G, Trip);
+  const std::string I = G.fresh("i"), S = G.fresh("s");
+  const std::string V = G.fresh("v", /*MainScope=*/false);
+  const size_t A = static_cast<size_t>(
+      G.Rng.nextBelow(static_cast<int64_t>(G.FpArrays.size())));
+  const std::string Mask = std::to_string(G.FpSizes[A] - 1);
+  const std::string El = G.FpArrays[A] + "[" + I + " & " + Mask + "]";
+  G.line("  " + S + " = 0;");
+  G.line("  for (" + I + " = 0; " + I + " < " + std::to_string(Trip) + "; " +
+         I + " = " + I + " + 1) {");
+  G.line("    fp " + V + ";");
+  G.line("    " + V + " = " + El + " * 1.5 + sqrt(itof(" + I + " + 1));");
+  G.line("    " + El + " = " + V + " * 0.5;");
+  G.line("    " + S + " = (" + S + " + ftoi(" + V + ")) & 1073741823;");
+  G.line("  }");
+  return S;
+}
+
+} // namespace
+
+std::string spt::generateProgram(uint64_t Seed,
+                                 const GeneratorOptions &Opts) {
+  GenState G(Seed);
+  std::string Header;
+
+  // Arrays (power-of-two sizes so masked indices stay in bounds).
+  const unsigned NumInt = static_cast<unsigned>(G.Rng.nextInRange(2, 4));
+  for (unsigned A = 0; A != NumInt; ++A) {
+    const unsigned Size = 64u << G.Rng.nextInRange(0, 4);
+    G.IntArrays.push_back("ia" + std::to_string(A));
+    G.IntSizes.push_back(Size);
+    Header += "int ia" + std::to_string(A) + "[" + std::to_string(Size) +
+              "];\n";
+  }
+  if (G.Rng.nextBool(0.7)) {
+    const unsigned Size = 64u << G.Rng.nextInRange(0, 3);
+    G.FpArrays.push_back("fa0");
+    G.FpSizes.push_back(Size);
+    Header += "fp fa0[" + std::to_string(Size) + "];\n";
+  }
+  Header += "int gstate[4];\n\n";
+
+  // Helpers.
+  Header += "int pureHelper(int x) {\n"
+            "  int k; int a;\n"
+            "  a = x;\n"
+            "  for (k = 0; k < " +
+            std::to_string(G.Rng.nextInRange(2, 9)) +
+            "; k = k + 1) a = (a * 3 + k) & 65535;\n"
+            "  return a;\n"
+            "}\n";
+  if (G.Rng.nextBool(0.6)) {
+    G.HasImpureHelper = true;
+    Header += "int impureHelper(int x) {\n"
+              "  gstate[0] = (gstate[0] + x) & 1073741823;\n"
+              "  return gstate[0] & 4095;\n"
+              "}\n";
+  }
+  Header += "\n";
+
+  // Seed the arrays, then emit a random sequence of loop fragments.
+  {
+    const std::string SeedI = G.fresh("i");
+    G.line("  for (" + SeedI + " = 0; " + SeedI + " < 1024; " + SeedI +
+           " = " + SeedI + " + 1) {");
+    for (size_t A = 0; A != G.IntArrays.size(); ++A)
+      G.line("    " + G.IntArrays[A] + "[" + SeedI + " & " + G.mask(A) +
+             "] = (" + SeedI + " * " +
+             std::to_string(17 + 2 * static_cast<int>(A)) + " + " +
+             std::to_string(static_cast<int>(A)) + ") & 8191;");
+    for (size_t A = 0; A != G.FpArrays.size(); ++A)
+      G.line("    " + G.FpArrays[A] + "[" + SeedI + " & " +
+             std::to_string(G.FpSizes[A] - 1) + "] = itof(" + SeedI +
+             " % 97) / 3.0;");
+    G.line("  }");
+  }
+
+  using Template = std::string (*)(GenState &, unsigned);
+  static const Template Templates[] = {
+      tmplReduction,       tmplRecurrence, tmplScatter, tmplConditionalCarry,
+      tmplWhileScan,       tmplNest,       tmplCallLoop, tmplStride,
+      tmplBreakSearch,     tmplRmwSweep,   tmplFpLoop,
+  };
+  const unsigned NumLoops = static_cast<unsigned>(
+      G.Rng.nextInRange(Opts.MinLoops, Opts.MaxLoops));
+  std::vector<std::string> Contributors;
+  for (unsigned LI = 0; LI != NumLoops; ++LI) {
+    const size_t T = static_cast<size_t>(G.Rng.nextBelow(
+        static_cast<int64_t>(sizeof(Templates) / sizeof(Templates[0]))));
+    const unsigned Trip = static_cast<unsigned>(
+        G.Rng.nextInRange(8, Opts.MaxTrip));
+    Contributors.push_back(Templates[T](G, Trip));
+  }
+
+  // Assemble main().
+  std::string Main = "int main() {\n  int chk;\n";
+  for (const std::string &Name : G.MainIntDecls)
+    Main += "  int " + Name + ";\n";
+  Main += "  chk = 0;\n";
+  Main += G.Body;
+  for (const std::string &S : Contributors)
+    Main += "  chk = (chk + " + S + ") & 1073741823;\n";
+  Main += "  return chk;\n}\n";
+
+  return Header + Main;
+}

@@ -1,0 +1,104 @@
+//===- lang/Token.h - SPTc token kinds ------------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of SPTc, the small C-like language the workloads and examples are
+/// written in. SPTc stands in for the C sources the paper compiled with ORC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_TOKEN_H
+#define SPT_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace spt {
+
+/// All SPTc token kinds.
+enum class TokKind : uint8_t {
+  Eof,
+  Error, // Lexical error; token text holds the message.
+
+  Identifier,
+  IntLiteral,
+  FpLiteral,
+
+  // Keywords.
+  KwInt,
+  KwFp,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Question,
+  Colon,
+
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+  PlusPlus,      // ++
+  MinusMinus,    // --
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl, // <<
+  Shr, // >>
+
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,
+  PipePipe,
+};
+
+/// Returns a printable name for \p Kind (for diagnostics).
+const char *tokKindName(TokKind Kind);
+
+/// A lexed token with source position (1-based line and column).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;  // Identifier name, literal spelling or error message.
+  int64_t IntValue = 0;
+  double FpValue = 0.0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace spt
+
+#endif // SPT_LANG_TOKEN_H

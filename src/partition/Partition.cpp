@@ -1,0 +1,345 @@
+//===- partition/Partition.cpp - Optimal SPT loop partitioning -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "partition/Partition.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace spt;
+
+PartitionSearch::PartitionSearch(const LoopDepGraph &G,
+                                 const MisspecCostModel &Model,
+                                 const PartitionOptions &Opts)
+    : G(G), Model(Model), Opts(Opts) {
+  SizeThreshold = Opts.PreForkSizeFraction * G.dynamicBodyWeight();
+  buildVcGraph();
+}
+
+void PartitionSearch::buildVcGraph() {
+  const std::vector<uint32_t> &Vcs = G.violationCandidates();
+  const uint32_t NumVcs = static_cast<uint32_t>(Vcs.size());
+  const uint32_t NumStmts = static_cast<uint32_t>(G.size());
+
+  // Statement-level move closure of each violation candidate: all
+  // intra-iteration predecessors, transitively, plus — for any definition
+  // that moves — every *earlier* definition of the same register on an
+  // intra-iteration path (the transformation cannot realize an un-moved
+  // definition ordered before a moved one; unrolled clones hit this).
+  // Registers with moved and later un-moved definitions remain allowed:
+  // that is the SVP prediction/recovery pattern.
+  std::map<Reg, std::vector<uint32_t>> DefsOfReg;
+  for (uint32_t SI = 0; SI != NumStmts; ++SI)
+    if (G.stmt(SI).I && G.stmt(SI).I->Dst != NoReg)
+      DefsOfReg[G.stmt(SI).I->Dst].push_back(SI);
+
+  std::vector<std::vector<uint32_t>> Closures(NumVcs);
+  std::vector<int32_t> VcOfStmt(NumStmts, -1);
+  for (uint32_t V = 0; V != NumVcs; ++V)
+    VcOfStmt[Vcs[V]] = static_cast<int32_t>(V);
+
+  for (uint32_t V = 0; V != NumVcs; ++V) {
+    std::vector<uint8_t> Seen(NumStmts, 0);
+    std::vector<uint32_t> Work = {Vcs[V]};
+    Seen[Vcs[V]] = 1;
+    while (!Work.empty()) {
+      const uint32_t Cur = Work.back();
+      Work.pop_back();
+      Closures[V].push_back(Cur);
+      if (G.stmt(Cur).I && G.stmt(Cur).I->Dst != NoReg)
+        for (uint32_t Earlier : DefsOfReg[G.stmt(Cur).I->Dst])
+          if (!Seen[Earlier] && G.canPrecedeIntra(Earlier, Cur)) {
+            Seen[Earlier] = 1;
+            Work.push_back(Earlier);
+          }
+      for (uint32_t EI : G.inEdges(Cur)) {
+        const DepEdge &E = G.edges()[EI];
+        if (E.Cross || Seen[E.Src])
+          continue;
+        // Register anti/output dependences do not constrain motion: the
+        // SPT transformation breaks the overlapped live ranges with
+        // temporary variables (paper Figures 2, 10 and 11). Memory has no
+        // rename, so memory anti/output edges do constrain.
+        if (E.Kind == DepKind::AntiReg || E.Kind == DepKind::OutReg)
+          continue;
+        Seen[E.Src] = 1;
+        Work.push_back(E.Src);
+      }
+    }
+    std::sort(Closures[V].begin(), Closures[V].end());
+  }
+
+  // VC-level dependence: u -> v when u's statement is inside v's closure.
+  std::vector<std::vector<uint32_t>> VcPreds(NumVcs);
+  for (uint32_t V = 0; V != NumVcs; ++V)
+    for (uint32_t StmtIdx : Closures[V]) {
+      const int32_t U = VcOfStmt[StmtIdx];
+      if (U >= 0 && static_cast<uint32_t>(U) != V)
+        VcPreds[V].push_back(static_cast<uint32_t>(U));
+    }
+
+  // Strongly-connected components (iterative Tarjan) so cyclic candidate
+  // groups move all-or-nothing.
+  std::vector<int32_t> Comp(NumVcs, -1);
+  {
+    std::vector<uint32_t> Index(NumVcs, ~0u), Low(NumVcs, 0);
+    std::vector<uint8_t> OnStack(NumVcs, 0);
+    std::vector<uint32_t> Stack;
+    uint32_t NextIndex = 0;
+    int32_t NextComp = 0;
+
+    // Successor lists (reverse of preds).
+    std::vector<std::vector<uint32_t>> VcSuccs(NumVcs);
+    for (uint32_t V = 0; V != NumVcs; ++V)
+      for (uint32_t P : VcPreds[V])
+        VcSuccs[P].push_back(V);
+
+    struct TarjanFrame {
+      uint32_t Node;
+      size_t NextSucc;
+    };
+    for (uint32_t Root = 0; Root != NumVcs; ++Root) {
+      if (Index[Root] != ~0u)
+        continue;
+      std::vector<TarjanFrame> Frames = {{Root, 0}};
+      Index[Root] = Low[Root] = NextIndex++;
+      Stack.push_back(Root);
+      OnStack[Root] = 1;
+      while (!Frames.empty()) {
+        TarjanFrame &F = Frames.back();
+        if (F.NextSucc < VcSuccs[F.Node].size()) {
+          const uint32_t S = VcSuccs[F.Node][F.NextSucc++];
+          if (Index[S] == ~0u) {
+            Index[S] = Low[S] = NextIndex++;
+            Stack.push_back(S);
+            OnStack[S] = 1;
+            Frames.push_back(TarjanFrame{S, 0});
+          } else if (OnStack[S]) {
+            Low[F.Node] = std::min(Low[F.Node], Index[S]);
+          }
+          continue;
+        }
+        if (Low[F.Node] == Index[F.Node]) {
+          for (;;) {
+            const uint32_t W = Stack.back();
+            Stack.pop_back();
+            OnStack[W] = 0;
+            Comp[W] = NextComp;
+            if (W == F.Node)
+              break;
+          }
+          ++NextComp;
+        }
+        const uint32_t DoneNode = F.Node;
+        Frames.pop_back();
+        if (!Frames.empty())
+          Low[Frames.back().Node] =
+              std::min(Low[Frames.back().Node], Low[DoneNode]);
+      }
+    }
+
+    // Build condensed nodes.
+    const int32_t NumComps = NextComp;
+    std::vector<VcNode> Condensed(static_cast<size_t>(NumComps));
+    for (uint32_t V = 0; V != NumVcs; ++V) {
+      VcNode &N = Condensed[static_cast<size_t>(Comp[V])];
+      N.Vcs.push_back(Vcs[V]);
+      for (uint32_t StmtIdx : Closures[V])
+        N.Closure.push_back(StmtIdx);
+    }
+    for (VcNode &N : Condensed) {
+      std::sort(N.Closure.begin(), N.Closure.end());
+      N.Closure.erase(std::unique(N.Closure.begin(), N.Closure.end()),
+                      N.Closure.end());
+      for (uint32_t StmtIdx : N.Closure) {
+        N.ClosureWeight +=
+            G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+        if (!G.stmt(StmtIdx).Movable)
+          N.Movable = false;
+      }
+    }
+    // Condensed predecessor edges.
+    for (uint32_t V = 0; V != NumVcs; ++V)
+      for (uint32_t P : VcPreds[V])
+        if (Comp[P] != Comp[V])
+          Condensed[static_cast<size_t>(Comp[V])].Preds.push_back(
+              static_cast<uint32_t>(Comp[P]));
+    for (VcNode &N : Condensed) {
+      std::sort(N.Preds.begin(), N.Preds.end());
+      N.Preds.erase(std::unique(N.Preds.begin(), N.Preds.end()),
+                    N.Preds.end());
+    }
+
+    // Topological sort (Kahn, smallest-first for determinism).
+    std::vector<uint32_t> InDeg(Condensed.size(), 0);
+    std::vector<std::vector<uint32_t>> Succ(Condensed.size());
+    for (uint32_t CI = 0; CI != Condensed.size(); ++CI)
+      for (uint32_t P : Condensed[CI].Preds) {
+        ++InDeg[CI];
+        Succ[P].push_back(CI);
+      }
+    std::vector<uint32_t> Ready;
+    for (uint32_t CI = 0; CI != Condensed.size(); ++CI)
+      if (InDeg[CI] == 0)
+        Ready.push_back(CI);
+    std::vector<uint32_t> TopoOrder;
+    while (!Ready.empty()) {
+      auto MinIt = std::min_element(Ready.begin(), Ready.end());
+      const uint32_t Cur = *MinIt;
+      Ready.erase(MinIt);
+      TopoOrder.push_back(Cur);
+      for (uint32_t S : Succ[Cur])
+        if (--InDeg[S] == 0)
+          Ready.push_back(S);
+    }
+    assert(TopoOrder.size() == Condensed.size() &&
+           "condensation must be acyclic");
+
+    // Emit nodes in topological order with remapped pred indices.
+    std::vector<uint32_t> NewIndex(Condensed.size(), 0);
+    for (uint32_t Pos = 0; Pos != TopoOrder.size(); ++Pos)
+      NewIndex[TopoOrder[Pos]] = Pos;
+    Nodes.resize(Condensed.size());
+    for (uint32_t CI = 0; CI != Condensed.size(); ++CI) {
+      VcNode N = std::move(Condensed[CI]);
+      for (uint32_t &P : N.Preds)
+        P = NewIndex[P];
+      std::sort(N.Preds.begin(), N.Preds.end());
+      Nodes[NewIndex[CI]] = std::move(N);
+    }
+  }
+}
+
+double PartitionSearch::evaluate(const std::vector<uint8_t> &Marks) const {
+  PartitionSet P(Marks.begin(), Marks.end());
+  return Model.cost(P);
+}
+
+double PartitionSearch::lowerBound(const std::vector<uint8_t> &Picked,
+                                   uint32_t MinNext) const {
+  // Hypothetically move every still-addable candidate: costs only shrink
+  // as candidates move, so this bounds all descendants from below.
+  PartitionSet P(G.size(), 0);
+  for (uint32_t NI = 0; NI != Nodes.size(); ++NI) {
+    const bool Hypothetical = NI >= MinNext && Nodes[NI].Movable;
+    if (!Picked[NI] && !Hypothetical)
+      continue;
+    for (uint32_t Vc : Nodes[NI].Vcs)
+      P[Vc] = 1;
+  }
+  return Model.cost(P);
+}
+
+void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
+                             std::vector<uint32_t> &UnionClosure,
+                             PartitionResult &Best) {
+  ++Stats.NodesVisited;
+
+  // Evaluate the current partition.
+  std::vector<uint8_t> Marks(G.size(), 0);
+  double Weight = 0.0;
+  for (uint32_t StmtIdx : UnionClosure) {
+    Marks[StmtIdx] = 1;
+    Weight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+  }
+  const double Cost = evaluate(Marks);
+  if (Weight <= SizeThreshold + 1e-12 && Cost < Best.Cost - 1e-12) {
+    Best.Cost = Cost;
+    Best.InPreFork.assign(Marks.begin(), Marks.end());
+    Best.PreForkWeight = Weight;
+    Best.ChosenVcs.clear();
+    for (uint32_t NI = 0; NI != Nodes.size(); ++NI)
+      if (Picked[NI])
+        Best.ChosenVcs.insert(Best.ChosenVcs.end(), Nodes[NI].Vcs.begin(),
+                              Nodes[NI].Vcs.end());
+    std::sort(Best.ChosenVcs.begin(), Best.ChosenVcs.end());
+  }
+
+  if (Stats.NodesVisited >= Opts.MaxSearchNodes)
+    return;
+
+  for (uint32_t Next = MinNext; Next < Nodes.size(); ++Next) {
+    const VcNode &N = Nodes[Next];
+    if (!N.Movable)
+      continue;
+    bool PredsSatisfied = true;
+    for (uint32_t P : N.Preds)
+      if (!Picked[P]) {
+        PredsSatisfied = false;
+        break;
+      }
+    if (!PredsSatisfied)
+      continue;
+
+    // Heuristic 1: pre-fork size threshold.
+    double NewWeight = Weight;
+    std::vector<uint32_t> Added;
+    for (uint32_t StmtIdx : N.Closure)
+      if (!Marks[StmtIdx]) {
+        Added.push_back(StmtIdx);
+        NewWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+      }
+    if (Opts.EnableSizePrune && NewWeight > SizeThreshold + 1e-12) {
+      ++Stats.SizePrunes;
+      continue;
+    }
+
+    // Heuristic 2: monotone lower bound on the subtree's cost.
+    if (Opts.EnableLowerBoundPrune) {
+      Picked[Next] = 1;
+      const double Lb = lowerBound(Picked, Next + 1);
+      Picked[Next] = 0;
+      if (Lb >= Best.Cost - 1e-12) {
+        ++Stats.LowerBoundPrunes;
+        continue;
+      }
+    }
+
+    // Descend.
+    Picked[Next] = 1;
+    for (uint32_t StmtIdx : Added) {
+      Marks[StmtIdx] = 1;
+      UnionClosure.push_back(StmtIdx);
+    }
+    search(Next + 1, Picked, UnionClosure, Best);
+    for (size_t K = 0; K != Added.size(); ++K)
+      UnionClosure.pop_back();
+    for (uint32_t StmtIdx : Added)
+      Marks[StmtIdx] = 0;
+    Picked[Next] = 0;
+
+    if (Stats.NodesVisited >= Opts.MaxSearchNodes)
+      return;
+  }
+}
+
+PartitionResult PartitionSearch::run() {
+  PartitionResult Best;
+  Best.BodyWeight = G.dynamicBodyWeight();
+  Best.NumViolationCandidates =
+      static_cast<uint32_t>(G.violationCandidates().size());
+
+  if (G.violationCandidates().size() > Opts.MaxViolationCandidates) {
+    Best.Searched = false;
+    return Best;
+  }
+  Best.Searched = true;
+
+  Stats = PartitionResult();
+  std::vector<uint8_t> Picked(Nodes.size(), 0);
+  std::vector<uint32_t> UnionClosure;
+  search(0, Picked, UnionClosure, Best);
+
+  Best.NodesVisited = Stats.NodesVisited;
+  Best.SizePrunes = Stats.SizePrunes;
+  Best.LowerBoundPrunes = Stats.LowerBoundPrunes;
+  if (Best.InPreFork.empty())
+    Best.InPreFork.assign(G.size(), 0);
+  return Best;
+}

@@ -1,0 +1,141 @@
+//===- partition/Partition.h - Optimal SPT loop partitioning ---------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimal-loop-partition search of the paper's Section 5: find the
+/// legal SPT loop partition minimizing misspeculation cost subject to a
+/// pre-fork-region size threshold.
+///
+/// A partition is identified by a set of violation candidates placed in the
+/// pre-fork region; the statements actually moved are the candidates'
+/// dependence closures (every intra-iteration predecessor — flow, anti,
+/// output and control — must move too, which is exactly the paper's
+/// "maintain all forward intra-iteration dependence edges" legality rule).
+///
+/// The search is branch-and-bound over the violation-candidate dependence
+/// graph (VC-dep graph), visiting candidate sets in topological order so
+/// each pre-fork region is enumerated once, with the paper's two pruning
+/// heuristics:
+///   1. stop descending when the pre-fork region exceeds the size
+///      threshold (sizes grow monotonically along a branch), and
+///   2. stop when a lower bound — the cost with every still-addable
+///      candidate hypothetically moved — cannot beat the incumbent
+///      (costs shrink monotonically as candidates move).
+/// Loops with more than MaxViolationCandidates are skipped outright, as in
+/// the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_PARTITION_PARTITION_H
+#define SPT_PARTITION_PARTITION_H
+
+#include "analysis/DepGraph.h"
+#include "cost/CostModel.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace spt {
+
+/// Search configuration.
+struct PartitionOptions {
+  /// Pre-fork region size threshold, as a fraction of the loop body's
+  /// dynamic weight (Section 6.1 criterion 2 uses the same threshold).
+  double PreForkSizeFraction = 0.34;
+  /// Skip loops with more violation candidates than this (Section 5.2.1).
+  uint32_t MaxViolationCandidates = 30;
+  /// Hard cap on search-tree nodes (safety net; the paper's pruning keeps
+  /// real searches far below this).
+  uint64_t MaxSearchNodes = 1u << 20;
+  /// Ablation toggles for the two pruning heuristics.
+  bool EnableSizePrune = true;
+  bool EnableLowerBoundPrune = true;
+};
+
+/// Result of the optimal-partition search for one loop.
+struct PartitionResult {
+  /// False when the loop was skipped (too many violation candidates).
+  bool Searched = false;
+  /// Stmt-level pre-fork membership (dependence closure of the chosen
+  /// candidates); size equals the dep graph's statement count.
+  PartitionSet InPreFork;
+  /// Chosen violation candidates (statement indices).
+  std::vector<uint32_t> ChosenVcs;
+  /// Misspeculation cost of the best partition found.
+  double Cost = std::numeric_limits<double>::infinity();
+  /// Dynamic weight of the pre-fork region.
+  double PreForkWeight = 0.0;
+  /// Dynamic weight of the whole loop body.
+  double BodyWeight = 0.0;
+  /// Search statistics (for the ablation benches).
+  uint64_t NodesVisited = 0;
+  uint64_t SizePrunes = 0;
+  uint64_t LowerBoundPrunes = 0;
+  uint32_t NumViolationCandidates = 0;
+};
+
+/// The violation-candidate dependence graph plus the search driver.
+class PartitionSearch {
+public:
+  PartitionSearch(const LoopDepGraph &G, const MisspecCostModel &Model,
+                  const PartitionOptions &Opts = PartitionOptions());
+
+  /// Runs the branch-and-bound search.
+  PartitionResult run();
+
+  /// Number of VC-dep-graph nodes (condensed strongly-connected
+  /// components of violation candidates).
+  size_t numVcNodes() const { return Nodes.size(); }
+
+  /// The statement-level move closure of one VC node (for tests).
+  const std::vector<uint32_t> &nodeClosure(size_t NodeIdx) const {
+    return Nodes[NodeIdx].Closure;
+  }
+
+  /// Whether the node can legally move (its closure is fully movable).
+  bool nodeMovable(size_t NodeIdx) const { return Nodes[NodeIdx].Movable; }
+
+  /// The violation candidates grouped into one VC node.
+  const std::vector<uint32_t> &nodeVcs(size_t NodeIdx) const {
+    return Nodes[NodeIdx].Vcs;
+  }
+
+  /// Dynamic weight of the node's move closure.
+  double nodeClosureWeight(size_t NodeIdx) const {
+    return Nodes[NodeIdx].ClosureWeight;
+  }
+
+private:
+  /// One VC-dep-graph node: a strongly-connected component of violation
+  /// candidates (usually a singleton), in topological order.
+  struct VcNode {
+    std::vector<uint32_t> Vcs;     ///< Violation-candidate stmt indices.
+    std::vector<uint32_t> Closure; ///< Move closure (stmt indices, sorted).
+    std::vector<uint32_t> Preds;   ///< VC-node indices this depends on.
+    double ClosureWeight = 0.0;    ///< Dynamic weight of the closure.
+    bool Movable = true;
+  };
+
+  void buildVcGraph();
+  void search(uint32_t MinNext, std::vector<uint8_t> &Picked,
+              std::vector<uint32_t> &UnionClosure, PartitionResult &Best);
+  double evaluate(const std::vector<uint8_t> &Picked) const;
+  double lowerBound(const std::vector<uint8_t> &Picked,
+                    uint32_t MinNext) const;
+
+  const LoopDepGraph &G;
+  const MisspecCostModel &Model;
+  PartitionOptions Opts;
+  std::vector<VcNode> Nodes; ///< Topologically sorted.
+  double SizeThreshold = 0.0;
+  uint64_t VisitBudget = 0;
+  PartitionResult Stats;
+};
+
+} // namespace spt
+
+#endif // SPT_PARTITION_PARTITION_H

@@ -1,0 +1,110 @@
+//===- sim/CoreTiming.h - In-order core timing model -------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scoreboarded in-order core: instructions issue in program order at up
+/// to IssueWidth per cycle, stalling until their source registers are
+/// ready; results become ready after the operation latency (loads: the
+/// shared cache hierarchy's access latency). Conditional branches consult
+/// a per-site 2-bit predictor; mispredictions stall the front end by the
+/// configured penalty. Calls and returns push/pop per-frame scoreboards
+/// and charge a fixed overhead.
+///
+/// One CoreTiming instance models one core; the SPT simulator runs two
+/// (main + speculative) against one shared CacheHierarchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SIM_CORETIMING_H
+#define SPT_SIM_CORETIMING_H
+
+#include "interp/Interp.h"
+#include "ir/IR.h"
+#include "sim/Cache.h"
+#include "sim/Machine.h"
+
+#include <map>
+#include <vector>
+
+namespace spt {
+
+/// Per-branch-site 2-bit saturating counters.
+class BranchPredictor {
+public:
+  /// Returns true when the prediction matched \p Taken, and trains.
+  bool predictAndTrain(const Function *F, StmtId Site, bool Taken);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t mispredicts() const { return Mispredicts; }
+
+private:
+  std::map<std::pair<const Function *, StmtId>, uint8_t> Counters;
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+};
+
+/// The scoreboarded core. Time advances in subticks (see Machine.h).
+///
+/// Timing model: an "ideally scheduled" EPIC core. Instructions consume
+/// issue bandwidth (IssueWidth per cycle, the slot clock) and stall only
+/// on true data dependences (per-register ready times); the visible clock
+/// is the maximum completion time seen, so dependence chains accumulate
+/// their full latencies while independent work overlaps — matching how a
+/// static (Itanium-style) schedule hides non-critical latency. Branch
+/// mispredictions stall the front end (slot clock) past the branch's
+/// resolution by the configured penalty.
+class CoreTiming {
+public:
+  CoreTiming(const MachineConfig &Machine, CacheHierarchy &Cache,
+             BranchPredictor &Predictor);
+
+  /// Accounts one executed instruction; \p Depth is the interpreter's
+  /// stack depth after the step (frames are tracked from call/return
+  /// flags). Returns the subtick at which the instruction completed.
+  uint64_t onStep(const StepResult &R, size_t Depth);
+
+  /// Current core clock in subticks.
+  uint64_t now() const { return Now; }
+  /// Sets the clock (thread starts); register scoreboards are flushed to
+  /// be ready at the new time.
+  void setNow(uint64_t Subticks);
+  /// Moves the clock forward to at least \p Subticks without disturbing
+  /// register readiness or the in-flight window (used at joins: the core
+  /// keeps its pipeline state while waiting).
+  void advanceTo(uint64_t Subticks);
+
+  /// Charges a fixed number of cycles (fork/commit/re-execution).
+  void charge(uint64_t Cycles) {
+    SlotTime = Now + Cycles * SubticksPerCycle;
+    Now = SlotTime;
+  }
+
+  uint64_t retired() const { return Retired; }
+  double cyclesNow() const {
+    return static_cast<double>(Now) / SubticksPerCycle;
+  }
+
+private:
+  uint64_t regReady(size_t Frame, Reg R) const;
+  void setRegReady(size_t Frame, Reg R, uint64_t T);
+
+  const MachineConfig &Machine;
+  CacheHierarchy &Cache;
+  BranchPredictor &Predictor;
+
+  uint64_t Now = 0;      ///< Visible clock: max completion time.
+  uint64_t SlotTime = 0; ///< Issue-bandwidth clock.
+  uint64_t Retired = 0;
+  /// Completion times of the in-flight window (ring buffer).
+  std::vector<uint64_t> InFlight;
+  size_t InFlightIdx = 0;
+  /// Per-frame register-ready times, in subticks.
+  std::vector<std::vector<uint64_t>> Frames;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_CORETIMING_H

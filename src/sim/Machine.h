@@ -1,0 +1,80 @@
+//===- sim/Machine.h - Simulated machine configuration ---------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the simulated SPT machine (paper Section 8): a
+/// tightly-coupled two-core multiprocessor — one main core, one
+/// speculative core — of in-order Itanium2-like cores with private
+/// register files and a shared cache hierarchy. The paper's published
+/// parameters are the defaults: 5-cycle branch misprediction penalty,
+/// 6-cycle fork and 5-cycle commit overheads, Itanium2-like cache
+/// latencies.
+///
+/// Timing is tracked in subticks (8 per cycle) so issue bandwidth
+/// (IssueWidth per cycle) divides evenly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SIM_MACHINE_H
+#define SPT_SIM_MACHINE_H
+
+#include <cstdint>
+
+namespace spt {
+
+/// Subticks per simulated cycle.
+inline constexpr uint64_t SubticksPerCycle = 8;
+
+/// One cache level's geometry and hit latency.
+struct CacheLevelConfig {
+  uint64_t SizeBytes = 0;
+  uint32_t LineBytes = 64;
+  uint32_t Ways = 4;
+  uint32_t HitLatencyCycles = 1;
+};
+
+/// The whole machine.
+struct MachineConfig {
+  /// In-order issue bandwidth per core (instructions per cycle).
+  uint32_t IssueWidth = 2;
+
+  /// Static scheduling window: at most this many instructions in flight;
+  /// issue stalls until the oldest completes. Bounds how much latency a
+  /// static (EPIC) schedule can hide across iterations.
+  uint32_t SchedulingWindow = 24;
+
+  // Operation latencies (cycles).
+  uint32_t LatIntAlu = 1;
+  uint32_t LatIntMul = 4;
+  uint32_t LatIntDiv = 24;
+  uint32_t LatFpAlu = 4;
+  uint32_t LatFpMul = 4;
+  uint32_t LatFpDiv = 30;
+  uint32_t LatStore = 1;
+  uint32_t LatBranch = 1;
+  /// Fixed overhead of entering/leaving a call frame.
+  uint32_t CallOverhead = 2;
+  /// Latency of heavy math builtins (sqrt/log/exp).
+  uint32_t MathBuiltinLatency = 20;
+
+  /// Branch misprediction penalty (paper: 5 cycles).
+  uint32_t BranchMispredictPenalty = 5;
+
+  /// Minimum overheads to fork and commit a speculative thread
+  /// (paper: 6 and 5 cycles).
+  uint32_t ForkOverhead = 6;
+  uint32_t CommitOverhead = 5;
+
+  // Shared memory hierarchy, Itanium2-like.
+  CacheLevelConfig L1{16 * 1024, 64, 4, 1};
+  CacheLevelConfig L2{256 * 1024, 128, 8, 5};
+  CacheLevelConfig L3{3 * 1024 * 1024, 128, 12, 14};
+  uint32_t MemLatencyCycles = 180;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_MACHINE_H

@@ -1,0 +1,129 @@
+//===- sim/SeqSim.cpp - Sequential (single-core) simulation ------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SeqSim.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+#include "sim/CoreTiming.h"
+#include "support/Debug.h"
+
+#include <memory>
+
+using namespace spt;
+
+namespace {
+
+/// Cached structural analyses per function (loop tracking).
+struct FuncLoops {
+  CfgInfo Cfg;
+  LoopNest Nest;
+  std::map<BlockId, const Loop *> HeaderToLoop;
+
+  explicit FuncLoops(const Function &F)
+      : Cfg(CfgInfo::compute(F)), Nest(LoopNest::compute(F, Cfg)) {
+    for (uint32_t LI = 0; LI != Nest.numLoops(); ++LI)
+      HeaderToLoop[Nest.loop(LI)->Header] = Nest.loop(LI);
+  }
+};
+
+struct ActiveLoop {
+  const Function *F = nullptr;
+  const Loop *L = nullptr;
+};
+
+struct ShadowFrame {
+  const Function *F = nullptr;
+  const FuncLoops *FL = nullptr;
+  std::vector<ActiveLoop> Active;
+};
+
+} // namespace
+
+SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
+                                const std::vector<Value> &Args,
+                                const MachineConfig &Machine,
+                                uint64_t MaxSteps, uint64_t RngSeed) {
+  const Function *F = M.findFunction(FnName);
+  if (!F)
+    spt_fatal("runSequential: no such function");
+
+  InterpOptions IOpts;
+  IOpts.RngSeed = RngSeed;
+  Interpreter In(M, IOpts);
+  In.startCall(F, Args);
+
+  CacheHierarchy Cache(Machine);
+  BranchPredictor Predictor;
+  CoreTiming Core(Machine, Cache, Predictor);
+
+  SeqSimResult Result;
+  std::map<const Function *, std::unique_ptr<FuncLoops>> Cache_;
+  auto loopsFor = [&](const Function *Fn) -> const FuncLoops & {
+    auto It = Cache_.find(Fn);
+    if (It == Cache_.end())
+      It = Cache_.emplace(Fn, std::make_unique<FuncLoops>(*Fn)).first;
+    return *It->second;
+  };
+
+  std::vector<ShadowFrame> Shadow;
+  Shadow.push_back(ShadowFrame{F, &loopsFor(F), {}});
+
+  auto enterBlock = [&](ShadowFrame &Sh, BlockId To) {
+    while (!Sh.Active.empty() && !Sh.Active.back().L->contains(To))
+      Sh.Active.pop_back();
+    auto It = Sh.FL->HeaderToLoop.find(To);
+    if (It == Sh.FL->HeaderToLoop.end())
+      return;
+    const Loop *L = It->second;
+    LoopSeqStats &Stats = Result.PerLoop[{Sh.F, L->Id}];
+    if (!Sh.Active.empty() && Sh.Active.back().L == L) {
+      ++Stats.Iterations;
+      return;
+    }
+    Sh.Active.push_back(ActiveLoop{Sh.F, L});
+    ++Stats.Activations;
+    ++Stats.Iterations;
+  };
+  enterBlock(Shadow.back(), F->entry());
+
+  uint64_t Steps = 0;
+  while (!In.done() && Steps < MaxSteps) {
+    const uint64_t Before = Core.now();
+    const StepResult R = In.step();
+    ++Steps;
+    Core.onStep(R, In.stackDepth());
+    const uint64_t Delta = Core.now() - Before;
+
+    // Attribute to every active loop in every frame.
+    for (ShadowFrame &Sh : Shadow)
+      for (ActiveLoop &A : Sh.Active) {
+        LoopSeqStats &Stats = Result.PerLoop[{A.F, A.L->Id}];
+        Stats.Subticks += Delta;
+        ++Stats.Instrs;
+      }
+
+    if (R.IsCallEnter) {
+      const Function *Callee = In.topFrame().F;
+      Shadow.push_back(ShadowFrame{Callee, &loopsFor(Callee), {}});
+      enterBlock(Shadow.back(), Callee->entry());
+    } else if (R.IsReturn) {
+      Shadow.pop_back();
+    } else if (R.IsBranch) {
+      enterBlock(Shadow.back(), R.NextBlock);
+    }
+  }
+  if (!In.done())
+    spt_fatal("runSequential: step budget exhausted (infinite loop?)");
+
+  Result.Subticks = Core.now();
+  Result.Instrs = Core.retired();
+  Result.Result = In.returnValue();
+  Result.Output = In.output();
+  Result.BranchLookups = Predictor.lookups();
+  Result.BranchMispredicts = Predictor.mispredicts();
+  return Result;
+}

@@ -1,0 +1,393 @@
+//===- sim/SptSim.cpp - Two-core speculative (SPT) simulation ----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SptSim.h"
+
+#include "sim/CoreTiming.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace spt;
+
+namespace {
+
+/// Per-step ghost memory semantics: reads hit the speculation buffer,
+/// then the undo log (a stale value: violation), then shared memory;
+/// writes are buffered.
+class GhostMemHooks final : public Interpreter::MemHooks {
+public:
+  GhostMemHooks(const std::map<uint64_t, Value> &UndoLog)
+      : UndoLog(UndoLog) {}
+
+  Value onLoad(uint64_t Addr, Value Fallback) override {
+    LastLoadViolated = false;
+    LastLoadSpecWriter = -1;
+    auto Spec = SpecBuffer.find(Addr);
+    if (Spec != SpecBuffer.end()) {
+      LastLoadSpecWriter = Spec->second.WriterEntry;
+      return Spec->second.V;
+    }
+    auto Undo = UndoLog.find(Addr);
+    if (Undo != UndoLog.end()) {
+      LastLoadViolated = true;
+      return Undo->second;
+    }
+    return Fallback;
+  }
+
+  bool onStore(uint64_t Addr, Value V) override {
+    SpecBuffer[Addr] = BufferedValue{V, CurrentEntry};
+    return true; // Never reaches shared memory.
+  }
+
+  /// Set by the driver loop before each ghost step.
+  int64_t CurrentEntry = -1;
+  /// Outputs of the last load.
+  bool LastLoadViolated = false;
+  int64_t LastLoadSpecWriter = -1;
+
+private:
+  struct BufferedValue {
+    Value V;
+    int64_t WriterEntry = -1;
+  };
+  const std::map<uint64_t, Value> &UndoLog;
+  std::map<uint64_t, BufferedValue> SpecBuffer;
+};
+
+/// Result of simulating one speculative thread.
+struct GhostOutcome {
+  bool Completed = false;
+  bool Violated = false;
+  uint64_t EndSubtick = 0;
+  uint64_t Instrs = 0;
+  uint64_t ReexecInstrs = 0;
+  uint64_t ReexecSubticks = 0;
+};
+
+/// State captured when the main thread forks.
+struct PendingSpec {
+  int64_t LoopId = -1;
+  const SptLoopDesc *Desc = nullptr;
+  size_t FrameDepth = 0; ///< Main's stack depth at the fork.
+  std::vector<Value> Regs;
+  Random Rng;
+  uint64_t ForkSubtick = 0;
+  std::set<Reg> MainRegWrites;
+  std::map<uint64_t, Value> UndoLog;
+  uint64_t MainRndCalls = 0;
+  uint64_t MainIoCalls = 0;
+};
+
+/// Undo-logging hook for the main core's post-fork leg.
+class MainPostForkHooks final : public Interpreter::MemHooks {
+public:
+  MainPostForkHooks(Interpreter &In, PendingSpec &Spec)
+      : In(In), Spec(Spec) {}
+
+  Value onLoad(uint64_t, Value Fallback) override { return Fallback; }
+
+  bool onStore(uint64_t Addr, Value) override {
+    Spec.UndoLog.emplace(Addr, In.peekAddr(Addr)); // First write wins.
+    return false;                                  // Write through.
+  }
+
+private:
+  Interpreter &In;
+  PendingSpec &Spec;
+};
+
+/// Simulates the speculative thread (one full iteration) as a ghost.
+GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
+                      const PendingSpec &Spec, const MachineConfig &Machine,
+                      CacheHierarchy &Cache, BranchPredictor &SpecPredictor,
+                      uint64_t MaxGhostSteps) {
+  GhostOutcome Out;
+
+  Interpreter Ghost(M, MainIn);
+  Ghost.rng() = Spec.Rng;
+  Ghost.startAt(Spec.Desc->F, Spec.Desc->PreForkEntry, 0, Spec.Regs);
+
+  GhostMemHooks Hooks(Spec.UndoLog);
+  Ghost.setMemHooks(&Hooks);
+
+  CoreTiming Core(Machine, Cache, SpecPredictor);
+  Core.setNow(Spec.ForkSubtick);
+
+  // Dynamic dependence state for the violation slice.
+  struct TraceEntry {
+    bool Reexec = false;
+    uint64_t CostSubticks = 0;
+    bool IsLoad = false;
+  };
+  std::vector<TraceEntry> Trace;
+  std::map<std::pair<size_t, Reg>, int64_t> LastRegWriter;
+  std::set<Reg> GhostWroteLoopReg;
+
+  const uint64_t IssueSlot = SubticksPerCycle / Machine.IssueWidth;
+
+  while (!Ghost.done() && Trace.size() < MaxGhostSteps) {
+    const size_t DepthBefore = Ghost.stackDepth();
+    Hooks.CurrentEntry = static_cast<int64_t>(Trace.size());
+    const uint64_t Before = Core.now();
+    const StepResult R = Ghost.step();
+    const size_t Depth = Ghost.stackDepth();
+    Core.onStep(R, Depth);
+
+    TraceEntry Entry;
+    Entry.CostSubticks = Core.now() - Before;
+    Entry.IsLoad = R.IsLoad;
+
+    // Frame the instruction read its operands in: always the top frame
+    // before the step (returns pop after reading; calls push after).
+    const size_t SrcFrame = DepthBefore - 1;
+
+    // Violations: stale register reads at the loop frame.
+    if (SrcFrame == 0)
+      for (Reg S : R.I->Srcs)
+        if (!GhostWroteLoopReg.count(S) && Spec.MainRegWrites.count(S))
+          Entry.Reexec = true;
+
+    // Violations: stale memory reads.
+    if (R.IsLoad && Hooks.LastLoadViolated)
+      Entry.Reexec = true;
+
+    // Violations: racing stateful builtins.
+    if (R.I->Op == Opcode::Call) {
+      const Function *Callee = M.function(R.I->calleeIndex());
+      if (Callee->isExternal()) {
+        if (Callee->name() == "rnd" && Spec.MainRndCalls > 0)
+          Entry.Reexec = true;
+        if (Callee->name() == "print_int" || Callee->name() == "print_fp")
+          Entry.Reexec = true; // I/O cannot speculate.
+      }
+    }
+
+    // Dependence closure: inherit re-execution from producers.
+    if (!Entry.Reexec) {
+      for (Reg S : R.I->Srcs) {
+        auto It = LastRegWriter.find({SrcFrame, S});
+        if (It != LastRegWriter.end() && It->second >= 0 &&
+            Trace[static_cast<size_t>(It->second)].Reexec)
+          Entry.Reexec = true;
+      }
+      if (R.IsLoad && Hooks.LastLoadSpecWriter >= 0 &&
+          Trace[static_cast<size_t>(Hooks.LastLoadSpecWriter)].Reexec)
+        Entry.Reexec = true;
+    }
+
+    // Record writes.
+    if (R.I->Dst != NoReg && !R.IsCallEnter) {
+      LastRegWriter[{SrcFrame, R.I->Dst}] =
+          static_cast<int64_t>(Trace.size());
+      if (SrcFrame == 0)
+        GhostWroteLoopReg.insert(R.I->Dst);
+    }
+
+    if (Entry.Reexec) {
+      Out.Violated = true;
+      ++Out.ReexecInstrs;
+      Out.ReexecSubticks +=
+          IssueSlot + (R.IsLoad ? Machine.L1.HitLatencyCycles *
+                                      SubticksPerCycle
+                                : 0);
+    }
+    Trace.push_back(Entry);
+
+    // Stop conditions: completed one iteration, predicted loop exit, or
+    // the loop frame returned.
+    if (R.IsBranch && Depth == 1 &&
+        R.NextBlock == Spec.Desc->PreForkEntry) {
+      Out.Completed = true;
+      break;
+    }
+    if (R.IsKill && R.I->IntImm == Spec.LoopId) {
+      Out.Completed = true; // Speculated that the loop ends.
+      break;
+    }
+    if (R.IsReturn && Depth == 0)
+      break; // Fell out of the loop frame: treat as squashed.
+  }
+
+  Ghost.setMemHooks(nullptr);
+  Out.EndSubtick = Core.now();
+  Out.Instrs = Trace.size();
+  return Out;
+}
+
+} // namespace
+
+SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
+                         const std::vector<Value> &Args,
+                         const std::map<int64_t, SptLoopDesc> &Loops,
+                         const MachineConfig &Machine, uint64_t MaxSteps,
+                         uint64_t RngSeed) {
+  const Function *F = M.findFunction(FnName);
+  if (!F)
+    spt_fatal("runSpt: no such function");
+
+  InterpOptions IOpts;
+  IOpts.RngSeed = RngSeed;
+  Interpreter In(M, IOpts);
+  In.startCall(F, Args);
+
+  CacheHierarchy Cache(Machine);
+  BranchPredictor MainPredictor, SpecPredictor;
+  CoreTiming Core(Machine, Cache, MainPredictor);
+
+  SptSimResult Result;
+
+  // Iteration-boundary lookup: (function, block) -> loop id.
+  std::map<std::pair<const Function *, BlockId>, int64_t> BoundaryOf;
+  for (const auto &[Id, Desc] : Loops)
+    BoundaryOf[{Desc.F, Desc.PreForkEntry}] = Id;
+
+  enum class Mode { Normal, PostFork, Replay };
+  Mode State = Mode::Normal;
+  PendingSpec Spec;
+  std::unique_ptr<MainPostForkHooks> PostForkHooks;
+  uint64_t ReplayInstrs = 0;
+  uint64_t ReexecInstrsTotal = 0;
+
+  // Wall-time attribution per loop.
+  std::map<int64_t, uint64_t> LoopEnterSubtick;
+
+  uint64_t Steps = 0;
+  while (!In.done() && Steps < MaxSteps) {
+    const StepResult R = In.step();
+    ++Steps;
+    const size_t Depth = In.stackDepth();
+
+    if (State != Mode::Replay)
+      Core.onStep(R, Depth);
+    else
+      ++ReplayInstrs;
+
+    // Loop wall-time tracking.
+    if (R.IsFork && Loops.count(R.I->IntImm) &&
+        !LoopEnterSubtick.count(R.I->IntImm))
+      LoopEnterSubtick[R.I->IntImm] = Core.now();
+    if (R.IsKill && Loops.count(R.I->IntImm)) {
+      auto It = LoopEnterSubtick.find(R.I->IntImm);
+      if (It != LoopEnterSubtick.end()) {
+        Result.PerLoop[R.I->IntImm].Subticks += Core.now() - It->second;
+        LoopEnterSubtick.erase(It);
+      }
+    }
+
+    switch (State) {
+    case Mode::Normal:
+      if (R.IsFork && Loops.count(R.I->IntImm)) {
+        const SptLoopDesc &Desc = Loops.at(R.I->IntImm);
+        if (In.topFrame().F == Desc.F) {
+          // Spawn: snapshot the loop frame context.
+          Core.charge(Machine.ForkOverhead);
+          Spec = PendingSpec();
+          Spec.LoopId = R.I->IntImm;
+          Spec.Desc = &Desc;
+          Spec.FrameDepth = Depth;
+          Spec.Regs = In.topFrame().Regs;
+          Spec.Rng = In.rng();
+          Spec.ForkSubtick = Core.now();
+          PostForkHooks = std::make_unique<MainPostForkHooks>(In, Spec);
+          In.setMemHooks(PostForkHooks.get());
+          State = Mode::PostFork;
+          ++Result.PerLoop[Spec.LoopId].Forks;
+        }
+      }
+      break;
+
+    case Mode::PostFork: {
+      // Track the main thread's post-fork effects.
+      if (R.I->Dst != NoReg && !R.IsCallEnter && Depth == Spec.FrameDepth)
+        Spec.MainRegWrites.insert(R.I->Dst);
+      if (R.I->Op == Opcode::Call) {
+        const Function *Callee = M.function(R.I->calleeIndex());
+        if (Callee->isExternal()) {
+          if (Callee->name() == "rnd")
+            ++Spec.MainRndCalls;
+          else if (Callee->name() == "print_int" ||
+                   Callee->name() == "print_fp")
+            ++Spec.MainIoCalls;
+        }
+      }
+
+      // Loop exit while the speculative thread runs: kill it.
+      if (R.IsKill && R.I->IntImm == Spec.LoopId) {
+        ++Result.PerLoop[Spec.LoopId].KilledBeforeJoin;
+        In.setMemHooks(nullptr);
+        PostForkHooks.reset();
+        State = Mode::Normal;
+        break;
+      }
+
+      // Join: the main thread reached the next iteration's entry.
+      if (R.IsBranch && Depth == Spec.FrameDepth &&
+          R.NextBlock == Spec.Desc->PreForkEntry) {
+        SptLoopRunStats &Stats = Result.PerLoop[Spec.LoopId];
+        In.setMemHooks(nullptr);
+        PostForkHooks.reset();
+
+        GhostOutcome Ghost = runGhost(M, In, Spec, Machine, Cache,
+                                      SpecPredictor, /*MaxGhostSteps=*/
+                                      1u << 20);
+        if (!Ghost.Completed) {
+          // Squashed: the main thread simply executes the iteration
+          // itself at full cost.
+          ++Stats.Squashed;
+          State = Mode::Normal;
+          break;
+        }
+        ++Stats.Joins;
+        Stats.SpecInstrs += Ghost.Instrs;
+        Stats.ReexecInstrs += Ghost.ReexecInstrs;
+        ReexecInstrsTotal += Ghost.ReexecInstrs;
+        if (Ghost.Violated)
+          ++Stats.ViolatedThreads;
+
+        const uint64_t Joined = std::max(Core.now(), Ghost.EndSubtick);
+        Core.advanceTo(Joined);
+        Core.charge(Machine.CommitOverhead);
+        Core.advanceTo(Core.now() + Ghost.ReexecSubticks);
+        State = Mode::Replay;
+      }
+      break;
+    }
+
+    case Mode::Replay:
+      // The speculative thread already executed this iteration; the main
+      // interpreter replays it functionally with the clock frozen.
+      if (R.IsBranch && Depth == Spec.FrameDepth &&
+          R.NextBlock == Spec.Desc->PreForkEntry) {
+        State = Mode::Normal;
+      } else if (R.IsKill && R.I->IntImm == Spec.LoopId) {
+        // Loop ended inside the replayed iteration (wall time was already
+        // attributed by the generic kill handling above).
+        State = Mode::Normal;
+      }
+      break;
+    }
+
+    // Iteration counting at boundaries (any mode).
+    if (R.IsBranch) {
+      auto It = BoundaryOf.find({In.done() ? nullptr : In.topFrame().F,
+                                 R.NextBlock});
+      if (It != BoundaryOf.end())
+        ++Result.PerLoop[It->second].Iterations;
+    }
+  }
+  if (!In.done())
+    spt_fatal("runSpt: step budget exhausted (infinite loop?)");
+
+  Result.Subticks = Core.now();
+  Result.Instrs = Core.retired() + ReplayInstrs + ReexecInstrsTotal;
+  Result.Result = In.returnValue();
+  Result.Output = In.output();
+  return Result;
+}

@@ -1,0 +1,15 @@
+//===- support/Debug.cpp - Fatal errors and unreachable markers ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void spt::fatalErrorImpl(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "fatal error: %s (at %s:%d)\n", Msg, File, Line);
+  std::abort();
+}

@@ -1,0 +1,33 @@
+//===- support/Debug.h - Fatal errors and unreachable markers ------------===//
+//
+// Part of the SPT framework, a reproduction of "A Cost-Driven Compilation
+// Framework for Speculative Parallelization of Sequential Programs"
+// (PLDI 2004). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting helpers in the spirit of llvm_unreachable and
+/// report_fatal_error. The library does not use exceptions; invariant
+/// violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_DEBUG_H
+#define SPT_SUPPORT_DEBUG_H
+
+namespace spt {
+
+/// Prints \p Msg with source location info to stderr and aborts.
+[[noreturn]] void fatalErrorImpl(const char *Msg, const char *File, int Line);
+
+} // namespace spt
+
+/// Marks a point in code that must never be executed. Use for switch
+/// defaults over covered enums and for "can't happen" control flow.
+#define spt_unreachable(MSG) ::spt::fatalErrorImpl(MSG, __FILE__, __LINE__)
+
+/// Reports an unrecoverable usage or environment error and aborts.
+#define spt_fatal(MSG) ::spt::fatalErrorImpl(MSG, __FILE__, __LINE__)
+
+#endif // SPT_SUPPORT_DEBUG_H

@@ -1,0 +1,64 @@
+//===- support/OStream.cpp - Lightweight output stream -------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace spt;
+
+OStream::~OStream() = default;
+
+void OStream::anchor() {}
+
+OStream &OStream::operator<<(char C) {
+  writeImpl(&C, 1);
+  return *this;
+}
+
+OStream &OStream::operator<<(const char *Str) {
+  writeImpl(Str, std::strlen(Str));
+  return *this;
+}
+
+OStream &OStream::operator<<(const std::string &Str) {
+  writeImpl(Str.data(), Str.size());
+  return *this;
+}
+
+OStream &OStream::operator<<(int64_t V) {
+  char Buf[32];
+  int N = std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  writeImpl(Buf, static_cast<size_t>(N));
+  return *this;
+}
+
+OStream &OStream::operator<<(uint64_t V) {
+  char Buf[32];
+  int N = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  writeImpl(Buf, static_cast<size_t>(N));
+  return *this;
+}
+
+OStream &OStream::operator<<(double V) { return writeDouble(V, 6); }
+
+OStream &OStream::writeDouble(double V, int Precision) {
+  char Buf[64];
+  int N = std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, V);
+  writeImpl(Buf, static_cast<size_t>(N));
+  return *this;
+}
+
+OStream &spt::outs() {
+  static FileOStream S(stdout);
+  return S;
+}
+
+OStream &spt::errs() {
+  static FileOStream S(stderr);
+  return S;
+}

@@ -1,0 +1,87 @@
+//===- support/OStream.h - Lightweight output stream ---------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small raw_ostream-style output stream. Library code uses this instead
+/// of <iostream> (which injects static constructors). Two concrete sinks are
+/// provided: a growable string buffer and a stdio FILE wrapper, plus outs()
+/// and errs() accessors for the process-wide standard streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_OSTREAM_H
+#define SPT_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace spt {
+
+/// Minimal formatted output stream with operator<< overloads for the types
+/// the framework prints. Subclasses implement writeImpl().
+class OStream {
+public:
+  virtual ~OStream();
+
+  OStream &operator<<(char C);
+  OStream &operator<<(const char *Str);
+  OStream &operator<<(const std::string &Str);
+  OStream &operator<<(int64_t V);
+  OStream &operator<<(uint64_t V);
+  OStream &operator<<(int V) { return *this << static_cast<int64_t>(V); }
+  OStream &operator<<(unsigned V) { return *this << static_cast<uint64_t>(V); }
+  OStream &operator<<(double V);
+
+  /// Writes \p V with printf-style precision, e.g. format(0.25, 3).
+  OStream &writeDouble(double V, int Precision);
+
+  /// Writes raw bytes to the sink.
+  void write(const char *Data, size_t Len) { writeImpl(Data, Len); }
+
+private:
+  virtual void writeImpl(const char *Data, size_t Len) = 0;
+
+  // Out-of-line virtual anchor.
+  virtual void anchor();
+};
+
+/// OStream that appends to an owned std::string.
+class StringOStream final : public OStream {
+public:
+  const std::string &str() const { return Buffer; }
+  void clear() { Buffer.clear(); }
+
+private:
+  void writeImpl(const char *Data, size_t Len) override {
+    Buffer.append(Data, Len);
+  }
+
+  std::string Buffer;
+};
+
+/// OStream writing to a stdio FILE (not owned).
+class FileOStream final : public OStream {
+public:
+  explicit FileOStream(std::FILE *F) : File(F) {}
+
+private:
+  void writeImpl(const char *Data, size_t Len) override {
+    std::fwrite(Data, 1, Len, File);
+  }
+
+  std::FILE *File;
+};
+
+/// Stream for standard output.
+OStream &outs();
+
+/// Stream for standard error.
+OStream &errs();
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_OSTREAM_H

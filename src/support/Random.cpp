@@ -1,0 +1,10 @@
+//===- support/Random.cpp - Deterministic pseudo-random numbers ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+// Header-only implementation; this file exists so the support library always
+// has at least one definition per header and to anchor future extensions.

@@ -1,0 +1,79 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xorshift128+). Used by workload input
+/// generators and by the SPTc builtin rnd() so every simulation run is
+/// reproducible bit-for-bit across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_RANDOM_H
+#define SPT_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace spt {
+
+/// Deterministic xorshift128+ generator.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Resets the generator state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed) {
+    State0 = splitmix64(Seed);
+    State1 = splitmix64(State0 ^ 0xda3e39cb94b95bdbull);
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  /// Returns the next 64 raw bits.
+  uint64_t next() {
+    uint64_t X = State0;
+    const uint64_t Y = State1;
+    State0 = Y;
+    X ^= X << 23;
+    State1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State1 + Y;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  int64_t nextBelow(int64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return static_cast<int64_t>(next() % static_cast<uint64_t>(Bound));
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitmix64(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t State0 = 1;
+  uint64_t State1 = 2;
+};
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_RANDOM_H

@@ -1,0 +1,58 @@
+//===- support/Statistics.cpp - Streaming statistics accumulators --------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spt;
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  ++N;
+  Sum += X;
+}
+
+void GeoMean::add(double X) {
+  assert(X > 0.0 && "geometric mean requires positive samples");
+  ++N;
+  LogSum += std::log(X);
+}
+
+double GeoMean::value() const {
+  if (N == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(N));
+}
+
+void Correlation::add(double X, double Y) {
+  ++N;
+  SumX += X;
+  SumY += Y;
+  SumXX += X * X;
+  SumYY += Y * Y;
+  SumXY += X * Y;
+}
+
+double Correlation::pearson() const {
+  if (N < 2)
+    return 0.0;
+  const double DN = static_cast<double>(N);
+  const double Cov = SumXY - SumX * SumY / DN;
+  const double VarX = SumXX - SumX * SumX / DN;
+  const double VarY = SumYY - SumY * SumY / DN;
+  if (VarX <= 0.0 || VarY <= 0.0)
+    return 0.0;
+  return Cov / std::sqrt(VarX * VarY);
+}

@@ -1,0 +1,72 @@
+//===- support/Statistics.h - Streaming statistics accumulators ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small accumulators used by the benchmark harnesses: running mean/min/max,
+/// geometric mean (the paper reports average speedups), and Pearson
+/// correlation (used to evaluate Figure 19's estimated-cost vs measured
+/// re-execution-ratio relationship).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_STATISTICS_H
+#define SPT_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+
+namespace spt {
+
+/// Accumulates count/mean/min/max of a stream of doubles.
+class RunningStat {
+public:
+  void add(double X);
+
+  uint64_t count() const { return N; }
+  double mean() const { return N == 0 ? 0.0 : Sum / static_cast<double>(N); }
+  double sum() const { return Sum; }
+  double min() const { return N == 0 ? 0.0 : Min; }
+  double max() const { return N == 0 ? 0.0 : Max; }
+
+private:
+  uint64_t N = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Accumulates the geometric mean of a stream of positive values.
+class GeoMean {
+public:
+  /// Adds \p X to the product. \p X must be positive.
+  void add(double X);
+
+  uint64_t count() const { return N; }
+  double value() const;
+
+private:
+  uint64_t N = 0;
+  double LogSum = 0.0;
+};
+
+/// Accumulates Pearson's correlation coefficient between paired samples.
+class Correlation {
+public:
+  void add(double X, double Y);
+
+  uint64_t count() const { return N; }
+
+  /// Returns r in [-1, 1]; 0 when fewer than two samples or when either
+  /// variable has zero variance.
+  double pearson() const;
+
+private:
+  uint64_t N = 0;
+  double SumX = 0.0, SumY = 0.0, SumXX = 0.0, SumYY = 0.0, SumXY = 0.0;
+};
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_STATISTICS_H

@@ -1,0 +1,95 @@
+//===- support/Table.cpp - Aligned text table writer ---------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Debug.h"
+#include "support/OStream.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace spt;
+
+Table::Table(std::vector<std::string> Hdr) : Header(std::move(Hdr)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void Table::beginRow() { Rows.emplace_back(); }
+
+void Table::cell(std::string Value) {
+  assert(!Rows.empty() && "beginRow() must precede cell()");
+  assert(Rows.back().size() < Header.size() && "row has too many cells");
+  Rows.back().push_back(std::move(Value));
+}
+
+void Table::cell(int64_t Value) { cell(std::to_string(Value)); }
+
+void Table::cell(uint64_t Value) { cell(std::to_string(Value)); }
+
+void Table::cell(double Value, int Precision) {
+  cell(formatDouble(Value, Precision));
+}
+
+void Table::percentCell(double Fraction, int Precision) {
+  cell(formatPercent(Fraction, Precision));
+}
+
+void Table::print(OStream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto printRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Header.size(); ++I) {
+      const std::string &Text = I < Cells.size() ? Cells[I] : std::string();
+      OS << "| " << Text;
+      for (size_t Pad = Text.size(); Pad < Widths[I] + 1; ++Pad)
+        OS << ' ';
+    }
+    OS << "|\n";
+  };
+
+  printRow(Header);
+  for (size_t I = 0; I != Header.size(); ++I) {
+    OS << "|";
+    for (size_t Pad = 0; Pad < Widths[I] + 2; ++Pad)
+      OS << '-';
+  }
+  OS << "|\n";
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+void Table::printCsv(OStream &OS) const {
+  auto printRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        OS << ',';
+      OS << Cells[I];
+    }
+    OS << '\n';
+  };
+  printRow(Header);
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+std::string spt::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string spt::formatPercent(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}

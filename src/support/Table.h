@@ -1,0 +1,62 @@
+//===- support/Table.h - Aligned text table writer -----------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper-style tables printed by the benchmark harnesses:
+/// column-aligned plain text, with an optional CSV dump so results can be
+/// post-processed. Cells are strings; helpers format numbers consistently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_TABLE_H
+#define SPT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class OStream;
+
+/// A simple rectangular table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void beginRow();
+
+  /// Appends a cell to the current row.
+  void cell(std::string Value);
+  void cell(int64_t Value);
+  void cell(uint64_t Value);
+  void cell(double Value, int Precision = 3);
+
+  /// Appends a percentage cell rendered as e.g. "12.3%".
+  void percentCell(double Fraction, int Precision = 1);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Writes the table as aligned text to \p OS.
+  void print(OStream &OS) const;
+
+  /// Writes the table as CSV to \p OS.
+  void printCsv(OStream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Precision significant decimal digits.
+std::string formatDouble(double Value, int Precision);
+
+/// Formats a fraction in [0,1] as a percentage string such as "8.0%".
+std::string formatPercent(double Fraction, int Precision);
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_TABLE_H

@@ -1,0 +1,148 @@
+//===- svp/Svp.cpp - Software value prediction --------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svp/Svp.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace spt;
+
+std::vector<SvpCandidate>
+spt::findSvpCandidates(const LoopDepGraph &G, PartitionSearch &Search,
+                       const ValueProfileData &Values,
+                       const SvpOptions &Opts) {
+  std::vector<SvpCandidate> Result;
+  std::set<Reg> SeenRegs;
+  const double SizeThreshold =
+      Opts.PreForkSizeFraction * G.dynamicBodyWeight();
+  const Function *F = &G.function();
+
+  for (size_t Node = 0; Node != Search.numVcNodes(); ++Node) {
+    // Plain code reordering already handles movable, small closures.
+    if (Search.nodeMovable(Node) &&
+        Search.nodeClosureWeight(Node) <= SizeThreshold)
+      continue;
+    for (uint32_t Vc : Search.nodeVcs(Node)) {
+      const LoopStmt &S = G.stmt(Vc);
+      if (S.I->Dst == NoReg || S.I->Ty != Type::Int)
+        continue;
+      if (SeenRegs.count(S.I->Dst))
+        continue;
+      // The candidate must carry its *register* value across iterations;
+      // predicting the destination of a statement whose violation stems
+      // from memory (e.g. a call's side effects) buys nothing.
+      bool RegCarried = false;
+      for (uint32_t EI : G.outEdges(Vc)) {
+        const DepEdge &E = G.edges()[EI];
+        if (E.Cross && E.Kind == DepKind::FlowReg && E.Prob > 1e-9)
+          RegCarried = true;
+      }
+      if (!RegCarried)
+        continue;
+      const StrideStats *Stats = Values.statsFor(F, S.Id);
+      if (!Stats || Stats->Samples < Opts.MinSamples)
+        continue;
+      const double Ratio = static_cast<double>(Stats->BestStrideHits) /
+                           static_cast<double>(Stats->Samples);
+      if (Ratio < Opts.MinHitRatio)
+        continue;
+      SvpCandidate C;
+      C.X = S.I->Dst;
+      C.Ty = Type::Int;
+      C.Stride = Stats->BestStride;
+      C.DefStmt = S.Id;
+      C.HitRatio = Ratio;
+      Result.push_back(C);
+      SeenRegs.insert(C.X);
+    }
+  }
+  return Result;
+}
+
+SvpResult spt::applySvp(Function &F, const Loop &L, const SvpCandidate &C) {
+  SvpResult R;
+  if (C.X == NoReg || C.Ty != Type::Int) {
+    R.Error = "SVP supports integer registers only";
+    return R;
+  }
+  assert(L.Header != F.entry() && "loop header must not be the entry block");
+
+  const Reg P = F.newReg();
+  R.PredReg = P;
+
+  auto makeInstr = [&](Opcode Op, Reg Dst, std::vector<Reg> Srcs,
+                       int64_t Imm = 0) {
+    Instr I;
+    I.Op = Op;
+    I.Ty = Type::Int;
+    I.Dst = Dst;
+    I.Srcs = std::move(Srcs);
+    I.IntImm = Imm;
+    I.Id = F.newStmtId();
+    return I;
+  };
+
+  // 1. Init block: pred_x = x, entered from every outside edge into the
+  // header.
+  BasicBlock *Init = F.addBlock("svp.init");
+  Init->Instrs.push_back(makeInstr(Opcode::Copy, P, {C.X}));
+  Init->Instrs.push_back(makeInstr(Opcode::Jmp, NoReg, {}));
+  Init->Succs = {L.Header};
+  for (auto &BB : F) {
+    if (BB.get() == Init || L.contains(BB->id()))
+      continue;
+    for (BlockId &S : BB->Succs)
+      if (S == L.Header)
+        S = Init->id();
+  }
+
+  // 2. Header prologue: x = pred_x; pred_x = x + stride (stride 0 means
+  // last-value prediction: pred_x already holds it).
+  {
+    BasicBlock *Header = F.block(L.Header);
+    std::vector<Instr> Prologue;
+    Prologue.push_back(makeInstr(Opcode::Copy, C.X, {P}));
+    if (C.Stride != 0) {
+      const Reg StrideReg = F.newReg();
+      const Reg Sum = F.newReg();
+      Prologue.push_back(
+          makeInstr(Opcode::ConstInt, StrideReg, {}, C.Stride));
+      Prologue.push_back(makeInstr(Opcode::Add, Sum, {C.X, StrideReg}));
+      Prologue.push_back(makeInstr(Opcode::Copy, P, {Sum}));
+    }
+    Header->Instrs.insert(Header->Instrs.begin(), Prologue.begin(),
+                          Prologue.end());
+  }
+
+  // 3. Check-and-recovery at every latch: if (x != pred_x) pred_x = x.
+  for (BlockId Latch : L.Latches) {
+    BasicBlock *LatchBB = F.block(Latch);
+    assert(LatchBB->hasTerminator() && "latch must be terminated");
+
+    BasicBlock *Fix = F.addBlock("svp.fix");
+    BasicBlock *Cont = F.addBlock("svp.cont");
+
+    // Move the terminator (and its successors) into the continuation.
+    Cont->Instrs.push_back(LatchBB->Instrs.back());
+    Cont->Succs = LatchBB->Succs;
+    LatchBB->Instrs.pop_back();
+
+    const Reg Cond = F.newReg();
+    LatchBB->Instrs.push_back(makeInstr(Opcode::CmpNe, Cond, {C.X, P}));
+    LatchBB->Instrs.push_back(makeInstr(Opcode::Br, NoReg, {Cond}));
+    LatchBB->Succs = {Fix->id(), Cont->id()};
+
+    Fix->Instrs.push_back(makeInstr(Opcode::Copy, P, {C.X}));
+    Fix->Instrs.push_back(makeInstr(Opcode::Jmp, NoReg, {}));
+    Fix->Succs = {Cont->id()};
+  }
+
+  R.Ok = true;
+  return R;
+}

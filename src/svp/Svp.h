@@ -1,0 +1,87 @@
+//===- svp/Svp.h - Software value prediction --------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software value prediction (paper Section 7.2, Figure 13). For a
+/// critical violation candidate x whose value profile shows a predictable
+/// pattern (stride or last-value), the loop is rewritten to
+///
+///   pred_x = x;                       // preheader
+///   loop {
+///     x = pred_x;                     // restore (movable!)
+///     pred_x = x + stride;            // prediction (movable!)
+///     ... original body; x = bar(x) ...
+///     if (x != pred_x) pred_x = x;    // check and recovery
+///   }
+///
+/// The rewrite preserves sequential semantics unconditionally (after the
+/// check, pred_x == x, so the next restore is a no-op). Its value is
+/// structural: the cross-iteration dependence into the next iteration's x
+/// now comes from the *prediction* (movable into the pre-fork region) and
+/// from the *recovery*, whose execution frequency — and therefore its
+/// dependence probability under edge profiling — is exactly the
+/// misprediction rate. A well-predicted x thus stops being an expensive
+/// violation candidate, which both lowers misspeculation cost and enables
+/// more code reordering, as the paper reports.
+///
+/// Candidate selection follows the paper: violation candidates that the
+/// partitioner cannot move (illegal or over the pre-fork size threshold)
+/// whose profiled values are predictable above a hit-ratio threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SVP_SVP_H
+#define SPT_SVP_SVP_H
+
+#include "analysis/DepGraph.h"
+#include "analysis/ProfileData.h"
+#include "partition/Partition.h"
+
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// Selection thresholds.
+struct SvpOptions {
+  double MinHitRatio = 0.9;
+  uint64_t MinSamples = 16;
+  /// Candidates whose move closure fits under this fraction of the body
+  /// weight are left to plain code reordering.
+  double PreForkSizeFraction = 0.34;
+};
+
+/// One value-prediction opportunity.
+struct SvpCandidate {
+  Reg X = NoReg;       ///< The predicted register.
+  Type Ty = Type::Int; ///< Always Int in this implementation.
+  int64_t Stride = 0;  ///< 0 encodes last-value prediction.
+  StmtId DefStmt = NoStmt; ///< The profiled violation-candidate def.
+  double HitRatio = 0.0;
+};
+
+/// Finds SVP candidates for the loop of \p G: register-defining violation
+/// candidates that plain reordering cannot handle and whose profiled value
+/// stream is predictable.
+std::vector<SvpCandidate>
+findSvpCandidates(const LoopDepGraph &G, PartitionSearch &Search,
+                  const ValueProfileData &Values,
+                  const SvpOptions &Opts = SvpOptions());
+
+/// Outcome of one SVP rewrite.
+struct SvpResult {
+  bool Ok = false;
+  std::string Error;
+  Reg PredReg = NoReg;
+};
+
+/// Applies one candidate's rewrite to \p L in \p F. The function must be
+/// re-analyzed before further transformations.
+SvpResult applySvp(Function &F, const Loop &L, const SvpCandidate &C);
+
+} // namespace spt
+
+#endif // SPT_SVP_SVP_H

@@ -1,0 +1,107 @@
+//===- transform/Cleanup.cpp - Post-transformation CFG cleanup -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Cleanup.h"
+
+#include <set>
+#include <vector>
+
+using namespace spt;
+
+CleanupStats spt::cleanupFunction(Function &F) {
+  CleanupStats Stats;
+
+  // Jump threading: an edge into a block that only jumps can target the
+  // jump's destination directly. Bounded hops guard against jump cycles.
+  auto finalTarget = [&](BlockId Start) {
+    BlockId Cur = Start;
+    for (int Hops = 0; Hops < 16; ++Hops) {
+      const BasicBlock *BB = F.block(Cur);
+      if (BB->Instrs.size() != 1 || BB->Instrs[0].Op != Opcode::Jmp)
+        return Cur;
+      Cur = BB->Succs[0];
+    }
+    return Cur;
+  };
+  for (auto &BB : F)
+    for (BlockId &S : BB->Succs) {
+      const BlockId T = finalTarget(S);
+      if (T != S) {
+        S = T;
+        ++Stats.ThreadedEdges;
+      }
+    }
+
+  // Unreachable blocks: stub their bodies out so later passes and the
+  // printer stay small; a lone Ret keeps the verifier satisfied.
+  std::vector<uint8_t> Reached(F.numBlocks(), 0);
+  std::vector<BlockId> Work = {F.entry()};
+  Reached[F.entry()] = 1;
+  while (!Work.empty()) {
+    const BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId S : F.block(B)->Succs)
+      if (!Reached[S]) {
+        Reached[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  for (auto &BB : F) {
+    if (Reached[BB->id()] || BB->Instrs.empty())
+      continue;
+    if (BB->Instrs.size() == 1 && BB->Instrs[0].Op == Opcode::Ret)
+      continue; // Already a stub.
+    Instr Stub;
+    Stub.Op = Opcode::Ret;
+    Stub.Ty = Type::Void;
+    Stub.Id = F.newStmtId();
+    BB->Instrs.clear();
+    BB->Instrs.push_back(std::move(Stub));
+    BB->Succs.clear();
+    ++Stats.ClearedBlocks;
+  }
+
+  // Dead copy elimination: drop Copy instructions whose destination is
+  // never read anywhere reachable.
+  std::set<Reg> ReadRegs;
+  for (auto &BB : F) {
+    if (!Reached[BB->id()])
+      continue;
+    for (const Instr &I : BB->Instrs)
+      for (Reg S : I.Srcs)
+        ReadRegs.insert(S);
+  }
+  for (auto &BB : F) {
+    if (!Reached[BB->id()])
+      continue;
+    std::vector<Instr> Kept;
+    Kept.reserve(BB->Instrs.size());
+    for (Instr &I : BB->Instrs) {
+      if (I.Op == Opcode::Copy && I.Dst != NoReg && !ReadRegs.count(I.Dst)) {
+        ++Stats.RemovedCopies;
+        continue;
+      }
+      Kept.push_back(std::move(I));
+    }
+    BB->Instrs = std::move(Kept);
+  }
+
+  return Stats;
+}
+
+CleanupStats spt::cleanupModule(Module &M) {
+  CleanupStats Total;
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    Function *F = M.function(static_cast<uint32_t>(I));
+    if (F->isExternal() || F->numBlocks() == 0)
+      continue;
+    const CleanupStats S = cleanupFunction(*F);
+    Total.ThreadedEdges += S.ThreadedEdges;
+    Total.ClearedBlocks += S.ClearedBlocks;
+    Total.RemovedCopies += S.RemovedCopies;
+  }
+  return Total;
+}

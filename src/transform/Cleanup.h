@@ -1,0 +1,42 @@
+//===- transform/Cleanup.h - Post-transformation CFG cleanup ---------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cleanup the paper applies right after the SPT code motion ("the
+/// code is immediately cleaned and optimized"): jump threading through
+/// trivial blocks, removal of unreachable blocks' instructions, and a
+/// simple dead-copy elimination for shadow registers that ended up unused.
+/// Purely mechanical; never changes observable behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TRANSFORM_CLEANUP_H
+#define SPT_TRANSFORM_CLEANUP_H
+
+#include "ir/IR.h"
+
+namespace spt {
+
+/// Statistics from one cleanup run.
+struct CleanupStats {
+  unsigned ThreadedEdges = 0;
+  unsigned ClearedBlocks = 0; ///< Unreachable blocks stubbed out.
+  unsigned RemovedCopies = 0;
+};
+
+/// Redirects edges that target jump-only blocks to their final
+/// destination, stubs out unreachable blocks, and drops copies to
+/// registers that are never read. Safe to run repeatedly.
+CleanupStats cleanupFunction(Function &F);
+
+/// Runs cleanupFunction over every defined function of \p M. Benchmarks
+/// apply this to baselines too, so comparisons measure speculation rather
+/// than incidental cleanups.
+CleanupStats cleanupModule(Module &M);
+
+} // namespace spt
+
+#endif // SPT_TRANSFORM_CLEANUP_H

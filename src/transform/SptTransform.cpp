@@ -1,0 +1,555 @@
+//===- transform/SptTransform.cpp - SPT loop transformation ----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Correctness argument for the carried-register scheme: let v_k be the
+// value of register r at the start of iteration k, with every in-loop
+// definition of r moved to the pre-fork region (the partition closure
+// guarantees all-or-none per register). Inductively the shadow rN holds
+// v_k when iteration k begins: the carry-init sets rN = r = v_1, and the
+// pre-fork of iteration k computes the moved definitions into rN, leaving
+// v_{k+1} for the next iteration. The restore r = rN therefore gives every
+// "old value" reader (reads whose reaching definition is cross-iteration)
+// the correct v_k, while readers of a moved definition are rewritten to rN.
+// On any loop exit the shadow equals the value r would have held at that
+// exit in the original program (moved definitions on the taken path have
+// executed, in original order, and no moved definition follows an un-moved
+// exit branch — otherwise that branch would have been in the closure), so
+// kill blocks copy r = rN back.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SptTransform.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace spt;
+
+namespace {
+
+/// Pre-mutation plan for one register with moved definitions.
+struct RegPlan {
+  Reg Shadow = NoReg; ///< NoReg when the register needs no shadow.
+  Type Ty = Type::Int;
+};
+
+} // namespace
+
+SptTransformResult spt::applySptTransform(Module &M, Function &F,
+                                          const CfgInfo &Cfg, const Loop &L,
+                                          const LoopDepGraph &G,
+                                          const PartitionSet &InPreFork,
+                                          int64_t LoopId) {
+  SptTransformResult R;
+  R.LoopId = LoopId;
+  (void)M;
+  assert(InPreFork.size() == G.size() && "partition size mismatch");
+  assert(L.Header != F.entry() && "loop header must not be the entry block");
+
+  const uint32_t N = static_cast<uint32_t>(G.size());
+
+  //===--------------------------------------------------------------------===
+  // Phase A: plan everything against the un-mutated function.
+  //===--------------------------------------------------------------------===
+  std::set<StmtId> MovedIds;
+  for (uint32_t SI = 0; SI != N; ++SI)
+    if (InPreFork[SI])
+      MovedIds.insert(G.stmt(SI).Id);
+
+  // Defensive validation: the partition must be closed under
+  // intra-iteration dependences (register anti/output excluded — the
+  // carried-shadow renaming breaks those). PartitionSearch guarantees
+  // this; hand-built partitions may not.
+  for (const DepEdge &E : G.edges()) {
+    if (E.Cross || E.Kind == DepKind::AntiReg || E.Kind == DepKind::OutReg)
+      continue;
+    if (InPreFork[E.Dst] && !InPreFork[E.Src]) {
+      R.Error = "partition is not closed under intra-iteration dependences";
+      return R;
+    }
+  }
+
+  // Per-register definition classification.
+  std::map<Reg, std::vector<uint32_t>> DefsOfReg;
+  for (uint32_t SI = 0; SI != N; ++SI)
+    if (G.stmt(SI).I->Dst != NoReg)
+      DefsOfReg[G.stmt(SI).I->Dst].push_back(SI);
+
+  // Registers with at least one moved definition. Fully moved registers
+  // may get a shadow (the paper's temporary-variable insertion); mixed
+  // registers (the SVP pattern: moved prediction, un-moved recovery) are
+  // validated below and left un-renamed.
+  std::map<Reg, RegPlan> MovedRegs;
+  std::set<Reg> MixedRegs;
+  for (const auto &[Rg, Defs] : DefsOfReg) {
+    bool AnyMoved = false, AnyUnmoved = false;
+    for (uint32_t D : Defs)
+      (InPreFork[D] ? AnyMoved : AnyUnmoved) = true;
+    if (!AnyMoved)
+      continue;
+    if (AnyUnmoved) {
+      MixedRegs.insert(Rg);
+      // (iii) An un-moved definition must never precede a moved one on an
+      // intra-iteration path: the pre-fork copy would reverse the order.
+      for (uint32_t Du : Defs) {
+        if (InPreFork[Du])
+          continue;
+        for (uint32_t Dm : Defs)
+          if (InPreFork[Dm] && G.canPrecedeIntra(Du, Dm)) {
+            R.Error = "un-moved definition precedes a moved one";
+            return R;
+          }
+      }
+      continue;
+    }
+    RegPlan Plan;
+    Plan.Ty = G.stmt(Defs.front()).I->Ty;
+    MovedRegs.emplace(Rg, Plan);
+  }
+
+  // Read classification. For each statement and each distinct source
+  // register, decide whether reads of that register consumed a moved
+  // definition (rewrite to the shadow or a forwarding temp) or the
+  // carried/external value. Key: (stmt index, reg).
+  std::set<std::pair<uint32_t, Reg>> MovedReach, CarriedReach, UnmovedReach;
+  /// Moved reaching definitions per (use, reg).
+  std::map<std::pair<uint32_t, Reg>, std::vector<uint32_t>> MovedReachDefs;
+  for (const DepEdge &E : G.edges()) {
+    if (E.Kind != DepKind::FlowReg)
+      continue;
+    const Reg DefReg = G.stmt(E.Src).I->Dst;
+    if (!MovedRegs.count(DefReg) && !MixedRegs.count(DefReg))
+      continue;
+    if (E.Cross)
+      CarriedReach.insert({E.Dst, DefReg});
+    else if (InPreFork[E.Src]) {
+      MovedReach.insert({E.Dst, DefReg});
+      MovedReachDefs[{E.Dst, DefReg}].push_back(E.Src);
+    } else
+      UnmovedReach.insert({E.Dst, DefReg});
+  }
+  for (const auto &Key : MovedReach) {
+    if (CarriedReach.count(Key)) {
+      R.Error = "ambiguous reaching definitions for a moved register";
+      return R;
+    }
+    if (MixedRegs.count(Key.second) && UnmovedReach.count(Key)) {
+      R.Error = "read reaches both moved and un-moved definitions";
+      return R;
+    }
+  }
+  // Mixed registers carry no shadow, so their carried readers constrain
+  // the transformation further: an un-moved carried reader would observe
+  // the pre-fork definition instead of the iteration-start value, and a
+  // moved carried reader must execute before every moved definition.
+  for (const auto &[UseSI, Rg] : CarriedReach) {
+    if (!MixedRegs.count(Rg))
+      continue;
+    if (!InPreFork[UseSI]) {
+      R.Error = "post-fork carried read of a mixed register";
+      return R;
+    }
+    for (uint32_t D : DefsOfReg[Rg])
+      if (InPreFork[D] && G.canPrecedeIntra(D, UseSI)) {
+        R.Error = "carried read follows a moved definition";
+        return R;
+      }
+  }
+  // Decide which moved registers need a shadow: those with a carried
+  // reader in the loop, or live-out uses after the loop.
+  std::set<Reg> LiveOut;
+  for (const auto &BB : F) {
+    if (L.contains(BB->id()))
+      continue;
+    for (const Instr &I : BB->Instrs)
+      for (Reg S : I.Srcs)
+        LiveOut.insert(S);
+  }
+  for (auto &[Rg, Plan] : MovedRegs) {
+    bool NeedsShadow = LiveOut.count(Rg) != 0;
+    for (const auto &[UseSI, UseReg] : CarriedReach)
+      if (UseReg == Rg)
+        NeedsShadow = true;
+    if (NeedsShadow) {
+      Plan.Shadow = F.newReg();
+      ++R.NumCarriedRegs;
+    }
+  }
+
+  // Forwarding temps (the general form of the paper's Figure 11 temporary
+  // insertion): a post-fork read that consumed a moved definition D reads
+  // D's value, but by the time the post-fork region runs, a *later* moved
+  // definition may have overwritten the register (or its shadow) in the
+  // pre-fork region — the common case after unrolling, where each clone's
+  // induction update is moved. The fix is a temp captured right after D in
+  // the pre-fork copy, which those reads consume instead.
+  //
+  // Definitions on mutually exclusive paths (if/else arms) share one temp
+  // (whichever arm ran captured it), so moved definitions are grouped into
+  // "parallel classes": D1 ~ D2 when neither can precede the other.
+  std::map<uint32_t, uint32_t> DefClass; // moved def stmt -> class leader.
+  for (const auto &[Rg, Plan] : MovedRegs) {
+    (void)Plan;
+    std::vector<uint32_t> Moved;
+    for (uint32_t D : DefsOfReg[Rg])
+      if (InPreFork[D])
+        Moved.push_back(D);
+    for (uint32_t D : Moved) {
+      uint32_t Leader = D;
+      for (uint32_t D2 : Moved) {
+        if (D2 >= D)
+          break;
+        if (!G.canPrecedeIntra(D, D2) && !G.canPrecedeIntra(D2, D) &&
+            DefClass.count(D2)) {
+          Leader = DefClass[D2];
+          break;
+        }
+      }
+      DefClass[D] = Leader;
+    }
+  }
+  // A class needs forwarding when some moved definition outside it can
+  // follow it on a path (the shadow no longer holds its value post-fork).
+  auto classNeedsForward = [&](Reg Rg, uint32_t Leader) {
+    for (uint32_t D : DefsOfReg[Rg]) {
+      if (!InPreFork[D])
+        continue;
+      if (DefClass[D] != Leader)
+        for (uint32_t DC : DefsOfReg[Rg])
+          if (InPreFork[DC] && DefClass[DC] == Leader &&
+              G.canPrecedeIntra(DC, D))
+            return true;
+    }
+    return false;
+  };
+  // Safety: class members must be pairwise parallel (the greedy grouping
+  // above can be fooled by mixed diamond/sequence shapes; bail then).
+  for (const auto &[D, Leader] : DefClass)
+    for (const auto &[D2, Leader2] : DefClass) {
+      if (Leader != Leader2 || D == D2)
+        continue;
+      if (G.canPrecedeIntra(D, D2) || G.canPrecedeIntra(D2, D)) {
+        R.Error = "irregular moved-definition classes";
+        return R;
+      }
+    }
+
+  // Forward registers, allocated lazily per (reg, class leader).
+  std::map<std::pair<Reg, uint32_t>, Reg> ForwardReg;
+  // Moved defs that must capture their value: def stmt -> forward reg.
+  std::map<uint32_t, Reg> CaptureAfterDef;
+
+  // Post-fork source rewrites, resolved per (stmt index, reg).
+  std::map<std::pair<uint32_t, Reg>, Reg> PostRewrite;
+  bool Bail = false;
+  for (const auto &[Key, Defs] : MovedReachDefs) {
+    const auto [UseSI, Rg] = Key;
+    auto RegIt = MovedRegs.find(Rg);
+    if (RegIt == MovedRegs.end())
+      continue; // Mixed registers read the plain register.
+    const Reg Shadow = RegIt->second.Shadow;
+    const Reg DefTarget = Shadow != NoReg ? Shadow : Rg;
+    // Post-fork variant (used by un-moved statements and the post-fork
+    // copies of replicated branches): resolve the reaching class. The
+    // pre-fork variant always reads the shadow (original order holds).
+    uint32_t Leader = ~0u;
+    for (uint32_t D : Defs) {
+      const uint32_t C = DefClass.at(D);
+      if (Leader == ~0u)
+        Leader = C;
+      else if (Leader != C)
+        Bail = true;
+    }
+    if (Bail) {
+      R.Error = "read reaches moved definitions in different classes";
+      return R;
+    }
+    if (!classNeedsForward(Rg, Leader)) {
+      PostRewrite[{UseSI, Rg}] = DefTarget;
+      continue;
+    }
+    auto [FwdIt, Inserted] = ForwardReg.emplace(
+        std::make_pair(Rg, Leader), NoReg);
+    if (Inserted) {
+      FwdIt->second = F.newReg();
+      for (uint32_t D : DefsOfReg[Rg])
+        if (InPreFork[D] && DefClass[D] == Leader)
+          CaptureAfterDef[D] = FwdIt->second;
+    }
+    PostRewrite[{UseSI, Rg}] = FwdIt->second;
+  }
+
+  // Source-rewrite oracles for the two copies of a statement.
+  auto rewrittenPreSrc = [&](uint32_t StmtIdx, Reg Rg) -> Reg {
+    auto It = MovedRegs.find(Rg);
+    if (It == MovedRegs.end())
+      return Rg;
+    if (!MovedReach.count({StmtIdx, Rg}))
+      return Rg;
+    return It->second.Shadow != NoReg ? It->second.Shadow : Rg;
+  };
+  auto rewrittenPostSrc = [&](uint32_t StmtIdx, Reg Rg) -> Reg {
+    auto It = PostRewrite.find({StmtIdx, Rg});
+    return It == PostRewrite.end() ? Rg : It->second;
+  };
+
+  // Routing decisions for un-moved conditional branches in the pre-fork
+  // copy: jump to the in-loop immediate postdominator, or (when the branch
+  // could leave the loop or take the back edge) straight to the fork.
+  // NoBlock encodes "fork".
+  std::map<BlockId, BlockId> UnmovedBrTarget;
+  for (BlockId B : L.Blocks) {
+    const BasicBlock *BB = F.block(B);
+    const Instr &T = BB->Instrs.back();
+    assert(T.Op != Opcode::Ret && "loops cannot contain returns");
+    if (T.Op != Opcode::Br || MovedIds.count(T.Id))
+      continue;
+    bool LeavesOrLatches = false;
+    for (BlockId S : BB->Succs)
+      if (!L.contains(S) || L.isBackEdge(B, S))
+        LeavesOrLatches = true;
+    BlockId Target = NoBlock; // NoBlock encodes "jump to the fork".
+    if (!LeavesOrLatches) {
+      const BlockId X = Cfg.ipostdom(B);
+      if (X != NoBlock && L.contains(X))
+        Target = X; // Blocks strictly between B and its ipostdom are
+                    // control dependent on B, hence hold no moved code.
+    }
+    if (Target == NoBlock) {
+      // Routing to the fork skips everything after this branch; that is
+      // only sound when no moved statement is forward-reachable from it.
+      const uint32_t TermIdx = G.indexOf(T.Id);
+      for (uint32_t SI = 0; SI != N; ++SI)
+        if (InPreFork[SI] && !isTerminator(G.stmt(SI).I->Op) &&
+            G.canPrecedeIntra(TermIdx, SI)) {
+          R.Error = "pre-fork routing would skip moved statements";
+          return R;
+        }
+    }
+    UnmovedBrTarget[B] = Target;
+  }
+
+  // Exit arms of replicated branches: when un-moved work precedes the
+  // branch, the final iteration must still run its post-fork part, so the
+  // pre-fork exit routes through the fork (the post-fork copy of the
+  // branch takes the real exit). Without preceding un-moved work the
+  // pre-fork region may leave directly — the Figure 2 shape, where the
+  // replicated while-test exits without spawning a useless thread.
+  std::map<BlockId, bool> ExitViaFork;
+  for (BlockId B : L.Blocks) {
+    const BasicBlock *BB = F.block(B);
+    const Instr &T = BB->Instrs.back();
+    if (!(T.Op == Opcode::Jmp || (T.Op == Opcode::Br && MovedIds.count(T.Id))))
+      continue;
+    bool HasExit = false;
+    for (BlockId S : BB->Succs)
+      if (!L.contains(S))
+        HasExit = true;
+    if (!HasExit)
+      continue;
+    const uint32_t TermIdx = G.indexOf(T.Id);
+    bool NeedsFork = false;
+    for (uint32_t SI = 0; SI != N && !NeedsFork; ++SI)
+      if (!InPreFork[SI] && !isTerminator(G.stmt(SI).I->Op) &&
+          (SI == TermIdx || G.canPrecedeIntra(SI, TermIdx)))
+        NeedsFork = true;
+    ExitViaFork[B] = NeedsFork;
+  }
+
+  // Snapshot per-block instruction lists and statement indices before any
+  // mutation (G holds pointers into the original storage).
+  struct PlannedInstr {
+    Instr Copy; ///< Operand/dst-rewritten pre-fork copy.
+    std::vector<Reg> PostSrcs; ///< Source registers for the post-fork copy.
+    Reg CaptureInto = NoReg;   ///< Forward temp to capture after this def.
+    bool Moved = false;
+    bool IsTerminator = false;
+  };
+  std::map<BlockId, std::vector<PlannedInstr>> Plans;
+  for (BlockId B : L.Blocks) {
+    const BasicBlock *BB = F.block(B);
+    auto &List = Plans[B];
+    for (const Instr &I : BB->Instrs) {
+      PlannedInstr P;
+      P.Copy = I;
+      P.Moved = MovedIds.count(I.Id) != 0;
+      P.IsTerminator = isTerminator(I.Op);
+      const uint32_t SI = G.indexOf(I.Id);
+      assert(SI != ~0u && "loop instruction missing from dep graph");
+      P.PostSrcs = I.Srcs;
+      for (Reg &S : P.Copy.Srcs)
+        S = rewrittenPreSrc(SI, S);
+      for (Reg &S : P.PostSrcs)
+        S = rewrittenPostSrc(SI, S);
+      if (P.Copy.Dst != NoReg) {
+        auto It = MovedRegs.find(P.Copy.Dst);
+        if (It != MovedRegs.end() && It->second.Shadow != NoReg)
+          P.Copy.Dst = It->second.Shadow;
+        auto Cap = CaptureAfterDef.find(SI);
+        if (Cap != CaptureAfterDef.end())
+          P.CaptureInto = Cap->second;
+      }
+      List.push_back(std::move(P));
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Phase B: mutate.
+  //===--------------------------------------------------------------------===
+  IRBuilder B(&F);
+  BasicBlock *CI = B.makeBlock("spt.carryinit");
+  BasicBlock *RS = B.makeBlock("spt.restore");
+  BasicBlock *FK = B.makeBlock("spt.fork");
+  std::map<BlockId, BasicBlock *> PB;
+  for (BlockId Blk : L.Blocks)
+    PB[Blk] = B.makeBlock("spt.pre." + F.block(Blk)->label());
+
+  // Kill blocks, one per exit target.
+  std::map<BlockId, BasicBlock *> KillFor;
+  auto killBlockFor = [&](BlockId Target) -> BlockId {
+    auto It = KillFor.find(Target);
+    if (It != KillFor.end())
+      return It->second->id();
+    BasicBlock *K = B.makeBlock("spt.kill." + F.block(Target)->label());
+    KillFor.emplace(Target, K);
+    B.setInsertBlock(K);
+    B.sptKill(LoopId);
+    for (const auto &[Rg, Plan] : MovedRegs)
+      if (Plan.Shadow != NoReg)
+        B.copyTo(Rg, Plan.Ty, Plan.Shadow);
+    B.jmp(F.block(Target));
+    return K->id();
+  };
+
+  // 1. Redirect outside entries into the carry-init block.
+  for (const auto &BB : F) {
+    if (L.contains(BB->id()) || BB.get() == CI || BB.get() == RS ||
+        BB.get() == FK)
+      continue;
+    bool IsNew = false;
+    for (const auto &[Blk, P] : PB)
+      if (P == BB.get())
+        IsNew = true;
+    if (IsNew)
+      continue;
+    for (BlockId &S : BB->Succs)
+      if (S == L.Header)
+        S = CI->id();
+  }
+
+  // 2. Carry-init and restore blocks.
+  B.setInsertBlock(CI);
+  for (const auto &[Rg, Plan] : MovedRegs)
+    if (Plan.Shadow != NoReg)
+      B.copyTo(Plan.Shadow, Plan.Ty, Rg);
+  B.jmp(RS);
+
+  B.setInsertBlock(RS);
+  for (const auto &[Rg, Plan] : MovedRegs)
+    if (Plan.Shadow != NoReg)
+      B.copyTo(Rg, Plan.Ty, Plan.Shadow);
+  B.jmp(PB[L.Header]);
+
+  // 3. Fork block.
+  B.setInsertBlock(FK);
+  B.sptFork(LoopId);
+  B.jmp(F.block(L.Header));
+
+  // 4. Fill the pre-fork copies.
+  auto mapPreForkSucc = [&](BlockId From, BlockId To) -> BlockId {
+    if (L.isBackEdge(From, To))
+      return FK->id();
+    if (!L.contains(To)) {
+      auto It = ExitViaFork.find(From);
+      if (It != ExitViaFork.end() && It->second)
+        return FK->id();
+      return killBlockFor(To);
+    }
+    return PB[To]->id();
+  };
+
+  for (BlockId Blk : L.Blocks) {
+    BasicBlock *Dst = PB[Blk];
+    const auto &List = Plans[Blk];
+    // Moved straight-line statements keep their identity (ids move here;
+    // the originals are deleted below).
+    for (const PlannedInstr &P : List) {
+      if (P.IsTerminator || !P.Moved)
+        continue;
+      Dst->Instrs.push_back(P.Copy);
+      ++R.NumMovedStmts;
+      if (P.CaptureInto != NoReg) {
+        // Forwarding temp: capture this definition's value before any
+        // later moved definition overwrites the shadow.
+        Instr Cap;
+        Cap.Op = Opcode::Copy;
+        Cap.Ty = P.Copy.Ty;
+        Cap.Dst = P.CaptureInto;
+        Cap.Srcs = {P.Copy.Dst};
+        Cap.Id = F.newStmtId();
+        Dst->Instrs.push_back(std::move(Cap));
+      }
+    }
+    // Terminator.
+    const PlannedInstr &Term = List.back();
+    assert(Term.IsTerminator && "loop block must end in a terminator");
+    const BasicBlock *Orig = F.block(Blk);
+    if (Term.Copy.Op == Opcode::Jmp ||
+        (Term.Copy.Op == Opcode::Br && Term.Moved)) {
+      Instr Replica = Term.Copy;
+      Replica.Id = F.newStmtId(); // Replicated, not moved (Figure 12).
+      Dst->Instrs.push_back(Replica);
+      for (BlockId S : Orig->Succs)
+        Dst->Succs.push_back(mapPreForkSucc(Blk, S));
+      if (Term.Copy.Op == Opcode::Br)
+        ++R.NumReplicatedBranches;
+    } else {
+      // Un-moved conditional branch: nothing after it needs pre-fork
+      // execution on a specific arm.
+      B.setInsertBlock(Dst);
+      const BlockId Target = UnmovedBrTarget.at(Blk);
+      if (Target == NoBlock)
+        B.jmp(FK);
+      else
+        B.jmp(PB[Target]);
+    }
+  }
+
+  // 5. Post-fork fixes on the original loop blocks.
+  for (BlockId Blk : L.Blocks) {
+    BasicBlock *BB = F.block(Blk);
+    const auto &List = Plans[Blk];
+    std::vector<Instr> Kept;
+    for (size_t Idx = 0; Idx != List.size(); ++Idx) {
+      const PlannedInstr &P = List[Idx];
+      if (!P.IsTerminator && P.Moved)
+        continue; // Physically moved into the pre-fork region.
+      Instr NewI = BB->Instrs[Idx];
+      // Post-fork variant: reads of moved definitions go to the shadow or
+      // the forwarding temp resolved in phase A.
+      NewI.Srcs = P.PostSrcs;
+      Kept.push_back(std::move(NewI));
+    }
+    BB->Instrs = std::move(Kept);
+    for (BlockId &S : BB->Succs) {
+      if (L.isBackEdge(Blk, S))
+        S = RS->id();
+      else if (!L.contains(S))
+        S = killBlockFor(S);
+    }
+  }
+
+  R.Ok = true;
+  R.PreForkEntry = RS->id();
+  R.ForkBlock = FK->id();
+  R.PostForkEntry = L.Header;
+  return R;
+}

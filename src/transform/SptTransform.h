@@ -1,0 +1,80 @@
+//===- transform/SptTransform.h - SPT loop transformation ------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SPT loop transformation of the paper's Section 6.2. Given a loop and
+/// an optimal partition (the statement closure to place in the pre-fork
+/// region), it rewrites the loop into:
+///
+///   carry-init:  rN = r              (one per carried register; preheader)
+///   restore:     r  = rN             (iteration entry, back-edge target)
+///   pre-fork:    duplicated body CFG holding the moved statements, with
+///                branches replicated (paper Figure 12); moved definitions
+///                of a carried register r write its shadow rN
+///   fork:        SPT_FORK(loop)
+///   post-fork:   the original body minus the moved statements; reads that
+///                consumed a moved definition now read rN
+///   exits:       SPT_KILL(loop) on every loop-exit edge
+///
+/// The carried-register scheme (rN / restore / rewrite) is this IR's
+/// equivalent of the paper's temporary-variable insertion (Figures 2, 10,
+/// 11): it breaks the overlapped live ranges of the old and new values of
+/// a variable whose definition moved above its remaining uses.
+///
+/// The transformation preserves sequential semantics exactly when SPT_FORK
+/// and SPT_KILL are no-ops — the property the test suite checks by running
+/// original and transformed programs and comparing outputs. Speculative
+/// semantics (buffering, violation, re-execution) live in the simulator.
+///
+/// Some partitions cannot be realized; applySptTransform then reports a
+/// reason instead of transforming (the driver rejects such loops):
+///  - a register has both moved and un-moved definitions (the partition
+///    closure rule in the driver prevents this), or
+///  - a read would need both the carried and the new value depending on
+///    the path taken (ambiguous reaching definitions), or
+///  - a post-fork read of a carried register precedes a later moved
+///    definition on some path (the shadow would be overwritten early).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TRANSFORM_SPTTRANSFORM_H
+#define SPT_TRANSFORM_SPTTRANSFORM_H
+
+#include "analysis/Cfg.h"
+#include "analysis/DepGraph.h"
+#include "cost/CostModel.h"
+
+#include <string>
+
+namespace spt {
+
+/// Outcome of one SPT loop transformation.
+struct SptTransformResult {
+  bool Ok = false;
+  std::string Error; ///< Bail-out reason when !Ok (function untouched).
+
+  int64_t LoopId = -1;
+  BlockId PreForkEntry = NoBlock; ///< The restore block (iteration start).
+  BlockId ForkBlock = NoBlock;
+  BlockId PostForkEntry = NoBlock; ///< The original header.
+  uint32_t NumCarriedRegs = 0;
+  uint32_t NumMovedStmts = 0;
+  uint32_t NumReplicatedBranches = 0;
+};
+
+/// Applies the SPT transformation for \p L in \p F. \p InPreFork is the
+/// statement-level partition over \p G (as produced by PartitionSearch).
+/// \p LoopId tags the emitted SPT_FORK/SPT_KILL markers. On failure the
+/// function is left unmodified.
+SptTransformResult applySptTransform(Module &M, Function &F,
+                                     const CfgInfo &Cfg, const Loop &L,
+                                     const LoopDepGraph &G,
+                                     const PartitionSet &InPreFork,
+                                     int64_t LoopId);
+
+} // namespace spt
+
+#endif // SPT_TRANSFORM_SPTTRANSFORM_H

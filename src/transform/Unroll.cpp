@@ -1,0 +1,141 @@
+//===- transform/Unroll.cpp - Loop unrolling ---------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Unroll.h"
+
+#include <cassert>
+#include <map>
+
+using namespace spt;
+
+UnrollResult spt::unrollLoop(Function &F, const Loop &L, unsigned Factor) {
+  UnrollResult R;
+  if (Factor < 2) {
+    R.Error = "unroll factor must be at least 2";
+    return R;
+  }
+
+  // Clone the loop body Factor-1 times. Clone k's in-loop edges stay
+  // within clone k; back edges chain clone k -> clone k+1 -> ... -> the
+  // original header; exit edges keep their original outside targets.
+  // Registers are shared: the clones execute sequentially, so dataflow
+  // through the original registers is untouched.
+  std::vector<std::map<BlockId, BlockId>> CloneMap(Factor - 1);
+
+  for (unsigned K = 0; K != Factor - 1; ++K)
+    for (BlockId B : L.Blocks) {
+      BasicBlock *NewBB = F.addBlock("unroll" + std::to_string(K + 1) + "." +
+                                     F.block(B)->label());
+      CloneMap[K][B] = NewBB->id();
+    }
+
+  for (unsigned K = 0; K != Factor - 1; ++K) {
+    for (BlockId B : L.Blocks) {
+      const BasicBlock *Src = F.block(B);
+      BasicBlock *Dst = F.block(CloneMap[K][B]);
+      for (const Instr &I : Src->Instrs) {
+        Instr Copy = I;
+        Copy.Id = F.newStmtId();
+        Dst->Instrs.push_back(std::move(Copy));
+      }
+      for (BlockId S : Src->Succs) {
+        BlockId Mapped;
+        if (L.isBackEdge(B, S)) {
+          // Chain into the next clone; the last clone returns to the
+          // original header.
+          Mapped = K + 1 < Factor - 1 ? CloneMap[K + 1][L.Header] : L.Header;
+        } else if (L.contains(S)) {
+          Mapped = CloneMap[K][S];
+        } else {
+          Mapped = S; // Exit.
+        }
+        Dst->Succs.push_back(Mapped);
+      }
+    }
+  }
+
+  // Original back edges now enter clone 1.
+  for (BlockId Latch : L.Latches) {
+    BasicBlock *BB = F.block(Latch);
+    for (BlockId &S : BB->Succs)
+      if (S == L.Header)
+        S = CloneMap[0][L.Header];
+  }
+
+  R.Ok = true;
+  R.Factor = Factor;
+  return R;
+}
+
+bool spt::isCountedLoop(const Function &F, const Loop &L) {
+  // The header must end in a conditional branch on a comparison computed
+  // in the header.
+  const BasicBlock *Header = F.block(L.Header);
+  const Instr &Term = Header->Instrs.back();
+  if (Term.Op != Opcode::Br)
+    return false;
+  const Reg CondReg = Term.Srcs[0];
+  const Instr *Cmp = nullptr;
+  for (const Instr &I : Header->Instrs)
+    if (I.Dst == CondReg)
+      Cmp = &I;
+  if (!Cmp || !isComparison(Cmp->Op) || Cmp->Srcs.size() != 2)
+    return false;
+
+  // Collect in-loop definitions per register.
+  std::map<Reg, std::vector<const Instr *>> Defs;
+  for (BlockId B : L.Blocks)
+    for (const Instr &I : F.block(B)->Instrs)
+      if (I.Dst != NoReg)
+        Defs[I.Dst].push_back(&I);
+
+  // Loop-invariant: defined only outside the loop, or rematerialized as
+  // the same constant every iteration (the frontend materializes literal
+  // bounds inside the header).
+  auto isInvariant = [&](Reg Rg) {
+    auto It = Defs.find(Rg);
+    if (It == Defs.end())
+      return true;
+    return It->second.size() == 1 &&
+           It->second.front()->Op == Opcode::ConstInt;
+  };
+
+  // One comparison operand must be the canonical induction register: its
+  // only in-loop definition is a Copy of a register whose only in-loop
+  // definition is Add/Sub of the induction register and a loop-invariant
+  // operand; the other comparison operand must be invariant.
+  auto isInduction = [&](Reg IndReg, Reg BoundReg) {
+    if (!isInvariant(BoundReg))
+      return false;
+    auto It = Defs.find(IndReg);
+    if (It == Defs.end() || It->second.size() != 1)
+      return false;
+    const Instr *Def = It->second.front();
+    if (Def->Op != Opcode::Copy)
+      return false;
+    auto StepIt = Defs.find(Def->Srcs[0]);
+    if (StepIt == Defs.end() || StepIt->second.size() != 1)
+      return false;
+    const Instr *Step = StepIt->second.front();
+    if (Step->Op != Opcode::Add && Step->Op != Opcode::Sub)
+      return false;
+    const bool UsesInd = Step->Srcs[0] == IndReg || Step->Srcs[1] == IndReg;
+    const Reg Other = Step->Srcs[0] == IndReg ? Step->Srcs[1] : Step->Srcs[0];
+    if (!UsesInd)
+      return false;
+    // The step amount must be invariant (typically a constant; our
+    // frontend materializes constants inside the loop, so a ConstInt def
+    // in the loop also counts).
+    if (isInvariant(Other))
+      return true;
+    auto OtherIt = Defs.find(Other);
+    return OtherIt->second.size() == 1 &&
+           OtherIt->second.front()->Op == Opcode::ConstInt;
+  };
+
+  return isInduction(Cmp->Srcs[0], Cmp->Srcs[1]) ||
+         isInduction(Cmp->Srcs[1], Cmp->Srcs[0]);
+}

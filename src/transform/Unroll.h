@@ -1,0 +1,51 @@
+//===- transform/Unroll.h - Loop unrolling ----------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop unrolling (paper Section 7.1): the SPT compilation unrolls loops
+/// whose bodies are too small to amortize the thread fork/commit overhead.
+///
+/// The unroller clones the whole loop body Factor-1 times and chains the
+/// back edges through the clones, keeping every exit test. Because tests
+/// are kept, this works for counted ("DO") loops and while loops alike;
+/// the driver restricts BASIC/BEST modes to counted loops (mirroring ORC's
+/// LNO, which "can only unroll DO loops") and lets the ANTICIPATED mode
+/// unroll while loops as well — one of the paper's anticipated enabling
+/// techniques.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TRANSFORM_UNROLL_H
+#define SPT_TRANSFORM_UNROLL_H
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IR.h"
+
+#include <string>
+
+namespace spt {
+
+/// Outcome of unrolling one loop.
+struct UnrollResult {
+  bool Ok = false;
+  std::string Error;
+  unsigned Factor = 1;
+};
+
+/// Unrolls \p L inside \p F by \p Factor (>= 2) by body cloning with exit
+/// tests retained. The function must be re-analyzed afterwards.
+UnrollResult unrollLoop(Function &F, const Loop &L, unsigned Factor);
+
+/// Returns true when \p L is a counted ("DO") loop: a single canonical
+/// induction register updated once per iteration by a loop-invariant
+/// constant step and compared against a loop-invariant bound in the
+/// header.
+bool isCountedLoop(const Function &F, const Loop &L);
+
+} // namespace spt
+
+#endif // SPT_TRANSFORM_UNROLL_H

@@ -1,0 +1,86 @@
+//===- workloads/WBzip2.cpp - bzip2-like workload -----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models bzip2's character: dense integer work over block buffers — a
+// move-to-front/RLE-style transform whose output elements are disjoint
+// (speculatable once dependence profiling clears the type-based alias on
+// the block arrays) plus a frequency-counting pass with genuine but rare
+// index collisions (occasional true violations at runtime).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::Bzip2Source = R"SPTC(
+// bzip2-like: block transform + frequency modelling.
+int block[8192];
+int out[8192];
+int freq[256];
+int mtf[256];
+int check[4];
+
+void fillBlock(int seed) {
+  int i;
+  for (i = 0; i < 8192; i = i + 1) {
+    int v;
+    v = (block[i] + i * 131 + seed * 77) & 1023;
+    v = (v * v + 37) % 251;
+    block[i] = v;
+  }
+}
+
+void initMtf() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) mtf[i] = i;
+}
+
+// The hot transform: each output element depends only on the matching
+// block element; iterations are independent in memory (out[] is written
+// at i, block[] only read), so dependence profiling exposes the
+// parallelism that type-based aliasing hides.
+int transformBlock() {
+  int i; int s;
+  for (i = 0; i < 8192; i = i + 1) {
+    int v; int r;
+    v = block[i];
+    r = v * 5 + (v >> 3);
+    r = r + ((v << 2) & 127);
+    r = r * 3 - (r >> 5) + (v & 63);
+    r = r + ((v * v) & 255);
+    out[i] = r & 4095;
+    s = s + (r & 255);
+  }
+  return s;
+}
+
+// Frequency counting: freq[c] = freq[c] + 1 carries a dependence whenever
+// consecutive elements share a bucket - rare but real.
+int countFrequencies() {
+  int i; int s;
+  for (i = 0; i < 256; i = i + 1) freq[i] = 0;
+  for (i = 0; i < 8192; i = i + 1) {
+    int c;
+    c = out[i] & 255;
+    freq[c] = freq[c] + 1;
+  }
+  for (i = 0; i < 256; i = i + 1) s = s + freq[i] * i;
+  return s;
+}
+
+int main() {
+  int round; int sum;
+  initMtf();
+  sum = 0;
+  for (round = 0; round < 6; round = round + 1) {
+    fillBlock(round);
+    sum = sum + transformBlock();
+    sum = sum + countFrequencies();
+    sum = sum & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

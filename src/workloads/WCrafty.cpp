@@ -1,0 +1,96 @@
+//===- workloads/WCrafty.cpp - crafty-like workload ---------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models crafty's character: 64-bit bitboard manipulation — shifts, masks
+// and popcounts over a board table — with branchy piece evaluation. The
+// per-square evaluation is memory-independent across squares, so the
+// evaluation sweep speculates well; the alpha-beta-ish search loop carries
+// a max accumulator in registers (movable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::CraftySource = R"SPTC(
+// crafty-like: bitboard evaluation.
+int boards[2048];
+int scores[2048];
+int history[1024];
+int check[4];
+
+void setupBoards(int seed) {
+  int i;
+  for (i = 0; i < 2048; i = i + 1) {
+    int v;
+    v = boards[i] ^ (i * 2654435761 + seed * 40503);
+    v = v ^ (v >> 13);
+    v = v * 1099511628211;
+    boards[i] = v ^ (v >> 29);
+  }
+}
+
+// Kernighan popcount: data-dependent trip count, small body.
+int popcount(int bits) {
+  int n;
+  n = 0;
+  while (bits != 0) {
+    bits = bits & (bits - 1);
+    n = n + 1;
+  }
+  return n;
+}
+
+// The hot evaluation sweep: per-board bit tricks and branchy scoring.
+// scores[] writes are disjoint; the score accumulator lives in registers.
+int evaluate() {
+  int i; int total;
+  total = 0;
+  for (i = 0; i < 2048; i = i + 1) {
+    int b; int attack; int defend; int score;
+    b = boards[i];
+    attack = (b & 6148914691236517205) | ((b >> 1) & 6148914691236517205);
+    defend = (b & 3689348814741910323) + ((b >> 2) & 3689348814741910323);
+    score = (attack & 511) * 3 - (defend & 255) * 2;
+    if ((b & 255) > 127) score = score + 31;
+    else score = score - 17;
+    if (((b >> 8) & 255) > 200) score = score + (b & 63);
+    score = score + ((attack ^ defend) & 127);
+    scores[i] = score;
+    total = total + score;
+  }
+  return total;
+}
+
+// History update: a max-reduction with conditional writes keyed by a
+// hashed index - rare store collisions.
+int updateHistory() {
+  int i; int best;
+  best = 0 - 1000000;
+  for (i = 0; i < 2048; i = i + 1) {
+    int s; int h;
+    s = scores[i];
+    if (s > best) best = s;
+    h = (s * 31 + i) & 1023;
+    if (s > history[h]) history[h] = s;
+  }
+  return best;
+}
+
+int main() {
+  int round; int sum; int i;
+  sum = 0;
+  for (round = 0; round < 5; round = round + 1) {
+    setupBoards(round);
+    sum = sum + evaluate();
+    sum = sum + updateHistory();
+    sum = sum & 1073741823;
+  }
+  for (i = 0; i < 1024; i = i + 1)
+    sum = (sum + popcount(history[i])) & 1073741823;
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

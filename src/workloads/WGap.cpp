@@ -1,0 +1,85 @@
+//===- workloads/WGap.cpp - gap-like workload ---------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models gap's character: computer-algebra arithmetic — polynomial
+// evaluation and modular exponentiation over coefficient tables. The hot
+// loops keep their running state purely in registers and only read
+// memory, so even the BASIC compilation (type-based aliasing, no
+// dependence profile) can move the induction/accumulator updates and
+// speculate profitably: this workload supplies the small average gain the
+// paper's basic compilation achieves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::GapSource = R"SPTC(
+// gap-like: polynomial and modular arithmetic over coefficient tables.
+int coeff[4096];
+int points[512];
+int results[512];
+int check[4];
+
+void setup() {
+  int i;
+  for (i = 0; i < 4096; i = i + 1)
+    coeff[i] = (i * 37 + 11) % 1009;
+  for (i = 0; i < 512; i = i + 1)
+    points[i] = (i * 97 + 3) % 509;
+}
+
+// Horner evaluation at one point: registers only, load-and-accumulate.
+int evalAt(int x, int lo, int hi) {
+  int acc; int k;
+  acc = 0;
+  for (k = lo; k < hi; k = k + 1) {
+    acc = (acc * x + coeff[k]) & 1048575;
+    acc = acc + (coeff[k] >> 4);
+    acc = acc - (acc >> 9);
+  }
+  return acc;
+}
+
+// The hot sweep: evaluate the polynomial at many points. Each iteration's
+// work is register-local plus reads of coeff[]; results[] writes are
+// disjoint.
+int sweep() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 512; i = i + 1) {
+    int v;
+    v = evalAt(points[i], 0, 48);
+    v = v + evalAt(points[i] + 1, 48, 80);
+    results[i] = v;
+    s = (s + v) & 1073741823;
+  }
+  return s;
+}
+
+// Modular exponentiation chain: a genuine sequential recurrence the
+// compiler must reject (high misspeculation cost).
+int modexpChain(int rounds) {
+  int x; int r;
+  x = 7;
+  for (r = 0; r < rounds; r = r + 1) {
+    x = (x * x) % 1000033;
+    x = (x * 31 + 17) & 1048575;
+  }
+  return x;
+}
+
+int main() {
+  int round; int sum;
+  setup();
+  sum = 0;
+  for (round = 0; round < 4; round = round + 1) {
+    sum = (sum + sweep()) & 1073741823;
+    sum = (sum + modexpChain(16000)) & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

@@ -1,0 +1,145 @@
+//===- workloads/WGcc.cpp - gcc-like workload ---------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models gcc's character: many distinct small passes over IR-like tables,
+// each loop body only a handful of statements, heavily branchy, with
+// data-dependent while loops (worklists, chain walks). Most of its loops
+// fail the body-size criterion unless while-loop unrolling (ANTICIPATED)
+// kicks in — gcc contributes to the paper's "34% of loops rejected as too
+// small" population.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::GccSource = R"SPTC(
+// gcc-like: small branchy passes over instruction tables.
+int opcodeTab[6144];
+int operandTab[6144];
+int useCount[6144];
+int worklist[6144];
+int check[4];
+
+void setup(int seed) {
+  int i;
+  for (i = 0; i < 6144; i = i + 1) {
+    opcodeTab[i] = (opcodeTab[i] + i * 131 + seed * 7) % 41;
+    operandTab[i] = ((operandTab[i] ^ (i * 2654435761)) & 1073741823) & 6143;
+    useCount[i] = 0;
+  }
+}
+
+// Pass 1: constant-folding-ish marking; tiny body, branchy.
+int foldPass() {
+  int i; int folded;
+  folded = 0;
+  for (i = 0; i < 6144; i = i + 1) {
+    int op;
+    op = opcodeTab[i];
+    if (op < 8) {
+      opcodeTab[i] = op + 20;
+      folded = folded + 1;
+    } else {
+      if ((op & 3) == 0) folded = folded + 0;
+    }
+  }
+  return folded;
+}
+
+// Pass 2: use counting through operand links; small body with a hashed
+// store (rare collisions).
+int usePass() {
+  int i; int total;
+  total = 0;
+  for (i = 0; i < 6144; i = i + 1) {
+    int target;
+    target = operandTab[i] & 4095;
+    useCount[target] = useCount[target] + 1;
+    total = total + 1;
+  }
+  return total;
+}
+
+// Pass 3: a worklist walk - a while loop with a data-dependent bound.
+int worklistPass() {
+  int head; int tail; int processed;
+  head = 0;
+  tail = 0;
+  worklist[0] = 1;
+  tail = 1;
+  processed = 0;
+  while (head < tail) {
+    int item; int nxt;
+    item = worklist[head];
+    head = head + 1;
+    processed = processed + opcodeTab[item & 4095];
+    nxt = operandTab[item & 4095];
+    if ((nxt & 7) == 0) {
+      if (tail < 6000) {
+        worklist[tail] = nxt;
+        tail = tail + 1;
+      }
+    }
+  }
+  return processed;
+}
+
+// Pass 4: liveness-ish chain walk, small while body.
+int chainPass() {
+  int i; int total;
+  total = 0;
+  for (i = 0; i < 512; i = i + 1) {
+    int p; int depth;
+    p = i;
+    depth = 0;
+    while (depth < 6) {
+      p = operandTab[p & 4095] & 4095;
+      depth = depth + 1;
+    }
+    total = total + p;
+  }
+  return total;
+}
+
+// Statistics helper: updates a running tally hidden in module state.
+// The renumber pass's loop-carried dependence flows through this call -
+// invisible to a cost model that ignores callee effects (the paper's
+// Figure 19 blind spot), visible to one that models them.
+int tally(int v) {
+  check[1] = (check[1] * 3 + v) & 1073741823;
+  return check[1] & 255;
+}
+
+int renumberPass() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 6144; i = i + 1) {
+    int v; int t;
+    v = opcodeTab[i] * 7 + (operandTab[i] & 1023);
+    v = v + ((v << 3) & 511) - (v >> 4);
+    v = v * 3 + ((v * v) & 255);
+    t = tally(v);
+    useCount[i] = v + t;
+    s = (s + v + t) & 1073741823;
+  }
+  return s;
+}
+
+int main() {
+  int round; int sum;
+  sum = 0;
+  for (round = 0; round < 5; round = round + 1) {
+    setup(round);
+    sum = (sum + foldPass()) & 1073741823;
+    sum = (sum + usePass()) & 1073741823;
+    sum = (sum + worklistPass()) & 1073741823;
+    sum = (sum + chainPass()) & 1073741823;
+    sum = (sum + renumberPass()) & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

@@ -1,0 +1,83 @@
+//===- workloads/WGzip.cpp - gzip-like workload -------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models gzip's character: tight integer loops over small (cache-resident)
+// buffers — the highest IPC of the suite — doing LZ77-style window match
+// scoring. Each position's match search reads the window and text and
+// writes its own matchLen[i] slot, so the position sweep has no real
+// cross-iteration memory dependence: dependence profiling (BEST) unlocks
+// it, while type-based aliasing (BASIC) must assume the worst.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::GzipSource = R"SPTC(
+// gzip-like: LZ77 window match scoring.
+int text[16384];
+int window[4096];
+int matchLen[16384];
+int hashHead[1024];
+int check[4];
+
+void fillText(int seed) {
+  int i;
+  for (i = 0; i < 16384; i = i + 1) {
+    int v;
+    v = (text[i] + i * 131 + seed * 2777) & 8191;
+    text[i] = (v * v + v) % 251;
+  }
+  for (i = 0; i < 4096; i = i + 1)
+    window[i] = text[(i * 7) & 16383];
+}
+
+// The hot sweep: score the best short match for each position. All the
+// state is register-local; matchLen[] writes are disjoint by position.
+int scanMatches(int from, int to) {
+  int i; int total;
+  total = 0;
+  for (i = from; i < to; i = i + 1) {
+    int h; int cand; int len; int k; int score;
+    h = (text[i] * 33 + text[i + 1]) & 1023;
+    cand = (h * 13 + i) & 2047;
+    len = 0;
+    for (k = 0; k < 8; k = k + 1) {
+      if (window[cand + k] == text[i + k]) len = len + 1;
+    }
+    score = len * 12 - (text[i] >> 4);
+    if (len > 4) score = score + 50;
+    matchLen[i] = score;
+    total = total + score;
+  }
+  return total;
+}
+
+// Hash-chain maintenance: hashed stores with collisions (the paper's
+// "some dependences are unlikely but present" case).
+int updateHashHeads(int upTo) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < upTo; i = i + 1) {
+    int h;
+    h = (text[i] * 33 + text[i + 1]) & 1023;
+    hashHead[h] = i;
+    s = s + h;
+  }
+  return s;
+}
+
+int main() {
+  int round; int sum;
+  sum = 0;
+  for (round = 0; round < 4; round = round + 1) {
+    fillText(round);
+    sum = (sum + scanMatches(0, 8000)) & 1073741823;
+    sum = (sum + updateHashHeads(4000)) & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

@@ -1,0 +1,78 @@
+//===- workloads/WMcf.cpp - mcf-like workload ---------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models mcf's character: the lowest IPC of the suite (the paper measures
+// 0.44) from pointer chasing across a network too large for the caches,
+// with a true loop-carried dependence through the chased pointer. No
+// compilation mode can speculate the chase profitably — mcf is a
+// near-zero-gain benchmark in the paper too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::McfSource = R"SPTC(
+// mcf-like: network arc traversal with pointer chasing.
+int nodeNext[524288];
+int nodePot[524288];
+int check[4];
+
+void buildNetwork() {
+  int i;
+  nodeNext[0] = 12345;
+  nodePot[0] = 3;
+  for (i = 1; i < 524288; i = i + 1) {
+    int t;
+    // A permutation (odd multiplier mod 2^19) so the chase walks a long
+    // cycle; the read of the previous link is a genuine loop-carried
+    // dependence (as building a linked structure is), so no compilation
+    // mode can speculate this loop either.
+    t = ((i * 40503 + 12345) ^ (nodeNext[i - 1] & 0)) & 524287;
+    nodeNext[i] = t;
+    nodePot[i] = (t * 7 + 3) & 1023;
+  }
+}
+
+// The hot chase: p = nodeNext[p] is a genuine cross-iteration flow
+// dependence through a cache-missing load.
+int chase(int start, int steps) {
+  int p; int s; int k;
+  p = start;
+  s = 0;
+  for (k = 0; k < steps; k = k + 1) {
+    p = nodeNext[p];
+    s = (s + nodePot[p]) & 1073741823;
+  }
+  return s + p;
+}
+
+// Potential update sweep: independent but memory-bandwidth-bound.
+int relaxPotentials(int lo, int hi) {
+  int i; int changed;
+  changed = 0;
+  for (i = lo; i < hi; i = i + 1) {
+    int v;
+    v = nodePot[i];
+    v = v + (nodeNext[i] & 15) - 6;
+    if (v < 0) v = 0;
+    nodePot[i] = v;
+    changed = changed + 1;
+  }
+  return changed;
+}
+
+int main() {
+  int round; int sum;
+  buildNetwork();
+  sum = 0;
+  for (round = 0; round < 3; round = round + 1) {
+    sum = (sum + chase(round * 17 + 1, 60000)) & 1073741823;
+    sum = (sum + relaxPotentials(0, 60000)) & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

@@ -1,0 +1,93 @@
+//===- workloads/WParser.cpp - parser-like workload ---------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models parser's character: tokenization and linkage checks dominated by
+// while loops with small, data-dependent bodies. In BASIC/BEST these are
+// rejected as "body too small" (ORC only unrolls DO loops); ANTICIPATED's
+// while-loop unrolling turns the scanner into an SPT candidate — parser is
+// one of the benchmarks whose gains the paper only anticipates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::ParserSource = R"SPTC(
+// parser-like: tokenizer + dictionary linkage over a character stream.
+int stream[32768];
+int tokenKind[8192];
+int tokenVal[8192];
+int dict[1024];
+int check[4];
+
+void fillStream(int seed) {
+  int i;
+  for (i = 0; i < 32768; i = i + 1) {
+    int v;
+    v = (stream[i] + i * 1103515245 + seed * 12345) & 127;
+    if (v >= 97) v = v - 97;
+    stream[i] = v;
+  }
+  for (i = 0; i < 1024; i = i + 1)
+    dict[i] = (dict[i] + i * 31) % 89;
+}
+
+// The scanner: a while loop whose body classifies one character and
+// advances - the "too small to speculate without unrolling" shape.
+int tokenize() {
+  int pos; int ntok;
+  pos = 0;
+  ntok = 0;
+  while (pos < 32760) {
+    int c; int kind; int val;
+    c = stream[pos];
+    kind = 0;
+    val = c;
+    if (c < 26) kind = 1;
+    else {
+      if (c < 52) { kind = 2; val = c - 26; }
+      else {
+        if (c < 62) { kind = 3; val = c - 52; }
+        else kind = 4;
+      }
+    }
+    if (ntok < 8192) {
+      tokenKind[ntok] = kind;
+      tokenVal[ntok] = val * 3 + kind;
+      ntok = ntok + 1;
+    }
+    pos = pos + 1 + (kind & 1);
+  }
+  return ntok;
+}
+
+// Linkage scoring: for each token pair, a small dictionary probe.
+int linkScore(int ntok) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i + 1 < ntok; i = i + 1) {
+    int a; int b; int h;
+    a = tokenVal[i];
+    b = tokenVal[i + 1];
+    h = (a * 33 + b) & 1023;
+    s = (s + dict[h] * tokenKind[i]) & 1073741823;
+  }
+  return s;
+}
+
+int main() {
+  int round; int sum;
+  sum = 0;
+  for (round = 0; round < 5; round = round + 1) {
+    int n;
+    fillStream(round);
+    n = tokenize();
+    sum = (sum + n) & 1073741823;
+    sum = (sum + linkScore(n)) & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

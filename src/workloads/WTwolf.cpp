@@ -1,0 +1,80 @@
+//===- workloads/WTwolf.cpp - twolf-like workload -----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models twolf's character: placement cost evaluation with mixed fp/int
+// work — literally the paper's Figure 2 loop shape: an outer sweep whose
+// iterations accumulate an fp cost from an inner |error - p| reduction.
+// The outer induction and accumulator moves into the pre-fork region; the
+// inner reduction runs speculatively.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::TwolfSource = R"SPTC(
+// twolf-like: standard-cell placement cost sweeps (the Figure 2 shape).
+fp errorTab[384]; fp target[384];
+int cellX[2048]; int cellY[2048];
+fp netCost[2048];
+int check[4];
+
+void setup(int seed) {
+  int i;
+  for (i = 0; i < 384; i = i + 1) {
+    errorTab[i] = errorTab[i] * 0.5 + itof((i * 37 + seed * 11) % 101) / 10.0;
+    target[i] = target[i] * 0.5 + itof((i * 13 + 7) % 97) / 10.0;
+  }
+  for (i = 0; i < 2048; i = i + 1) {
+    cellX[i] = (cellX[i] + i * 61 + seed) & 511;
+    cellY[i] = (cellY[i] + i * 97 + seed * 3) & 511;
+  }
+}
+
+// The Figure 2 loop: cost += sum_j |error[j] - p[j]| over a triangular
+// inner range.
+fp figure2Cost(int n) {
+  fp cost; int i; int j;
+  cost = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    fp cost0;
+    cost0 = 0.0;
+    for (j = 0; j < i % 384; j = j + 1)
+      cost0 = cost0 + fabs(errorTab[j] - target[j]);
+    cost = cost + cost0;
+  }
+  return cost;
+}
+
+// Wirelength evaluation: per-cell fp cost, disjoint writes.
+fp wirelength() {
+  int i; fp total;
+  total = 0.0;
+  for (i = 0; i + 1 < 2048; i = i + 1) {
+    int dx; int dy; fp c;
+    dx = cellX[i] - cellX[i + 1];
+    dy = cellY[i] - cellY[i + 1];
+    if (dx < 0) dx = 0 - dx;
+    if (dy < 0) dy = 0 - dy;
+    c = itof(dx) * 1.5 + itof(dy) * 2.25 + sqrt(itof(dx * dy + 1));
+    netCost[i] = c;
+    total = total + c;
+  }
+  return total;
+}
+
+int main() {
+  int round; fp acc; int sum;
+  acc = 0.0;
+  for (round = 0; round < 3; round = round + 1) {
+    setup(round);
+    acc = acc + figure2Cost(160);
+    acc = acc + wirelength();
+  }
+  sum = ftoi(acc) & 1073741823;
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

@@ -1,0 +1,81 @@
+//===- workloads/WVpr.cpp - vpr-like workload ---------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Models vpr's character: FPGA place-and-route cost loops mixing fp math
+// with integer bookkeeping. Its hot router loop carries a position whose
+// value advances by a fixed stride through a computation too heavy to
+// move into the pre-fork region — the software-value-prediction showcase:
+// only BEST (SVP + dependence profiling) makes it speculatable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/WorkloadSources.h"
+
+const char *spt::workloads::VprSource = R"SPTC(
+// vpr-like: routing cost estimation with a stride-predictable tracker.
+fp congestion[4096];
+int routeOut[4096];
+fp binCost[512];
+int check[4];
+
+void setup(int seed) {
+  int i;
+  for (i = 0; i < 4096; i = i + 1)
+    congestion[i] =
+        congestion[i] * 0.25 + itof((i * 29 + seed * 13) % 173) / 16.0;
+  for (i = 0; i < 512; i = i + 1)
+    binCost[i] = binCost[i] * 0.125;
+}
+
+// The SVP showcase: track advances by a fixed stride, but its update is
+// tangled in fp work the partitioner cannot move. Profiled values reveal
+// the stride; the prediction plus rare recovery makes the loop SPT-able.
+int routeSweep(int n) {
+  int track; int i; int s;
+  track = 3;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    fp c; fp w; int bump;
+    c = congestion[track & 4095] * 2.5;
+    c = c + sqrt(c + 1.5);
+    bump = ftoi(c) & 1;           // 0 or 1, but stride stays exact below.
+    track = track + 4 + bump * 0; // Net stride: exactly 4.
+    w = congestion[i & 4095] * 1.25 + congestion[(i + 9) & 4095] * 0.5;
+    routeOut[i & 4095] = track + ftoi(c + w);
+    s = (s + (track & 127) + ftoi(w)) & 1073741823;
+  }
+  return s;
+}
+
+// Bin annealing: fp accumulation with conditional acceptance.
+int annealBins(int rounds) {
+  int r; int s; int i;
+  s = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    for (i = 0; i < 512; i = i + 1) {
+      fp delta;
+      delta = congestion[(i * 8 + r) & 4095] - congestion[(i * 8 + 4) & 4095];
+      if (delta < 0.0) delta = 0.0 - delta;
+      binCost[i] = binCost[i] * 0.98 + delta;
+    }
+  }
+  for (i = 0; i < 512; i = i + 1)
+    s = (s + ftoi(binCost[i] * 8.0)) & 1073741823;
+  return s;
+}
+
+int main() {
+  int round; int sum;
+  sum = 0;
+  for (round = 0; round < 3; round = round + 1) {
+    setup(round);
+    sum = (sum + routeSweep(6000)) & 1073741823;
+    sum = (sum + annealBins(8)) & 1073741823;
+  }
+  check[0] = sum;
+  return sum;
+}
+)SPTC";

@@ -1,0 +1,33 @@
+//===- workloads/WorkloadSources.h - Raw SPTc benchmark sources -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal: the raw SPTc source of each benchmark, one per translation
+/// unit. Users go through workloads/Workloads.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_WORKLOADS_WORKLOADSOURCES_H
+#define SPT_WORKLOADS_WORKLOADSOURCES_H
+
+namespace spt {
+namespace workloads {
+
+extern const char *Bzip2Source;
+extern const char *CraftySource;
+extern const char *GapSource;
+extern const char *GccSource;
+extern const char *GzipSource;
+extern const char *McfSource;
+extern const char *ParserSource;
+extern const char *TwolfSource;
+extern const char *VortexSource;
+extern const char *VprSource;
+
+} // namespace workloads
+} // namespace spt
+
+#endif // SPT_WORKLOADS_WORKLOADSOURCES_H

@@ -1,0 +1,51 @@
+//===- workloads/Workloads.cpp - SPEC2000Int-like benchmark programs ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/IR.h"
+#include "lang/Frontend.h"
+#include "support/Debug.h"
+#include "workloads/WorkloadSources.h"
+
+using namespace spt;
+
+const std::vector<Workload> &spt::allWorkloads() {
+  static const std::vector<Workload> All = {
+      {"bzip2", "block transform and frequency modelling",
+       workloads::Bzip2Source},
+      {"crafty", "bitboard evaluation with branchy scoring",
+       workloads::CraftySource},
+      {"gap", "polynomial/modular arithmetic, register-resident state",
+       workloads::GapSource},
+      {"gcc", "many small branchy passes and worklist walks",
+       workloads::GccSource},
+      {"gzip", "LZ77 window match scoring, cache-resident",
+       workloads::GzipSource},
+      {"mcf", "pointer chasing across a cache-missing network",
+       workloads::McfSource},
+      {"parser", "tokenizer while-loops with tiny bodies",
+       workloads::ParserSource},
+      {"twolf", "placement cost sweeps (the paper's Figure 2 shape)",
+       workloads::TwolfSource},
+      {"vortex", "object database with scattered record updates",
+       workloads::VortexSource},
+      {"vpr", "routing sweeps with a stride-predictable tracker (SVP)",
+       workloads::VprSource},
+  };
+  return All;
+}
+
+const Workload &spt::workloadByName(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return W;
+  spt_fatal("unknown workload name");
+}
+
+std::unique_ptr<Module> spt::compileWorkload(const Workload &W) {
+  return compileOrDie(W.Source);
+}

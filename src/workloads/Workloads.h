@@ -1,0 +1,53 @@
+//===- workloads/Workloads.h - SPEC2000Int-like benchmark programs ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ten synthetic SPTc workloads named after the SPEC2000Int benchmarks the
+/// paper evaluated (all but eon and perlbmk, which the paper also
+/// excluded). The paper's evaluation used trimmed SPEC reference inputs;
+/// we substitute programs engineered to exhibit each benchmark's
+/// *speculation-relevant* character — dependence patterns, branchiness,
+/// memory behaviour and loop shapes — at a few hundred thousand to a few
+/// million simulated instructions each (see DESIGN.md for the
+/// substitution rationale).
+///
+/// Every program defines `int main()` returning a checksum, so the
+/// transformed binaries can be validated against the originals, and is
+/// deterministic (rnd() is seeded identically everywhere).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_WORKLOADS_WORKLOADS_H
+#define SPT_WORKLOADS_WORKLOADS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+class Module;
+
+/// One benchmark: its name, SPTc source and a one-line description of the
+/// behaviour it models.
+struct Workload {
+  std::string Name;
+  const char *Description;
+  const char *Source;
+};
+
+/// The ten benchmarks, in the paper's Table 1 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Returns the workload named \p Name; aborts when unknown.
+const Workload &workloadByName(const std::string &Name);
+
+/// Compiles a workload to IR (aborts on error: sources are known-good).
+std::unique_ptr<Module> compileWorkload(const Workload &W);
+
+} // namespace spt
+
+#endif // SPT_WORKLOADS_WORKLOADS_H

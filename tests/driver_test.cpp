@@ -1,0 +1,260 @@
+//===- tests/driver_test.cpp - Two-pass compiler driver tests ------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SptCompiler.h"
+
+#include "interp/Interp.h"
+#include "lang/Frontend.h"
+#include "sim/SeqSim.h"
+#include "sim/SptSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+/// A small program with a speculatable hot loop plus cold helpers.
+const char *HotLoopSrc =
+    "fp a[2048]; fp b[2048]; int out[4];\n"
+    "void setup() {\n"
+    "  int i;\n"
+    "  for (i = 0; i < 2048; i = i + 1) a[i] = itof(i % 97) / 9.7;\n"
+    "}\n"
+    "int main() {\n"
+    "  int i; int r; fp s;\n"
+    "  setup();\n"
+    "  for (r = 0; r < 6; r = r + 1) {\n"
+    "    for (i = 0; i < 2048; i = i + 1) {\n"
+    "      fp v;\n"
+    "      v = a[i] * 3.0 + 1.0;\n"
+    "      v = v / 7.0 + sqrt(v) * 1.25;\n"
+    "      v = v * v + sqrt(v + 2.0);\n"
+    "      b[i] = v;\n"
+    "      s = s + v;\n"
+    "    }\n"
+    "  }\n"
+    "  out[0] = ftoi(s);\n"
+    "  return out[0];\n"
+    "}\n";
+
+SptCompilerOptions modeOptions(CompilationMode Mode) {
+  SptCompilerOptions Opts;
+  Opts.Mode = Mode;
+  return Opts;
+}
+
+} // namespace
+
+TEST(DriverTest, SelectsTheHotLoop) {
+  auto M = compileOrDie(HotLoopSrc);
+  CompilationReport Report = compileSpt(*M, modeOptions(CompilationMode::Best));
+  EXPECT_GE(Report.numSelected(), 1u);
+  EXPECT_EQ(Report.SptLoops.size(), Report.numSelected());
+
+  // The selected loop is the heavy inner loop in main.
+  bool HotSelected = false;
+  for (const LoopRecord &Rec : Report.Loops)
+    if (Rec.Selected && Rec.FuncName == "main" && Rec.BodyWeight > 50.0)
+      HotSelected = true;
+  EXPECT_TRUE(HotSelected);
+}
+
+TEST(DriverTest, TransformedModuleStaysCorrect) {
+  auto Base = compileOrDie(HotLoopSrc);
+  auto Spt = compileOrDie(HotLoopSrc);
+  compileSpt(*Spt, modeOptions(CompilationMode::Best));
+  RunOutcome Want = runFunction(*Base, "main");
+  RunOutcome Got = runFunction(*Spt, "main");
+  EXPECT_EQ(Got.Result.I, Want.Result.I);
+  EXPECT_EQ(Got.Output, Want.Output);
+}
+
+TEST(DriverTest, SptRunMatchesAndSpeedsUp) {
+  auto Base = compileOrDie(HotLoopSrc);
+  auto Spt = compileOrDie(HotLoopSrc);
+  CompilationReport Report =
+      compileSpt(*Spt, modeOptions(CompilationMode::Best));
+  ASSERT_GE(Report.SptLoops.size(), 1u);
+
+  SeqSimResult Seq = runSequential(*Base, "main");
+  SptSimResult Par = runSpt(*Spt, "main", {}, Report.SptLoops);
+  EXPECT_EQ(Par.Result.I, Seq.Result.I);
+  const double Speedup = Seq.cycles() / Par.cycles();
+  EXPECT_GT(Speedup, 1.05);
+  EXPECT_LT(Speedup, 2.01);
+}
+
+TEST(DriverTest, RejectionReasonsPopulated) {
+  const char *Src =
+      "int big[512]; int seq[512];\n"
+      "int main() {\n"
+      "  int i; int s; int t;\n"
+      // A tiny-body while loop (not unrollable in BEST mode).
+      "  t = 317;\n"
+      "  while (t > 1) { t = t / 2; }\n"
+      // A sequential recurrence: high misspeculation cost.
+      "  seq[0] = 3;\n"
+      "  for (i = 1; i < 512; i = i + 1)\n"
+      "    seq[i] = seq[i - 1] * 5 + seq[i - 1] / 3 + i * i + "
+      "seq[i - 1] % 7 + (i * 13) % 11;\n"
+      // A loop that is never reached (cold branch).
+      "  if (seq[511] == 123456789) {\n"
+      "    for (i = 0; i < 512; i = i + 1) s = s + big[i % 512] * 7;\n"
+      "  }\n"
+      "  return seq[511] + s + t;\n"
+      "}\n";
+  auto M = compileOrDie(Src);
+  CompilationReport Report = compileSpt(*M, modeOptions(CompilationMode::Best));
+  std::set<RejectReason> Seen;
+  for (const LoopRecord &Rec : Report.Loops)
+    Seen.insert(Rec.Reason);
+  EXPECT_TRUE(Seen.count(RejectReason::NeverExecuted));
+  // The tiny while loop must be rejected for size in BEST mode.
+  bool TinyRejected = false;
+  for (const LoopRecord &Rec : Report.Loops)
+    if (!Rec.Counted && Rec.Reason == RejectReason::BodyTooSmall)
+      TinyRejected = true;
+  EXPECT_TRUE(TinyRejected);
+}
+
+TEST(DriverTest, AnticipatedUnrollsWhileLoops) {
+  // A while loop with a small body: BEST rejects it (body too small),
+  // ANTICIPATED unrolls it into a candidate.
+  const char *Src = "int data[8192];\n"
+                    "void setup() { int i; for (i = 0; i < 8192; i = i + 1) "
+                    "data[i] = (i * 31) % 211; }\n"
+                    "int main() {\n"
+                    "  int s; int p;\n"
+                    "  setup();\n"
+                    "  p = 0;\n"
+                    "  while (p < 8192) {\n"
+                    "    s = s + data[p] * 3 - (data[p] >> 2);\n"
+                    // The step is data-dependent (net 1, but the compiler
+                    // cannot prove it), so this is NOT a counted loop.
+                    "    p = p + 1 + (s & 0);\n"
+                    "  }\n"
+                    "  return s;\n"
+                    "}\n";
+  auto MBest = compileOrDie(Src);
+  auto MAnt = compileOrDie(Src);
+  CompilationReport Best = compileSpt(*MBest, modeOptions(CompilationMode::Best));
+  CompilationReport Ant =
+      compileSpt(*MAnt, modeOptions(CompilationMode::Anticipated));
+
+  auto whileLoopUnrolled = [](const CompilationReport &R) {
+    for (const LoopRecord &Rec : R.Loops)
+      if (!Rec.Counted && Rec.UnrollFactor > 1)
+        return true;
+    return false;
+  };
+  EXPECT_FALSE(whileLoopUnrolled(Best));
+  EXPECT_TRUE(whileLoopUnrolled(Ant));
+
+  // Anticipated still computes the right answer.
+  auto Base = compileOrDie(Src);
+  EXPECT_EQ(runFunction(*MAnt, "main").Result.I,
+            runFunction(*Base, "main").Result.I);
+}
+
+TEST(DriverTest, BasicModeRejectsProfileDependentLoop) {
+  // Stores/loads to the same array with disjoint *dynamic* index ranges:
+  // type-based aliasing (BASIC) sees a likely cross dependence; the
+  // dependence profile (BEST) proves it never happens.
+  const char *Src =
+      "int buf[4096];\n"
+      "int main() {\n"
+      "  int i; int s; int r;\n"
+      "  for (i = 0; i < 2048; i = i + 1) buf[i] = i * 3;\n"
+      "  for (r = 0; r < 8; r = r + 1) {\n"
+      "    for (i = 0; i < 2048; i = i + 1) {\n"
+      "      int v;\n"
+      "      v = buf[i] * 5 + (buf[i] >> 3) - i;\n"
+      "      v = v * v % 8191 + v / 3 + (v << 1) % 255;\n"
+      "      buf[2048 + i] = v;\n"
+      "      s = s + v;\n"
+      "    }\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n";
+  auto MBasic = compileOrDie(Src);
+  auto MBest = compileOrDie(Src);
+  CompilationReport Basic =
+      compileSpt(*MBasic, modeOptions(CompilationMode::Basic));
+  CompilationReport Best =
+      compileSpt(*MBest, modeOptions(CompilationMode::Best));
+
+  auto hotSelected = [](const CompilationReport &R) {
+    for (const LoopRecord &Rec : R.Loops)
+      if (Rec.Selected && Rec.BodyWeight > 30.0)
+        return true;
+    return false;
+  };
+  EXPECT_FALSE(hotSelected(Basic))
+      << "type-based aliasing must flag buf[] stores as cross-dependent";
+  EXPECT_TRUE(hotSelected(Best))
+      << "the dependence profile shows the accesses never collide";
+}
+
+TEST(DriverTest, SvpEnablesLoopWithPredictableRecurrence) {
+  // The carried value advances by a fixed stride through a computation
+  // too heavy to move; only SVP (BEST) makes the loop speculatable.
+  const char *Src =
+      "int out[4096];\n"
+      "int main() {\n"
+      "  int x; int s; int i; int r;\n"
+      "  for (r = 0; r < 4; r = r + 1) {\n"
+      "    x = 1;\n"
+      "    for (i = 0; i < 1024; i = i + 1) {\n"
+      "      fp t;\n"
+      "      t = sqrt(itof(x)) + sqrt(itof(x + i)) + sqrt(itof(x * 3));\n"
+      "      x = x + 4 + ftoi(t) * 0;\n"
+      "      out[i] = x + ftoi(t);\n"
+      "      s = s + x;\n"
+      "    }\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n";
+  auto MBasic = compileOrDie(Src);
+  auto MBest = compileOrDie(Src);
+  CompilationReport Basic =
+      compileSpt(*MBasic, modeOptions(CompilationMode::Basic));
+  CompilationReport Best =
+      compileSpt(*MBest, modeOptions(CompilationMode::Best));
+
+  bool BestSvp = false;
+  for (const LoopRecord &Rec : Best.Loops)
+    BestSvp |= Rec.SvpApplied;
+  EXPECT_TRUE(BestSvp);
+
+  auto innerSelected = [](const CompilationReport &R) {
+    for (const LoopRecord &Rec : R.Loops)
+      if (Rec.Selected && Rec.Depth == 2)
+        return true;
+    return false;
+  };
+  EXPECT_FALSE(innerSelected(Basic));
+  EXPECT_TRUE(innerSelected(Best));
+
+  // Functional equivalence after the full pipeline.
+  auto Base = compileOrDie(Src);
+  EXPECT_EQ(runFunction(*MBest, "main").Result.I,
+            runFunction(*Base, "main").Result.I);
+}
+
+TEST(DriverTest, ReportInternallyConsistent) {
+  auto M = compileOrDie(HotLoopSrc);
+  CompilationReport Report = compileSpt(*M, modeOptions(CompilationMode::Best));
+  for (const LoopRecord &Rec : Report.Loops) {
+    EXPECT_EQ(Rec.Selected, Rec.Reason == RejectReason::Selected &&
+                                Rec.SptLoopId >= 0);
+    if (Rec.Selected) {
+      EXPECT_TRUE(Report.SptLoops.count(Rec.SptLoopId));
+      EXPECT_LE(Rec.Partition.PreForkWeight,
+                0.34 * Rec.Partition.BodyWeight + 1e-9);
+    }
+  }
+}

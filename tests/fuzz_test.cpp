@@ -1,0 +1,85 @@
+//===- tests/fuzz_test.cpp - Differential fuzzing of the whole pipeline -------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property suite over randomly generated SPTc programs: for many seeds,
+// every compilation mode must preserve the program's checksum and output,
+// and the transformed modules must verify. This is the strongest
+// end-to-end check on the dependence analysis, the partition legality
+// rules, the transformation's temporary insertion, and the simulator's
+// replay machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SptCompiler.h"
+#include "interp/Interp.h"
+#include "ir/IR.h"
+#include "ir/Verifier.h"
+#include "lang/Frontend.h"
+#include "lang/ProgramGenerator.h"
+#include "sim/SptSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+class FuzzPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(FuzzPipelineTest, GeneratedProgramsSurviveEveryMode) {
+  const uint64_t Seed = GetParam();
+  const std::string Source = generateProgram(Seed);
+
+  CompileResult Base = compileSource(Source);
+  ASSERT_TRUE(Base.ok()) << "seed " << Seed << ":\n"
+                         << (Base.Errors.empty() ? "" : Base.Errors[0])
+                         << "\n"
+                         << Source;
+  RunOutcome Want = runFunction(*Base.M, "main");
+
+  for (CompilationMode Mode :
+       {CompilationMode::Basic, CompilationMode::Best,
+        CompilationMode::Anticipated}) {
+    auto M = compileOrDie(Source);
+    SptCompilerOptions Opts;
+    Opts.Mode = Mode;
+    CompilationReport Report = compileSpt(*M, Opts);
+    ASSERT_EQ(verifyModule(*M), "")
+        << "seed " << Seed << " mode " << compilationModeName(Mode);
+
+    // Plain interpretation of the transformed module.
+    RunOutcome Got = runFunction(*M, "main");
+    ASSERT_EQ(Got.Result.I, Want.Result.I)
+        << "seed " << Seed << " mode " << compilationModeName(Mode)
+        << "\n" << Source;
+    ASSERT_EQ(Got.Output, Want.Output) << "seed " << Seed;
+
+    // And under full speculative simulation.
+    SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops);
+    ASSERT_EQ(Sim.Result.I, Want.Result.I)
+        << "seed " << Seed << " mode " << compilationModeName(Mode)
+        << " (speculative simulation diverged)\n" << Source;
+    ASSERT_EQ(Sim.Output, Want.Output) << "seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(FuzzGeneratorTest, DeterministicPerSeed) {
+  EXPECT_EQ(generateProgram(7), generateProgram(7));
+  EXPECT_NE(generateProgram(7), generateProgram(8));
+}
+
+TEST(FuzzGeneratorTest, ProgramsTerminateQuickly) {
+  for (uint64_t Seed = 100; Seed != 110; ++Seed) {
+    auto M = compileOrDie(generateProgram(Seed));
+    RunOutcome O = runFunction(*M, "main", {}, 20000000ull);
+    EXPECT_GT(O.Instrs, 1000u) << Seed;
+  }
+}

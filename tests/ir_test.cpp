@@ -1,0 +1,163 @@
+//===- tests/ir_test.cpp - IR construction/printing/verifier tests ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+/// Builds  int f(n):  s=0; for(i=0;i<n;i++) s+=i;  return s;
+/// as raw IR. Returns the function.
+Function *buildCountingLoop(Module &M) {
+  Function *F = M.addFunction("f", Type::Int, 1);
+  F->ParamTypes = {Type::Int};
+  IRBuilder B(F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Header = B.makeBlock("header");
+  BasicBlock *Body = B.makeBlock("body");
+  BasicBlock *Exit = B.makeBlock("exit");
+
+  const Reg N = 0;
+  const Reg S = F->newReg();
+  const Reg I = F->newReg();
+
+  B.setInsertBlock(Entry);
+  Reg Z = B.constInt(0);
+  B.copyTo(S, Type::Int, Z);
+  B.copyTo(I, Type::Int, Z);
+  B.jmp(Header);
+
+  B.setInsertBlock(Header);
+  Reg C = B.cmpLt(I, N);
+  B.br(C, Body, Exit);
+
+  B.setInsertBlock(Body);
+  Reg NewS = B.add(S, I);
+  B.copyTo(S, Type::Int, NewS);
+  Reg One = B.constInt(1);
+  Reg NewI = B.add(I, One);
+  B.copyTo(I, Type::Int, NewI);
+  B.jmp(Header);
+
+  B.setInsertBlock(Exit);
+  B.ret(S);
+  return F;
+}
+
+} // namespace
+
+TEST(IrTest, BuilderProducesVerifiableFunction) {
+  Module M;
+  Function *F = buildCountingLoop(M);
+  EXPECT_EQ(verifyFunction(M, *F), "");
+  EXPECT_EQ(F->numBlocks(), 4u);
+}
+
+TEST(IrTest, StatementIdsAreUnique) {
+  Module M;
+  Function *F = buildCountingLoop(M);
+  std::set<StmtId> Ids;
+  for (const auto &BB : *F)
+    for (const Instr &I : BB->Instrs)
+      EXPECT_TRUE(Ids.insert(I.Id).second) << "duplicate id " << I.Id;
+}
+
+TEST(IrTest, PrinterShowsStructure) {
+  Module M;
+  Function *F = buildCountingLoop(M);
+  const std::string Text = functionToString(M, *F);
+  EXPECT_NE(Text.find("int f(r0)"), std::string::npos);
+  EXPECT_NE(Text.find("header:"), std::string::npos);
+  EXPECT_NE(Text.find("cmplt"), std::string::npos);
+  EXPECT_NE(Text.find("-> bb2, bb3"), std::string::npos);
+}
+
+TEST(IrTest, VerifierCatchesMissingTerminator) {
+  Module M;
+  Function *F = M.addFunction("g", Type::Void, 0);
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(F);
+  B.setInsertBlock(BB);
+  B.constInt(1); // No terminator.
+  const std::string Err = verifyFunction(M, *F);
+  EXPECT_NE(Err.find("terminator"), std::string::npos);
+}
+
+TEST(IrTest, VerifierCatchesSuccessorMismatch) {
+  Module M;
+  Function *F = M.addFunction("g", Type::Void, 0);
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(F);
+  B.setInsertBlock(BB);
+  B.ret();
+  BB->Succs.push_back(0); // Ret must have zero successors.
+  const std::string Err = verifyFunction(M, *F);
+  EXPECT_NE(Err.find("successor"), std::string::npos);
+}
+
+TEST(IrTest, VerifierCatchesBadRegister) {
+  Module M;
+  Function *F = M.addFunction("g", Type::Int, 0);
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(F);
+  B.setInsertBlock(BB);
+  Reg R = B.constInt(3);
+  B.ret(R);
+  BB->Instrs[1].Srcs[0] = 1000; // Out of range.
+  const std::string Err = verifyFunction(M, *F);
+  EXPECT_NE(Err.find("register"), std::string::npos);
+}
+
+TEST(IrTest, VerifierCatchesBadCallArity) {
+  Module M;
+  Function *Callee = M.addFunction("h", Type::Int, 2);
+  Callee->ParamTypes = {Type::Int, Type::Int};
+  (void)Callee;
+  Function *F = M.addFunction("g", Type::Int, 0);
+  BasicBlock *BB = F->addBlock("entry");
+  IRBuilder B(F);
+  B.setInsertBlock(BB);
+  Reg A = B.constInt(1);
+  Reg R = B.call(Type::Int, 0, {A}); // h expects 2 args.
+  B.ret(R);
+  const std::string Err = verifyFunction(M, *F);
+  EXPECT_NE(Err.find("args"), std::string::npos);
+}
+
+TEST(IrTest, ModuleLookupHelpers) {
+  Module M;
+  const uint32_t A = M.addArray("data", Type::Int, 16);
+  EXPECT_EQ(M.arrayIdOf("data"), A);
+  Function *F = buildCountingLoop(M);
+  EXPECT_EQ(M.findFunction("f"), F);
+  EXPECT_EQ(M.indexOf(F), 0u);
+  EXPECT_EQ(M.findFunction("nope"), nullptr);
+}
+
+TEST(IrTest, OpcodePredicates) {
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+  EXPECT_TRUE(hasSideEffects(Opcode::Store));
+  EXPECT_TRUE(hasSideEffects(Opcode::Call));
+  EXPECT_FALSE(hasSideEffects(Opcode::Mul));
+  EXPECT_TRUE(touchesMemory(Opcode::Load));
+  EXPECT_FALSE(touchesMemory(Opcode::Add));
+  EXPECT_TRUE(producesValue(Opcode::Add));
+  EXPECT_FALSE(producesValue(Opcode::Store));
+  EXPECT_TRUE(isComparison(Opcode::FCmpLe));
+  EXPECT_FALSE(isComparison(Opcode::Copy));
+  EXPECT_EQ(opcodeClass(Opcode::FMul), OpClass::FpMul);
+  EXPECT_EQ(opcodeClass(Opcode::Load), OpClass::MemLoad);
+  EXPECT_EQ(expectedNumSrcs(Opcode::Select), 3);
+  EXPECT_EQ(expectedNumSrcs(Opcode::Call), -1);
+}

@@ -1,0 +1,269 @@
+//===- tests/lang_test.cpp - SPTc frontend tests ----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/IRPrinter.h"
+#include "lang/Frontend.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+std::vector<TokKind> lexAll(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<TokKind> Kinds;
+  for (;;) {
+    Token T = L.next();
+    Kinds.push_back(T.Kind);
+    if (T.Kind == TokKind::Eof || T.Kind == TokKind::Error)
+      break;
+  }
+  return Kinds;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Kinds = lexAll("int fp void if else while do for return break "
+                      "continue foo _bar x9");
+  std::vector<TokKind> Expected = {
+      TokKind::KwInt,     TokKind::KwFp,       TokKind::KwVoid,
+      TokKind::KwIf,      TokKind::KwElse,     TokKind::KwWhile,
+      TokKind::KwDo,      TokKind::KwFor,      TokKind::KwReturn,
+      TokKind::KwBreak,   TokKind::KwContinue, TokKind::Identifier,
+      TokKind::Identifier, TokKind::Identifier, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, NumbersIntAndFp) {
+  Lexer L("42 3.5 1e3 2.5e-2 7");
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokKind::IntLiteral);
+  EXPECT_EQ(T.IntValue, 42);
+  T = L.next();
+  EXPECT_EQ(T.Kind, TokKind::FpLiteral);
+  EXPECT_DOUBLE_EQ(T.FpValue, 3.5);
+  T = L.next();
+  EXPECT_EQ(T.Kind, TokKind::FpLiteral);
+  EXPECT_DOUBLE_EQ(T.FpValue, 1000.0);
+  T = L.next();
+  EXPECT_EQ(T.Kind, TokKind::FpLiteral);
+  EXPECT_DOUBLE_EQ(T.FpValue, 0.025);
+  T = L.next();
+  EXPECT_EQ(T.Kind, TokKind::IntLiteral);
+  EXPECT_EQ(T.IntValue, 7);
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto Kinds = lexAll("<< <= < == = != ! ++ += + && &");
+  std::vector<TokKind> Expected = {
+      TokKind::Shl,   TokKind::Le,     TokKind::Lt,         TokKind::EqEq,
+      TokKind::Assign, TokKind::NotEq, TokKind::Bang,       TokKind::PlusPlus,
+      TokKind::PlusAssign, TokKind::Plus, TokKind::AmpAmp, TokKind::Amp,
+      TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto Kinds = lexAll("a // line comment\n b /* block\n comment */ c");
+  std::vector<TokKind> Expected = {TokKind::Identifier, TokKind::Identifier,
+                                   TokKind::Identifier, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  Lexer L("a\n  b");
+  Token A = L.next();
+  EXPECT_EQ(A.Line, 1u);
+  EXPECT_EQ(A.Col, 1u);
+  Token B = L.next();
+  EXPECT_EQ(B.Line, 2u);
+  EXPECT_EQ(B.Col, 3u);
+}
+
+TEST(LexerTest, ReportsBadCharacter) {
+  Lexer L("a @ b");
+  L.next();
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokKind::Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ParsesProgramShape) {
+  Parser P("int data[100];\n"
+           "int add(int a, int b) { return a + b; }\n"
+           "void main() { int x; x = add(1, 2); }\n");
+  ProgramAst Ast = P.parseProgram();
+  ASSERT_TRUE(P.errors().empty()) << P.errors()[0];
+  ASSERT_EQ(Ast.Arrays.size(), 1u);
+  EXPECT_EQ(Ast.Arrays[0].Name, "data");
+  EXPECT_EQ(Ast.Arrays[0].Size, 100u);
+  ASSERT_EQ(Ast.Funcs.size(), 2u);
+  EXPECT_EQ(Ast.Funcs[0]->Name, "add");
+  ASSERT_EQ(Ast.Funcs[0]->Params.size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceBuildsExpectedTree) {
+  Parser P("int f() { return 1 + 2 * 3; }");
+  ProgramAst Ast = P.parseProgram();
+  ASSERT_TRUE(P.errors().empty());
+  const Stmt &Ret = *Ast.Funcs[0]->Body->Body[0];
+  ASSERT_EQ(Ret.Kind, StmtKind::Return);
+  const Expr &E = *Ret.Value;
+  ASSERT_EQ(E.Kind, ExprKind::Binary);
+  EXPECT_EQ(E.BOp, BinOp::Add);
+  EXPECT_EQ(E.Rhs->BOp, BinOp::Mul);
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  Parser P("int f() { return 10 - 3 - 2; }");
+  ProgramAst Ast = P.parseProgram();
+  ASSERT_TRUE(P.errors().empty());
+  const Expr &E = *Ast.Funcs[0]->Body->Body[0]->Value;
+  // (10-3)-2: outer op Sub with Lhs a Sub.
+  EXPECT_EQ(E.BOp, BinOp::Sub);
+  ASSERT_EQ(E.Lhs->Kind, ExprKind::Binary);
+  EXPECT_EQ(E.Lhs->BOp, BinOp::Sub);
+  EXPECT_EQ(E.Rhs->Kind, ExprKind::IntLit);
+}
+
+TEST(ParserTest, DesugarsCompoundAssign) {
+  Parser P("int f() { int x; x += 3; x++; return x; }");
+  ProgramAst Ast = P.parseProgram();
+  ASSERT_TRUE(P.errors().empty());
+  const auto &Body = Ast.Funcs[0]->Body->Body;
+  const Stmt &Plus = *Body[1];
+  ASSERT_EQ(Plus.Kind, StmtKind::Assign);
+  EXPECT_EQ(Plus.Value->BOp, BinOp::Add);
+  const Stmt &Inc = *Body[2];
+  ASSERT_EQ(Inc.Kind, StmtKind::Assign);
+  EXPECT_EQ(Inc.Value->BOp, BinOp::Add);
+  EXPECT_EQ(Inc.Value->Rhs->IntValue, 1);
+}
+
+TEST(ParserTest, ReportsErrorsWithLocation) {
+  Parser P("int f() { return 1 +; }");
+  P.parseProgram();
+  ASSERT_FALSE(P.errors().empty());
+  EXPECT_NE(P.errors()[0].find("1:"), std::string::npos);
+}
+
+TEST(ParserTest, RecoversAfterStatementError) {
+  Parser P("void f() { x 3; }\nvoid g() { }");
+  ProgramAst Ast = P.parseProgram();
+  EXPECT_FALSE(P.errors().empty());
+  EXPECT_EQ(Ast.Funcs.size(), 2u); // g still parsed.
+}
+
+TEST(ParserTest, ParsesAllLoopForms) {
+  Parser P("void f() {"
+           "  int i;"
+           "  for (i = 0; i < 10; i = i + 1) { }"
+           "  while (i > 0) { i = i - 1; }"
+           "  do { i = i + 1; } while (i < 5);"
+           "}");
+  ProgramAst Ast = P.parseProgram();
+  ASSERT_TRUE(P.errors().empty()) << P.errors()[0];
+  const auto &Body = Ast.Funcs[0]->Body->Body;
+  ASSERT_EQ(Body.size(), 4u);
+  EXPECT_EQ(Body[1]->Kind, StmtKind::For);
+  EXPECT_EQ(Body[2]->Kind, StmtKind::While);
+  EXPECT_EQ(Body[3]->Kind, StmtKind::DoWhile);
+}
+
+TEST(ParserTest, TernaryAndLogical) {
+  Parser P("int f(int a, int b) { return a && b ? a : b || 1; }");
+  ProgramAst Ast = P.parseProgram();
+  ASSERT_TRUE(P.errors().empty()) << P.errors()[0];
+  const Expr &E = *Ast.Funcs[0]->Body->Body[0]->Value;
+  EXPECT_EQ(E.Kind, ExprKind::Cond);
+  EXPECT_EQ(E.Lhs->BOp, BinOp::LAnd);
+  EXPECT_EQ(E.Aux->BOp, BinOp::LOr);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend (parse + lower + verify)
+//===----------------------------------------------------------------------===//
+
+TEST(FrontendTest, CompilesCleanProgram) {
+  CompileResult R = compileSource("int a[10];\n"
+                                  "int sum() {\n"
+                                  "  int s; int i;\n"
+                                  "  for (i = 0; i < 10; i = i + 1)\n"
+                                  "    s = s + a[i];\n"
+                                  "  return s;\n"
+                                  "}\n");
+  ASSERT_TRUE(R.ok()) << R.Errors[0];
+  ASSERT_NE(R.M->findFunction("sum"), nullptr);
+}
+
+TEST(FrontendTest, RejectsUndeclaredVariable) {
+  CompileResult R = compileSource("int f() { return zz; }");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("undeclared"), std::string::npos);
+}
+
+TEST(FrontendTest, RejectsImplicitFpToInt) {
+  CompileResult R = compileSource("int f() { int x; x = 1.5; return x; }");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("ftoi"), std::string::npos);
+}
+
+TEST(FrontendTest, AllowsImplicitIntToFp) {
+  CompileResult R = compileSource("fp f() { fp x; x = 3; return x + 1; }");
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.Errors[0]);
+}
+
+TEST(FrontendTest, RejectsBadCallArity) {
+  CompileResult R =
+      compileSource("int g(int a) { return a; } int f() { return g(); }");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("expects"), std::string::npos);
+}
+
+TEST(FrontendTest, RejectsBreakOutsideLoop) {
+  CompileResult R = compileSource("void f() { break; }");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("break"), std::string::npos);
+}
+
+TEST(FrontendTest, BuiltinsLowerToOpcodesOrExternals) {
+  CompileResult R = compileSource(
+      "fp f(fp x) { return fabs(x) + sqrt(x); }\n"
+      "int g(int n) { return iabs(n) + rnd(10) + imin(n, 3); }\n");
+  ASSERT_TRUE(R.ok()) << R.Errors[0];
+  // sqrt and rnd become external functions; fabs/iabs/imin do not.
+  EXPECT_NE(R.M->findFunction("sqrt"), nullptr);
+  EXPECT_NE(R.M->findFunction("rnd"), nullptr);
+  EXPECT_EQ(R.M->findFunction("fabs"), nullptr);
+  EXPECT_EQ(R.M->findFunction("iabs"), nullptr);
+  const std::string Text = functionToString(*R.M, *R.M->findFunction("f"));
+  EXPECT_NE(Text.find("fabs"), std::string::npos); // The opcode mnemonic.
+}
+
+TEST(FrontendTest, ShortCircuitProducesBranches) {
+  CompileResult R =
+      compileSource("int f(int a, int b) { return a && b; }");
+  ASSERT_TRUE(R.ok()) << R.Errors[0];
+  const Function *F = R.M->findFunction("f");
+  EXPECT_GE(F->numBlocks(), 4u); // entry + rhs + short + done.
+}
+
+TEST(FrontendTest, DeadCodeAfterReturnStillVerifies) {
+  CompileResult R = compileSource("int f() { return 1; int x; x = 2; }");
+  EXPECT_TRUE(R.ok()) << (R.ok() ? "" : R.Errors[0]);
+}

@@ -1,0 +1,282 @@
+//===- tests/profile_test.cpp - Profiler tests --------------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profiler.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+#include "lang/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+/// Finds the only loop of function \p Fn and returns (function, loop id).
+std::pair<const Function *, uint32_t> onlyLoop(const Module &M,
+                                               const std::string &Fn) {
+  const Function *F = M.findFunction(Fn);
+  CfgInfo Cfg = CfgInfo::compute(*F);
+  LoopNest Nest = LoopNest::compute(*F, Cfg);
+  EXPECT_EQ(Nest.numLoops(), 1u);
+  return {F, Nest.loop(0)->Id};
+}
+
+} // namespace
+
+TEST(ProfilerTest, EdgeCountsMatchTripCount) {
+  auto M = compileOrDie("int f(int n) {\n"
+                        "  int s; int i;\n"
+                        "  for (i = 0; i < n; i = i + 1) s = s + i;\n"
+                        "  return s;\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(10)});
+  EXPECT_EQ(B.Result.I, 45);
+
+  const Function *F = M->findFunction("f");
+  const FunctionEdgeCounts *EC = B.Edges.countsFor(F);
+  ASSERT_NE(EC, nullptr);
+  // Entry once; loop header 11 times (10 iterations + final test).
+  EXPECT_EQ(EC->Block[F->entry()], 1u);
+  CfgInfo Cfg = CfgInfo::compute(*F);
+  LoopNest Nest = LoopNest::compute(*F, Cfg);
+  ASSERT_EQ(Nest.numLoops(), 1u);
+  EXPECT_EQ(EC->Block[Nest.loop(0)->Header], 11u);
+}
+
+TEST(ProfilerTest, FunctionalResultMatchesPlainInterpretation) {
+  const char *Src = "int a[50];\n"
+                    "int f(int n) {\n"
+                    "  int i; int s;\n"
+                    "  for (i = 0; i < n; i = i + 1) a[i] = rnd(100);\n"
+                    "  for (i = 0; i < n; i = i + 1) s = s + a[i];\n"
+                    "  return s;\n"
+                    "}\n";
+  auto M = compileOrDie(Src);
+  RunOutcome Plain = runFunction(*M, "f", {Value::ofInt(30)});
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(30)});
+  EXPECT_EQ(B.Result.I, Plain.Result.I);
+  EXPECT_EQ(B.Instrs, Plain.Instrs);
+}
+
+TEST(ProfilerTest, CrossIterationDependenceDetected) {
+  // a[i] = a[i-1] + 1: every load reads the previous iteration's store.
+  auto M = compileOrDie("int a[100];\n"
+                        "int f(int n) {\n"
+                        "  int i;\n"
+                        "  a[0] = 1;\n"
+                        "  for (i = 1; i < n; i = i + 1) a[i] = a[i - 1] + 1;\n"
+                        "  return a[n - 1];\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(50)});
+  EXPECT_EQ(B.Result.I, 50);
+
+  auto [F, LoopId] = onlyLoop(*M, "f");
+  const LoopDepProfileData *D = B.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Activations, 1u);
+  EXPECT_EQ(D->Iterations, 50u); // 49 body iterations + exit visit.
+
+  uint64_t Cross = 0, Intra = 0;
+  for (const auto &[Key, C] : D->Pairs) {
+    Cross += C.Cross;
+    Intra += C.Intra;
+  }
+  EXPECT_EQ(Cross, 48u); // All but the first loop load hit distance 1.
+  EXPECT_EQ(Intra, 0u);
+}
+
+TEST(ProfilerTest, IntraIterationDependenceDetected) {
+  // a[i] written then read within the same iteration.
+  auto M = compileOrDie("int a[100];\n"
+                        "int f(int n) {\n"
+                        "  int i; int s;\n"
+                        "  for (i = 0; i < n; i = i + 1) {\n"
+                        "    a[i] = i * 2;\n"
+                        "    s = s + a[i];\n"
+                        "  }\n"
+                        "  return s;\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(20)});
+  auto [F, LoopId] = onlyLoop(*M, "f");
+  const LoopDepProfileData *D = B.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D, nullptr);
+  uint64_t Cross = 0, Intra = 0;
+  for (const auto &[Key, C] : D->Pairs) {
+    Cross += C.Cross;
+    Intra += C.Intra;
+  }
+  EXPECT_EQ(Intra, 20u);
+  EXPECT_EQ(Cross, 0u);
+}
+
+TEST(ProfilerTest, IndependentIterationsShowNoDependence) {
+  // Disjoint elements: no loop-carried memory dependence at all.
+  auto M = compileOrDie("int a[100]; int b[100];\n"
+                        "int f(int n) {\n"
+                        "  int i;\n"
+                        "  for (i = 0; i < n; i = i + 1) b[i] = a[i] + 1;\n"
+                        "  return b[0];\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(40)});
+  auto [F, LoopId] = onlyLoop(*M, "f");
+  const LoopDepProfileData *D = B.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D, nullptr);
+  for (const auto &[Key, C] : D->Pairs) {
+    EXPECT_EQ(C.Cross, 0u);
+    EXPECT_EQ(C.Intra, 0u);
+  }
+}
+
+TEST(ProfilerTest, FarDependenceClassified) {
+  // a[i] = a[i-3] + 1: distance 3 lands in Far, not Cross.
+  auto M = compileOrDie("int a[100];\n"
+                        "int f(int n) {\n"
+                        "  int i;\n"
+                        "  for (i = 3; i < n; i = i + 1) a[i] = a[i - 3] + 1;\n"
+                        "  return a[n - 1];\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(60)});
+  auto [F, LoopId] = onlyLoop(*M, "f");
+  const LoopDepProfileData *D = B.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D, nullptr);
+  uint64_t Cross = 0, Far = 0;
+  for (const auto &[Key, C] : D->Pairs) {
+    Cross += C.Cross;
+    Far += C.Far;
+  }
+  EXPECT_EQ(Cross, 0u);
+  EXPECT_GT(Far, 40u);
+}
+
+TEST(ProfilerTest, CalleeAccessAttributedToCallSite) {
+  auto M = compileOrDie("int g[10];\n"
+                        "void bump() { g[0] = g[0] + 1; }\n"
+                        "int f(int n) {\n"
+                        "  int i;\n"
+                        "  for (i = 0; i < n; i = i + 1) bump();\n"
+                        "  return g[0];\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(25)});
+  EXPECT_EQ(B.Result.I, 25);
+  auto [F, LoopId] = onlyLoop(*M, "f");
+  const LoopDepProfileData *D = B.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D, nullptr);
+  // The call statement must appear as both writer and reader with
+  // cross-iteration hits (g[0] carried between iterations).
+  uint64_t CallPairCross = 0;
+  for (const auto &[Key, C] : D->Pairs)
+    if (Key.first == Key.second)
+      CallPairCross += C.Cross;
+  EXPECT_EQ(CallPairCross, 24u);
+
+  // With attribution off, the loop sees no memory pairs at all.
+  ProfilerOptions Off;
+  Off.AttributeCalleeAccesses = false;
+  ProfileBundle B2 = profileRun(*M, "f", {Value::ofInt(25)}, Off);
+  const LoopDepProfileData *D2 = B2.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D2, nullptr);
+  uint64_t AnyHits = 0;
+  for (const auto &[Key, C] : D2->Pairs)
+    AnyHits += C.Cross + C.Intra + C.Far;
+  EXPECT_EQ(AnyHits, 0u);
+}
+
+TEST(ProfilerTest, RndCreatesSelfDependence) {
+  auto M = compileOrDie("int f(int n) {\n"
+                        "  int i; int s;\n"
+                        "  for (i = 0; i < n; i = i + 1) s = s + rnd(5);\n"
+                        "  return s;\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(30)});
+  auto [F, LoopId] = onlyLoop(*M, "f");
+  const LoopDepProfileData *D = B.Deps.profileFor(F, LoopId);
+  ASSERT_NE(D, nullptr);
+  uint64_t Cross = 0;
+  for (const auto &[Key, C] : D->Pairs)
+    Cross += C.Cross;
+  EXPECT_GE(Cross, 29u); // The RNG state carries every iteration.
+}
+
+TEST(ProfilerTest, ValueProfileDetectsStride) {
+  auto M = compileOrDie("int f(int n) {\n"
+                        "  int i; int x; int s;\n"
+                        "  for (i = 0; i < n; i = i + 1) {\n"
+                        "    x = x + 3;\n"
+                        "    s = s + x;\n"
+                        "  }\n"
+                        "  return s;\n"
+                        "}\n");
+  const Function *F = M->findFunction("f");
+  // Watch every integer def; the x accumulator must show stride 3.
+  ProfilerOptions Opts;
+  for (const auto &BB : *F)
+    for (const Instr &I : BB->Instrs)
+      if (I.Dst != NoReg && I.Ty == Type::Int)
+        Opts.ValueWatch.insert({F, I.Id});
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(50)}, Opts);
+
+  bool FoundStride3 = false;
+  for (const auto &[Key, S] : B.Values.PerStmt) {
+    if (S.Samples < 10)
+      continue;
+    if (S.BestStride == 3 &&
+        S.BestStrideHits == S.Samples) // Perfectly regular.
+      FoundStride3 = true;
+  }
+  EXPECT_TRUE(FoundStride3);
+}
+
+TEST(ProfilerTest, ValueProfileDetectsLastValue) {
+  auto M = compileOrDie("int f(int n) {\n"
+                        "  int i; int x; int s;\n"
+                        "  for (i = 0; i < n; i = i + 1) {\n"
+                        "    x = 42;\n"
+                        "    s = s + x + i;\n"
+                        "  }\n"
+                        "  return s;\n"
+                        "}\n");
+  const Function *F = M->findFunction("f");
+  ProfilerOptions Opts;
+  for (const auto &BB : *F)
+    for (const Instr &I : BB->Instrs)
+      if (I.Dst != NoReg && I.Ty == Type::Int)
+        Opts.ValueWatch.insert({F, I.Id});
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(40)}, Opts);
+
+  bool FoundConstant = false;
+  for (const auto &[Key, S] : B.Values.PerStmt)
+    if (S.Samples >= 30 && S.SameValue == S.Samples && S.BestStride == 0)
+      FoundConstant = true;
+  EXPECT_TRUE(FoundConstant);
+}
+
+TEST(ProfilerTest, NestedLoopIterationCounts) {
+  auto M = compileOrDie("int f(int n) {\n"
+                        "  int i; int j; int s;\n"
+                        "  for (i = 0; i < n; i = i + 1)\n"
+                        "    for (j = 0; j < 4; j = j + 1)\n"
+                        "      s = s + 1;\n"
+                        "  return s;\n"
+                        "}\n");
+  ProfileBundle B = profileRun(*M, "f", {Value::ofInt(5)});
+  EXPECT_EQ(B.Result.I, 20);
+  const Function *F = M->findFunction("f");
+  CfgInfo Cfg = CfgInfo::compute(*F);
+  LoopNest Nest = LoopNest::compute(*F, Cfg);
+  ASSERT_EQ(Nest.numLoops(), 2u);
+  const Loop *Outer = Nest.loop(0)->Depth == 1 ? Nest.loop(0) : Nest.loop(1);
+  const Loop *Inner = Nest.loop(0)->Depth == 2 ? Nest.loop(0) : Nest.loop(1);
+  const LoopDepProfileData *DO_ = B.Deps.profileFor(F, Outer->Id);
+  const LoopDepProfileData *DI = B.Deps.profileFor(F, Inner->Id);
+  ASSERT_NE(DO_, nullptr);
+  ASSERT_NE(DI, nullptr);
+  EXPECT_EQ(DO_->Activations, 1u);
+  EXPECT_EQ(DO_->Iterations, 6u); // 5 body iterations + exit visit.
+  EXPECT_EQ(DI->Activations, 5u);
+  EXPECT_EQ(DI->Iterations, 25u); // 5 * (4 + 1).
+}

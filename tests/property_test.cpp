@@ -1,0 +1,148 @@
+//===- tests/property_test.cpp - Random-graph property tests ------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized property sweeps over random synthetic dependence graphs:
+//
+//  - the misspeculation cost is monotone non-increasing as violation
+//    candidates move into the pre-fork region (the paper's Section 5
+//    pruning argument),
+//  - the pruned branch-and-bound search finds exactly the optimum of the
+//    exhaustive search,
+//  - re-execution probabilities always stay within [0, 1].
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepGraph.h"
+#include "cost/CostModel.h"
+#include "partition/Partition.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+/// Builds a random dependence DAG with \p NumStmts statements: forward
+/// intra flow edges plus a few cross edges from random sources.
+LoopDepGraph randomGraph(uint64_t Seed, uint32_t NumStmts) {
+  Random Rng(Seed);
+  std::vector<LoopStmt> Stmts(NumStmts);
+  for (auto &S : Stmts) {
+    S.IterFreq = 0.1 + 0.9 * Rng.nextDouble();
+    S.Weight = static_cast<double>(Rng.nextInRange(1, 12));
+    S.Movable = Rng.nextBool(0.9);
+  }
+  std::vector<DepEdge> Edges;
+  // Intra edges: forward only (a DAG), density ~2 per node.
+  for (uint32_t Dst = 1; Dst != NumStmts; ++Dst) {
+    const int NumPreds = static_cast<int>(Rng.nextInRange(0, 2));
+    for (int P = 0; P != NumPreds; ++P) {
+      const uint32_t Src =
+          static_cast<uint32_t>(Rng.nextBelow(Dst));
+      Edges.push_back(DepEdge{Src, Dst, DepKind::FlowReg, false,
+                              0.1 + 0.9 * Rng.nextDouble()});
+    }
+  }
+  // Cross edges: a handful of violation candidates.
+  const int NumCross = static_cast<int>(Rng.nextInRange(1, 6));
+  for (int C = 0; C != NumCross; ++C) {
+    const uint32_t Src =
+        static_cast<uint32_t>(Rng.nextBelow(NumStmts));
+    const uint32_t Dst =
+        static_cast<uint32_t>(Rng.nextBelow(NumStmts));
+    Edges.push_back(DepEdge{Src, Dst, DepKind::FlowReg, true,
+                            0.05 + 0.95 * Rng.nextDouble()});
+  }
+  return LoopDepGraph::forSynthetic(std::move(Stmts), std::move(Edges));
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomGraphTest, CostMonotoneInPreForkSet) {
+  const uint64_t Seed = GetParam();
+  LoopDepGraph G = randomGraph(Seed, 18);
+  MisspecCostModel Model(G);
+  const auto &Vcs = G.violationCandidates();
+  if (Vcs.empty())
+    return;
+
+  Random Rng(Seed * 31 + 7);
+  // Random chains of subset inclusions.
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    PartitionSet P(G.size(), 0);
+    double Prev = Model.cost(P);
+    // Add candidates one at a time in a random order.
+    std::vector<uint32_t> Order(Vcs.begin(), Vcs.end());
+    for (size_t I = Order.size(); I > 1; --I)
+      std::swap(Order[I - 1],
+                Order[static_cast<size_t>(Rng.nextBelow(
+                    static_cast<int64_t>(I)))]);
+    for (uint32_t Vc : Order) {
+      P[Vc] = 1;
+      const double Next = Model.cost(P);
+      EXPECT_LE(Next, Prev + 1e-9)
+          << "seed " << Seed << ": cost must not grow as candidates move";
+      Prev = Next;
+    }
+    EXPECT_NEAR(Prev, 0.0, 1e-9)
+        << "all candidates moved => no misspeculation";
+  }
+}
+
+TEST_P(RandomGraphTest, ReexecProbabilitiesBounded) {
+  const uint64_t Seed = GetParam();
+  LoopDepGraph G = randomGraph(Seed, 24);
+  MisspecCostModel Model(G);
+  PartitionSet Empty(G.size(), 0);
+  for (double V : Model.reexecProbabilities(Empty)) {
+    EXPECT_GE(V, 0.0);
+    EXPECT_LE(V, 1.0);
+  }
+}
+
+TEST_P(RandomGraphTest, PrunedSearchMatchesExhaustive) {
+  const uint64_t Seed = GetParam();
+  LoopDepGraph G = randomGraph(Seed, 14);
+  MisspecCostModel Model(G);
+
+  PartitionOptions Exhaustive;
+  Exhaustive.PreForkSizeFraction = 0.5;
+  Exhaustive.EnableSizePrune = true; // Size limit is a constraint, not a
+                                     // heuristic: both searches honor it.
+  Exhaustive.EnableLowerBoundPrune = false;
+  PartitionResult RFull = PartitionSearch(G, Model, Exhaustive).run();
+
+  PartitionOptions Pruned = Exhaustive;
+  Pruned.EnableLowerBoundPrune = true;
+  PartitionResult RPruned = PartitionSearch(G, Model, Pruned).run();
+
+  ASSERT_EQ(RFull.Searched, RPruned.Searched);
+  if (!RFull.Searched)
+    return;
+  EXPECT_NEAR(RFull.Cost, RPruned.Cost, 1e-9)
+      << "seed " << Seed << ": pruning must preserve the optimum";
+  EXPECT_LE(RPruned.NodesVisited, RFull.NodesVisited);
+}
+
+TEST_P(RandomGraphTest, ChosenPartitionRespectsSizeThreshold) {
+  const uint64_t Seed = GetParam();
+  LoopDepGraph G = randomGraph(Seed, 20);
+  MisspecCostModel Model(G);
+  PartitionOptions Opts;
+  Opts.PreForkSizeFraction = 0.3;
+  PartitionResult R = PartitionSearch(G, Model, Opts).run();
+  if (!R.Searched)
+    return;
+  EXPECT_LE(R.PreForkWeight, 0.3 * G.dynamicBodyWeight() + 1e-9);
+  // The reported cost matches re-evaluating the reported partition.
+  EXPECT_NEAR(R.Cost, Model.cost(R.InPreFork), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Range<uint64_t>(1, 26));

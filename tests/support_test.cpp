@@ -1,0 +1,151 @@
+//===- tests/support_test.cpp - Support library unit tests -----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OStream.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace spt;
+
+TEST(OStreamTest, WritesBasicTypes) {
+  StringOStream OS;
+  OS << "x=" << 42 << ' ' << int64_t(-7) << ' ' << uint64_t(9);
+  EXPECT_EQ(OS.str(), "x=42 -7 9");
+}
+
+TEST(OStreamTest, WritesDoublesWithPrecision) {
+  StringOStream OS;
+  OS.writeDouble(0.25, 3);
+  EXPECT_EQ(OS.str(), "0.25");
+  OS.clear();
+  OS << 1.5;
+  EXPECT_EQ(OS.str(), "1.5");
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, ReseedResetsSequence) {
+  Random A(7);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 10; ++I)
+    First.push_back(A.next());
+  A.reseed(7);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(A.next(), First[static_cast<size_t>(I)]);
+}
+
+TEST(RandomTest, BoundsRespected) {
+  Random R(99);
+  for (int I = 0; I < 1000; ++I) {
+    const int64_t V = R.nextBelow(17);
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 17);
+    const int64_t W = R.nextInRange(-5, 5);
+    EXPECT_GE(W, -5);
+    EXPECT_LE(W, 5);
+    const double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, RoughlyUniform) {
+  Random R(4242);
+  int Counts[10] = {};
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[R.nextBelow(10)];
+  for (int Bucket : Counts) {
+    EXPECT_GT(Bucket, N / 10 - N / 50);
+    EXPECT_LT(Bucket, N / 10 + N / 50);
+  }
+}
+
+TEST(RunningStatTest, TracksMinMeanMax) {
+  RunningStat S;
+  S.add(2.0);
+  S.add(4.0);
+  S.add(6.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 12.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(GeoMeanTest, MatchesClosedForm) {
+  GeoMean G;
+  G.add(1.0);
+  G.add(4.0);
+  EXPECT_NEAR(G.value(), 2.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectPositive) {
+  Correlation C;
+  for (int I = 0; I < 10; ++I)
+    C.add(I, 2.0 * I + 1.0);
+  EXPECT_NEAR(C.pearson(), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectNegative) {
+  Correlation C;
+  for (int I = 0; I < 10; ++I)
+    C.add(I, -3.0 * I);
+  EXPECT_NEAR(C.pearson(), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ZeroVarianceIsZero) {
+  Correlation C;
+  for (int I = 0; I < 10; ++I)
+    C.add(5.0, I);
+  EXPECT_DOUBLE_EQ(C.pearson(), 0.0);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table T({"name", "v"});
+  T.beginRow();
+  T.cell(std::string("a"));
+  T.cell(int64_t(10));
+  T.beginRow();
+  T.cell(std::string("longer"));
+  T.cell(int64_t(2));
+  StringOStream OS;
+  T.print(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer | 2  |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table T({"a", "b"});
+  T.beginRow();
+  T.cell(int64_t(1));
+  T.percentCell(0.5, 1);
+  StringOStream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "a,b\n1,50.0%\n");
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatPercent(0.086, 1), "8.6%");
+}

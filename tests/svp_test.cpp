@@ -1,0 +1,281 @@
+//===- tests/svp_test.cpp - Software value prediction tests --------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svp/Svp.h"
+
+#include "analysis/CallEffects.h"
+#include "analysis/Cfg.h"
+#include "analysis/DepGraph.h"
+#include "analysis/Freq.h"
+#include "analysis/LoopInfo.h"
+#include "cost/CostModel.h"
+#include "interp/Interp.h"
+#include "ir/Verifier.h"
+#include "lang/Frontend.h"
+#include "profile/Profiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+/// Shared analysis bundle for the only loop of "f".
+struct LoopCtx {
+  std::unique_ptr<Module> M;
+  Function *F;
+  CfgInfo Cfg;
+  LoopNest Nest;
+  CfgProbabilities Probs;
+  FreqInfo Freq;
+  CallEffects Effects;
+  LoopDepGraph G;
+
+  explicit LoopCtx(const std::string &Src,
+                   const LoopDepProfileData *DepProf = nullptr)
+      : M(compileOrDie(Src)), F(M->findFunction("f")),
+        Cfg(CfgInfo::compute(*F)), Nest(LoopNest::compute(*F, Cfg)),
+        Probs(CfgProbabilities::staticHeuristic(*F, Cfg, Nest)),
+        Freq(FreqInfo::compute(*F, Cfg, Nest, Probs)),
+        Effects(CallEffects::compute(*M)),
+        G(LoopDepGraph::build(*M, *F, Cfg, Nest, *Nest.loop(0), Freq,
+                              Effects, makeOpts(DepProf))) {}
+
+  static DepGraphOptions makeOpts(const LoopDepProfileData *DepProf) {
+    DepGraphOptions O;
+    O.DepProfile = DepProf;
+    return O;
+  }
+};
+
+/// Profiles f's value stream for every integer def inside its loop.
+ValueProfileData profileValues(const Module &M, int64_t Arg) {
+  const Function *F = M.findFunction("f");
+  ProfilerOptions Opts;
+  for (const auto &BB : *F)
+    for (const Instr &I : BB->Instrs)
+      if (I.Dst != NoReg && I.Ty == Type::Int)
+        Opts.ValueWatch.insert({F, I.Id});
+  return profileRun(M, "f", {Value::ofInt(Arg)}, Opts).Values;
+}
+
+} // namespace
+
+TEST(SvpTest, FindsUnmovableStrideCandidate) {
+  // x advances by 2 each iteration through an impure helper, so the
+  // partitioner cannot move its definition; the value profile says it is
+  // perfectly stride-predictable.
+  const char *Src =
+      "int g[4];\n"
+      "int step() { g[0] = g[0] + 1; return 2; }\n"
+      "int f(int n) {\n"
+      "  int x; int s; int i;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    x = x + step();\n"
+      "    s = s + x;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n";
+  LoopCtx C(Src);
+  ValueProfileData Values = profileValues(*C.M, 64);
+
+  MisspecCostModel Model(C.G);
+  PartitionSearch Search(C.G, Model);
+  std::vector<SvpCandidate> Cands =
+      findSvpCandidates(C.G, Search, Values);
+  ASSERT_FALSE(Cands.empty());
+  bool FoundStride2 = false;
+  for (const SvpCandidate &Cand : Cands)
+    if (Cand.Stride == 2 && Cand.HitRatio > 0.95)
+      FoundStride2 = true;
+  EXPECT_TRUE(FoundStride2);
+}
+
+TEST(SvpTest, MovableCandidatesAreSkipped) {
+  // A plain induction variable is movable with a tiny closure: SVP must
+  // not touch it even though it is perfectly predictable.
+  const char *Src = "fp a[512];\n"
+                    "int f(int n) {\n"
+                    "  int i; fp s;\n"
+                    "  for (i = 0; i < n; i = i + 1)\n"
+                    "    s = s + a[i] * a[i] + sqrt(a[i]) + a[i] / 3.0;\n"
+                    "  return ftoi(s);\n"
+                    "}\n";
+  LoopCtx C(Src);
+  ValueProfileData Values = profileValues(*C.M, 200);
+  MisspecCostModel Model(C.G);
+  PartitionSearch Search(C.G, Model);
+  std::vector<SvpCandidate> Cands =
+      findSvpCandidates(C.G, Search, Values);
+  EXPECT_TRUE(Cands.empty());
+}
+
+TEST(SvpTest, UnpredictableValuesAreSkipped) {
+  const char *Src = "int f(int n) {\n"
+                    "  int x; int s; int i;\n"
+                    "  x = 1;\n"
+                    "  for (i = 0; i < n; i = i + 1) {\n"
+                    "    x = x + rnd(100);\n" // Unpredictable, unmovable.
+                    "    s = s + x;\n"
+                    "  }\n"
+                    "  return s;\n"
+                    "}\n";
+  LoopCtx C(Src);
+  ValueProfileData Values = profileValues(*C.M, 128);
+  MisspecCostModel Model(C.G);
+  PartitionSearch Search(C.G, Model);
+  std::vector<SvpCandidate> Cands =
+      findSvpCandidates(C.G, Search, Values);
+  EXPECT_TRUE(Cands.empty());
+}
+
+TEST(SvpTest, RewritePreservesSemantics) {
+  const char *Src =
+      "int g[4];\n"
+      "int step() { g[0] = g[0] + 1; return 2; }\n"
+      "int f(int n) {\n"
+      "  int x; int s; int i;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    x = x + step();\n"
+      "    s = s + x * 3;\n"
+      "  }\n"
+      "  return s * 10 + g[0];\n"
+      "}\n";
+  auto Original = compileOrDie(Src);
+
+  LoopCtx C(Src);
+  // Hand-build the candidate: predict x with stride 2.
+  Reg XReg = NoReg;
+  for (uint32_t Vc : C.G.violationCandidates()) {
+    const LoopStmt &S = C.G.stmt(Vc);
+    if (S.I->Op == Opcode::Copy && S.I->Ty == Type::Int && !S.Movable)
+      XReg = S.I->Dst;
+  }
+  // Fall back: pick from candidate finder.
+  ValueProfileData Values = profileValues(*C.M, 64);
+  MisspecCostModel Model(C.G);
+  PartitionSearch Search(C.G, Model);
+  auto Cands = findSvpCandidates(C.G, Search, Values);
+  ASSERT_FALSE(Cands.empty());
+  (void)XReg;
+
+  SvpResult R = applySvp(*C.F, *C.Nest.loop(0), Cands[0]);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(verifyFunction(*C.M, *C.F), "");
+
+  for (int64_t N : {0, 1, 2, 5, 33, 100}) {
+    RunOutcome A = runFunction(*Original, "f", {Value::ofInt(N)});
+    RunOutcome B = runFunction(*C.M, "f", {Value::ofInt(N)});
+    EXPECT_EQ(A.Result.I, B.Result.I) << "n=" << N;
+  }
+}
+
+TEST(SvpTest, RewriteCorrectUnderMispredictions) {
+  // Mostly stride 2, but every 7th iteration jumps by 5: the recovery
+  // path must fix the prediction without changing semantics.
+  const char *Src = "int g[4];\n"
+                    "int step(int i) { g[0] = g[0] + 1;\n"
+                    "  if (i % 7 == 0) return 5; return 2; }\n"
+                    "int f(int n) {\n"
+                    "  int x; int s; int i;\n"
+                    "  for (i = 0; i < n; i = i + 1) {\n"
+                    "    x = x + step(i);\n"
+                    "    s = s + x;\n"
+                    "  }\n"
+                    "  return s;\n"
+                    "}\n";
+  auto Original = compileOrDie(Src);
+  LoopCtx C(Src);
+  ValueProfileData Values = profileValues(*C.M, 70);
+  MisspecCostModel Model(C.G);
+  PartitionSearch Search(C.G, Model);
+  SvpOptions Opts;
+  Opts.MinHitRatio = 0.8; // ~1 in 7 iterations mispredicts.
+  auto Cands = findSvpCandidates(C.G, Search, Values, Opts);
+  ASSERT_FALSE(Cands.empty());
+  EXPECT_EQ(Cands[0].Stride, 2);
+  EXPECT_LT(Cands[0].HitRatio, 1.0);
+
+  SvpResult R = applySvp(*C.F, *C.Nest.loop(0), Cands[0]);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(verifyFunction(*C.M, *C.F), "");
+  for (int64_t N : {0, 1, 7, 8, 49, 100}) {
+    RunOutcome A = runFunction(*Original, "f", {Value::ofInt(N)});
+    RunOutcome B = runFunction(*C.M, "f", {Value::ofInt(N)});
+    EXPECT_EQ(A.Result.I, B.Result.I) << "n=" << N;
+  }
+}
+
+TEST(SvpTest, RewriteLowersMisspeculationCost) {
+  // After the SVP rewrite (and with edge profiling so the recovery path's
+  // rarity is known), the loop's optimal misspeculation cost drops: the
+  // register-carried x is computed by a chain too heavy to move into the
+  // pre-fork region, but its value is perfectly stride-predictable.
+  const char *Src =
+      "int f(int n) {\n"
+      "  int x; int s; int i;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    fp t;\n"
+      "    t = sqrt(itof(x)) + sqrt(itof(x + i)) + sqrt(itof(x * 3));\n"
+      "    x = x + 2 + ftoi(t) * 0;\n"
+      "    s = s + x;\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n";
+
+  auto costOf = [](Module &M, bool WithSvp) {
+    Function *F = M.findFunction("f");
+    if (WithSvp) {
+      CfgInfo Cfg = CfgInfo::compute(*F);
+      LoopNest Nest = LoopNest::compute(*F, Cfg);
+      CfgProbabilities Probs =
+          CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
+      FreqInfo Freq = FreqInfo::compute(*F, Cfg, Nest, Probs);
+      CallEffects Effects = CallEffects::compute(M);
+      LoopDepGraph G = LoopDepGraph::build(M, *F, Cfg, Nest, *Nest.loop(0),
+                                           Freq, Effects);
+      MisspecCostModel Model(G);
+      PartitionSearch Search(G, Model);
+      ProfilerOptions POpts;
+      for (const auto &BB : *F)
+        for (const Instr &I : BB->Instrs)
+          if (I.Dst != NoReg && I.Ty == Type::Int)
+            POpts.ValueWatch.insert({F, I.Id});
+      ValueProfileData Values =
+          profileRun(M, "f", {Value::ofInt(64)}, POpts).Values;
+      auto Cands = findSvpCandidates(G, Search, Values);
+      EXPECT_FALSE(Cands.empty());
+      if (!Cands.empty()) {
+        EXPECT_TRUE(applySvp(*F, *Nest.loop(0), Cands[0]).Ok);
+      }
+    }
+    // Re-analyze with measured edge profiles (recovery frequency).
+    ProfileBundle B = profileRun(M, "f", {Value::ofInt(64)});
+    CfgInfo Cfg = CfgInfo::compute(*F);
+    LoopNest Nest = LoopNest::compute(*F, Cfg);
+    const FunctionEdgeCounts *EC = B.Edges.countsFor(F);
+    CfgProbabilities Probs = CfgProbabilities::fromEdgeCounts(*F, *EC);
+    FreqInfo Freq = FreqInfo::fromBlockCounts(*F, *EC);
+    CallEffects Effects = CallEffects::compute(M);
+    // The loop is the one whose header has the largest count; with one
+    // loop per nest level just take depth-1.
+    const Loop *L = nullptr;
+    for (uint32_t I = 0; I != Nest.numLoops(); ++I)
+      if (Nest.loop(I)->Depth == 1)
+        L = Nest.loop(I);
+    LoopDepGraph G =
+        LoopDepGraph::build(M, *F, Cfg, Nest, *L, Freq, Effects);
+    MisspecCostModel Model(G);
+    return PartitionSearch(G, Model).run().Cost;
+  };
+
+  auto M1 = compileOrDie(Src);
+  auto M2 = compileOrDie(Src);
+  const double Before = costOf(*M1, false);
+  const double After = costOf(*M2, true);
+  EXPECT_LT(After, Before * 0.8)
+      << "SVP should cut the optimal misspeculation cost";
+}

@@ -1,0 +1,77 @@
+//===- tests/workloads_test.cpp - Workload sanity tests ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "driver/SptCompiler.h"
+#include "interp/Interp.h"
+#include "ir/IR.h"
+#include "lang/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+TEST(WorkloadsTest, TenBenchmarksRegistered) {
+  const auto &All = allWorkloads();
+  ASSERT_EQ(All.size(), 10u);
+  const char *Expected[] = {"bzip2", "crafty", "gap",   "gcc",    "gzip",
+                            "mcf",   "parser", "twolf", "vortex", "vpr"};
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(All[I].Name, Expected[I]);
+}
+
+TEST(WorkloadsTest, AllCompileAndTerminate) {
+  for (const Workload &W : allWorkloads()) {
+    auto M = compileWorkload(W);
+    ASSERT_NE(M->findFunction("main"), nullptr) << W.Name;
+    RunOutcome O = runFunction(*M, "main", {}, 100000000ull);
+    EXPECT_GT(O.Instrs, 50000u) << W.Name << " is suspiciously small";
+    EXPECT_LT(O.Instrs, 40000000u) << W.Name << " is too large to simulate";
+    EXPECT_NE(O.Result.I, 0) << W.Name << " checksum should be non-zero";
+  }
+}
+
+TEST(WorkloadsTest, DeterministicAcrossRuns) {
+  for (const Workload &W : allWorkloads()) {
+    auto M1 = compileWorkload(W);
+    auto M2 = compileWorkload(W);
+    EXPECT_EQ(runFunction(*M1, "main").Result.I,
+              runFunction(*M2, "main").Result.I)
+        << W.Name;
+  }
+}
+
+/// The heart of the evaluation's credibility: each benchmark, compiled
+/// with each mode, still computes exactly its original checksum.
+class WorkloadModeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, CompilationMode>> {};
+
+TEST_P(WorkloadModeTest, SptCompilationPreservesChecksum) {
+  const auto [Index, Mode] = GetParam();
+  const Workload &W = allWorkloads()[Index];
+  auto Base = compileWorkload(W);
+  auto Spt = compileWorkload(W);
+  SptCompilerOptions Opts;
+  Opts.Mode = Mode;
+  CompilationReport Report = compileSpt(*Spt, Opts);
+  (void)Report;
+  RunOutcome Want = runFunction(*Base, "main");
+  RunOutcome Got = runFunction(*Spt, "main");
+  EXPECT_EQ(Got.Result.I, Want.Result.I) << W.Name;
+  EXPECT_EQ(Got.Output, Want.Output) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllModes, WorkloadModeTest,
+    ::testing::Combine(::testing::Range<size_t>(0, 10),
+                       ::testing::Values(CompilationMode::Basic,
+                                         CompilationMode::Best,
+                                         CompilationMode::Anticipated)),
+    [](const ::testing::TestParamInfo<WorkloadModeTest::ParamType> &Info) {
+      return allWorkloads()[std::get<0>(Info.param)].Name +
+             std::string("_") + compilationModeName(std::get<1>(Info.param));
+    });
