@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enabling.dir/ablation_enabling.cpp.o"
+  "CMakeFiles/ablation_enabling.dir/ablation_enabling.cpp.o.d"
+  "ablation_enabling"
+  "ablation_enabling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

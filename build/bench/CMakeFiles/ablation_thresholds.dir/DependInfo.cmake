@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_thresholds.cpp" "bench/CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cpp.o" "gcc" "bench/CMakeFiles/ablation_thresholds.dir/ablation_thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/spt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/spt_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/spt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/svp/CMakeFiles/spt_svp.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/spt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/spt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/spt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/spt_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/spt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/spt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_loop_breakdown.dir/fig15_loop_breakdown.cpp.o"
+  "CMakeFiles/fig15_loop_breakdown.dir/fig15_loop_breakdown.cpp.o.d"
+  "fig15_loop_breakdown"
+  "fig15_loop_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_loop_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_coverage.dir/fig16_coverage.cpp.o"
+  "CMakeFiles/fig16_coverage.dir/fig16_coverage.cpp.o.d"
+  "fig16_coverage"
+  "fig16_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_partition.dir/fig17_partition.cpp.o"
+  "CMakeFiles/fig17_partition.dir/fig17_partition.cpp.o.d"
+  "fig17_partition"
+  "fig17_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_loop_perf.dir/fig18_loop_perf.cpp.o"
+  "CMakeFiles/fig18_loop_perf.dir/fig18_loop_perf.cpp.o.d"
+  "fig18_loop_perf"
+  "fig18_loop_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_loop_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cost_correlation.dir/fig19_cost_correlation.cpp.o"
+  "CMakeFiles/fig19_cost_correlation.dir/fig19_cost_correlation.cpp.o.d"
+  "fig19_cost_correlation"
+  "fig19_cost_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cost_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

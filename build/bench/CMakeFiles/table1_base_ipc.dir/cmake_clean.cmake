@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_base_ipc.dir/table1_base_ipc.cpp.o"
+  "CMakeFiles/table1_base_ipc.dir/table1_base_ipc.cpp.o.d"
+  "table1_base_ipc"
+  "table1_base_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_base_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_walkthrough.dir/cost_model_walkthrough.cpp.o"
+  "CMakeFiles/cost_model_walkthrough.dir/cost_model_walkthrough.cpp.o.d"
+  "cost_model_walkthrough"
+  "cost_model_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

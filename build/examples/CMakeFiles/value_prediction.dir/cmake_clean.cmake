@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_prediction.dir/value_prediction.cpp.o"
+  "CMakeFiles/value_prediction.dir/value_prediction.cpp.o.d"
+  "value_prediction"
+  "value_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cost_model_walkthrough "/root/repo/build/examples/cost_model_walkthrough")
+set_tests_properties(example_cost_model_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_value_prediction "/root/repo/build/examples/value_prediction")
+set_tests_properties(example_value_prediction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_benchmark_explorer "/root/repo/build/examples/benchmark_explorer" "twolf" "best")
+set_tests_properties(example_benchmark_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sptc_histogram "/root/repo/build/examples/sptc" "/root/repo/examples/kernels/histogram.sptc" "--mode" "best" "--report" "--simulate")
+set_tests_properties(example_sptc_histogram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sptc_stencil_dot "/root/repo/build/examples/sptc" "/root/repo/examples/kernels/stencil.sptc" "--dot")
+set_tests_properties(example_sptc_stencil_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallEffects.cpp" "src/analysis/CMakeFiles/spt_analysis.dir/CallEffects.cpp.o" "gcc" "src/analysis/CMakeFiles/spt_analysis.dir/CallEffects.cpp.o.d"
+  "/root/repo/src/analysis/Cfg.cpp" "src/analysis/CMakeFiles/spt_analysis.dir/Cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/spt_analysis.dir/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/DepGraph.cpp" "src/analysis/CMakeFiles/spt_analysis.dir/DepGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/spt_analysis.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/analysis/DepGraphDot.cpp" "src/analysis/CMakeFiles/spt_analysis.dir/DepGraphDot.cpp.o" "gcc" "src/analysis/CMakeFiles/spt_analysis.dir/DepGraphDot.cpp.o.d"
+  "/root/repo/src/analysis/Freq.cpp" "src/analysis/CMakeFiles/spt_analysis.dir/Freq.cpp.o" "gcc" "src/analysis/CMakeFiles/spt_analysis.dir/Freq.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/spt_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/spt_analysis.dir/LoopInfo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_analysis.dir/CallEffects.cpp.o"
+  "CMakeFiles/spt_analysis.dir/CallEffects.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/Cfg.cpp.o"
+  "CMakeFiles/spt_analysis.dir/Cfg.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/DepGraph.cpp.o"
+  "CMakeFiles/spt_analysis.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/DepGraphDot.cpp.o"
+  "CMakeFiles/spt_analysis.dir/DepGraphDot.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/Freq.cpp.o"
+  "CMakeFiles/spt_analysis.dir/Freq.cpp.o.d"
+  "CMakeFiles/spt_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/spt_analysis.dir/LoopInfo.cpp.o.d"
+  "libspt_analysis.a"
+  "libspt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

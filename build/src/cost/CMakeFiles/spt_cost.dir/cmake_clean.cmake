@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_cost.dir/CostModel.cpp.o"
+  "CMakeFiles/spt_cost.dir/CostModel.cpp.o.d"
+  "libspt_cost.a"
+  "libspt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

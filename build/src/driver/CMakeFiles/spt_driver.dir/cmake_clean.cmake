@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_driver.dir/SptCompiler.cpp.o"
+  "CMakeFiles/spt_driver.dir/SptCompiler.cpp.o.d"
+  "libspt_driver.a"
+  "libspt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

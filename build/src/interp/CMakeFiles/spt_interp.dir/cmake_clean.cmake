@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_interp.dir/Interp.cpp.o"
+  "CMakeFiles/spt_interp.dir/Interp.cpp.o.d"
+  "libspt_interp.a"
+  "libspt_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_ir.dir/IR.cpp.o"
+  "CMakeFiles/spt_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/spt_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/spt_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/spt_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/spt_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/spt_ir.dir/Verifier.cpp.o.d"
+  "libspt_ir.a"
+  "libspt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_lang.dir/Ast.cpp.o"
+  "CMakeFiles/spt_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/spt_lang.dir/Frontend.cpp.o"
+  "CMakeFiles/spt_lang.dir/Frontend.cpp.o.d"
+  "CMakeFiles/spt_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/spt_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/spt_lang.dir/Lower.cpp.o"
+  "CMakeFiles/spt_lang.dir/Lower.cpp.o.d"
+  "CMakeFiles/spt_lang.dir/Parser.cpp.o"
+  "CMakeFiles/spt_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/spt_lang.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/spt_lang.dir/ProgramGenerator.cpp.o.d"
+  "libspt_lang.a"
+  "libspt_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_partition.dir/Partition.cpp.o"
+  "CMakeFiles/spt_partition.dir/Partition.cpp.o.d"
+  "libspt_partition.a"
+  "libspt_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

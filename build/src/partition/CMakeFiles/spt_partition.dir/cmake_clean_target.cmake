@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspt_partition.a"
+)

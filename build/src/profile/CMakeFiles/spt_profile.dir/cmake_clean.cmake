@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_profile.dir/Profiler.cpp.o"
+  "CMakeFiles/spt_profile.dir/Profiler.cpp.o.d"
+  "libspt_profile.a"
+  "libspt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

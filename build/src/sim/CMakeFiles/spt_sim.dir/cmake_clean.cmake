@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_sim.dir/Cache.cpp.o"
+  "CMakeFiles/spt_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/CoreTiming.cpp.o"
+  "CMakeFiles/spt_sim.dir/CoreTiming.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/SeqSim.cpp.o"
+  "CMakeFiles/spt_sim.dir/SeqSim.cpp.o.d"
+  "CMakeFiles/spt_sim.dir/SptSim.cpp.o"
+  "CMakeFiles/spt_sim.dir/SptSim.cpp.o.d"
+  "libspt_sim.a"
+  "libspt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

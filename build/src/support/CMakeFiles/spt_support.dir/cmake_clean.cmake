@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_support.dir/Debug.cpp.o"
+  "CMakeFiles/spt_support.dir/Debug.cpp.o.d"
+  "CMakeFiles/spt_support.dir/OStream.cpp.o"
+  "CMakeFiles/spt_support.dir/OStream.cpp.o.d"
+  "CMakeFiles/spt_support.dir/Random.cpp.o"
+  "CMakeFiles/spt_support.dir/Random.cpp.o.d"
+  "CMakeFiles/spt_support.dir/Statistics.cpp.o"
+  "CMakeFiles/spt_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/spt_support.dir/Table.cpp.o"
+  "CMakeFiles/spt_support.dir/Table.cpp.o.d"
+  "libspt_support.a"
+  "libspt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

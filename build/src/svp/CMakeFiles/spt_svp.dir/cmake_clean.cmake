@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_svp.dir/Svp.cpp.o"
+  "CMakeFiles/spt_svp.dir/Svp.cpp.o.d"
+  "libspt_svp.a"
+  "libspt_svp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_svp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

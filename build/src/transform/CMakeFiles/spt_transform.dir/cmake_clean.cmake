@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_transform.dir/Cleanup.cpp.o"
+  "CMakeFiles/spt_transform.dir/Cleanup.cpp.o.d"
+  "CMakeFiles/spt_transform.dir/SptTransform.cpp.o"
+  "CMakeFiles/spt_transform.dir/SptTransform.cpp.o.d"
+  "CMakeFiles/spt_transform.dir/Unroll.cpp.o"
+  "CMakeFiles/spt_transform.dir/Unroll.cpp.o.d"
+  "libspt_transform.a"
+  "libspt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

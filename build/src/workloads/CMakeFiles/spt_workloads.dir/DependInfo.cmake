@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/WBzip2.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WBzip2.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WBzip2.cpp.o.d"
+  "/root/repo/src/workloads/WCrafty.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WCrafty.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WCrafty.cpp.o.d"
+  "/root/repo/src/workloads/WGap.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WGap.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WGap.cpp.o.d"
+  "/root/repo/src/workloads/WGcc.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WGcc.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WGcc.cpp.o.d"
+  "/root/repo/src/workloads/WGzip.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WGzip.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WGzip.cpp.o.d"
+  "/root/repo/src/workloads/WMcf.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WMcf.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WMcf.cpp.o.d"
+  "/root/repo/src/workloads/WParser.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WParser.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WParser.cpp.o.d"
+  "/root/repo/src/workloads/WTwolf.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WTwolf.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WTwolf.cpp.o.d"
+  "/root/repo/src/workloads/WVortex.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WVortex.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WVortex.cpp.o.d"
+  "/root/repo/src/workloads/WVpr.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/WVpr.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/WVpr.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/spt_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/spt_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/spt_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WBzip2.cpp.o: \
+ /root/repo/src/workloads/WBzip2.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WCrafty.cpp.o: \
+ /root/repo/src/workloads/WCrafty.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WGap.cpp.o: \
+ /root/repo/src/workloads/WGap.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WGcc.cpp.o: \
+ /root/repo/src/workloads/WGcc.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

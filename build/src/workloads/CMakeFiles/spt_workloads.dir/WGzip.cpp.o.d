@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WGzip.cpp.o: \
+ /root/repo/src/workloads/WGzip.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

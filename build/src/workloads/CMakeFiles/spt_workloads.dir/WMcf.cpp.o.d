@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WMcf.cpp.o: \
+ /root/repo/src/workloads/WMcf.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

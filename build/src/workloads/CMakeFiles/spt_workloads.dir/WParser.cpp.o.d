@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/spt_workloads.dir/WParser.cpp.o: \
+ /root/repo/src/workloads/WParser.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/WorkloadSources.h

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_workloads.dir/WBzip2.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WBzip2.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WCrafty.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WCrafty.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WGap.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WGap.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WGcc.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WGcc.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WGzip.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WGzip.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WMcf.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WMcf.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WParser.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WParser.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WTwolf.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WTwolf.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WVortex.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WVortex.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/WVpr.cpp.o"
+  "CMakeFiles/spt_workloads.dir/WVpr.cpp.o.d"
+  "CMakeFiles/spt_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/spt_workloads.dir/Workloads.cpp.o.d"
+  "libspt_workloads.a"
+  "libspt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depgraph_modes_test.dir/depgraph_modes_test.cpp.o"
+  "CMakeFiles/depgraph_modes_test.dir/depgraph_modes_test.cpp.o.d"
+  "depgraph_modes_test"
+  "depgraph_modes_test.pdb"
+  "depgraph_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depgraph_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

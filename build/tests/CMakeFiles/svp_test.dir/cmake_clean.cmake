@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svp_test.dir/svp_test.cpp.o"
+  "CMakeFiles/svp_test.dir/svp_test.cpp.o.d"
+  "svp_test"
+  "svp_test.pdb"
+  "svp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_bail_test.dir/transform_bail_test.cpp.o"
+  "CMakeFiles/transform_bail_test.dir/transform_bail_test.cpp.o.d"
+  "transform_bail_test"
+  "transform_bail_test.pdb"
+  "transform_bail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_bail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
