@@ -1,0 +1,96 @@
+//===- bench/chaos_recovery.cpp - Recovery cost under injected faults --------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Companion harness to tests/chaos_test.cpp on the real workloads: compile
+// each benchmark in BEST mode, then run the speculative simulation under
+// increasing fault-injection pressure. Architectural results must stay
+// bit-identical to the sequential baseline at every rate (the harness
+// aborts otherwise); the table shows what the faults cost — forced
+// squashes, extra re-execution, and the slowdown relative to the
+// fault-free speculative run — i.e. how gracefully the recovery machinery
+// degrades when misspeculation stops being rare.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "sim/FaultInjector.h"
+#include "support/Debug.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+using namespace spt;
+
+int main() {
+  outs() << "==============================================================\n";
+  outs() << " Chaos recovery: BEST-mode workloads under fault injection\n";
+  outs() << "==============================================================\n";
+
+  const double Rates[] = {0.0, 0.1, 0.5};
+  Table T({"program", "rate", "faults", "forced squash", "misspec",
+           "reexec", "spt cycles", "slowdown"});
+
+  for (const Workload &W : allWorkloads()) {
+    auto Base = compileWorkload(W);
+    const SeqSimResult Seq = runSequential(*Base, "main");
+
+    auto M = compileWorkload(W);
+    SptCompilerOptions Opts;
+    Opts.Mode = CompilationMode::Best;
+    CompilationReport Report = compileSpt(*M, Opts);
+
+    double FaultFreeCycles = 0.0;
+    for (double Rate : Rates) {
+      FaultInjectorOptions FO;
+      FO.Seed = 0xc4a05ull ^ static_cast<uint64_t>(Rate * 1000.0);
+      FO.ForcedSquashRate = Rate;
+      FO.LoadFlipRate = Rate * 0.5;
+      FO.RegFlipRate = Rate * 0.25;
+      FO.TimingJitterRate = Rate;
+      FaultInjector FI(FO);
+
+      SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops,
+                                MachineConfig(), 500000000ull,
+                                0x5eed5eed5eedull, &FI);
+      if (Sim.Result.I != Seq.Result.I || Sim.Output != Seq.Output ||
+          Sim.MemoryHash != Seq.MemoryHash)
+        spt_fatal("fault injection changed architectural results");
+
+      uint64_t Forks = 0, Joins = 0, Violated = 0, Squashed = 0;
+      uint64_t SpecI = 0, ReexecI = 0;
+      for (const auto &[Id, S] : Sim.PerLoop) {
+        (void)Id;
+        Forks += S.Forks;
+        Joins += S.Joins;
+        Violated += S.ViolatedThreads;
+        Squashed += S.Squashed;
+        SpecI += S.SpecInstrs;
+        ReexecI += S.ReexecInstrs;
+      }
+      if (Rate == 0.0)
+        FaultFreeCycles = Sim.cycles();
+
+      T.beginRow();
+      T.cell(W.Name);
+      T.cell(Rate, 2);
+      T.cell(FI.stats().total());
+      T.cell(FI.stats().ForcedSquashes);
+      T.percentCell(Joins == 0 ? 0.0
+                               : static_cast<double>(Violated) /
+                                     static_cast<double>(Joins));
+      T.percentCell(SpecI == 0 ? 0.0
+                               : static_cast<double>(ReexecI) /
+                                     static_cast<double>(SpecI));
+      T.cell(static_cast<uint64_t>(Sim.cycles()));
+      T.cell(FaultFreeCycles == 0.0 ? 1.0 : Sim.cycles() / FaultFreeCycles,
+             3);
+    }
+  }
+
+  T.print(outs());
+  outs() << "\nAll architectural results bit-identical to the sequential "
+            "baseline.\n";
+  return 0;
+}

@@ -33,6 +33,7 @@ int main() {
       RejectReason::HighCost,      RejectReason::NoGain,
       RejectReason::TooManyVcs,    RejectReason::Nested,
       RejectReason::NeverExecuted, RejectReason::TransformFailed,
+      RejectReason::StageError,
   };
 
   std::vector<std::string> Header = {"program", "loops"};

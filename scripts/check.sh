@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-command local gate: configure, build and test the requested presets.
+#
+#   ./scripts/check.sh              # default + asan-ubsan
+#   ./scripts/check.sh default      # a single preset
+#   ./scripts/check.sh asan-ubsan
+#
+# Each preset builds into its own directory (build/, build-asan/), so the
+# sanitizer run never dirties the ordinary build tree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(default asan-ubsan)
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+for preset in "${PRESETS[@]}"; do
+  echo "== [$preset] configure"
+  cmake --preset "$preset"
+  echo "== [$preset] build"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "== [$preset] test"
+  ctest --preset "$preset"
+done
+
+echo "== all presets passed: ${PRESETS[*]}"

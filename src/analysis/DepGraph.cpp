@@ -115,22 +115,37 @@ LoopDepGraph LoopDepGraph::forSynthetic(std::vector<LoopStmt> SynthStmts,
     G.DynamicWeight += G.Stmts[SI].Weight * G.Stmts[SI].IterFreq;
   }
   G.Edges = std::move(SynthEdges);
-  G.Out.assign(G.Stmts.size(), {});
-  G.In.assign(G.Stmts.size(), {});
-  for (uint32_t EI = 0; EI != G.Edges.size(); ++EI) {
-    assert(G.Edges[EI].Src < G.Stmts.size() &&
-           G.Edges[EI].Dst < G.Stmts.size() && "synthetic edge range");
-    G.Out[G.Edges[EI].Src].push_back(EI);
-    G.In[G.Edges[EI].Dst].push_back(EI);
+  for (const DepEdge &E : G.Edges) {
+    assert(E.Src < G.Stmts.size() && E.Dst < G.Stmts.size() &&
+           "synthetic edge range");
+    (void)E;
   }
-  std::vector<uint8_t> IsVC(G.Stmts.size(), 0);
-  for (const DepEdge &E : G.Edges)
+  G.reindexEdges();
+  return G;
+}
+
+void LoopDepGraph::reindexEdges() {
+  Out.assign(Stmts.size(), {});
+  In.assign(Stmts.size(), {});
+  for (uint32_t EI = 0; EI != Edges.size(); ++EI) {
+    Out[Edges[EI].Src].push_back(EI);
+    In[Edges[EI].Dst].push_back(EI);
+  }
+  ViolationCandidates.clear();
+  std::vector<uint8_t> IsVC(Stmts.size(), 0);
+  for (const DepEdge &E : Edges)
     if (E.Cross && isFlowDep(E.Kind) && E.Prob > 1e-9)
       IsVC[E.Src] = 1;
-  for (uint32_t SI = 0; SI != G.Stmts.size(); ++SI)
+  for (uint32_t SI = 0; SI != Stmts.size(); ++SI)
     if (IsVC[SI])
-      G.ViolationCandidates.push_back(SI);
-  return G;
+      ViolationCandidates.push_back(SI);
+}
+
+void LoopDepGraph::addConservativeEdge(uint32_t Src, uint32_t Dst,
+                                       DepKind Kind, bool Cross,
+                                       double Prob) {
+  addEdge(Src, Dst, Kind, Cross, Prob);
+  reindexEdges();
 }
 
 LoopDepGraph LoopDepGraph::build(const Module &M, const Function &F,
@@ -499,23 +514,7 @@ LoopDepGraph LoopDepGraph::build(const Module &M, const Function &F,
                                 std::get<3>(Key), Prob});
   }
 
-  G.Out.assign(NumStmts, {});
-  G.In.assign(NumStmts, {});
-  for (uint32_t EI = 0; EI != G.Edges.size(); ++EI) {
-    G.Out[G.Edges[EI].Src].push_back(EI);
-    G.In[G.Edges[EI].Dst].push_back(EI);
-  }
-
-  // Violation candidates: sources of cross-iteration flow edges.
-  {
-    std::vector<uint8_t> IsVC(NumStmts, 0);
-    for (const DepEdge &E : G.Edges)
-      if (E.Cross && isFlowDep(E.Kind) && E.Prob > 1e-9)
-        IsVC[E.Src] = 1;
-    for (uint32_t SI = 0; SI != NumStmts; ++SI)
-      if (IsVC[SI])
-        G.ViolationCandidates.push_back(SI);
-  }
+  G.reindexEdges();
 
   (void)M;
   (void)Nest;

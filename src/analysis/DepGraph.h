@@ -36,6 +36,7 @@
 #include "analysis/ProfileData.h"
 #include "ir/IR.h"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -161,6 +162,24 @@ public:
   /// edges).
   bool canPrecedeIntra(uint32_t A, uint32_t B) const;
 
+  /// Appends a client-supplied dependence edge after construction and
+  /// reindexes. Extra edges only ever constrain consumers further, so
+  /// clients with coarser dependence information than build() derives
+  /// (merged profiles, degraded modes, the robustness tests) may add
+  /// conservative edges without re-running the builder.
+  void addConservativeEdge(uint32_t Src, uint32_t Dst, DepKind Kind,
+                           bool Cross, double Prob = 1.0);
+
+  /// Removes every edge matching \p Pred and reindexes. Edge removal can
+  /// make a graph unsound for code motion; downstream validation (the
+  /// transform's realizability checks) must reject such graphs rather
+  /// than miscompile, which is what the robustness tests exercise.
+  template <typename PredT> void removeEdgesIf(PredT Pred) {
+    Edges.erase(std::remove_if(Edges.begin(), Edges.end(), Pred),
+                Edges.end());
+    reindexEdges();
+  }
+
 private:
   const Function *F = nullptr;
   const Loop *L = nullptr;
@@ -180,6 +199,9 @@ private:
 
   void addEdge(uint32_t Src, uint32_t Dst, DepKind Kind, bool Cross,
                double Prob);
+  /// Rebuilds Out/In adjacency and the violation-candidate list from
+  /// Edges (after construction, addConservativeEdge or removeEdgesIf).
+  void reindexEdges();
 };
 
 } // namespace spt

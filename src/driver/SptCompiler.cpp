@@ -60,6 +60,8 @@ const char *spt::rejectReasonName(RejectReason Reason) {
     return "nested in a selected loop";
   case RejectReason::TransformFailed:
     return "transformation not realizable";
+  case RejectReason::StageError:
+    return "internal stage error";
   }
   spt_unreachable("unknown reject reason");
 }
@@ -187,22 +189,41 @@ public:
 
 private:
   bool wantDepProfiles() const {
-    return Opts.Mode != CompilationMode::Basic && Opts.EnableDepProfiles;
+    return Opts.Mode != CompilationMode::Basic && Opts.EnableDepProfiles &&
+           !DegradedToBasic;
   }
   bool wantSvp() const {
-    return Opts.Mode != CompilationMode::Basic && Opts.EnableSvp;
+    return Opts.Mode != CompilationMode::Basic && Opts.EnableSvp &&
+           !DegradedToBasic;
   }
   bool unrollWhileLoops() const {
     return Opts.Mode == CompilationMode::Anticipated;
   }
+
+  /// Fall back to Basic-mode semantics (type-based aliasing, no dependence
+  /// profiles, no SVP) with a diagnostic. Idempotent; used when profile
+  /// data is missing, incomplete or fails validation.
+  void degradeToBasic(const std::string &Why) {
+    Report.Degraded = true;
+    Report.EffectiveMode = CompilationMode::Basic;
+    Report.Diags.warn(DiagStage::Profile,
+                      Why + "; degrading to Basic-mode semantics "
+                            "(type-based aliasing, dependence profiles and "
+                            "SVP disabled)");
+    DegradedToBasic = true;
+  }
+
+  void validateExternalProfile();
 
   DepGraphOptions depGraphOptions(const Function &F, const Loop &L) const {
     DepGraphOptions DG;
     if (wantDepProfiles() && Profile)
       DG.DepProfile = Profile->Deps.profileFor(&F, L.Id);
     DG.ModelCallEffectsInCost = Opts.ModelCallEffectsInCost;
-    DG.AllowImpureCallMotion = Opts.Mode == CompilationMode::Anticipated;
-    DG.CoarseAliasClasses = Opts.Mode == CompilationMode::Basic;
+    DG.AllowImpureCallMotion =
+        Opts.Mode == CompilationMode::Anticipated && !DegradedToBasic;
+    DG.CoarseAliasClasses =
+        Opts.Mode == CompilationMode::Basic || DegradedToBasic;
     DG.CallWeights = &FuncWeights;
     return DG;
   }
@@ -211,6 +232,7 @@ private:
     PartitionOptions P;
     P.PreForkSizeFraction = Opts.PreForkSizeFraction;
     P.MaxViolationCandidates = Opts.MaxViolationCandidates;
+    P.MaxSearchSeconds = Opts.MaxPartitionSeconds;
     return P;
   }
 
@@ -234,6 +256,9 @@ private:
   const SptCompilerOptions &Opts;
   CompilationReport Report;
   std::unique_ptr<ProfileBundle> Profile;
+  /// Set once profile data proved unusable; flips the mode-dependent
+  /// switches above to Basic semantics for the rest of the run.
+  bool DegradedToBasic = false;
   /// (function name, header) -> unroll factor applied in stage A, plus
   /// whether the loop was counted before unrolling (unrolling duplicates
   /// the induction update, so the unrolled form no longer looks counted).
@@ -260,27 +285,100 @@ void Compilation::stageUnroll() {
         Headers.push_back(L->Header);
     }
     for (BlockId Header : Headers) {
-      FuncAnalysis A(*F, nullptr);
-      const Loop *L = A.loopByHeader(Header);
-      if (!L)
-        continue;
-      const double W = loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
-      if (W >= Opts.MinBodyWeight || W <= 0.0)
-        continue;
-      const bool Counted = isCountedLoop(*F, *L);
-      if (!Counted && !unrollWhileLoops())
-        continue; // ORC's LNO only unrolls DO loops (Section 7.1).
-      const double Needed = Opts.MinBodyWeight / W;
-      const uint32_t Factor = static_cast<uint32_t>(std::min<double>(
-          Opts.MaxUnrollFactor, std::max(2.0, std::ceil(Needed))));
-      UnrollResult R = unrollLoop(*F, *L, Factor);
-      if (R.Ok)
-        Unrolled[{F->name(), Header}] = UnrollInfo{Factor, Counted};
+      try {
+        FuncAnalysis A(*F, nullptr);
+        const Loop *L = A.loopByHeader(Header);
+        if (!L)
+          continue;
+        const double W = loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
+        if (W >= Opts.MinBodyWeight || W <= 0.0)
+          continue;
+        const bool Counted = isCountedLoop(*F, *L);
+        if (!Counted && !unrollWhileLoops())
+          continue; // ORC's LNO only unrolls DO loops (Section 7.1).
+        const double Needed = Opts.MinBodyWeight / W;
+        const uint32_t Factor = static_cast<uint32_t>(std::min<double>(
+            Opts.MaxUnrollFactor, std::max(2.0, std::ceil(Needed))));
+        UnrollResult R = unrollLoop(*F, *L, Factor);
+        if (R.Ok)
+          Unrolled[{F->name(), Header}] = UnrollInfo{Factor, Counted};
+      } catch (const std::exception &E) {
+        Report.Diags.warn(DiagStage::Unroll,
+                          std::string("unroll candidate skipped: ") +
+                              E.what(),
+                          F->name(), Header);
+      }
+    }
+  }
+}
+
+/// Validates Opts.ExternalProfile against the (pre-unroll) module. Any
+/// incompleteness or structural mismatch — stale function pointers,
+/// truncated per-function count vectors, no edge data at all — is treated
+/// as corruption and degrades the whole run to Basic semantics; the
+/// type-based pipeline then never consults the untrusted dependence or
+/// value profiles, and FuncAnalysis's per-function size guard screens the
+/// edge counts that do remain.
+void Compilation::validateExternalProfile() {
+  const ProfileBundle &B = *Opts.ExternalProfile;
+  if (!B.Completed) {
+    degradeToBasic("external profile marked incomplete (" +
+                   (B.Error.empty() ? std::string("no detail") : B.Error) +
+                   ")");
+    return;
+  }
+  if (B.Edges.PerFunc.empty()) {
+    degradeToBasic("external profile contains no edge counts");
+    return;
+  }
+  std::set<const Function *> Known;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    Known.insert(M.function(static_cast<uint32_t>(I)));
+  for (const auto &[F, Counts] : B.Edges.PerFunc) {
+    if (!Known.count(F)) {
+      degradeToBasic(
+          "external profile references a function outside this module");
+      return;
+    }
+    if (Counts.Block.size() != F->numBlocks() ||
+        Counts.Edge.size() != F->numBlocks()) {
+      degradeToBasic("external profile edge counts for '" + F->name() +
+                     "' do not match the function (truncated or stale)");
+      return;
+    }
+  }
+  for (const auto &[Key, Dep] : B.Deps.PerLoop) {
+    (void)Dep;
+    if (!Known.count(Key.first)) {
+      degradeToBasic("external dependence profile references a function "
+                     "outside this module");
+      return;
+    }
+  }
+  for (const auto &[Key, Stats] : B.Values.PerStmt) {
+    (void)Stats;
+    if (!Known.count(Key.first)) {
+      degradeToBasic("external value profile references a function "
+                     "outside this module");
+      return;
     }
   }
 }
 
 void Compilation::stageProfile() {
+  if (Opts.ExternalProfile) {
+    // Validation already ran (pre-unroll). Keep the edge counts — the
+    // per-function size guard in FuncAnalysis falls back to static
+    // heuristics for any function unrolling reshaped — but drop profiles
+    // a degraded run must not trust.
+    Profile = std::make_unique<ProfileBundle>(*Opts.ExternalProfile);
+    if (DegradedToBasic) {
+      Profile->Deps.PerLoop.clear();
+      Profile->Values.PerStmt.clear();
+    }
+    return;
+  }
+
   ProfilerOptions POpts;
   POpts.CollectEdges = true;
   POpts.CollectDeps = wantDepProfiles();
@@ -294,23 +392,37 @@ void Compilation::stageProfile() {
     // static dependence graph) for value patterns.
     CallEffects Effects = CallEffects::compute(M);
     for (Function *F : definedFunctions()) {
-      FuncAnalysis A(*F, nullptr);
-      for (uint32_t LI = 0; LI != A.Nest.numLoops(); ++LI) {
-        const Loop *L = A.Nest.loop(LI);
-        LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
-                                             A.Freq, Effects,
-                                             depGraphOptions(*F, *L));
-        for (uint32_t Vc : G.violationCandidates()) {
-          const LoopStmt &S = G.stmt(Vc);
-          if (S.I->Dst != NoReg && S.I->Ty == Type::Int)
-            POpts.ValueWatch.insert({F, S.Id});
+      try {
+        FuncAnalysis A(*F, nullptr);
+        for (uint32_t LI = 0; LI != A.Nest.numLoops(); ++LI) {
+          const Loop *L = A.Nest.loop(LI);
+          LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
+                                               A.Freq, Effects,
+                                               depGraphOptions(*F, *L));
+          for (uint32_t Vc : G.violationCandidates()) {
+            const LoopStmt &S = G.stmt(Vc);
+            if (S.I->Dst != NoReg && S.I->Ty == Type::Int)
+              POpts.ValueWatch.insert({F, S.Id});
+          }
         }
+      } catch (const std::exception &E) {
+        Report.Diags.warn(DiagStage::Profile,
+                          std::string("value-watch collection failed: ") +
+                              E.what(),
+                          F->name());
       }
     }
   }
 
   Profile = std::make_unique<ProfileBundle>(
       profileRun(M, Opts.ProfileEntry, Opts.ProfileArgs, POpts));
+  if (!Profile->Completed) {
+    degradeToBasic("profiling run failed (" + Profile->Error + ")");
+    // The partial edge counts are still honest measurements; dependence
+    // and value profiles cut off mid-run are not safe to optimize on.
+    Profile->Deps.PerLoop.clear();
+    Profile->Values.PerStmt.clear();
+  }
 }
 
 void Compilation::stageSvp() {
@@ -323,8 +435,9 @@ void Compilation::stageSvp() {
     // Bounded rewrite loop: each application changes the CFG, so
     // re-analyze between applications.
     for (unsigned Round = 0; Round != 8; ++Round) {
-      FuncAnalysis A(*F, &Profile->Edges);
       bool Applied = false;
+      try {
+      FuncAnalysis A(*F, &Profile->Edges);
       for (uint32_t LI = 0; LI != A.Nest.numLoops() && !Applied; ++LI) {
         const Loop *L = A.Nest.loop(LI);
         if (SvpByLoop.count({F->name(), L->Header}))
@@ -363,6 +476,12 @@ void Compilation::stageSvp() {
           AnyApplied = true;
         }
       }
+      } catch (const std::exception &E) {
+        Report.Diags.error(DiagStage::Svp,
+                           std::string("SVP analysis failed: ") + E.what(),
+                           F->name());
+        break; // Give up on this function; others still get SVP.
+      }
       if (!Applied)
         break;
     }
@@ -384,6 +503,15 @@ void Compilation::stageSvp() {
     Profile = std::make_unique<ProfileBundle>(
         profileRun(M, Opts.ProfileEntry, Opts.ProfileArgs, POpts));
     Profile->Values = std::move(SavedValues);
+    if (!Profile->Completed) {
+      // SVP already rewrote the module (semantics-preserving), so keep
+      // going, but the truncated re-profile can't back further profile-
+      // guided decisions.
+      degradeToBasic("re-profiling after SVP failed (" + Profile->Error +
+                     ")");
+      Profile->Deps.PerLoop.clear();
+      Profile->Values.PerStmt.clear();
+    }
   }
 }
 
@@ -435,12 +563,22 @@ void Compilation::passOne() {
         continue;
       }
 
+      try {
       LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
                                            A.Freq, Effects,
                                            depGraphOptions(*F, *L));
       MisspecCostModel Model(G);
       PartitionSearch Search(G, Model, partitionOptions());
       Rec.Partition = Search.run();
+      if (Rec.Partition.BudgetExhausted) {
+        // Not a rejection by itself: the best incumbent found within the
+        // budget still competes below. Record that the search was cut
+        // short so the truncation is never silent.
+        Rec.FailureDetail =
+            "partition search budget exhausted; kept best incumbent";
+        Report.Diags.warn(DiagStage::Partition, Rec.FailureDetail,
+                          F->name(), L->Header);
+      }
       if (!Rec.Partition.Searched) {
         Rec.Reason = RejectReason::TooManyVcs;
         Report.Loops.push_back(std::move(Rec));
@@ -492,6 +630,15 @@ void Compilation::passOne() {
 
       Rec.Reason = RejectReason::Selected;
       Report.Loops.push_back(std::move(Rec));
+      } catch (const std::exception &E) {
+        Rec.Reason = RejectReason::StageError;
+        Rec.FailureDetail =
+            std::string("pass-1 dependence/partition analysis failed: ") +
+            E.what();
+        Report.Diags.error(DiagStage::Partition, Rec.FailureDetail,
+                           F->name(), L->Header);
+        Report.Loops.push_back(std::move(Rec));
+      }
     }
   }
 }
@@ -539,18 +686,31 @@ void Compilation::passTwo() {
   for (size_t I : Picked) {
     LoopRecord &Rec = Report.Loops[I];
     Function *F = M.findFunction(Rec.FuncName);
+    try {
     FuncAnalysis A(*F, &Profile->Edges);
     const Loop *L = A.loopByHeader(Rec.Header);
     if (!L) {
       Rec.Reason = RejectReason::TransformFailed;
+      Rec.FailureDetail = "loop disappeared before transformation";
+      Report.Diags.error(DiagStage::Transform, Rec.FailureDetail,
+                         Rec.FuncName, Rec.Header);
       continue;
     }
     LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L, A.Freq,
                                          Effects, depGraphOptions(*F, *L));
     MisspecCostModel Model(G);
     PartitionResult P = PartitionSearch(G, Model, partitionOptions()).run();
+    if (P.BudgetExhausted) {
+      Rec.FailureDetail =
+          "partition search budget exhausted; kept best incumbent";
+      Report.Diags.warn(DiagStage::Partition, Rec.FailureDetail,
+                        Rec.FuncName, Rec.Header);
+    }
     if (!P.Searched) {
       Rec.Reason = RejectReason::TransformFailed;
+      Rec.FailureDetail = "final partition search found no valid partition";
+      Report.Diags.error(DiagStage::Transform, Rec.FailureDetail,
+                         Rec.FuncName, Rec.Header);
       continue;
     }
     SptTransformResult T = applySptTransform(M, *F, A.Cfg, *L, G,
@@ -558,6 +718,8 @@ void Compilation::passTwo() {
     if (!T.Ok) {
       Rec.Reason = RejectReason::TransformFailed;
       Rec.FailureDetail = T.Error;
+      Report.Diags.error(DiagStage::Transform, T.Error, Rec.FuncName,
+                         Rec.Header);
       continue;
     }
     Rec.Partition = std::move(P);
@@ -567,6 +729,16 @@ void Compilation::passTwo() {
     Rec.NumMovedStmts = T.NumMovedStmts;
     Report.SptLoops[NextLoopId] = SptLoopDesc{F, T.PreForkEntry};
     ++NextLoopId;
+    } catch (const std::exception &E) {
+      // applySptTransform only mutates the function once its dominance
+      // and routing preconditions hold, so an exception here leaves the
+      // loop untransformed; skip it and keep the module usable.
+      Rec.Reason = RejectReason::StageError;
+      Rec.FailureDetail =
+          std::string("pass-2 transformation failed: ") + E.what();
+      Report.Diags.error(DiagStage::Transform, Rec.FailureDetail,
+                         Rec.FuncName, Rec.Header);
+    }
   }
 
   for (Function *F : definedFunctions())
@@ -592,6 +764,12 @@ void Compilation::passTwo() {
 
 CompilationReport Compilation::run() {
   Report.Mode = Opts.Mode;
+  Report.EffectiveMode = Opts.Mode;
+  // Validate external profile data against the pristine module: stage A
+  // reshapes functions, and counts collected before compilation can only
+  // be checked against the shapes they were collected on.
+  if (Opts.ExternalProfile)
+    validateExternalProfile();
   FuncWeights = computeFunctionWeights(M);
   stageUnroll();
   FuncWeights = computeFunctionWeights(M); // Unrolling grew some bodies.

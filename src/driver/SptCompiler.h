@@ -41,6 +41,7 @@
 #include "interp/Interp.h"
 #include "partition/Partition.h"
 #include "sim/SptSim.h"
+#include "support/Status.h"
 #include "svp/Svp.h"
 
 #include <map>
@@ -48,6 +49,8 @@
 #include <vector>
 
 namespace spt {
+
+struct ProfileBundle;
 
 /// The paper's three evaluated compilations (Section 8).
 enum class CompilationMode {
@@ -68,8 +71,10 @@ enum class RejectReason {
   LowTripCount,   ///< Expected iterations below the threshold.
   HighCost,       ///< No partition below the cost threshold.
   NoGain,         ///< Analytic speedup estimate not positive.
-  Nested,         ///< Overlaps a selected loop in the same function.
-  TransformFailed ///< The partition could not be realized.
+  Nested,          ///< Overlaps a selected loop in the same function.
+  TransformFailed, ///< The partition could not be realized.
+  StageError       ///< A pipeline stage failed on this loop; it was
+                   ///< skipped instead of aborting the compilation.
 };
 
 const char *rejectReasonName(RejectReason Reason);
@@ -113,6 +118,18 @@ struct SptCompilerOptions {
 
   uint64_t RngSeed = 0x5eed5eed5eedull;
   uint64_t ProfileMaxSteps = 500000000ull;
+
+  /// Pre-collected profile to use instead of running stage B's
+  /// instrumented run. Validated against the module before use; missing,
+  /// incomplete or corrupt data degrades the compilation to Basic-mode
+  /// semantics (type-based aliasing, no dependence profiles, no SVP) with
+  /// a diagnostic instead of crashing.
+  const ProfileBundle *ExternalProfile = nullptr;
+
+  /// Wall-clock budget for each partition search, alongside the node
+  /// budget (0 disables the deadline). Exhaustion keeps the best
+  /// incumbent and surfaces PartitionResult::BudgetExhausted.
+  double MaxPartitionSeconds = 0.0;
 };
 
 /// One loop candidate's pass-1/pass-2 record.
@@ -134,7 +151,8 @@ struct LoopRecord {
   PartitionResult Partition;
   double GainEstimate = 0.0; ///< Analytic speedup estimate (>= 0).
   RejectReason Reason = RejectReason::Selected;
-  /// Human-readable detail for TransformFailed rejections.
+  /// Human-readable detail for TransformFailed/StageError rejections and
+  /// for budget-exhausted partition searches (stable strings tests key on).
   std::string FailureDetail;
   bool Selected = false;
   int64_t SptLoopId = -1;
@@ -145,6 +163,15 @@ struct LoopRecord {
 /// Everything the compilation produced.
 struct CompilationReport {
   CompilationMode Mode = CompilationMode::Best;
+  /// The semantics actually compiled with: equals Mode unless profile
+  /// validation failed and the run degraded to Basic.
+  CompilationMode EffectiveMode = CompilationMode::Best;
+  /// True when missing/corrupt profile data forced the Basic fallback.
+  bool Degraded = false;
+  /// Structured per-stage diagnostics (degradations, skipped loops,
+  /// exhausted budgets); never empty when Degraded or any loop carries
+  /// RejectReason::StageError.
+  DiagnosticLog Diags;
   std::vector<LoopRecord> Loops;
   /// Loop-id map for runSpt().
   std::map<int64_t, SptLoopDesc> SptLoops;

@@ -454,3 +454,19 @@ Value Interpreter::peekAddr(uint64_t Addr) const {
   }
   return Value();
 }
+
+uint64_t Interpreter::memoryHash() const {
+  uint64_t H = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+  auto mix = [&H](uint64_t Bits) {
+    for (int Byte = 0; Byte != 8; ++Byte) {
+      H ^= (Bits >> (Byte * 8)) & 0xffu;
+      H *= 0x100000001b3ull;
+    }
+  };
+  for (const std::vector<Value> &Arr : *Mem) {
+    mix(Arr.size());
+    for (const Value &V : Arr)
+      mix(static_cast<uint64_t>(V.I));
+  }
+  return H;
+}

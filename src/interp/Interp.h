@@ -135,6 +135,10 @@ public:
   /// simulator's undo log). Returns zero for addresses outside any array.
   Value peekAddr(uint64_t Addr) const;
 
+  /// FNV-1a hash over the entire array memory image — the architectural
+  /// state a differential oracle compares bit-for-bit across simulators.
+  uint64_t memoryHash() const;
+
   /// Begins executing \p F with \p Args. Any previous call stack must have
   /// finished (done() == true).
   void startCall(const Function *F, const std::vector<Value> &Args);

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <functional>
 
 using namespace spt;
@@ -236,6 +237,28 @@ double PartitionSearch::lowerBound(const std::vector<uint8_t> &Picked,
   return Model.cost(P);
 }
 
+bool PartitionSearch::outOfBudget() {
+  if (Stats.BudgetExhausted)
+    return true;
+  if (Stats.NodesVisited >= Opts.MaxSearchNodes) {
+    Stats.BudgetExhausted = true;
+    return true;
+  }
+  // NodesVisited is 1 at the first check (incremented on node entry), so
+  // compare against 1 mod stride or a short search never reads the clock.
+  if (DeadlineNs != 0 && Stats.NodesVisited % DeadlineCheckStride == 1) {
+    const uint64_t NowNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    if (NowNs >= DeadlineNs) {
+      Stats.BudgetExhausted = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
                              std::vector<uint32_t> &UnionClosure,
                              PartitionResult &Best) {
@@ -261,7 +284,7 @@ void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
     std::sort(Best.ChosenVcs.begin(), Best.ChosenVcs.end());
   }
 
-  if (Stats.NodesVisited >= Opts.MaxSearchNodes)
+  if (outOfBudget())
     return;
 
   for (uint32_t Next = MinNext; Next < Nodes.size(); ++Next) {
@@ -314,7 +337,7 @@ void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
       Marks[StmtIdx] = 0;
     Picked[Next] = 0;
 
-    if (Stats.NodesVisited >= Opts.MaxSearchNodes)
+    if (outOfBudget())
       return;
   }
 }
@@ -332,6 +355,15 @@ PartitionResult PartitionSearch::run() {
   Best.Searched = true;
 
   Stats = PartitionResult();
+  if (Opts.MaxSearchSeconds > 0.0) {
+    const uint64_t NowNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    DeadlineNs = NowNs + static_cast<uint64_t>(Opts.MaxSearchSeconds * 1e9);
+  } else {
+    DeadlineNs = 0;
+  }
   std::vector<uint8_t> Picked(Nodes.size(), 0);
   std::vector<uint32_t> UnionClosure;
   search(0, Picked, UnionClosure, Best);
@@ -339,6 +371,7 @@ PartitionResult PartitionSearch::run() {
   Best.NodesVisited = Stats.NodesVisited;
   Best.SizePrunes = Stats.SizePrunes;
   Best.LowerBoundPrunes = Stats.LowerBoundPrunes;
+  Best.BudgetExhausted = Stats.BudgetExhausted;
   if (Best.InPreFork.empty())
     Best.InPreFork.assign(G.size(), 0);
   return Best;

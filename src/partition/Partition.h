@@ -51,6 +51,10 @@ struct PartitionOptions {
   /// Hard cap on search-tree nodes (safety net; the paper's pruning keeps
   /// real searches far below this).
   uint64_t MaxSearchNodes = 1u << 20;
+  /// Wall-clock deadline for one search, in seconds; 0 disables it. Like
+  /// MaxSearchNodes this truncates rather than fails: the best incumbent
+  /// found so far is returned with BudgetExhausted set.
+  double MaxSearchSeconds = 0.0;
   /// Ablation toggles for the two pruning heuristics.
   bool EnableSizePrune = true;
   bool EnableLowerBoundPrune = true;
@@ -60,6 +64,11 @@ struct PartitionOptions {
 struct PartitionResult {
   /// False when the loop was skipped (too many violation candidates).
   bool Searched = false;
+  /// True when the search was truncated — the node budget ran out or the
+  /// wall-clock deadline passed — so the partition is the best incumbent,
+  /// not a proven optimum. Callers should keep it (graceful degradation)
+  /// but must not report the search as exhaustive.
+  bool BudgetExhausted = false;
   /// Stmt-level pre-fork membership (dependence closure of the chosen
   /// candidates); size equals the dep graph's statement count.
   PartitionSet InPreFork;
@@ -121,6 +130,9 @@ private:
   };
 
   void buildVcGraph();
+  /// True when the node budget or the wall-clock deadline is spent; sets
+  /// Stats.BudgetExhausted on first detection.
+  bool outOfBudget();
   void search(uint32_t MinNext, std::vector<uint8_t> &Picked,
               std::vector<uint32_t> &UnionClosure, PartitionResult &Best);
   double evaluate(const std::vector<uint8_t> &Picked) const;
@@ -133,6 +145,11 @@ private:
   std::vector<VcNode> Nodes; ///< Topologically sorted.
   double SizeThreshold = 0.0;
   uint64_t VisitBudget = 0;
+  /// Wall-clock deadline in steady_clock nanoseconds-since-epoch units;
+  /// 0 when no deadline is armed. Checked every DeadlineCheckStride visits
+  /// so the clock read does not dominate small searches.
+  uint64_t DeadlineNs = 0;
+  static constexpr uint64_t DeadlineCheckStride = 1024;
   PartitionResult Stats;
 };
 

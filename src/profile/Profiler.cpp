@@ -8,7 +8,6 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/LoopInfo.h"
-#include "support/Debug.h"
 
 #include <map>
 #include <memory>
@@ -217,8 +216,11 @@ void ProfilerRun::onValueSample(const Function *F, StmtId Stmt, int64_t V) {
 ProfileBundle ProfilerRun::run(const std::string &FnName,
                                const std::vector<Value> &Args) {
   const Function *F = M.findFunction(FnName);
-  if (!F)
-    spt_fatal("profileRun: no such function");
+  if (!F) {
+    Bundle.Completed = false;
+    Bundle.Error = "profileRun: no such function: " + FnName;
+    return Bundle;
+  }
 
   InterpOptions IOpts;
   IOpts.RngSeed = Opts.RngSeed;
@@ -296,8 +298,14 @@ ProfileBundle ProfilerRun::run(const std::string &FnName,
       enterBlock(Shadow.back(), R.NextBlock);
     }
   }
-  if (!In.done())
-    spt_fatal("profileRun: step budget exhausted (infinite loop?)");
+  if (!In.done()) {
+    // Budget exhaustion is survivable: the caller gets whatever was
+    // measured so far, flagged as incomplete, and decides whether partial
+    // profiles are usable (the driver degrades to static analysis).
+    Bundle.Completed = false;
+    Bundle.Error = "profileRun: step budget exhausted after " +
+                   std::to_string(Steps) + " steps";
+  }
 
   // Finalize value statistics.
   for (auto &[Key, S] : ValueState) {

@@ -52,6 +52,14 @@ struct ProfileBundle {
   Value Result;
   std::string Output;
   uint64_t Instrs = 0;
+
+  /// False when the run could not complete — the entry function is missing
+  /// or the step budget ran out — in which case the profiles are partial
+  /// (possibly empty) and Error says why. Callers that need trustworthy
+  /// data must check this; the driver degrades to static analysis instead
+  /// of aborting.
+  bool Completed = true;
+  std::string Error;
 };
 
 /// Profiling configuration.

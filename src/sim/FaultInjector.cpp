@@ -1,0 +1,18 @@
+//===- sim/FaultInjector.cpp - Seeded misspeculation fault injection -------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FaultInjector.h"
+
+#include "sim/Machine.h"
+
+using namespace spt;
+
+uint64_t FaultInjector::jitterSubticks() {
+  if (Opts.MaxJitterCycles == 0 || !Rng.nextBool(Opts.TimingJitterRate))
+    return 0;
+  const int64_t Cycles = Rng.nextInRange(1, Opts.MaxJitterCycles);
+  return static_cast<uint64_t>(Cycles) * SubticksPerCycle;
+}

@@ -1,0 +1,155 @@
+//===- sim/FaultInjector.h - Seeded misspeculation fault injection ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial fault injection for the SPT simulator. The paper's machine
+/// survives misspeculation by squashing the speculative thread and
+/// re-executing violated instructions; the compiler merely makes that
+/// recovery *rare*. Nothing in the normal test suite makes it *frequent* —
+/// every workload exercises the happy path the cost model predicted. The
+/// injector closes that gap: wired into runSpt(), it deterministically
+///
+///  - forces extra squashes (a completed speculative thread is discarded
+///    and the iteration re-executed at full cost, as if the hardware had
+///    lost its buffer),
+///  - flips values the ghost thread reads — speculation-buffer hits, undo
+///    log hits, shared memory, and snapshot registers (the SVP prediction
+///    inputs live there) — modelling wrong predictions and stale operands;
+///    each flip is treated as a hardware-detected violation so the flipped
+///    instruction and its dependence slice join the re-execution set,
+///  - perturbs fork and commit timing by bounded random delays.
+///
+/// None of this may change architectural results: the simulator's main
+/// interpreter executes every iteration functionally, so injected faults
+/// must only shift timing, statistics and recovery behaviour. The chaos
+/// oracle (tests/chaos_test.cpp, bench/chaos_recovery.cpp) asserts exactly
+/// that, differentially against SeqSim, across seed sweeps.
+///
+/// Everything is driven by one seeded PRNG so a failing (seed, rates)
+/// pair reproduces bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SIM_FAULTINJECTOR_H
+#define SPT_SIM_FAULTINJECTOR_H
+
+#include "interp/Interp.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace spt {
+
+/// Injection knobs. All rates are probabilities in [0, 1]; everything at 0
+/// (the default) makes the injector inert.
+struct FaultInjectorOptions {
+  uint64_t Seed = 0x5eed5eed5eedull;
+  /// P(discard a completed speculative thread), per join.
+  double ForcedSquashRate = 0.0;
+  /// P(flip the value a ghost load observes), per ghost load.
+  double LoadFlipRate = 0.0;
+  /// P(corrupt one register of the fork snapshot), per fork. This is
+  /// where SVP's predicted values live when the speculative thread starts.
+  double RegFlipRate = 0.0;
+  /// P(add a random delay to the fork / commit overhead), per event.
+  double TimingJitterRate = 0.0;
+  /// Upper bound on one injected delay, in cycles.
+  uint32_t MaxJitterCycles = 8;
+};
+
+/// Counts of injected faults (for reports and sanity checks that the
+/// injector actually fired during a sweep).
+struct FaultInjectionStats {
+  uint64_t ForcedSquashes = 0;
+  uint64_t FlippedLoads = 0;
+  uint64_t FlippedRegs = 0;
+  uint64_t ForkJitters = 0;
+  uint64_t CommitJitters = 0;
+
+  uint64_t total() const {
+    return ForcedSquashes + FlippedLoads + FlippedRegs + ForkJitters +
+           CommitJitters;
+  }
+};
+
+/// The seeded injector. One instance drives one runSpt() call.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultInjectorOptions &Opts =
+                             FaultInjectorOptions())
+      : Opts(Opts), Rng(Opts.Seed) {}
+
+  /// True when any rate can fire (lets the simulator skip the plumbing).
+  bool enabled() const {
+    return Opts.ForcedSquashRate > 0.0 || Opts.LoadFlipRate > 0.0 ||
+           Opts.RegFlipRate > 0.0 || Opts.TimingJitterRate > 0.0;
+  }
+
+  /// Per join: discard the completed speculative thread?
+  bool shouldForceSquash() {
+    if (!Rng.nextBool(Opts.ForcedSquashRate))
+      return false;
+    ++Stats.ForcedSquashes;
+    return true;
+  }
+
+  /// Per ghost load: corrupt the observed value?
+  bool shouldFlipLoad() {
+    if (!Rng.nextBool(Opts.LoadFlipRate))
+      return false;
+    ++Stats.FlippedLoads;
+    return true;
+  }
+
+  /// Per fork: corrupt one snapshot register?
+  bool shouldFlipReg() {
+    if (!Rng.nextBool(Opts.RegFlipRate))
+      return false;
+    ++Stats.FlippedRegs;
+    return true;
+  }
+
+  /// Deterministic single-bit corruption of a value.
+  Value corrupt(Value V) {
+    V.I ^= int64_t(1) << Rng.nextBelow(63);
+    return V;
+  }
+
+  /// Uniform index below \p Bound (register picking). Bound must be > 0.
+  uint64_t pickIndex(uint64_t Bound) {
+    return static_cast<uint64_t>(Rng.nextBelow(static_cast<int64_t>(Bound)));
+  }
+
+  /// Extra subticks to add to the fork overhead (0 when no jitter fires).
+  uint64_t forkJitterSubticks() {
+    const uint64_t J = jitterSubticks();
+    if (J)
+      ++Stats.ForkJitters;
+    return J;
+  }
+
+  /// Extra subticks to add to the commit overhead.
+  uint64_t commitJitterSubticks() {
+    const uint64_t J = jitterSubticks();
+    if (J)
+      ++Stats.CommitJitters;
+    return J;
+  }
+
+  const FaultInjectionStats &stats() const { return Stats; }
+  const FaultInjectorOptions &options() const { return Opts; }
+
+private:
+  uint64_t jitterSubticks();
+
+  FaultInjectorOptions Opts;
+  Random Rng;
+  FaultInjectionStats Stats;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_FAULTINJECTOR_H

@@ -123,6 +123,7 @@ SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
   Result.Instrs = Core.retired();
   Result.Result = In.returnValue();
   Result.Output = In.output();
+  Result.MemoryHash = In.memoryHash();
   Result.BranchLookups = Predictor.lookups();
   Result.BranchMispredicts = Predictor.mispredicts();
   return Result;

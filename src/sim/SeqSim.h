@@ -44,6 +44,9 @@ struct SeqSimResult {
   uint64_t Instrs = 0;
   Value Result;
   std::string Output;
+  /// Hash of the final array memory image (Interpreter::memoryHash); the
+  /// differential oracle's reference architectural state.
+  uint64_t MemoryHash = 0;
 
   /// Keyed by (function, loop id within its LoopNest).
   std::map<std::pair<const Function *, uint32_t>, LoopSeqStats> PerLoop;

@@ -7,6 +7,7 @@
 #include "sim/SptSim.h"
 
 #include "sim/CoreTiming.h"
+#include "sim/FaultInjector.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -22,23 +23,34 @@ namespace {
 /// writes are buffered.
 class GhostMemHooks final : public Interpreter::MemHooks {
 public:
-  GhostMemHooks(const std::map<uint64_t, Value> &UndoLog)
-      : UndoLog(UndoLog) {}
+  GhostMemHooks(const std::map<uint64_t, Value> &UndoLog,
+                FaultInjector *Injector)
+      : UndoLog(UndoLog), Injector(Injector) {}
 
   Value onLoad(uint64_t Addr, Value Fallback) override {
     LastLoadViolated = false;
+    LastLoadInjected = false;
     LastLoadSpecWriter = -1;
+    Value V = Fallback;
     auto Spec = SpecBuffer.find(Addr);
     if (Spec != SpecBuffer.end()) {
       LastLoadSpecWriter = Spec->second.WriterEntry;
-      return Spec->second.V;
+      V = Spec->second.V;
+    } else {
+      auto Undo = UndoLog.find(Addr);
+      if (Undo != UndoLog.end()) {
+        LastLoadViolated = true;
+        V = Undo->second;
+      }
     }
-    auto Undo = UndoLog.find(Addr);
-    if (Undo != UndoLog.end()) {
-      LastLoadViolated = true;
-      return Undo->second;
+    // Injected corruption models a wrong speculative value the hardware
+    // detects at commit: the consuming instruction joins the re-execution
+    // slice (the driver loop checks LastLoadInjected).
+    if (Injector && Injector->shouldFlipLoad()) {
+      LastLoadInjected = true;
+      V = Injector->corrupt(V);
     }
-    return Fallback;
+    return V;
   }
 
   bool onStore(uint64_t Addr, Value V) override {
@@ -50,6 +62,7 @@ public:
   int64_t CurrentEntry = -1;
   /// Outputs of the last load.
   bool LastLoadViolated = false;
+  bool LastLoadInjected = false;
   int64_t LastLoadSpecWriter = -1;
 
 private:
@@ -58,6 +71,7 @@ private:
     int64_t WriterEntry = -1;
   };
   const std::map<uint64_t, Value> &UndoLog;
+  FaultInjector *Injector;
   std::map<uint64_t, BufferedValue> SpecBuffer;
 };
 
@@ -107,14 +121,14 @@ private:
 GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
                       const PendingSpec &Spec, const MachineConfig &Machine,
                       CacheHierarchy &Cache, BranchPredictor &SpecPredictor,
-                      uint64_t MaxGhostSteps) {
+                      uint64_t MaxGhostSteps, FaultInjector *Injector) {
   GhostOutcome Out;
 
   Interpreter Ghost(M, MainIn);
   Ghost.rng() = Spec.Rng;
   Ghost.startAt(Spec.Desc->F, Spec.Desc->PreForkEntry, 0, Spec.Regs);
 
-  GhostMemHooks Hooks(Spec.UndoLog);
+  GhostMemHooks Hooks(Spec.UndoLog, Injector);
   Ghost.setMemHooks(&Hooks);
 
   CoreTiming Core(Machine, Cache, SpecPredictor);
@@ -154,8 +168,9 @@ GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
         if (!GhostWroteLoopReg.count(S) && Spec.MainRegWrites.count(S))
           Entry.Reexec = true;
 
-    // Violations: stale memory reads.
-    if (R.IsLoad && Hooks.LastLoadViolated)
+    // Violations: stale memory reads, and injected value corruption
+    // (modelled as hardware-detected misspeculation).
+    if (R.IsLoad && (Hooks.LastLoadViolated || Hooks.LastLoadInjected))
       Entry.Reexec = true;
 
     // Violations: racing stateful builtins.
@@ -227,10 +242,12 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
                          const std::vector<Value> &Args,
                          const std::map<int64_t, SptLoopDesc> &Loops,
                          const MachineConfig &Machine, uint64_t MaxSteps,
-                         uint64_t RngSeed) {
+                         uint64_t RngSeed, FaultInjector *Injector) {
   const Function *F = M.findFunction(FnName);
   if (!F)
     spt_fatal("runSpt: no such function");
+  // An inert injector is the same as no injector.
+  FaultInjector *FI = Injector && Injector->enabled() ? Injector : nullptr;
 
   InterpOptions IOpts;
   IOpts.RngSeed = RngSeed;
@@ -288,11 +305,23 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
         if (In.topFrame().F == Desc.F) {
           // Spawn: snapshot the loop frame context.
           Core.charge(Machine.ForkOverhead);
+          if (FI)
+            Core.charge(FI->forkJitterSubticks());
           Spec = PendingSpec();
           Spec.LoopId = R.I->IntImm;
           Spec.Desc = &Desc;
           Spec.FrameDepth = Depth;
           Spec.Regs = In.topFrame().Regs;
+          if (FI && !Spec.Regs.empty() && FI->shouldFlipReg()) {
+            // Corrupt one snapshot register — the speculative thread's
+            // input state, where SVP's predicted values live. Marking it
+            // as a main-thread write makes ghost reads of it violations,
+            // i.e. the hardware detects the stale/wrong value and the
+            // dependent slice is re-executed.
+            const size_t Idx = FI->pickIndex(Spec.Regs.size());
+            Spec.Regs[Idx] = FI->corrupt(Spec.Regs[Idx]);
+            Spec.MainRegWrites.insert(static_cast<Reg>(Idx));
+          }
           Spec.Rng = In.rng();
           Spec.ForkSubtick = Core.now();
           PostForkHooks = std::make_unique<MainPostForkHooks>(In, Spec);
@@ -336,7 +365,9 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
 
         GhostOutcome Ghost = runGhost(M, In, Spec, Machine, Cache,
                                       SpecPredictor, /*MaxGhostSteps=*/
-                                      1u << 20);
+                                      1u << 20, FI);
+        if (Ghost.Completed && FI && FI->shouldForceSquash())
+          Ghost.Completed = false; // Injected: hardware lost the buffer.
         if (!Ghost.Completed) {
           // Squashed: the main thread simply executes the iteration
           // itself at full cost.
@@ -354,6 +385,8 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
         const uint64_t Joined = std::max(Core.now(), Ghost.EndSubtick);
         Core.advanceTo(Joined);
         Core.charge(Machine.CommitOverhead);
+        if (FI)
+          Core.charge(FI->commitJitterSubticks());
         Core.advanceTo(Core.now() + Ghost.ReexecSubticks);
         State = Mode::Replay;
       }
@@ -389,5 +422,6 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
   Result.Instrs = Core.retired() + ReplayInstrs + ReexecInstrsTotal;
   Result.Result = In.returnValue();
   Result.Output = In.output();
+  Result.MemoryHash = In.memoryHash();
   return Result;
 }

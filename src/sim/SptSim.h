@@ -92,6 +92,9 @@ struct SptSimResult {
   uint64_t Instrs = 0; ///< Committed + re-executed instructions.
   Value Result;
   std::string Output;
+  /// Hash of the final array memory image (Interpreter::memoryHash), the
+  /// architectural state differential oracles compare against SeqSim.
+  uint64_t MemoryHash = 0;
   std::map<int64_t, SptLoopRunStats> PerLoop;
 
   double cycles() const {
@@ -103,14 +106,20 @@ struct SptSimResult {
   }
 };
 
+class FaultInjector;
+
 /// Simulates \p FnName(\p Args) of the transformed module. \p Loops maps
 /// each SPT loop id (the SPT_FORK/SPT_KILL immediate) to its location.
+/// \p Injector, when non-null, adversarially perturbs the speculation
+/// machinery (forced squashes, flipped speculative values, timing jitter —
+/// see sim/FaultInjector.h); architectural results must not change.
 SptSimResult runSpt(const Module &M, const std::string &FnName,
                     const std::vector<Value> &Args,
                     const std::map<int64_t, SptLoopDesc> &Loops,
                     const MachineConfig &Machine = MachineConfig(),
                     uint64_t MaxSteps = 500000000ull,
-                    uint64_t RngSeed = 0x5eed5eed5eedull);
+                    uint64_t RngSeed = 0x5eed5eed5eedull,
+                    FaultInjector *Injector = nullptr);
 
 } // namespace spt
 

@@ -1,0 +1,92 @@
+//===- support/Status.cpp - Recoverable errors and diagnostics ------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include "support/Debug.h"
+
+using namespace spt;
+
+const char *spt::diagStageName(DiagStage Stage) {
+  switch (Stage) {
+  case DiagStage::Driver:
+    return "driver";
+  case DiagStage::Unroll:
+    return "unroll";
+  case DiagStage::Profile:
+    return "profile";
+  case DiagStage::Svp:
+    return "svp";
+  case DiagStage::DepGraph:
+    return "depgraph";
+  case DiagStage::Partition:
+    return "partition";
+  case DiagStage::Transform:
+    return "transform";
+  case DiagStage::Simulate:
+    return "simulate";
+  }
+  spt_unreachable("unknown diagnostic stage");
+}
+
+const char *spt::diagSeverityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  spt_unreachable("unknown diagnostic severity");
+}
+
+std::string Diagnostic::render() const {
+  std::string Out = diagSeverityName(Severity);
+  Out += " [";
+  Out += diagStageName(Stage);
+  Out += "]";
+  if (!FuncName.empty()) {
+    Out += " ";
+    Out += FuncName;
+    if (LoopHeader != NoDiagBlock) {
+      Out += ":";
+      Out += std::to_string(LoopHeader);
+    }
+  }
+  Out += ": ";
+  Out += Detail;
+  return Out;
+}
+
+void DiagnosticLog::add(DiagStage Stage, DiagSeverity Severity,
+                        std::string Detail, std::string FuncName,
+                        DiagBlockId LoopHeader) {
+  Diagnostic D;
+  D.Stage = Stage;
+  D.Severity = Severity;
+  D.FuncName = std::move(FuncName);
+  D.LoopHeader = LoopHeader;
+  D.Detail = std::move(Detail);
+  Diags.push_back(std::move(D));
+}
+
+size_t DiagnosticLog::countAtLeast(DiagSeverity Severity) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (static_cast<int>(D.Severity) >= static_cast<int>(Severity))
+      ++N;
+  return N;
+}
+
+std::string DiagnosticLog::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,171 @@
+//===- support/Status.h - Recoverable errors and diagnostics --------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable-error plumbing for the compilation pipeline. The library
+/// historically had exactly two failure modes: succeed, or abort via
+/// spt_fatal. That is the right shape for invariant violations ("can't
+/// happen"), but a production compiler must *degrade* on hostile inputs —
+/// a single bad loop candidate, a truncated profile, a timed-out search —
+/// and keep going while telling the user what it skipped.
+///
+/// Three pieces:
+///  - Status / StatusOr<T>: a lightweight ok-or-error carrier (no
+///    exceptions; the library does not use them).
+///  - Diagnostic: one structured record — which pipeline stage, which loop
+///    (function + header block), how severe, and free-text detail.
+///  - DiagnosticLog: an append-only collector threaded through compileSpt
+///    and surfaced on the CompilationReport, so callers and tests can
+///    assert on exactly what degraded and why.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_STATUS_H
+#define SPT_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spt {
+
+/// Loop identity inside a diagnostic. support/ sits below ir/, so this
+/// mirrors ir's BlockId (uint32_t, ~0u = none) without including it.
+using DiagBlockId = uint32_t;
+inline constexpr DiagBlockId NoDiagBlock = ~0u;
+
+/// Success, or an error message. Default-constructed Status is success.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(std::string Msg) {
+    Status S;
+    S.Failed = true;
+    S.Msg = std::move(Msg);
+    if (S.Msg.empty())
+      S.Msg = "unknown error";
+    return S;
+  }
+
+  bool isOk() const { return !Failed; }
+  explicit operator bool() const { return isOk(); }
+
+  /// The error message; empty for success.
+  const std::string &message() const { return Msg; }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// A T, or an error explaining why there is none.
+template <typename T> class StatusOr {
+public:
+  StatusOr(T Value) : Val(std::move(Value)) {}
+  StatusOr(Status S) : St(std::move(S)) {
+    assert(!St.isOk() && "StatusOr from a success Status carries no value");
+  }
+
+  bool isOk() const { return St.isOk(); }
+  explicit operator bool() const { return isOk(); }
+
+  const Status &status() const { return St; }
+  const std::string &message() const { return St.message(); }
+
+  T &value() {
+    assert(isOk() && "value() on an errored StatusOr");
+    return Val;
+  }
+  const T &value() const {
+    assert(isOk() && "value() on an errored StatusOr");
+    return Val;
+  }
+
+  /// Returns the value, or \p Fallback when errored.
+  T valueOr(T Fallback) const { return isOk() ? Val : std::move(Fallback); }
+
+private:
+  Status St;
+  T Val{};
+};
+
+/// Pipeline stages a diagnostic can point at (compileSpt's phases).
+enum class DiagStage {
+  Driver,    ///< Cross-stage driver logic (mode degradation, budgets).
+  Unroll,    ///< Stage A: loop preprocessing.
+  Profile,   ///< Stage B: offline profiling.
+  Svp,       ///< Stage C: software value prediction.
+  DepGraph,  ///< Pass 1: dependence-graph construction.
+  Partition, ///< Pass 1/2: optimal-partition search.
+  Transform, ///< Pass 2: the SPT transformation.
+  Simulate,  ///< Downstream simulation (fault injection harnesses).
+};
+
+const char *diagStageName(DiagStage Stage);
+
+/// Diagnostic severity. Errors mean work was skipped; warnings mean the
+/// pipeline degraded but continued; notes are breadcrumbs.
+enum class DiagSeverity { Note, Warning, Error };
+
+const char *diagSeverityName(DiagSeverity Severity);
+
+/// One structured diagnostic record.
+struct Diagnostic {
+  DiagStage Stage = DiagStage::Driver;
+  DiagSeverity Severity = DiagSeverity::Note;
+  /// The loop the diagnostic is about, when it is about one: the enclosing
+  /// function's name and the loop's header block. Empty/NoBlock otherwise.
+  std::string FuncName;
+  DiagBlockId LoopHeader = NoDiagBlock;
+  std::string Detail;
+
+  /// "error [transform] f:3: un-moved definition precedes a moved one".
+  std::string render() const;
+};
+
+/// Append-only diagnostic collector.
+class DiagnosticLog {
+public:
+  void add(DiagStage Stage, DiagSeverity Severity, std::string Detail,
+           std::string FuncName = "", DiagBlockId LoopHeader = NoDiagBlock);
+
+  void note(DiagStage Stage, std::string Detail, std::string FuncName = "",
+            DiagBlockId LoopHeader = NoDiagBlock) {
+    add(Stage, DiagSeverity::Note, std::move(Detail), std::move(FuncName),
+        LoopHeader);
+  }
+  void warn(DiagStage Stage, std::string Detail, std::string FuncName = "",
+            DiagBlockId LoopHeader = NoDiagBlock) {
+    add(Stage, DiagSeverity::Warning, std::move(Detail), std::move(FuncName),
+        LoopHeader);
+  }
+  void error(DiagStage Stage, std::string Detail, std::string FuncName = "",
+             DiagBlockId LoopHeader = NoDiagBlock) {
+    add(Stage, DiagSeverity::Error, std::move(Detail), std::move(FuncName),
+        LoopHeader);
+  }
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  size_t size() const { return Diags.size(); }
+
+  size_t countAtLeast(DiagSeverity Severity) const;
+  bool hasErrors() const { return countAtLeast(DiagSeverity::Error) != 0; }
+
+  /// All diagnostics, one render() per line.
+  std::string renderAll() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_STATUS_H

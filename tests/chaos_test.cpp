@@ -1,0 +1,175 @@
+//===- tests/chaos_test.cpp - Differential fault-injection oracle ------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The chaos oracle: for a sweep of generated programs, every compilation
+// mode, and increasing fault-injection pressure, the speculative simulator
+// must produce architectural results — return value, program output, and
+// the final memory image hash — bit-identical to the sequential simulator
+// of the untransformed program. The injector forces squashes, corrupts
+// speculative values and jitters fork/commit timing; because the main
+// interpreter executes every iteration functionally, none of that may leak
+// into architectural state. A divergence here means the recovery
+// machinery (violation closure, re-execution slices, squash handling) is
+// consuming corrupted speculative state.
+//
+// All randomness — program shape, compiler, simulator rnd(), injector —
+// derives from the one master seed, so any failure reproduces from the
+// test name alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SptCompiler.h"
+#include "ir/Verifier.h"
+#include "lang/Frontend.h"
+#include "lang/ProgramGenerator.h"
+#include "sim/FaultInjector.h"
+#include "sim/SeqSim.h"
+#include "sim/SptSim.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+/// Squash pressure levels of the sweep; the nonzero levels also enable
+/// value flips and timing jitter scaled off the same rate.
+constexpr double kSquashRates[] = {0.0, 0.1, 0.5};
+
+FaultInjectorOptions injectorOptionsFor(double SquashRate, uint64_t Seed) {
+  FaultInjectorOptions FO;
+  FO.Seed = Seed;
+  FO.ForcedSquashRate = SquashRate;
+  FO.LoadFlipRate = SquashRate * 0.5;
+  FO.RegFlipRate = SquashRate * 0.25;
+  FO.TimingJitterRate = SquashRate;
+  return FO;
+}
+
+class ChaosOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ChaosOracleTest, FaultsNeverChangeArchitecturalResults) {
+  const uint64_t MasterSeed = GetParam();
+  Random Derive(MasterSeed ^ 0xc4a05ull);
+  const uint64_t CompilerSeed = Derive.next();
+  const uint64_t SimSeed = Derive.next();
+
+  const std::string Source = generateProgram(MasterSeed);
+  auto BaseM = compileOrDie(Source);
+  const SeqSimResult Ref = runSequential(*BaseM, "main", {},
+                                         MachineConfig(), 500000000ull,
+                                         SimSeed);
+
+  for (CompilationMode Mode :
+       {CompilationMode::Basic, CompilationMode::Best,
+        CompilationMode::Anticipated}) {
+    auto M = compileOrDie(Source);
+    SptCompilerOptions Opts;
+    Opts.Mode = Mode;
+    Opts.RngSeed = CompilerSeed;
+    CompilationReport Report = compileSpt(*M, Opts);
+    ASSERT_EQ(verifyModule(*M), "")
+        << "seed " << MasterSeed << " mode " << compilationModeName(Mode);
+
+    for (double Rate : kSquashRates) {
+      FaultInjector FI(injectorOptionsFor(
+          Rate, Derive.next() ^ static_cast<uint64_t>(Mode)));
+      SptSimResult Sim =
+          runSpt(*M, "main", {}, Report.SptLoops, MachineConfig(),
+                 500000000ull, SimSeed, &FI);
+      const std::string Where =
+          "seed " + std::to_string(MasterSeed) + " mode " +
+          compilationModeName(Mode) + " squash rate " +
+          std::to_string(Rate) + " (injected " +
+          std::to_string(FI.stats().total()) + " faults)";
+      ASSERT_EQ(Sim.Result.I, Ref.Result.I) << Where << "\n" << Source;
+      ASSERT_EQ(Sim.Output, Ref.Output) << Where;
+      ASSERT_EQ(Sim.MemoryHash, Ref.MemoryHash)
+          << Where << " (memory image diverged)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosOracleTest,
+                         ::testing::Range<uint64_t>(1, 51));
+
+// The oracle is vacuous if the injector never fires: a hot loop the Best
+// mode reliably selects must take real faults at the aggressive rate and
+// still converge, with recovery visible in the run statistics.
+TEST(ChaosInjectionTest, InjectorFiresAndRecoveryIsVisible) {
+  static const char *Source =
+      "fp a[2048]; fp b[2048]; int out[4];\n"
+      "void setup() {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 2048; i = i + 1) a[i] = itof(i % 97) / 9.7;\n"
+      "}\n"
+      "int main() {\n"
+      "  int i; int r; fp s;\n"
+      "  setup();\n"
+      "  for (r = 0; r < 6; r = r + 1) {\n"
+      "    for (i = 0; i < 2048; i = i + 1) {\n"
+      "      fp v;\n"
+      "      v = a[i] * 3.0 + 1.0;\n"
+      "      v = v / 7.0 + sqrt(v) * 1.25;\n"
+      "      v = v * v + sqrt(v + 2.0);\n"
+      "      b[i] = v;\n"
+      "      s = s + v;\n"
+      "    }\n"
+      "  }\n"
+      "  out[0] = ftoi(s);\n"
+      "  return out[0];\n"
+      "}\n";
+
+  auto Base = compileOrDie(Source);
+  const SeqSimResult Ref = runSequential(*Base, "main");
+
+  auto M = compileOrDie(Source);
+  SptCompilerOptions Opts;
+  Opts.Mode = CompilationMode::Best;
+  CompilationReport Report = compileSpt(*M, Opts);
+  ASSERT_FALSE(Report.SptLoops.empty())
+      << "the chaos workload must actually speculate";
+
+  FaultInjector FI(injectorOptionsFor(0.5, 0xfa17u));
+  SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops,
+                            MachineConfig(), 500000000ull,
+                            0x5eed5eed5eedull, &FI);
+  EXPECT_GT(FI.stats().total(), 0u) << "injector never fired";
+  EXPECT_GT(FI.stats().ForcedSquashes, 0u);
+  EXPECT_EQ(Sim.Result.I, Ref.Result.I);
+  EXPECT_EQ(Sim.Output, Ref.Output);
+  EXPECT_EQ(Sim.MemoryHash, Ref.MemoryHash);
+
+  uint64_t Squashed = 0;
+  for (const auto &[Id, Stats] : Sim.PerLoop) {
+    (void)Id;
+    Squashed += Stats.Squashed;
+  }
+  EXPECT_GT(Squashed, 0u) << "forced squashes not visible in loop stats";
+}
+
+// Same program, same seeds, same rates: the injector must be bit-for-bit
+// deterministic so failures reproduce.
+TEST(ChaosInjectionTest, DeterministicPerSeed) {
+  const std::string Source = generateProgram(5);
+  auto M = compileOrDie(Source);
+  SptCompilerOptions Opts;
+  Opts.Mode = CompilationMode::Best;
+  CompilationReport Report = compileSpt(*M, Opts);
+
+  auto runOnce = [&] {
+    FaultInjector FI(injectorOptionsFor(0.3, 1234));
+    SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops,
+                              MachineConfig(), 500000000ull,
+                              0x5eed5eed5eedull, &FI);
+    return std::make_tuple(Sim.Subticks, Sim.Instrs, Sim.MemoryHash,
+                           FI.stats().total());
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}

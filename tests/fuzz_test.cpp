@@ -19,15 +19,38 @@
 #include "ir/Verifier.h"
 #include "lang/Frontend.h"
 #include "lang/ProgramGenerator.h"
+#include "sim/FaultInjector.h"
 #include "sim/SptSim.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
 
 using namespace spt;
 
 namespace {
 
 class FuzzPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+class FaultedFuzzPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Writes a self-contained reproducer — the generated source plus the
+/// exact seeds and rates as comments — next to the test binary, so one
+/// failing sweep entry can be replayed without re-running the sweep.
+std::string dumpReproducer(uint64_t Seed, const std::string &Source,
+                           const char *ModeName, double Rate) {
+  const std::string Path =
+      "fuzz_repro_seed" + std::to_string(Seed) + ".sptc";
+  std::ofstream Out(Path);
+  Out << "// fuzz reproducer\n"
+      << "// generator seed: " << Seed << "\n"
+      << "// mode: " << ModeName << "\n"
+      << "// injector: squash=" << Rate << " loadflip=" << Rate * 0.5
+      << " regflip=" << Rate * 0.25 << " jitter=" << Rate
+      << " seed=" << Seed << "\n"
+      << Source;
+  return Path;
+}
 
 } // namespace
 
@@ -70,6 +93,57 @@ TEST_P(FuzzPipelineTest, GeneratedProgramsSurviveEveryMode) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
                          ::testing::Range<uint64_t>(1, 41));
+
+// The fault-injected sweep: a disjoint, larger seed range through the
+// full compiler and a speculative simulation under injected squashes,
+// value flips and timing jitter. Any divergence dumps a reproducer file
+// (.sptc source annotated with every seed and rate involved) before
+// failing, so the first broken seed is immediately replayable.
+TEST_P(FaultedFuzzPipelineTest, FaultInjectedSweepMatchesReference) {
+  const uint64_t Seed = GetParam();
+  constexpr double Rate = 0.3;
+  const std::string Source = generateProgram(Seed);
+
+  CompileResult Base = compileSource(Source);
+  ASSERT_TRUE(Base.ok()) << "seed " << Seed;
+  RunOutcome Want = runFunction(*Base.M, "main");
+
+  for (CompilationMode Mode :
+       {CompilationMode::Basic, CompilationMode::Best,
+        CompilationMode::Anticipated}) {
+    auto M = compileOrDie(Source);
+    SptCompilerOptions Opts;
+    Opts.Mode = Mode;
+    CompilationReport Report = compileSpt(*M, Opts);
+    EXPECT_EQ(verifyModule(*M), "")
+        << "seed " << Seed << " mode " << compilationModeName(Mode);
+
+    FaultInjectorOptions FO;
+    FO.Seed = Seed;
+    FO.ForcedSquashRate = Rate;
+    FO.LoadFlipRate = Rate * 0.5;
+    FO.RegFlipRate = Rate * 0.25;
+    FO.TimingJitterRate = Rate;
+    FaultInjector FI(FO);
+    SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops,
+                              MachineConfig(), 500000000ull,
+                              0x5eed5eed5eedull, &FI);
+    EXPECT_EQ(Sim.Result.I, Want.Result.I)
+        << "seed " << Seed << " mode " << compilationModeName(Mode);
+    EXPECT_EQ(Sim.Output, Want.Output)
+        << "seed " << Seed << " mode " << compilationModeName(Mode);
+
+    if (HasFailure()) {
+      const std::string Path =
+          dumpReproducer(Seed, Source, compilationModeName(Mode), Rate);
+      FAIL() << "fault-injected pipeline diverged; reproducer dumped to "
+             << Path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultedFuzzPipelineTest,
+                         ::testing::Range<uint64_t>(1000, 1040));
 
 TEST(FuzzGeneratorTest, DeterministicPerSeed) {
   EXPECT_EQ(generateProgram(7), generateProgram(7));

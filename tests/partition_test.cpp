@@ -190,6 +190,46 @@ TEST(PartitionTest, CyclicCandidatesMoveTogether) {
   EXPECT_NEAR(R.Cost, 0.0, 1e-12);
 }
 
+TEST(PartitionBudgetTest, NodeBudgetTruncationIsReported) {
+  LoopDepGraph G = paperGraph();
+  MisspecCostModel Model(G);
+  PartitionOptions Opts;
+  Opts.PreForkSizeFraction = 1.0;
+  Opts.EnableSizePrune = false;
+  Opts.EnableLowerBoundPrune = false;
+
+  PartitionResult Full = PartitionSearch(G, Model, Opts).run();
+  ASSERT_TRUE(Full.Searched);
+  EXPECT_FALSE(Full.BudgetExhausted);
+  ASSERT_EQ(Full.NodesVisited, 6u);
+
+  Opts.MaxSearchNodes = 2; // Truncate the six-node space.
+  PartitionResult R = PartitionSearch(G, Model, Opts).run();
+  EXPECT_TRUE(R.Searched);
+  EXPECT_TRUE(R.BudgetExhausted) << "truncation must not be silent";
+  EXPECT_LT(R.NodesVisited, Full.NodesVisited);
+  // The best incumbent is kept: a well-formed partition no worse than
+  // not speculating at all, not a poisoned result.
+  EXPECT_EQ(R.InPreFork.size(), G.size());
+  EXPECT_LE(R.Cost, Model.emptyPartitionCost() + 1e-12);
+}
+
+TEST(PartitionBudgetTest, WallClockDeadlineTruncationIsReported) {
+  LoopDepGraph G = paperGraph();
+  MisspecCostModel Model(G);
+  PartitionOptions Opts;
+  Opts.PreForkSizeFraction = 1.0;
+  Opts.EnableSizePrune = false;
+  Opts.EnableLowerBoundPrune = false;
+  Opts.MaxSearchSeconds = 1e-12; // Expired by the first deadline check.
+  PartitionResult R = PartitionSearch(G, Model, Opts).run();
+  EXPECT_TRUE(R.Searched);
+  EXPECT_TRUE(R.BudgetExhausted);
+  EXPECT_LT(R.NodesVisited, 6u);
+  EXPECT_EQ(R.InPreFork.size(), G.size());
+  EXPECT_LE(R.Cost, Model.emptyPartitionCost() + 1e-12);
+}
+
 TEST(PartitionTest, RealLoopMovesInductionVariable) {
   // The Figure 2 pattern: an accumulator + induction loop. The optimal
   // partition moves the induction update (and whatever it needs) into the

@@ -7,6 +7,7 @@
 #include "support/OStream.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
+#include "support/Status.h"
 #include "support/Table.h"
 
 #include <gtest/gtest.h>
@@ -148,4 +149,81 @@ TEST(TableTest, CsvOutput) {
 TEST(FormatTest, Helpers) {
   EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
   EXPECT_EQ(formatPercent(0.086, 1), "8.6%");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.isOk());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.message(), "");
+  EXPECT_TRUE(Status::ok().isOk());
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status S = Status::error("profile truncated");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.message(), "profile truncated");
+  EXPECT_EQ(Status::error("").message(), "unknown error");
+}
+
+TEST(StatusTest, StatusOrValueAndError) {
+  StatusOr<int> V(42);
+  ASSERT_TRUE(V.isOk());
+  EXPECT_EQ(V.value(), 42);
+  EXPECT_EQ(V.valueOr(7), 42);
+
+  StatusOr<int> E(Status::error("nope"));
+  EXPECT_FALSE(E.isOk());
+  EXPECT_EQ(E.message(), "nope");
+  EXPECT_EQ(E.valueOr(7), 7);
+}
+
+TEST(DiagnosticTest, RenderFormat) {
+  Diagnostic D;
+  D.Stage = DiagStage::Transform;
+  D.Severity = DiagSeverity::Error;
+  D.FuncName = "f";
+  D.LoopHeader = 3;
+  D.Detail = "un-moved definition precedes a moved one";
+  EXPECT_EQ(D.render(),
+            "error [transform] f:3: un-moved definition precedes a moved one");
+
+  Diagnostic Bare;
+  Bare.Stage = DiagStage::Profile;
+  Bare.Severity = DiagSeverity::Warning;
+  Bare.Detail = "profiling run failed";
+  EXPECT_EQ(Bare.render(), "warning [profile]: profiling run failed");
+}
+
+TEST(DiagnosticTest, LogCountsAndRenders) {
+  DiagnosticLog Log;
+  EXPECT_TRUE(Log.empty());
+  Log.note(DiagStage::Driver, "starting");
+  Log.warn(DiagStage::Profile, "degrading", "main");
+  Log.error(DiagStage::Partition, "search failed", "main", 5);
+  EXPECT_EQ(Log.size(), 3u);
+  EXPECT_EQ(Log.countAtLeast(DiagSeverity::Note), 3u);
+  EXPECT_EQ(Log.countAtLeast(DiagSeverity::Warning), 2u);
+  EXPECT_EQ(Log.countAtLeast(DiagSeverity::Error), 1u);
+  EXPECT_TRUE(Log.hasErrors());
+
+  const std::string All = Log.renderAll();
+  EXPECT_NE(All.find("note [driver]: starting"), std::string::npos);
+  EXPECT_NE(All.find("warning [profile] main: degrading"), std::string::npos);
+  EXPECT_NE(All.find("error [partition] main:5: search failed"),
+            std::string::npos);
+}
+
+TEST(DiagnosticTest, StageAndSeverityNames) {
+  EXPECT_STREQ(diagStageName(DiagStage::Driver), "driver");
+  EXPECT_STREQ(diagStageName(DiagStage::Unroll), "unroll");
+  EXPECT_STREQ(diagStageName(DiagStage::Profile), "profile");
+  EXPECT_STREQ(diagStageName(DiagStage::Svp), "svp");
+  EXPECT_STREQ(diagStageName(DiagStage::DepGraph), "depgraph");
+  EXPECT_STREQ(diagStageName(DiagStage::Partition), "partition");
+  EXPECT_STREQ(diagStageName(DiagStage::Transform), "transform");
+  EXPECT_STREQ(diagStageName(DiagStage::Simulate), "simulate");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Note), "note");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Warning), "warning");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Error), "error");
 }
