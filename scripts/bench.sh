@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Compile-time performance benchmark: builds the Release preset and runs
+# bench/perf_compile over the full workload suite, writing the measured
+# pass-1 + partition-search timings to BENCH_compile.json at the repo
+# root (see docs/performance.md for what the numbers mean).
+#
+#   ./scripts/bench.sh                 # full run, BENCH_compile.json
+#   ./scripts/bench.sh --quick         # small stress graphs, 1 repeat
+#   ./scripts/bench.sh --out=foo.json  # alternate output path
+#
+# Extra flags are passed through to perf_compile (--jobs=N, --repeat=N).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [release] configure"
+cmake --preset release
+echo "== [release] build perf_compile"
+cmake --build --preset release -j "$JOBS" --target perf_compile
+
+OUT_SET=0
+for arg in "$@"; do
+  case "$arg" in
+    --out=*) OUT_SET=1 ;;
+  esac
+done
+
+ARGS=("$@")
+if [ "$OUT_SET" -eq 0 ]; then
+  ARGS+=("--out=$PWD/BENCH_compile.json")
+fi
+
+echo "== perf_compile ${ARGS[*]}"
+./build-release/bench/perf_compile "${ARGS[@]}"

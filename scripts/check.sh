@@ -27,4 +27,14 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "$preset"
 done
 
+# Smoke-run the compile-time benchmark (small stress graphs, one repeat)
+# from the default build: it fails when the three pass-1 configurations
+# or the stress searches stop being bit-identical, which the full test
+# suite cannot see at benchmark scale. Full measurements come from
+# scripts/bench.sh.
+if [[ " ${PRESETS[*]} " == *" default "* ]]; then
+  echo "== [default] perf_compile --quick"
+  ./build/bench/perf_compile --quick --out=build/BENCH_compile_quick.json
+fi
+
 echo "== all presets passed: ${PRESETS[*]}"

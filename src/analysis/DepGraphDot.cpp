@@ -63,9 +63,11 @@ void spt::writeDepGraphDot(OStream &OS, const Module &M,
       // Trim the trailing "; id N" comment for readability.
       const size_t Semi = Label.rfind("  ; id ");
       if (Semi != std::string::npos)
-        Label = Label.substr(0, Semi);
+        Label.resize(Semi); // (not substr-self-assign: GCC 12 -O3 trips
+                            // -Werror=restrict on the overlapping copy)
     } else {
-      Label = "s" + std::to_string(SI);
+      Label = "s"; // (split append: GCC 12 -O3 trips -Werror=restrict
+      Label += std::to_string(SI); // on operator+(const char*, &&))
     }
     Label += "\\nfreq " + formatDouble(S.IterFreq, 2);
 

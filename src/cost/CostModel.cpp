@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+#include <queue>
 
 using namespace spt;
 
@@ -16,9 +18,26 @@ namespace {
 
 double clamp01(double X) { return X < 0.0 ? 0.0 : (X > 1.0 ? 1.0 : X); }
 
+/// CSR over (key -> value) pairs emitted in insertion order: Off[k]..Off[k+1]
+/// indexes Out with the values of key k, preserving relative order.
+void buildCsr(uint32_t NumKeys, const std::vector<std::pair<uint32_t, uint32_t>> &Pairs,
+              std::vector<uint32_t> &Out, std::vector<uint32_t> &Off) {
+  Off.assign(NumKeys + 1, 0);
+  for (const auto &P : Pairs)
+    ++Off[P.first + 1];
+  for (uint32_t K = 0; K != NumKeys; ++K)
+    Off[K + 1] += Off[K];
+  Out.resize(Pairs.size());
+  std::vector<uint32_t> Cursor(Off.begin(), Off.end() - 1);
+  for (const auto &P : Pairs)
+    Out[Cursor[P.first]++] = P.second;
+}
+
 } // namespace
 
-MisspecCostModel::MisspecCostModel(const LoopDepGraph &G) : G(&G) {
+MisspecCostModel::MisspecCostModel(const LoopDepGraph &G,
+                                   bool ReferenceConstruction)
+    : G(&G) {
   const uint32_t N = static_cast<uint32_t>(G.size());
 
   // Seeds: every cross-iteration flow edge, grouped by violation candidate.
@@ -60,36 +79,137 @@ MisspecCostModel::MisspecCostModel(const LoopDepGraph &G) : G(&G) {
   for (uint32_t PI = 0; PI != Prop.size(); ++PI)
     InOf[Prop[PI].Dst].push_back(PI);
 
-  // Kahn topological order over the reachable propagation subgraph.
+  // Out-edge CSR over the propagation edges, preserving edge order so the
+  // min-heap Kahn below pushes ready successors in the exact order the
+  // reference edge rescan did.
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+    Pairs.reserve(Prop.size());
+    for (uint32_t PI = 0; PI != Prop.size(); ++PI)
+      Pairs.emplace_back(Prop[PI].Src, PI);
+    buildCsr(N, Pairs, PropOut, PropOutOff);
+  }
+
+  // Kahn topological order over the reachable propagation subgraph,
+  // popping the smallest ready statement for determinism.
   std::vector<uint32_t> InDegree(N, 0);
   for (const PropEdge &E : Prop)
     ++InDegree[E.Dst];
-  std::vector<uint32_t> Queue;
-  for (uint32_t SI = 0; SI != N; ++SI)
-    if (Reach[SI] && InDegree[SI] == 0)
-      Queue.push_back(SI);
   std::vector<uint8_t> Emitted(N, 0);
-  while (!Queue.empty()) {
-    // Pop the smallest for determinism.
-    auto MinIt = std::min_element(Queue.begin(), Queue.end());
-    const uint32_t Cur = *MinIt;
-    Queue.erase(MinIt);
-    Order.push_back(Cur);
-    Emitted[Cur] = 1;
-    for (const PropEdge &E : Prop)
-      if (E.Src == Cur && --InDegree[E.Dst] == 0)
-        Queue.push_back(E.Dst);
+  if (ReferenceConstruction) {
+    // Retained pre-optimization path: O(V) min_element pops and a full
+    // edge rescan per emitted node (perf_compile's baseline).
+    std::vector<uint32_t> Queue;
+    for (uint32_t SI = 0; SI != N; ++SI)
+      if (Reach[SI] && InDegree[SI] == 0)
+        Queue.push_back(SI);
+    while (!Queue.empty()) {
+      auto MinIt = std::min_element(Queue.begin(), Queue.end());
+      const uint32_t Cur = *MinIt;
+      Queue.erase(MinIt);
+      Order.push_back(Cur);
+      Emitted[Cur] = 1;
+      for (const PropEdge &E : Prop)
+        if (E.Src == Cur && --InDegree[E.Dst] == 0)
+          Queue.push_back(E.Dst);
+    }
+  } else {
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<uint32_t>>
+        Heap;
+    for (uint32_t SI = 0; SI != N; ++SI)
+      if (Reach[SI] && InDegree[SI] == 0)
+        Heap.push(SI);
+    while (!Heap.empty()) {
+      const uint32_t Cur = Heap.top();
+      Heap.pop();
+      Order.push_back(Cur);
+      Emitted[Cur] = 1;
+      for (uint32_t K = PropOutOff[Cur]; K != PropOutOff[Cur + 1]; ++K) {
+        const PropEdge &E = Prop[PropOut[K]];
+        if (--InDegree[E.Dst] == 0)
+          Heap.push(E.Dst);
+      }
+    }
   }
   for (uint32_t SI = 0; SI != N; ++SI)
     if (Reach[SI] && !Emitted[SI]) {
       Order.push_back(SI); // Member of a cycle.
       Cyclic = true;
     }
+
+  buildDerivedStructures(ReferenceConstruction);
+}
+
+void MisspecCostModel::buildDerivedStructures(bool /*ReferenceConstruction*/) {
+  const uint32_t N = static_cast<uint32_t>(G->size());
+
+  SeedContribution.resize(Seeds.size());
+  for (uint32_t SI = 0; SI != Seeds.size(); ++SI)
+    SeedContribution[SI] =
+        Seeds[SI].Prob * violationProbability(Seeds[SI].Vc);
+
+  {
+    std::vector<std::pair<uint32_t, uint32_t>> ByDst, ByVc;
+    ByDst.reserve(Seeds.size());
+    ByVc.reserve(Seeds.size());
+    for (uint32_t SI = 0; SI != Seeds.size(); ++SI) {
+      ByDst.emplace_back(Seeds[SI].Dst, SI);
+      ByVc.emplace_back(Seeds[SI].Vc, SI);
+    }
+    buildCsr(N, ByDst, SeedsOfDst, SeedsOfDstOff);
+    buildCsr(N, ByVc, SeedsOfVc, SeedsOfVcOff);
+  }
+
+  for (uint32_t SI = 0; SI != N; ++SI)
+    if (Reach[SI])
+      ReachList.push_back(SI);
+
+  OrderPos.assign(N, ~0u);
+  for (uint32_t Pos = 0; Pos != Order.size(); ++Pos)
+    OrderPos[Order[Pos]] = Pos;
+
+  ReachPos.assign(N, ~0u);
+  for (uint32_t Pos = 0; Pos != ReachList.size(); ++Pos)
+    ReachPos[ReachList[Pos]] = Pos;
+
+  InEdgeOff.assign(N + 1, 0);
+  InEdges.clear();
+  InEdges.reserve(Prop.size());
+  for (uint32_t C = 0; C != N; ++C) {
+    InEdgeOff[C] = static_cast<uint32_t>(InEdges.size());
+    for (uint32_t PI : InOf[C])
+      InEdges.push_back(InEdge{Prop[PI].Src, Prop[PI].Prob});
+  }
+  InEdgeOff[N] = static_cast<uint32_t>(InEdges.size());
+
+  ReachW.resize(ReachList.size());
+  ReachF.resize(ReachList.size());
+  for (uint32_t Pos = 0; Pos != ReachList.size(); ++Pos) {
+    const LoopStmt &S = G->stmt(ReachList[Pos]);
+    ReachW[Pos] = S.Weight;
+    ReachF[Pos] = S.IterFreq;
+  }
+
+  AllSeedDsts.reserve(Seeds.size());
+  {
+    std::vector<uint8_t> SeenDst(N, 0);
+    for (const CrossSeed &S : Seeds)
+      if (!SeenDst[S.Dst]) {
+        SeenDst[S.Dst] = 1;
+        AllSeedDsts.push_back(S.Dst);
+      }
+    std::sort(AllSeedDsts.begin(), AllSeedDsts.end());
+  }
 }
 
 double MisspecCostModel::violationProbability(uint32_t StmtIdx) const {
   return clamp01(G->stmt(StmtIdx).IterFreq);
 }
+
+//===----------------------------------------------------------------------===//
+// Reference path (retained naive implementation)
+//===----------------------------------------------------------------------===//
 
 void MisspecCostModel::propagate(std::vector<double> &V,
                                  const PartitionSet &InPreFork) const {
@@ -150,4 +270,331 @@ MisspecCostModel::reexecProbabilities(const PartitionSet &InPreFork) const {
 double MisspecCostModel::emptyPartitionCost() const {
   PartitionSet Empty(G->size(), 0);
   return cost(Empty);
+}
+
+//===----------------------------------------------------------------------===//
+// Scratch path (allocation-free, incremental)
+//===----------------------------------------------------------------------===//
+
+double MisspecCostModel::recomputeBase(uint32_t Dst, const uint8_t *InPre,
+                                       const uint8_t *ExtraGroup) const {
+  // Folds Dst's seed contributions in global seed order — the same order
+  // (and therefore the same rounding) as propagate()'s single pass over
+  // all seeds, because contributions to distinct targets commute freely.
+  double B = 0.0;
+  for (uint32_t K = SeedsOfDstOff[Dst]; K != SeedsOfDstOff[Dst + 1]; ++K) {
+    const uint32_t SI = SeedsOfDst[K];
+    const CrossSeed &S = Seeds[SI];
+    if (InPre[S.Vc] || (ExtraGroup && ExtraGroup[S.Vc]))
+      continue;
+    B = 1.0 - (1.0 - B) * (1.0 - SeedContribution[SI]);
+  }
+  return B;
+}
+
+void MisspecCostModel::propagateFull(std::vector<double> &V,
+                                     std::vector<double> &Base,
+                                     const uint8_t *InPre,
+                                     const uint8_t *ExtraGroup) const {
+  std::fill(V.begin(), V.end(), 0.0);
+  std::fill(Base.begin(), Base.end(), 0.0);
+  for (uint32_t SI = 0; SI != Seeds.size(); ++SI) {
+    const CrossSeed &S = Seeds[SI];
+    if (InPre[S.Vc] || (ExtraGroup && ExtraGroup[S.Vc]))
+      continue;
+    Base[S.Dst] = 1.0 - (1.0 - Base[S.Dst]) * (1.0 - SeedContribution[SI]);
+  }
+  const int MaxSweeps = Cyclic ? 100 : 1;
+  for (int Sweep = 0; Sweep != MaxSweeps; ++Sweep) {
+    double MaxDelta = 0.0;
+    for (uint32_t C : Order) {
+      double KeepProb = 1.0 - Base[C];
+      for (uint32_t K = InEdgeOff[C]; K != InEdgeOff[C + 1]; ++K)
+        KeepProb *= (1.0 - InEdges[K].Prob * V[InEdges[K].Src]);
+      const double NewV = clamp01(1.0 - KeepProb);
+      MaxDelta = std::max(MaxDelta, std::fabs(NewV - V[C]));
+      V[C] = NewV;
+    }
+    if (MaxDelta < 1e-10)
+      break;
+  }
+}
+
+double MisspecCostModel::sumCost(const double *V) const {
+  double Total = 0.0;
+  for (uint32_t SI : ReachList) {
+    const LoopStmt &S = G->stmt(SI);
+    Total += V[SI] * S.Weight * S.IterFreq;
+  }
+  return Total;
+}
+
+double MisspecCostModel::refillCostPrefix(Scratch &S, uint32_t FromPos) const {
+  const uint32_t NumReach = static_cast<uint32_t>(ReachList.size());
+  const double *V = S.V.data();
+  double *Prefix = S.CostPrefix.data();
+  double Total = Prefix[FromPos];
+  for (uint32_t K = FromPos; K != NumReach; ++K) {
+    Total += V[ReachList[K]] * ReachW[K] * ReachF[K];
+    Prefix[K + 1] = Total;
+  }
+  return Total;
+}
+
+void MisspecCostModel::initScratch(Scratch &S,
+                                   const PartitionSet &InPreFork) const {
+  assert(InPreFork.size() == G->size() && "partition size mismatch");
+  const size_t N = G->size();
+  S.V.assign(N, 0.0);
+  S.Base.assign(N, 0.0);
+  S.TmpV.assign(N, 0.0);
+  S.TmpBase.assign(N, 0.0);
+  S.InPre.assign(InPreFork.begin(), InPreFork.end());
+  S.InCone.assign(N, 0);
+  S.InBase.assign(N, 0);
+  S.InGroup.assign(N, 0);
+  S.VTrail.clear();
+  S.BaseTrail.clear();
+  S.PreTrail.clear();
+  S.PrefixTrail.clear();
+  S.Frames.clear();
+  propagateFull(S.V, S.Base, S.InPre.data(), nullptr);
+  S.CostPrefix.assign(ReachList.size() + 1, 0.0);
+  S.PrefixValidTo = static_cast<uint32_t>(ReachList.size());
+  S.Cost = refillCostPrefix(S, 0);
+}
+
+MisspecCostModel::TogglePlan
+MisspecCostModel::planToggle(std::vector<uint32_t> Vcs) const {
+  TogglePlan Plan;
+  Plan.Vcs = std::move(Vcs);
+  if (Cyclic)
+    return Plan; // Toggles fall back to full re-propagation anyway.
+
+  const uint32_t N = static_cast<uint32_t>(G->size());
+  std::vector<uint8_t> Mark(N, 0);
+  std::vector<uint32_t> Work;
+  for (uint32_t Vc : Plan.Vcs)
+    for (uint32_t K = SeedsOfVcOff[Vc]; K != SeedsOfVcOff[Vc + 1]; ++K) {
+      const uint32_t Dst = Seeds[SeedsOfVc[K]].Dst;
+      if (!Mark[Dst]) {
+        Mark[Dst] = 1;
+        Plan.BaseDsts.push_back(Dst);
+        Work.push_back(Dst);
+      }
+    }
+  std::sort(Plan.BaseDsts.begin(), Plan.BaseDsts.end());
+
+  // Forward closure over the propagation edges: every statement whose
+  // re-execution probability can change when these seeds change.
+  Plan.Cone = Plan.BaseDsts;
+  while (!Work.empty()) {
+    const uint32_t Cur = Work.back();
+    Work.pop_back();
+    for (uint32_t K = PropOutOff[Cur]; K != PropOutOff[Cur + 1]; ++K) {
+      const uint32_t Dst = Prop[PropOut[K]].Dst;
+      if (!Mark[Dst]) {
+        Mark[Dst] = 1;
+        Plan.Cone.push_back(Dst);
+        Work.push_back(Dst);
+      }
+    }
+  }
+  std::sort(Plan.Cone.begin(), Plan.Cone.end(),
+            [this](uint32_t A, uint32_t B) {
+              return OrderPos[A] < OrderPos[B];
+            });
+  Plan.FirstReachPos = static_cast<uint32_t>(ReachList.size());
+  for (uint32_t C : Plan.Cone)
+    Plan.FirstReachPos = std::min(Plan.FirstReachPos, ReachPos[C]);
+  return Plan;
+}
+
+double MisspecCostModel::costWithToggled(Scratch &S,
+                                         const TogglePlan &Plan) const {
+  assert(S.InPre.size() == G->size() && "scratch not initialized");
+
+  if (Cyclic) {
+    // Fixpoint iteration from a warm start can converge to different
+    // rounding than the reference's cold start, so cyclic graphs always
+    // re-propagate fully (still allocation-free via the Tmp buffers).
+    for (uint32_t Vc : Plan.Vcs)
+      S.InGroup[Vc] = 1;
+    propagateFull(S.TmpV, S.TmpBase, S.InPre.data(), S.InGroup.data());
+    for (uint32_t Vc : Plan.Vcs)
+      S.InGroup[Vc] = 0;
+    return sumCost(S.TmpV.data());
+  }
+
+  for (uint32_t Vc : Plan.Vcs) {
+    assert(!S.InPre[Vc] && "toggled candidate already committed");
+    S.InGroup[Vc] = 1;
+  }
+  for (uint32_t Dst : Plan.BaseDsts) {
+    S.TmpBase[Dst] = recomputeBase(Dst, S.InPre.data(), S.InGroup.data());
+    S.InBase[Dst] = 1;
+  }
+  for (uint32_t C : Plan.Cone) {
+    double KeepProb = 1.0 - (S.InBase[C] ? S.TmpBase[C] : S.Base[C]);
+    for (uint32_t K = InEdgeOff[C]; K != InEdgeOff[C + 1]; ++K) {
+      const InEdge &E = InEdges[K];
+      const double VSrc = S.InCone[E.Src] ? S.TmpV[E.Src] : S.V[E.Src];
+      KeepProb *= (1.0 - E.Prob * VSrc);
+    }
+    S.TmpV[C] = clamp01(1.0 - KeepProb);
+    S.InCone[C] = 1;
+  }
+
+  double Total = 0.0;
+  for (uint32_t SI : ReachList) {
+    const LoopStmt &St = G->stmt(SI);
+    const double V = S.InCone[SI] ? S.TmpV[SI] : S.V[SI];
+    Total += V * St.Weight * St.IterFreq;
+  }
+
+  for (uint32_t Vc : Plan.Vcs)
+    S.InGroup[Vc] = 0;
+  for (uint32_t Dst : Plan.BaseDsts)
+    S.InBase[Dst] = 0;
+  for (uint32_t C : Plan.Cone)
+    S.InCone[C] = 0;
+  return Total;
+}
+
+double
+MisspecCostModel::costWithToggled(Scratch &S, const PartitionSet &BasePartition,
+                                  const std::vector<uint32_t> &VcGroup) const {
+  if (S.InPre.size() != G->size() ||
+      !std::equal(S.InPre.begin(), S.InPre.end(), BasePartition.begin(),
+                  [](uint8_t A, uint8_t B) { return (A != 0) == (B != 0); }))
+    initScratch(S, BasePartition);
+  return costWithToggled(S, planToggle(VcGroup));
+}
+
+double MisspecCostModel::refreshCost(Scratch &S) const {
+  const uint32_t NumReach = static_cast<uint32_t>(ReachList.size());
+  if (S.PrefixValidTo != NumReach) {
+    const uint32_t From = S.PrefixValidTo;
+    assert(!S.Frames.empty() && "stale prefix without a commit frame");
+    assert(S.Frames.back().PrefixPos == NumReach &&
+           "at most one refresh per commit frame");
+    S.Frames.back().PrefixPos = From;
+    const uint32_t Count = NumReach - From;
+    const size_t PBase = S.PrefixTrail.size();
+    S.PrefixTrail.resize(PBase + Count);
+    std::memcpy(S.PrefixTrail.data() + PBase, S.CostPrefix.data() + From + 1,
+                Count * sizeof(double));
+    S.Cost = refillCostPrefix(S, From);
+    S.PrefixValidTo = NumReach;
+  }
+  return S.CostPrefix[NumReach];
+}
+
+void MisspecCostModel::applyCommittedDelta(Scratch &S, const TogglePlan &Plan,
+                                           bool Refresh) const {
+  if (Cyclic) {
+    // Record the full solution (cycles are rare), then re-propagate.
+    for (uint32_t C : Order)
+      S.VTrail.push_back(Scratch::Saved{C, S.V[C]});
+    for (uint32_t Dst : AllSeedDsts)
+      S.BaseTrail.push_back(Scratch::Saved{Dst, S.Base[Dst]});
+    propagateFull(S.V, S.Base, S.InPre.data(), nullptr);
+    S.PrefixValidTo = 0;
+  } else {
+    const size_t BBase = S.BaseTrail.size();
+    S.BaseTrail.resize(BBase + Plan.BaseDsts.size());
+    Scratch::Saved *BT = S.BaseTrail.data() + BBase;
+    for (uint32_t Dst : Plan.BaseDsts) {
+      *BT++ = Scratch::Saved{Dst, S.Base[Dst]};
+      S.Base[Dst] = recomputeBase(Dst, S.InPre.data(), nullptr);
+    }
+    const size_t VBase = S.VTrail.size();
+    S.VTrail.resize(VBase + Plan.Cone.size());
+    Scratch::Saved *VT = S.VTrail.data() + VBase;
+    double *V = S.V.data();
+    for (uint32_t C : Plan.Cone) {
+      *VT++ = Scratch::Saved{C, V[C]};
+      double KeepProb = 1.0 - S.Base[C];
+      for (uint32_t K = InEdgeOff[C]; K != InEdgeOff[C + 1]; ++K)
+        KeepProb *= (1.0 - InEdges[K].Prob * V[InEdges[K].Src]);
+      V[C] = clamp01(1.0 - KeepProb);
+    }
+    // Terms below the cone's first reachable position are unchanged, so
+    // their stored partials still match a cold sum; only the watermark
+    // above it drops.
+    S.PrefixValidTo = std::min(S.PrefixValidTo, Plan.FirstReachPos);
+  }
+  if (Refresh)
+    refreshCost(S);
+}
+
+namespace {
+/// Pushes the undo frame every commit entry point starts with.
+void pushFrame(MisspecCostModel::Scratch &S) {
+  S.Frames.push_back(MisspecCostModel::Scratch::Frame{
+      static_cast<uint32_t>(S.VTrail.size()),
+      static_cast<uint32_t>(S.BaseTrail.size()),
+      static_cast<uint32_t>(S.PreTrail.size()),
+      static_cast<uint32_t>(S.CostPrefix.size() - 1), S.PrefixValidTo,
+      S.Cost});
+}
+} // namespace
+
+void MisspecCostModel::commitToggle(Scratch &S, const TogglePlan &Plan) const {
+  assert(S.InPre.size() == G->size() && "scratch not initialized");
+  pushFrame(S);
+  for (uint32_t Vc : Plan.Vcs) {
+    assert(!S.InPre[Vc] && "toggled candidate already committed");
+    S.PreTrail.push_back(Scratch::SavedPre{Vc, S.InPre[Vc]});
+    S.InPre[Vc] = 1;
+  }
+  applyCommittedDelta(S, Plan, /*Refresh=*/true);
+}
+
+void MisspecCostModel::commitUntoggle(Scratch &S,
+                                      const TogglePlan &Plan) const {
+  assert(S.InPre.size() == G->size() && "scratch not initialized");
+  pushFrame(S);
+  for (uint32_t Vc : Plan.Vcs) {
+    assert(S.InPre[Vc] && "untoggled candidate not committed");
+    S.PreTrail.push_back(Scratch::SavedPre{Vc, S.InPre[Vc]});
+    S.InPre[Vc] = 0;
+  }
+  applyCommittedDelta(S, Plan, /*Refresh=*/true);
+}
+
+void MisspecCostModel::commitUntoggleDeferred(Scratch &S,
+                                              const TogglePlan &Plan) const {
+  assert(S.InPre.size() == G->size() && "scratch not initialized");
+  pushFrame(S);
+  for (uint32_t Vc : Plan.Vcs) {
+    assert(S.InPre[Vc] && "untoggled candidate not committed");
+    S.PreTrail.push_back(Scratch::SavedPre{Vc, S.InPre[Vc]});
+    S.InPre[Vc] = 0;
+  }
+  applyCommittedDelta(S, Plan, /*Refresh=*/false);
+}
+
+void MisspecCostModel::undoToggle(Scratch &S) const {
+  assert(!S.Frames.empty() && "undoToggle without a matching commit");
+  const Scratch::Frame F = S.Frames.back();
+  S.Frames.pop_back();
+  for (size_t K = S.VTrail.size(); K != F.VSize; --K)
+    S.V[S.VTrail[K - 1].Idx] = S.VTrail[K - 1].Old;
+  S.VTrail.resize(F.VSize);
+  for (size_t K = S.BaseTrail.size(); K != F.BaseSize; --K)
+    S.Base[S.BaseTrail[K - 1].Idx] = S.BaseTrail[K - 1].Old;
+  S.BaseTrail.resize(F.BaseSize);
+  for (size_t K = S.PreTrail.size(); K != F.PreSize; --K)
+    S.InPre[S.PreTrail[K - 1].Idx] = S.PreTrail[K - 1].Old;
+  S.PreTrail.resize(F.PreSize);
+  const uint32_t PrefixCount =
+      static_cast<uint32_t>(ReachList.size()) - F.PrefixPos;
+  const size_t PrefixBase = S.PrefixTrail.size() - PrefixCount;
+  std::memcpy(S.CostPrefix.data() + F.PrefixPos + 1,
+              S.PrefixTrail.data() + PrefixBase,
+              PrefixCount * sizeof(double));
+  S.PrefixTrail.resize(PrefixBase);
+  S.PrefixValidTo = F.SavedValidTo;
+  S.Cost = F.OldCost;
 }

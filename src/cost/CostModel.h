@@ -30,6 +30,22 @@
 /// is the operation's weight times its per-iteration execution frequency;
 /// pseudo nodes are excluded, exactly as in the paper.
 ///
+/// Two evaluation paths exist:
+///
+///  - The *reference* path (cost(), reexecProbabilities()): allocates fresh
+///    buffers and recomputes everything per call. It is the retained naive
+///    implementation the differential tests and perf_compile's pre-PR
+///    baseline measure against, and stays the convenient API for one-shot
+///    callers.
+///  - The *scratch* path (initScratch()/costWithToggled()/commitToggle()/
+///    undoToggle()): allocation-free on the hot path. A Scratch caches the
+///    committed partition's full propagation solution; toggling a group of
+///    violation candidates into the pre-fork region re-propagates only the
+///    cone of statements reachable from the toggled candidates' seed
+///    targets. Both paths perform floating-point operations in the same
+///    order on the same operands, so their results are bit-identical —
+///    a property tests/cost_incremental_test.cpp enforces.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPT_COST_COSTMODEL_H
@@ -49,11 +65,17 @@ using PartitionSet = std::vector<uint8_t>;
 /// The reusable (per-loop) cost-graph; evaluate per candidate partition.
 class MisspecCostModel {
 public:
-  explicit MisspecCostModel(const LoopDepGraph &G);
+  /// \p ReferenceConstruction selects the pre-optimization construction
+  /// path (O(E*V) Kahn edge rescans, O(V^2) deterministic queue) retained
+  /// for the perf_compile baseline. Both constructions produce identical
+  /// graphs and identical topological orders.
+  explicit MisspecCostModel(const LoopDepGraph &G,
+                            bool ReferenceConstruction = false);
 
   const LoopDepGraph &depGraph() const { return *G; }
 
   /// Misspeculation cost of \p InPreFork (size must equal G->size()).
+  /// Reference path: allocates and recomputes from scratch per call.
   double cost(const PartitionSet &InPreFork) const;
 
   /// Per-statement re-execution probabilities for \p InPreFork. Entries
@@ -68,11 +90,143 @@ public:
   /// violation candidate's cross edges).
   const std::vector<uint8_t> &reachable() const { return Reach; }
 
+  /// Quasi-topological processing order over the cost graph (for the
+  /// min-heap Kahn regression tests).
+  const std::vector<uint32_t> &topoOrder() const { return Order; }
+
   /// Cost of the trivial partition (empty pre-fork region).
   double emptyPartitionCost() const;
 
   /// True when the evaluation needed fixpoint sweeps (cyclic cost graph).
   bool hasCycles() const { return Cyclic; }
+
+  //===--------------------------------------------------------------------===//
+  // Allocation-free scratch evaluation
+  //===--------------------------------------------------------------------===//
+
+  /// Reusable evaluation state. One Scratch belongs to one caller (the
+  /// model itself stays const and shareable across threads); every buffer
+  /// is sized by initScratch() and never allocates afterwards.
+  struct Scratch {
+    // Committed state: the full propagation solution for InPre.
+    std::vector<double> V;      ///< Committed re-execution probabilities.
+    std::vector<double> Base;   ///< Committed pseudo-node contributions.
+    std::vector<uint8_t> InPre; ///< Committed partition (stmt-indexed).
+    double Cost = 0.0;          ///< Cost of the committed partition.
+    /// CostPrefix[K]: the cost sum after folding the first K ReachList
+    /// terms — exactly the running partials a cold left-to-right
+    /// sumCost() produces, so a commit whose cone starts at ReachList
+    /// position P can resume the sum from CostPrefix[P] and stay
+    /// bit-identical while re-adding only the tail.
+    std::vector<double> CostPrefix;
+    /// Entries [0, PrefixValidTo] of CostPrefix match a cold sum of the
+    /// current V. Deferred commits only lower this watermark instead of
+    /// re-summing; refreshCost() settles the tail once before a read.
+    /// Cost == CostPrefix.back() whenever the watermark is full.
+    uint32_t PrefixValidTo = 0;
+
+    // Query buffers: costWithToggled() writes tentative values here.
+    std::vector<double> TmpV, TmpBase;
+    std::vector<uint8_t> InCone;  ///< Stmt had its V recomputed this query.
+    std::vector<uint8_t> InBase;  ///< Stmt had its Base recomputed.
+    std::vector<uint8_t> InGroup; ///< Stmt is a toggled candidate.
+
+    // Undo trail: one frame per commit entry point.
+    struct Saved {
+      uint32_t Idx;
+      double Old;
+      Saved() {} // Deliberately uninitialized: trail slots bulk-appended
+                 // with resize() are always overwritten immediately, and
+                 // default-init (unlike value-init) skips the zero fill.
+      Saved(uint32_t Idx, double Old) : Idx(Idx), Old(Old) {}
+    };
+    struct SavedPre {
+      uint32_t Idx;
+      uint8_t Old;
+    };
+    std::vector<Saved> VTrail, BaseTrail;
+    std::vector<SavedPre> PreTrail;
+    /// Overwritten CostPrefix tail entries, contiguous per frame.
+    std::vector<double> PrefixTrail;
+    struct Frame {
+      uint32_t VSize, BaseSize, PreSize;
+      /// First ReachList position whose prefix entry a refresh rewrote
+      /// while this frame was on top (ReachList.size() when none did);
+      /// the frame's PrefixTrail span restores [PrefixPos+1, NumReach].
+      uint32_t PrefixPos;
+      /// PrefixValidTo before this commit, restored on undo.
+      uint32_t SavedValidTo;
+      double OldCost;
+    };
+    std::vector<Frame> Frames;
+
+    size_t depth() const { return Frames.size(); }
+  };
+
+  /// The precomputed footprint of toggling one violation-candidate group:
+  /// the seed targets whose Base changes and the cone of statements whose
+  /// re-execution probability can change, in propagation order. Plans
+  /// depend only on the group, never on the partition, so searches build
+  /// them once and reuse them at every tree node.
+  struct TogglePlan {
+    std::vector<uint32_t> Vcs;      ///< Toggled candidate stmt indices.
+    std::vector<uint32_t> BaseDsts; ///< Seed targets to recompute (sorted).
+    std::vector<uint32_t> Cone;     ///< Affected stmts in topo order.
+    /// Smallest ReachList position of a cone member: the first term of
+    /// the cost sum the toggle can change. Commits resume the running
+    /// prefix sum here instead of re-summing the whole cost graph.
+    uint32_t FirstReachPos = 0;
+  };
+
+  /// Seeds \p S with the full propagation solution of \p InPreFork and
+  /// clears the undo trail. The only scratch entry point that allocates.
+  void initScratch(Scratch &S, const PartitionSet &InPreFork) const;
+
+  /// Builds the toggle footprint for \p Vcs (unused on cyclic graphs,
+  /// where every toggle falls back to a full re-propagation).
+  TogglePlan planToggle(std::vector<uint32_t> Vcs) const;
+
+  /// Cost of the committed partition with the plan's candidates
+  /// additionally placed in the pre-fork region. Does not change the
+  /// committed state. The candidates must not already be committed.
+  double costWithToggled(Scratch &S, const TogglePlan &Plan) const;
+
+  /// Convenience overload: verifies \p BasePartition matches the committed
+  /// scratch state (re-seeding the scratch when it does not) and evaluates
+  /// \p VcGroup through an on-the-fly plan.
+  double costWithToggled(Scratch &S, const PartitionSet &BasePartition,
+                         const std::vector<uint32_t> &VcGroup) const;
+
+  /// Commits the plan's candidates into the scratch's partition, updating
+  /// V/Base/Cost incrementally and pushing an undo frame.
+  void commitToggle(Scratch &S, const TogglePlan &Plan) const;
+
+  /// The inverse commit: removes the plan's (currently committed)
+  /// candidates from the scratch's partition, with the same incremental
+  /// cone update and undo frame. A toggle's footprint is symmetric —
+  /// exactly the statements in the plan's cone can differ between the two
+  /// partitions — so removal re-propagates the same cone and stays
+  /// bit-identical to a fresh evaluation. The partition search uses this
+  /// to slide a second scratch across the movable suffix, turning every
+  /// lower-bound probe into a cached read (see PartitionSearch).
+  void commitUntoggle(Scratch &S, const TogglePlan &Plan) const;
+
+  /// commitUntoggle() with the cost re-sum deferred: the committed
+  /// V/Base update happens now while CostPrefix keeps its stale tail and
+  /// only the validity watermark drops. Use when several commits land
+  /// between cost reads — refreshCost() then settles the sum once, from
+  /// the lowest invalidated position, instead of once per commit. Until
+  /// that refresh, S.Cost is meaningless.
+  void commitUntoggleDeferred(Scratch &S, const TogglePlan &Plan) const;
+
+  /// Settles CostPrefix/Cost after deferred commits with one tail re-sum
+  /// from the first stale position — the identical fold a cold sum
+  /// performs — and returns the committed partition's cost.
+  double refreshCost(Scratch &S) const;
+
+  /// Reverts the most recent commit (toggle, untoggle, or deferred),
+  /// including any cost refresh that happened on top of it.
+  void undoToggle(Scratch &S) const;
 
 private:
   struct CrossSeed {
@@ -85,8 +239,38 @@ private:
     uint32_t Dst;
     double Prob;
   };
+  /// One incoming propagation edge, packed for the scratch path's cone
+  /// loops: per-destination contiguous, in the exact per-destination
+  /// order of InOf so the product folds identically.
+  struct InEdge {
+    uint32_t Src;
+    double Prob;
+  };
 
   void propagate(std::vector<double> &V, const PartitionSet &InPreFork) const;
+  /// Allocation-free full propagation into caller-sized buffers; a
+  /// statement counts as pre-fork when InPre[s] or (ExtraGroup &&
+  /// ExtraGroup[s]). Performs the identical operation sequence as
+  /// propagate().
+  void propagateFull(std::vector<double> &V, std::vector<double> &Base,
+                     const uint8_t *InPre, const uint8_t *ExtraGroup) const;
+  /// Base[Dst] recomputed from Dst's seeds under the same membership rule.
+  double recomputeBase(uint32_t Dst, const uint8_t *InPre,
+                       const uint8_t *ExtraGroup) const;
+  /// Σ v(c) * Cost(c) over the cost graph, reading V per statement.
+  double sumCost(const double *V) const;
+  /// Resumes the committed cost sum from ReachList position \p FromPos,
+  /// reusing the stored partial below it and rewriting CostPrefix for
+  /// the tail — the identical operation sequence a cold sumCost()
+  /// performs from that point, hence bit-identical totals.
+  double refillCostPrefix(Scratch &S, uint32_t FromPos) const;
+  /// Shared tail of the commit entry points: after InPre has been
+  /// flipped (and trailed), re-propagates the plan's cone in place with
+  /// trails, lowers the prefix watermark, and — unless deferred —
+  /// refreshes S.Cost.
+  void applyCommittedDelta(Scratch &S, const TogglePlan &Plan,
+                           bool Refresh) const;
+  void buildDerivedStructures(bool ReferenceConstruction);
 
   const LoopDepGraph *G;
   std::vector<CrossSeed> Seeds;
@@ -95,6 +279,22 @@ private:
   std::vector<uint8_t> Reach;
   std::vector<uint32_t> Order; ///< Quasi-topological processing order.
   bool Cyclic = false;
+
+  // Derived structures for the scratch path (built once per model).
+  std::vector<double> SeedContribution; ///< Prob * violationProbability.
+  std::vector<uint32_t> SeedsOfDst, SeedsOfDstOff; ///< CSR, seed order.
+  std::vector<uint32_t> SeedsOfVc, SeedsOfVcOff;   ///< CSR, seed order.
+  std::vector<uint32_t> PropOut, PropOutOff;       ///< CSR, edge order.
+  std::vector<uint32_t> ReachList; ///< Reachable stmts, ascending.
+  std::vector<uint32_t> OrderPos;  ///< Position in Order (~0u if absent).
+  std::vector<uint32_t> ReachPos;  ///< Position in ReachList (~0u).
+  std::vector<InEdge> InEdges;     ///< Flat CSR mirror of InOf.
+  std::vector<uint32_t> InEdgeOff; ///< Per-Dst offsets into InEdges.
+  /// Weight and IterFreq of each ReachList statement, flat in ReachList
+  /// order, so the hot prefix re-sum streams instead of gathering from
+  /// the statement table. The sum still folds (V * W) * F left to right.
+  std::vector<double> ReachW, ReachF;
+  std::vector<uint32_t> AllSeedDsts; ///< Deduped seed targets, sorted.
 };
 
 } // namespace spt

@@ -19,8 +19,12 @@
 #include "transform/SptTransform.h"
 #include "transform/Unroll.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <set>
 
@@ -233,6 +237,7 @@ private:
     P.PreForkSizeFraction = Opts.PreForkSizeFraction;
     P.MaxViolationCandidates = Opts.MaxViolationCandidates;
     P.MaxSearchSeconds = Opts.MaxPartitionSeconds;
+    P.ReferenceEvaluation = Opts.ReferencePartitionEvaluation;
     return P;
   }
 
@@ -250,6 +255,13 @@ private:
   void stageProfile();
   void stageSvp();
   void passOne();
+  /// Pass-1 analysis of one loop candidate. Const because candidates may
+  /// evaluate concurrently: shared state is read-only here, and all
+  /// outputs land in the caller-owned \p Rec / \p Diags / \p Blocks.
+  void evaluateLoopCandidate(const Function &F, const FuncAnalysis &A,
+                             const Loop &L, const CallEffects &Effects,
+                             LoopRecord &Rec, DiagnosticLog &Diags,
+                             std::set<BlockId> &Blocks) const;
   void passTwo();
 
   Module &M;
@@ -458,7 +470,7 @@ void Compilation::stageSvp() {
         LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
                                              A.Freq, Effects,
                                              depGraphOptions(*F, *L));
-        MisspecCostModel Model(G);
+        MisspecCostModel Model(G, Opts.ReferencePartitionEvaluation);
         PartitionSearch Search(G, Model, partitionOptions());
         PartitionResult Current = Search.run();
         if (!Current.Searched ||
@@ -515,132 +527,163 @@ void Compilation::stageSvp() {
   }
 }
 
-void Compilation::passOne() {
-  CallEffects Effects = CallEffects::compute(M);
-  for (Function *F : definedFunctions()) {
-    FuncAnalysis A(*F, &Profile->Edges);
-    for (uint32_t LI = 0; LI != A.Nest.numLoops(); ++LI) {
-      const Loop *L = A.Nest.loop(LI);
-      LoopRecord Rec;
-      Rec.FuncName = F->name();
-      Rec.Header = L->Header;
-      Rec.Depth = L->Depth;
-      Rec.Counted = isCountedLoop(*F, *L);
-      auto UnrollIt = Unrolled.find({F->name(), L->Header});
-      if (UnrollIt != Unrolled.end()) {
-        Rec.UnrollFactor = UnrollIt->second.Factor;
-        Rec.Counted = Rec.Counted || UnrollIt->second.WasCounted;
-      }
-      Rec.SvpApplied = SvpByLoop.count({F->name(), L->Header}) != 0;
-      Rec.BodyWeight = loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
-      Rec.TripCount = A.Freq.avgTripCount(*L);
-      if (A.Counts && L->Header < A.Counts->Block.size())
-        Rec.ProfiledIterations = A.Counts->Block[L->Header];
-      Rec.Work = static_cast<double>(Rec.ProfiledIterations) *
-                 Rec.BodyWeight;
-      LoopBlocks[{F->name(), L->Header}] =
-          std::set<BlockId>(L->Blocks.begin(), L->Blocks.end());
+void Compilation::evaluateLoopCandidate(const Function &F,
+                                        const FuncAnalysis &A, const Loop &L,
+                                        const CallEffects &Effects,
+                                        LoopRecord &Rec, DiagnosticLog &Diags,
+                                        std::set<BlockId> &Blocks) const {
+  Rec.FuncName = F.name();
+  Rec.Header = L.Header;
+  Rec.Depth = L.Depth;
+  Rec.Counted = isCountedLoop(F, L);
+  auto UnrollIt = Unrolled.find({F.name(), L.Header});
+  if (UnrollIt != Unrolled.end()) {
+    Rec.UnrollFactor = UnrollIt->second.Factor;
+    Rec.Counted = Rec.Counted || UnrollIt->second.WasCounted;
+  }
+  Rec.SvpApplied = SvpByLoop.count({F.name(), L.Header}) != 0;
+  Rec.BodyWeight = loopDynamicWeight(M, F, L, A.Freq, &FuncWeights);
+  Rec.TripCount = A.Freq.avgTripCount(L);
+  if (A.Counts && L.Header < A.Counts->Block.size())
+    Rec.ProfiledIterations = A.Counts->Block[L.Header];
+  Rec.Work = static_cast<double>(Rec.ProfiledIterations) * Rec.BodyWeight;
+  Blocks = std::set<BlockId>(L.Blocks.begin(), L.Blocks.end());
 
-      // Selection criteria (Section 6.1), cheapest first.
-      if (Rec.ProfiledIterations == 0) {
-        Rec.Reason = RejectReason::NeverExecuted;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
-      if (Rec.BodyWeight > Opts.MaxBodyWeight) {
-        Rec.Reason = RejectReason::BodyTooLarge;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
-      if (Rec.BodyWeight < Opts.MinBodyWeight) {
-        Rec.Reason = RejectReason::BodyTooSmall;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
-      if (Rec.TripCount < Opts.MinTripCount) {
-        Rec.Reason = RejectReason::LowTripCount;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
+  // Selection criteria (Section 6.1), cheapest first.
+  if (Rec.ProfiledIterations == 0) {
+    Rec.Reason = RejectReason::NeverExecuted;
+    return;
+  }
+  if (Rec.BodyWeight > Opts.MaxBodyWeight) {
+    Rec.Reason = RejectReason::BodyTooLarge;
+    return;
+  }
+  if (Rec.BodyWeight < Opts.MinBodyWeight) {
+    Rec.Reason = RejectReason::BodyTooSmall;
+    return;
+  }
+  if (Rec.TripCount < Opts.MinTripCount) {
+    Rec.Reason = RejectReason::LowTripCount;
+    return;
+  }
 
-      try {
-      LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
-                                           A.Freq, Effects,
-                                           depGraphOptions(*F, *L));
-      MisspecCostModel Model(G);
-      PartitionSearch Search(G, Model, partitionOptions());
-      Rec.Partition = Search.run();
-      if (Rec.Partition.BudgetExhausted) {
-        // Not a rejection by itself: the best incumbent found within the
-        // budget still competes below. Record that the search was cut
-        // short so the truncation is never silent.
-        Rec.FailureDetail =
-            "partition search budget exhausted; kept best incumbent";
-        Report.Diags.warn(DiagStage::Partition, Rec.FailureDetail,
-                          F->name(), L->Header);
-      }
-      if (!Rec.Partition.Searched) {
-        Rec.Reason = RejectReason::TooManyVcs;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
-      if (Rec.Partition.Cost > Opts.CostFraction * Rec.BodyWeight) {
-        Rec.Reason = RejectReason::HighCost;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
+  try {
+    LoopDepGraph G = LoopDepGraph::build(M, F, A.Cfg, A.Nest, L, A.Freq,
+                                         Effects, depGraphOptions(F, L));
+    MisspecCostModel Model(G, Opts.ReferencePartitionEvaluation);
+    PartitionSearch Search(G, Model, partitionOptions());
+    Rec.Partition = Search.run();
+    if (Rec.Partition.BudgetExhausted) {
+      // Not a rejection by itself: the best incumbent found within the
+      // budget still competes below. Record that the search was cut
+      // short so the truncation is never silent.
+      Rec.FailureDetail =
+          "partition search budget exhausted; kept best incumbent";
+      Diags.warn(DiagStage::Partition, Rec.FailureDetail, F.name(),
+                 L.Header);
+    }
+    if (!Rec.Partition.Searched) {
+      Rec.Reason = RejectReason::TooManyVcs;
+      return;
+    }
+    if (Rec.Partition.Cost > Opts.CostFraction * Rec.BodyWeight) {
+      Rec.Reason = RejectReason::HighCost;
+      return;
+    }
 
-      // Analytic steady-state estimate. The speculative thread executes
-      // one whole iteration serially, so its leg is bounded below by the
-      // iteration's dependence critical path; the sequential core instead
-      // overlaps consecutive iterations up to its issue bandwidth. A pair
-      // of iterations costs 2 * seqIter sequentially versus
-      // pre-fork + spec-leg + overheads + expected re-execution under SPT.
-      double CriticalPath = 0.0;
-      {
-        std::vector<double> Longest(G.size(), 0.0);
-        // Statements are in RPO order; intra edges are forward except
-        // through inner back edges, which a longest-path estimate may
-        // safely ignore.
-        for (uint32_t SI = 0; SI != G.size(); ++SI) {
-          double Here =
-              Longest[SI] + weightOfStmtImpl(M, G.stmt(SI), FuncWeights);
-          CriticalPath = std::max(CriticalPath, Here);
-          for (uint32_t EI : G.outEdges(SI)) {
-            const DepEdge &DE = G.edges()[EI];
-            if (!DE.Cross && isFlowDep(DE.Kind) && DE.Dst > SI)
-              Longest[DE.Dst] = std::max(Longest[DE.Dst], Here);
-          }
+    // Analytic steady-state estimate. The speculative thread executes
+    // one whole iteration serially, so its leg is bounded below by the
+    // iteration's dependence critical path; the sequential core instead
+    // overlaps consecutive iterations up to its issue bandwidth. A pair
+    // of iterations costs 2 * seqIter sequentially versus
+    // pre-fork + spec-leg + overheads + expected re-execution under SPT.
+    double CriticalPath = 0.0;
+    {
+      std::vector<double> Longest(G.size(), 0.0);
+      // Statements are in RPO order; intra edges are forward except
+      // through inner back edges, which a longest-path estimate may
+      // safely ignore.
+      for (uint32_t SI = 0; SI != G.size(); ++SI) {
+        double Here =
+            Longest[SI] + weightOfStmtImpl(M, G.stmt(SI), FuncWeights);
+        CriticalPath = std::max(CriticalPath, Here);
+        for (uint32_t EI : G.outEdges(SI)) {
+          const DepEdge &DE = G.edges()[EI];
+          if (!DE.Cross && isFlowDep(DE.Kind) && DE.Dst > SI)
+            Longest[DE.Dst] = std::max(Longest[DE.Dst], Here);
         }
       }
-      const double SeqIter =
-          std::max(Rec.BodyWeight * 0.55, CriticalPath * 0.8);
-      const double SpecLeg = std::max(Rec.BodyWeight * 0.5, CriticalPath);
-      const double ParPair = Rec.Partition.PreForkWeight + SpecLeg +
-                             Opts.ForkOverheadWeight +
-                             Opts.CommitOverheadWeight +
-                             Opts.JoinSerializationWeight +
-                             Rec.Partition.Cost;
-      Rec.GainEstimate = (2.0 * SeqIter) / ParPair;
-      if (Rec.GainEstimate <= Opts.MinGainEstimate) {
-        Rec.Reason = RejectReason::NoGain;
-        Report.Loops.push_back(std::move(Rec));
-        continue;
-      }
-
-      Rec.Reason = RejectReason::Selected;
-      Report.Loops.push_back(std::move(Rec));
-      } catch (const std::exception &E) {
-        Rec.Reason = RejectReason::StageError;
-        Rec.FailureDetail =
-            std::string("pass-1 dependence/partition analysis failed: ") +
-            E.what();
-        Report.Diags.error(DiagStage::Partition, Rec.FailureDetail,
-                           F->name(), L->Header);
-        Report.Loops.push_back(std::move(Rec));
-      }
     }
+    const double SeqIter =
+        std::max(Rec.BodyWeight * 0.55, CriticalPath * 0.8);
+    const double SpecLeg = std::max(Rec.BodyWeight * 0.5, CriticalPath);
+    const double ParPair = Rec.Partition.PreForkWeight + SpecLeg +
+                           Opts.ForkOverheadWeight +
+                           Opts.CommitOverheadWeight +
+                           Opts.JoinSerializationWeight +
+                           Rec.Partition.Cost;
+    Rec.GainEstimate = (2.0 * SeqIter) / ParPair;
+    if (Rec.GainEstimate <= Opts.MinGainEstimate) {
+      Rec.Reason = RejectReason::NoGain;
+      return;
+    }
+
+    Rec.Reason = RejectReason::Selected;
+  } catch (const std::exception &E) {
+    Rec.Reason = RejectReason::StageError;
+    Rec.FailureDetail =
+        std::string("pass-1 dependence/partition analysis failed: ") +
+        E.what();
+    Diags.error(DiagStage::Partition, Rec.FailureDetail, F.name(), L.Header);
   }
+}
+
+void Compilation::passOne() {
+  const auto PassStart = std::chrono::steady_clock::now();
+  CallEffects Effects = CallEffects::compute(M);
+
+  // Gather the independent loop candidates in deterministic order
+  // (function order, then loop index), sharing one analysis per function.
+  struct Candidate {
+    const Function *F = nullptr;
+    std::shared_ptr<FuncAnalysis> A;
+    const Loop *L = nullptr;
+  };
+  std::vector<Candidate> Cands;
+  for (Function *F : definedFunctions()) {
+    auto A = std::make_shared<FuncAnalysis>(*F, &Profile->Edges);
+    for (uint32_t LI = 0; LI != A->Nest.numLoops(); ++LI)
+      Cands.push_back(Candidate{F, A, A->Nest.loop(LI)});
+  }
+
+  // Evaluate candidates — concurrently when Jobs allows it. Every shared
+  // input (module, profile, weights, options) is only read; every output
+  // lands in the candidate's own slot and merges below in candidate
+  // order, so the report is byte-identical at any job count.
+  struct CandResult {
+    LoopRecord Rec;
+    DiagnosticLog Diags;
+    std::set<BlockId> Blocks;
+  };
+  std::vector<CandResult> Results(Cands.size());
+  const unsigned Jobs =
+      Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
+  parallelForIndexed(Jobs, Cands.size(), [&](size_t I) {
+    evaluateLoopCandidate(*Cands[I].F, *Cands[I].A, *Cands[I].L, Effects,
+                          Results[I].Rec, Results[I].Diags,
+                          Results[I].Blocks);
+  });
+
+  for (CandResult &R : Results) {
+    LoopBlocks[{R.Rec.FuncName, R.Rec.Header}] = std::move(R.Blocks);
+    for (const Diagnostic &D : R.Diags.all())
+      Report.Diags.add(D);
+    Report.Loops.push_back(std::move(R.Rec));
+  }
+  Report.PassOneSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    PassStart)
+          .count();
 }
 
 void Compilation::passTwo() {
@@ -698,7 +741,7 @@ void Compilation::passTwo() {
     }
     LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L, A.Freq,
                                          Effects, depGraphOptions(*F, *L));
-    MisspecCostModel Model(G);
+    MisspecCostModel Model(G, Opts.ReferencePartitionEvaluation);
     PartitionResult P = PartitionSearch(G, Model, partitionOptions()).run();
     if (P.BudgetExhausted) {
       Rec.FailureDetail =
@@ -785,4 +828,103 @@ CompilationReport Compilation::run() {
 CompilationReport spt::compileSpt(Module &M, const SptCompilerOptions &Opts) {
   Compilation C(M, Opts);
   return C.run();
+}
+
+namespace {
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string spt::renderReportDeterministic(const CompilationReport &Report) {
+  std::string Out;
+  Out += "mode=";
+  Out += compilationModeName(Report.Mode);
+  Out += " effective=";
+  Out += compilationModeName(Report.EffectiveMode);
+  Out += " degraded=";
+  Out += Report.Degraded ? '1' : '0';
+  Out += '\n';
+
+  for (const LoopRecord &R : Report.Loops) {
+    Out += "loop ";
+    Out += R.FuncName;
+    Out += ':';
+    Out += std::to_string(R.Header);
+    Out += " depth=" + std::to_string(R.Depth);
+    Out += " counted=";
+    Out += R.Counted ? '1' : '0';
+    Out += " unroll=" + std::to_string(R.UnrollFactor);
+    Out += " svp=";
+    Out += R.SvpApplied ? '1' : '0';
+    Out += " bodyWeight=";
+    appendDouble(Out, R.BodyWeight);
+    Out += " tripCount=";
+    appendDouble(Out, R.TripCount);
+    Out += " iters=" + std::to_string(R.ProfiledIterations);
+    Out += " work=";
+    appendDouble(Out, R.Work);
+    Out += " gain=";
+    appendDouble(Out, R.GainEstimate);
+    Out += " reason=\"";
+    Out += rejectReasonName(R.Reason);
+    Out += "\" detail=\"" + R.FailureDetail + "\"";
+    Out += " selected=";
+    Out += R.Selected ? '1' : '0';
+    Out += " sptId=" + std::to_string(R.SptLoopId);
+    Out += " carried=" + std::to_string(R.NumCarriedRegs);
+    Out += " moved=" + std::to_string(R.NumMovedStmts);
+    Out += '\n';
+
+    const PartitionResult &P = R.Partition;
+    Out += "  partition searched=";
+    Out += P.Searched ? '1' : '0';
+    Out += " exhausted=";
+    Out += P.BudgetExhausted ? '1' : '0';
+    Out += " cost=";
+    appendDouble(Out, P.Cost);
+    Out += " preForkWeight=";
+    appendDouble(Out, P.PreForkWeight);
+    Out += " bodyWeight=";
+    appendDouble(Out, P.BodyWeight);
+    Out += " nodes=" + std::to_string(P.NodesVisited);
+    Out += " sizePrunes=" + std::to_string(P.SizePrunes);
+    Out += " lbPrunes=" + std::to_string(P.LowerBoundPrunes);
+    Out += " costEvals=" + std::to_string(P.CostEvals);
+    Out += " vcs=" + std::to_string(P.NumViolationCandidates);
+    Out += " chosen=[";
+    for (size_t I = 0; I != P.ChosenVcs.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(P.ChosenVcs[I]);
+    }
+    Out += "] preFork=[";
+    bool First = true;
+    for (size_t I = 0; I != P.InPreFork.size(); ++I)
+      if (P.InPreFork[I]) {
+        if (!First)
+          Out += ',';
+        Out += std::to_string(I);
+        First = false;
+      }
+    Out += "]\n";
+  }
+
+  Out += "sptLoops=[";
+  bool First = true;
+  for (const auto &[Id, Desc] : Report.SptLoops) {
+    if (!First)
+      Out += ' ';
+    Out += std::to_string(Id) + ":" + Desc.F->name() + ":" +
+           std::to_string(Desc.PreForkEntry);
+    First = false;
+  }
+  Out += "]\n";
+  Out += "diagnostics:\n";
+  Out += Report.Diags.renderAll();
+  return Out;
 }

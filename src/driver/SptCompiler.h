@@ -130,6 +130,19 @@ struct SptCompilerOptions {
   /// budget (0 disables the deadline). Exhaustion keeps the best
   /// incumbent and surfaces PartitionResult::BudgetExhausted.
   double MaxPartitionSeconds = 0.0;
+
+  /// Pass-1 worker threads: independent loop candidates (each with its own
+  /// dependence graph, cost model and partition search) evaluate
+  /// concurrently, and their records, diagnostics and block sets merge in
+  /// loop order afterwards — so the report is byte-identical at any
+  /// setting (see renderReportDeterministic). 1 = sequential (default);
+  /// 0 = hardware concurrency.
+  uint32_t Jobs = 1;
+  /// Use the retained pre-optimization cost/partition evaluation paths
+  /// (allocating per-node cost calls, O(E*V) cost-graph construction).
+  /// Results are bit-identical to the default incremental paths; this is
+  /// the measured baseline of bench/perf_compile.
+  bool ReferencePartitionEvaluation = false;
 };
 
 /// One loop candidate's pass-1/pass-2 record.
@@ -175,6 +188,10 @@ struct CompilationReport {
   std::vector<LoopRecord> Loops;
   /// Loop-id map for runSpt().
   std::map<int64_t, SptLoopDesc> SptLoops;
+  /// Wall time of pass 1 (candidate gathering + dependence/cost/partition
+  /// analysis), for bench/perf_compile. Timing only — excluded from
+  /// renderReportDeterministic.
+  double PassOneSeconds = 0.0;
 
   size_t numSelected() const {
     size_t N = 0;
@@ -188,6 +205,14 @@ struct CompilationReport {
 /// Runs the full two-pass compilation on \p M (mutating it) and returns
 /// the report. The module must verify; it verifies again afterwards.
 CompilationReport compileSpt(Module &M, const SptCompilerOptions &Opts);
+
+/// Serializes every deterministic field of \p Report — modes, degradation,
+/// per-loop records (costs and weights at full %.17g precision, partitions,
+/// search statistics, failure details), diagnostics, and the SPT loop-id
+/// map. Wall-clock fields (PassOneSeconds) are excluded. Byte-equal output
+/// across SptCompilerOptions::Jobs settings is the determinism contract the
+/// parallel pass-1 tests and bench/perf_compile enforce.
+std::string renderReportDeterministic(const CompilationReport &Report);
 
 } // namespace spt
 

@@ -12,6 +12,7 @@
 #include <cassert>
 #include <chrono>
 #include <functional>
+#include <queue>
 
 using namespace spt;
 
@@ -21,6 +22,9 @@ PartitionSearch::PartitionSearch(const LoopDepGraph &G,
     : G(G), Model(Model), Opts(Opts) {
   SizeThreshold = Opts.PreForkSizeFraction * G.dynamicBodyWeight();
   buildVcGraph();
+  if (!Opts.ReferenceEvaluation &&
+      G.violationCandidates().size() <= Opts.MaxViolationCandidates)
+    buildPlans();
 }
 
 void PartitionSearch::buildVcGraph() {
@@ -177,7 +181,8 @@ void PartitionSearch::buildVcGraph() {
                     N.Preds.end());
     }
 
-    // Topological sort (Kahn, smallest-first for determinism).
+    // Topological sort (Kahn, smallest-first via a min-heap — the ready
+    // set pops in the same order the retired min_element scan produced).
     std::vector<uint32_t> InDeg(Condensed.size(), 0);
     std::vector<std::vector<uint32_t>> Succ(Condensed.size());
     for (uint32_t CI = 0; CI != Condensed.size(); ++CI)
@@ -185,19 +190,20 @@ void PartitionSearch::buildVcGraph() {
         ++InDeg[CI];
         Succ[P].push_back(CI);
       }
-    std::vector<uint32_t> Ready;
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<uint32_t>>
+        Ready;
     for (uint32_t CI = 0; CI != Condensed.size(); ++CI)
       if (InDeg[CI] == 0)
-        Ready.push_back(CI);
+        Ready.push(CI);
     std::vector<uint32_t> TopoOrder;
     while (!Ready.empty()) {
-      auto MinIt = std::min_element(Ready.begin(), Ready.end());
-      const uint32_t Cur = *MinIt;
-      Ready.erase(MinIt);
+      const uint32_t Cur = Ready.top();
+      Ready.pop();
       TopoOrder.push_back(Cur);
       for (uint32_t S : Succ[Cur])
         if (--InDeg[S] == 0)
-          Ready.push_back(S);
+          Ready.push(S);
     }
     assert(TopoOrder.size() == Condensed.size() &&
            "condensation must be acyclic");
@@ -217,13 +223,26 @@ void PartitionSearch::buildVcGraph() {
   }
 }
 
-double PartitionSearch::evaluate(const std::vector<uint8_t> &Marks) const {
+void PartitionSearch::buildPlans() {
+  NodePlans.resize(Nodes.size());
+  for (size_t NI = 0; NI != Nodes.size(); ++NI)
+    NodePlans[NI] = Model.planToggle(Nodes[NI].Vcs);
+  std::vector<uint32_t> Acc;
+  for (const VcNode &N : Nodes)
+    if (N.Movable)
+      Acc.insert(Acc.end(), N.Vcs.begin(), N.Vcs.end());
+  AllMovablePlan = Model.planToggle(std::move(Acc));
+}
+
+double PartitionSearch::evaluate(const std::vector<uint8_t> &Marks) {
+  ++Stats.CostEvals;
   PartitionSet P(Marks.begin(), Marks.end());
   return Model.cost(P);
 }
 
 double PartitionSearch::lowerBound(const std::vector<uint8_t> &Picked,
-                                   uint32_t MinNext) const {
+                                   uint32_t MinNext) {
+  ++Stats.CostEvals;
   // Hypothetically move every still-addable candidate: costs only shrink
   // as candidates move, so this bounds all descendants from below.
   PartitionSet P(G.size(), 0);
@@ -259,30 +278,146 @@ bool PartitionSearch::outOfBudget() {
   return false;
 }
 
-void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
-                             std::vector<uint32_t> &UnionClosure,
-                             PartitionResult &Best) {
+void PartitionSearch::recordIncumbent(const std::vector<uint8_t> &Picked,
+                                      const std::vector<uint8_t> &CurMarks,
+                                      double Cost, double CurWeight,
+                                      PartitionResult &Best) const {
+  if (!(CurWeight <= SizeThreshold + 1e-12 && Cost < Best.Cost - 1e-12))
+    return;
+  Best.Cost = Cost;
+  Best.InPreFork.assign(CurMarks.begin(), CurMarks.end());
+  Best.PreForkWeight = CurWeight;
+  Best.ChosenVcs.clear();
+  for (uint32_t NI = 0; NI != Nodes.size(); ++NI)
+    if (Picked[NI])
+      Best.ChosenVcs.insert(Best.ChosenVcs.end(), Nodes[NI].Vcs.begin(),
+                            Nodes[NI].Vcs.end());
+  std::sort(Best.ChosenVcs.begin(), Best.ChosenVcs.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental search (default)
+//===----------------------------------------------------------------------===//
+
+void PartitionSearch::searchFast(uint32_t MinNext,
+                                 std::vector<uint8_t> &Picked,
+                                 PartitionResult &Best) {
+  ++Stats.NodesVisited;
+
+  // The committed scratch already holds this node's partition and cost
+  // (seeded by initScratch at the root, by commitToggle on descend).
+  recordIncumbent(Picked, Marks, Scratch.Cost, Weight, Best);
+
+  if (outOfBudget())
+    return;
+
+  // LbScratch invariant: at each cursor position it holds committed ∪
+  // movable-suffix(Next), so the lower-bound probe below is a cached
+  // read. Moving past a movable node (for any reason — preds unmet,
+  // either prune, or a completed descend) advances the scratch with one
+  // cone-local un-toggle; all advances are undone before returning so
+  // the caller's suffix state reappears.
+  uint32_t LbAdvances = 0;
+  const auto AdvanceLb = [&](uint32_t Next) {
+    if (Opts.EnableLowerBoundPrune) {
+      // Deferred: the cost tail re-sum settles at the next probe, once
+      // for the whole run of advances since the previous one.
+      Model.commitUntoggleDeferred(LbScratch, NodePlans[Next]);
+      ++LbAdvances;
+    }
+  };
+
+  for (uint32_t Next = MinNext; Next < Nodes.size(); ++Next) {
+    const VcNode &N = Nodes[Next];
+    if (!N.Movable)
+      continue;
+    bool PredsSatisfied = true;
+    for (uint32_t P : N.Preds)
+      if (!Picked[P]) {
+        PredsSatisfied = false;
+        break;
+      }
+    if (!PredsSatisfied) {
+      AdvanceLb(Next);
+      continue;
+    }
+
+    // Heuristic 1: pre-fork size threshold. The newly added closure
+    // statements go onto the flat AddedBuf stack (popped on backtrack).
+    const size_t AddedBase = AddedBuf.size();
+    double NewWeight = Weight;
+    for (uint32_t StmtIdx : N.Closure)
+      if (!Marks[StmtIdx]) {
+        AddedBuf.push_back(StmtIdx);
+        NewWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+      }
+    if (Opts.EnableSizePrune && NewWeight > SizeThreshold + 1e-12) {
+      AddedBuf.resize(AddedBase);
+      ++Stats.SizePrunes;
+      AdvanceLb(Next);
+      continue;
+    }
+
+    // Heuristic 2: monotone lower bound on the subtree's cost. The
+    // still-addable candidates at Next are exactly the movable suffix,
+    // whose cost the sliding scratch already holds — bit-identical to
+    // evaluating committed ∪ suffix afresh.
+    if (Opts.EnableLowerBoundPrune) {
+      ++Stats.CostEvals;
+      const double Lb = Model.refreshCost(LbScratch);
+      if (Lb >= Best.Cost - 1e-12) {
+        AddedBuf.resize(AddedBase);
+        ++Stats.LowerBoundPrunes;
+        AdvanceLb(Next);
+        continue;
+      }
+    }
+
+    // Descend. LbScratch needs no update: the child's committed ∪
+    // suffix(Next + 1) is the partition it already holds.
+    Picked[Next] = 1;
+    for (size_t K = AddedBase; K != AddedBuf.size(); ++K)
+      Marks[AddedBuf[K]] = 1;
+    const double OldWeight = Weight;
+    Weight = NewWeight;
+    ++Stats.CostEvals;
+    Model.commitToggle(Scratch, NodePlans[Next]);
+    searchFast(Next + 1, Picked, Best);
+    Model.undoToggle(Scratch);
+    Weight = OldWeight;
+    for (size_t K = AddedBase; K != AddedBuf.size(); ++K)
+      Marks[AddedBuf[K]] = 0;
+    AddedBuf.resize(AddedBase);
+    Picked[Next] = 0;
+    AdvanceLb(Next);
+
+    if (outOfBudget())
+      break;
+  }
+
+  for (; LbAdvances != 0; --LbAdvances)
+    Model.undoToggle(LbScratch);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference search (retained pre-optimization code)
+//===----------------------------------------------------------------------===//
+
+void PartitionSearch::searchReference(uint32_t MinNext,
+                                      std::vector<uint8_t> &Picked,
+                                      std::vector<uint32_t> &UnionClosure,
+                                      PartitionResult &Best) {
   ++Stats.NodesVisited;
 
   // Evaluate the current partition.
-  std::vector<uint8_t> Marks(G.size(), 0);
-  double Weight = 0.0;
+  std::vector<uint8_t> CurMarks(G.size(), 0);
+  double CurWeight = 0.0;
   for (uint32_t StmtIdx : UnionClosure) {
-    Marks[StmtIdx] = 1;
-    Weight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+    CurMarks[StmtIdx] = 1;
+    CurWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
   }
-  const double Cost = evaluate(Marks);
-  if (Weight <= SizeThreshold + 1e-12 && Cost < Best.Cost - 1e-12) {
-    Best.Cost = Cost;
-    Best.InPreFork.assign(Marks.begin(), Marks.end());
-    Best.PreForkWeight = Weight;
-    Best.ChosenVcs.clear();
-    for (uint32_t NI = 0; NI != Nodes.size(); ++NI)
-      if (Picked[NI])
-        Best.ChosenVcs.insert(Best.ChosenVcs.end(), Nodes[NI].Vcs.begin(),
-                              Nodes[NI].Vcs.end());
-    std::sort(Best.ChosenVcs.begin(), Best.ChosenVcs.end());
-  }
+  const double Cost = evaluate(CurMarks);
+  recordIncumbent(Picked, CurMarks, Cost, CurWeight, Best);
 
   if (outOfBudget())
     return;
@@ -301,10 +436,10 @@ void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
       continue;
 
     // Heuristic 1: pre-fork size threshold.
-    double NewWeight = Weight;
+    double NewWeight = CurWeight;
     std::vector<uint32_t> Added;
     for (uint32_t StmtIdx : N.Closure)
-      if (!Marks[StmtIdx]) {
+      if (!CurMarks[StmtIdx]) {
         Added.push_back(StmtIdx);
         NewWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
       }
@@ -327,14 +462,14 @@ void PartitionSearch::search(uint32_t MinNext, std::vector<uint8_t> &Picked,
     // Descend.
     Picked[Next] = 1;
     for (uint32_t StmtIdx : Added) {
-      Marks[StmtIdx] = 1;
+      CurMarks[StmtIdx] = 1;
       UnionClosure.push_back(StmtIdx);
     }
-    search(Next + 1, Picked, UnionClosure, Best);
+    searchReference(Next + 1, Picked, UnionClosure, Best);
     for (size_t K = 0; K != Added.size(); ++K)
       UnionClosure.pop_back();
     for (uint32_t StmtIdx : Added)
-      Marks[StmtIdx] = 0;
+      CurMarks[StmtIdx] = 0;
     Picked[Next] = 0;
 
     if (outOfBudget())
@@ -365,12 +500,27 @@ PartitionResult PartitionSearch::run() {
     DeadlineNs = 0;
   }
   std::vector<uint8_t> Picked(Nodes.size(), 0);
-  std::vector<uint32_t> UnionClosure;
-  search(0, Picked, UnionClosure, Best);
+  if (Opts.ReferenceEvaluation) {
+    std::vector<uint32_t> UnionClosure;
+    searchReference(0, Picked, UnionClosure, Best);
+  } else {
+    Marks.assign(G.size(), 0);
+    Weight = 0.0;
+    AddedBuf.clear();
+    PartitionSet Empty(G.size(), 0);
+    ++Stats.CostEvals;
+    Model.initScratch(Scratch, Empty);
+    if (Opts.EnableLowerBoundPrune && !Nodes.empty()) {
+      Model.initScratch(LbScratch, Empty);
+      Model.commitToggle(LbScratch, AllMovablePlan);
+    }
+    searchFast(0, Picked, Best);
+  }
 
   Best.NodesVisited = Stats.NodesVisited;
   Best.SizePrunes = Stats.SizePrunes;
   Best.LowerBoundPrunes = Stats.LowerBoundPrunes;
+  Best.CostEvals = Stats.CostEvals;
   Best.BudgetExhausted = Stats.BudgetExhausted;
   if (Best.InPreFork.empty())
     Best.InPreFork.assign(G.size(), 0);

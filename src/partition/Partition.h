@@ -27,6 +27,24 @@
 /// Loops with more than MaxViolationCandidates are skipped outright, as in
 /// the paper.
 ///
+/// Two evaluation strategies drive the identical search tree:
+///
+///  - The *incremental* strategy (default) keeps a MisspecCostModel::Scratch
+///    committed to the current tree node's partition, updated via
+///    commitToggle()/undoToggle() on descend/backtrack; the lower bound is
+///    one costWithToggled() against a precomputed suffix TogglePlan (the
+///    still-addable candidates of positions >= Next are exactly the movable
+///    suffix, so no per-call set union is needed). Marks and the pre-fork
+///    weight are maintained incrementally along the branch. Nothing on the
+///    hot path allocates.
+///  - The *reference* strategy (PartitionOptions::ReferenceEvaluation)
+///    retains the pre-optimization code: per-node Marks rebuild from the
+///    union closure, a PartitionSet copy per evaluation, and allocating
+///    MisspecCostModel::cost() calls. It exists as the measured baseline of
+///    bench/perf_compile and as the oracle for the equivalence tests —
+///    both strategies visit the same nodes, take the same prunes, and
+///    return bit-identical costs and partitions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPT_PARTITION_PARTITION_H
@@ -58,6 +76,11 @@ struct PartitionOptions {
   /// Ablation toggles for the two pruning heuristics.
   bool EnableSizePrune = true;
   bool EnableLowerBoundPrune = true;
+  /// Use the retained pre-optimization evaluation path (allocating cost
+  /// calls, per-node closure rebuilds, O(nodes*vcs) lower-bound unions).
+  /// The perf_compile baseline and the equivalence tests set this; results
+  /// are bit-identical to the default incremental path.
+  bool ReferenceEvaluation = false;
 };
 
 /// Result of the optimal-partition search for one loop.
@@ -84,6 +107,9 @@ struct PartitionResult {
   uint64_t NodesVisited = 0;
   uint64_t SizePrunes = 0;
   uint64_t LowerBoundPrunes = 0;
+  /// Cost-model evaluations performed (node evaluations plus lower-bound
+  /// probes); identical across both evaluation strategies.
+  uint64_t CostEvals = 0;
   uint32_t NumViolationCandidates = 0;
 };
 
@@ -130,14 +156,27 @@ private:
   };
 
   void buildVcGraph();
+  /// Precomputes the per-node and movable-suffix toggle plans the
+  /// incremental search reuses at every tree node.
+  void buildPlans();
   /// True when the node budget or the wall-clock deadline is spent; sets
   /// Stats.BudgetExhausted on first detection.
   bool outOfBudget();
-  void search(uint32_t MinNext, std::vector<uint8_t> &Picked,
-              std::vector<uint32_t> &UnionClosure, PartitionResult &Best);
-  double evaluate(const std::vector<uint8_t> &Picked) const;
-  double lowerBound(const std::vector<uint8_t> &Picked,
-                    uint32_t MinNext) const;
+
+  // Incremental strategy (default).
+  void searchFast(uint32_t MinNext, std::vector<uint8_t> &Picked,
+                  PartitionResult &Best);
+
+  // Reference strategy (retained pre-optimization code).
+  void searchReference(uint32_t MinNext, std::vector<uint8_t> &Picked,
+                       std::vector<uint32_t> &UnionClosure,
+                       PartitionResult &Best);
+  double evaluate(const std::vector<uint8_t> &Marks);
+  double lowerBound(const std::vector<uint8_t> &Picked, uint32_t MinNext);
+
+  void recordIncumbent(const std::vector<uint8_t> &Picked,
+                       const std::vector<uint8_t> &CurMarks, double Cost,
+                       double CurWeight, PartitionResult &Best) const;
 
   const LoopDepGraph &G;
   const MisspecCostModel &Model;
@@ -151,6 +190,29 @@ private:
   uint64_t DeadlineNs = 0;
   static constexpr uint64_t DeadlineCheckStride = 1024;
   PartitionResult Stats;
+
+  // Incremental-search state (prepared once per PartitionSearch; the hot
+  // path never allocates).
+  MisspecCostModel::Scratch Scratch;
+  /// Sliding lower-bound scratch. Throughout a tree node's child loop it
+  /// holds the committed partition united with the movable suffix at the
+  /// loop cursor — exactly the optimistic partition the monotone lower
+  /// bound evaluates — so each probe is a read of LbScratch.Cost. The
+  /// state needs no update on descend (committed ∪ {Next} ∪
+  /// suffix(Next+1) is the same set as committed ∪ suffix(Next)) and one
+  /// cone-local commitUntoggle() whenever the loop moves past a movable
+  /// node; every level undoes its own advances on exit.
+  MisspecCostModel::Scratch LbScratch;
+  std::vector<MisspecCostModel::TogglePlan> NodePlans;
+  /// Plan toggling the VCs of every movable node: seeds LbScratch at the
+  /// root (committed = ∅, suffix = everything). Because picks happen in
+  /// ascending node order the still-addable set is always a suffix, and
+  /// LbScratch reaches any suffix by un-toggling node plans one at a
+  /// time — no per-position suffix plans are needed.
+  MisspecCostModel::TogglePlan AllMovablePlan;
+  std::vector<uint8_t> Marks; ///< Branch-maintained closure membership.
+  double Weight = 0.0;        ///< Branch-maintained pre-fork weight.
+  std::vector<uint32_t> AddedBuf; ///< Flat stack of per-level added stmts.
 };
 
 } // namespace spt

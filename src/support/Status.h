@@ -136,6 +136,10 @@ public:
   void add(DiagStage Stage, DiagSeverity Severity, std::string Detail,
            std::string FuncName = "", DiagBlockId LoopHeader = NoDiagBlock);
 
+  /// Appends an already-built record — how per-candidate logs from the
+  /// parallel pass merge into the report's log in deterministic order.
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+
   void note(DiagStage Stage, std::string Detail, std::string FuncName = "",
             DiagBlockId LoopHeader = NoDiagBlock) {
     add(Stage, DiagSeverity::Note, std::move(Detail), std::move(FuncName),

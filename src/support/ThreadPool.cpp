@@ -1,0 +1,107 @@
+//===- support/ThreadPool.cpp - Minimal worker pool ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+using namespace spt;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumThreads = std::max(1u, NumThreads);
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Tasks.push(std::move(Task));
+  }
+  TaskReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllIdle.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+}
+
+unsigned ThreadPool::defaultConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      TaskReady.wait(Lock,
+                     [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Shutting down with a drained queue.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      --ActiveTasks;
+      if (Tasks.empty() && ActiveTasks == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+void spt::parallelForIndexed(unsigned Jobs, size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Jobs <= 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::vector<std::exception_ptr> Errors(N);
+  std::atomic<size_t> NextIndex{0};
+  auto Drain = [&] {
+    for (;;) {
+      const size_t I = NextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Fn(I);
+      } catch (...) {
+        Errors[I] = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned Spawn =
+      static_cast<unsigned>(std::min<size_t>(Jobs, N));
+  ThreadPool Pool(Spawn);
+  for (unsigned I = 0; I != Spawn; ++I)
+    Pool.submit(Drain);
+  Pool.wait();
+
+  for (size_t I = 0; I != N; ++I)
+    if (Errors[I])
+      std::rethrow_exception(Errors[I]);
+}

@@ -1,0 +1,76 @@
+//===- support/ThreadPool.h - Minimal worker pool --------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool plus the indexed parallel-for the driver
+/// uses for pass 1. The design goal is determinism-friendliness, not
+/// throughput cleverness: workers pull task indices from an atomic counter,
+/// results land in caller-owned per-index slots, and the caller merges them
+/// in index order afterwards — so the observable output of a parallel run
+/// is byte-identical to the sequential one (see docs/performance.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_THREADPOOL_H
+#define SPT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spt {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (minimum 1).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues one task. Tasks must not throw; wrap bodies that can.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mu;
+  std::condition_variable TaskReady; ///< Signals workers: task or shutdown.
+  std::condition_variable AllIdle;   ///< Signals wait(): drained and idle.
+  size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+/// Runs Fn(0) .. Fn(N-1), each exactly once, across up to \p Jobs worker
+/// threads; returns after all indices finish. Jobs <= 1 or N <= 1 runs
+/// inline on the caller's thread with no pool at all, so sequential-mode
+/// behavior (including exception timing) is exactly the pre-pool code path.
+/// An exception escaping Fn is captured per index; after all indices
+/// complete, the lowest-index exception is rethrown — matching what a
+/// sequential loop that failed at that index would have thrown, regardless
+/// of thread interleaving.
+void parallelForIndexed(unsigned Jobs, size_t N,
+                        const std::function<void(size_t)> &Fn);
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_THREADPOOL_H

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace spt;
 
 namespace {
@@ -271,4 +273,126 @@ TEST(PartitionTest, RealLoopMovesInductionVariable) {
   // And the pre-fork region must stay within the size threshold.
   EXPECT_LE(R.PreForkWeight,
             0.34 * R.BodyWeight + 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference vs. incremental evaluation-strategy equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the search under both evaluation strategies and requires bitwise
+/// agreement on every observable: the cost (memcmp, not epsilon), the
+/// chosen partition, and the visit/prune/eval counters that prove the
+/// two strategies walked the identical tree and took the identical
+/// prunes.
+void expectStrategiesAgree(const LoopDepGraph &G, PartitionOptions Opts) {
+  PartitionResult R[2];
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    Opts.ReferenceEvaluation = Mode == 0;
+    MisspecCostModel Model(G, Opts.ReferenceEvaluation);
+    R[Mode] = PartitionSearch(G, Model, Opts).run();
+  }
+  EXPECT_EQ(R[0].Searched, R[1].Searched);
+  EXPECT_EQ(std::memcmp(&R[0].Cost, &R[1].Cost, sizeof(double)), 0)
+      << R[0].Cost << " vs " << R[1].Cost;
+  EXPECT_EQ(R[0].ChosenVcs, R[1].ChosenVcs);
+  EXPECT_EQ(R[0].InPreFork, R[1].InPreFork);
+  EXPECT_EQ(std::memcmp(&R[0].PreForkWeight, &R[1].PreForkWeight,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(R[0].NodesVisited, R[1].NodesVisited);
+  EXPECT_EQ(R[0].SizePrunes, R[1].SizePrunes);
+  EXPECT_EQ(R[0].LowerBoundPrunes, R[1].LowerBoundPrunes);
+  EXPECT_EQ(R[0].CostEvals, R[1].CostEvals);
+}
+
+/// Phase-2 stress-graph construction of bench/perf_compile: Filler
+/// pinned copies of the body (statements immovable), then K movable
+/// copies, keeping cross edges and forward intra edges only.
+LoopDepGraph replicateDagShadow(const LoopDepGraph &G, unsigned Filler,
+                                unsigned K) {
+  const uint32_t N = static_cast<uint32_t>(G.size());
+  std::vector<LoopStmt> Stmts;
+  std::vector<DepEdge> Edges;
+  for (unsigned C = 0; C != Filler + K; ++C) {
+    for (uint32_t SI = 0; SI != N; ++SI) {
+      LoopStmt S = G.stmt(SI);
+      S.Id = NoStmt;
+      S.I = nullptr;
+      if (C < Filler)
+        S.Movable = false;
+      Stmts.push_back(S);
+    }
+    for (const DepEdge &E : G.edges()) {
+      if (!E.Cross && E.Src >= E.Dst)
+        continue;
+      DepEdge D = E;
+      D.Src += C * N;
+      D.Dst += C * N;
+      Edges.push_back(D);
+    }
+  }
+  return LoopDepGraph::forSynthetic(std::move(Stmts), std::move(Edges));
+}
+
+} // namespace
+
+TEST(PartitionEquivalenceTest, PaperGraphAllPruneCombinations) {
+  LoopDepGraph G = paperGraph();
+  for (int SizePrune = 0; SizePrune != 2; ++SizePrune)
+    for (int LbPrune = 0; LbPrune != 2; ++LbPrune) {
+      PartitionOptions Opts;
+      Opts.EnableSizePrune = SizePrune != 0;
+      Opts.EnableLowerBoundPrune = LbPrune != 0;
+      expectStrategiesAgree(G, Opts);
+      Opts.PreForkSizeFraction = 1.0; // No size pressure.
+      expectStrategiesAgree(G, Opts);
+    }
+}
+
+TEST(PartitionEquivalenceTest, ReplicatedStressGraph) {
+  // The bench's phase-2 shape: pinned filler plus disjoint movable
+  // copies; the search tree is the K-fold product of the original
+  // loop's, driving deep commit/undo/probe sequences through the
+  // incremental scratches.
+  LoopDepGraph G = replicateDagShadow(paperGraph(), /*Filler=*/2, /*K=*/3);
+  PartitionOptions Opts;
+  Opts.MaxViolationCandidates = 1000;
+  expectStrategiesAgree(G, Opts);
+  Opts.PreForkSizeFraction = 1.0;
+  expectStrategiesAgree(G, Opts);
+}
+
+TEST(PartitionEquivalenceTest, RealLoopsFromCompiledSource) {
+  auto M = compileOrDie("fp error[64]; fp p[64];\n"
+                        "fp f(int n) {\n"
+                        "  fp cost; int i; int j;\n"
+                        "  for (i = 0; i < n; i = i + 1) {\n"
+                        "    fp cost0;\n"
+                        "    for (j = 0; j < i; j = j + 1)\n"
+                        "      cost0 = cost0 + fabs(error[j] - p[j]);\n"
+                        "    cost = cost + cost0;\n"
+                        "  }\n"
+                        "  return cost;\n"
+                        "}\n");
+  CallEffects Effects = CallEffects::compute(*M);
+  const Function *F = M->findFunction("f");
+  CfgInfo Cfg = CfgInfo::compute(*F);
+  LoopNest Nest = LoopNest::compute(*F, Cfg);
+  auto Probs = CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
+  FreqInfo Freq = FreqInfo::compute(*F, Cfg, Nest, Probs);
+  int Checked = 0;
+  for (uint32_t LI = 0; LI != Nest.numLoops(); ++LI) {
+    LoopDepGraph G = LoopDepGraph::build(*M, *F, Cfg, Nest, *Nest.loop(LI),
+                                         Freq, Effects);
+    if (G.violationCandidates().empty())
+      continue;
+    expectStrategiesAgree(G, PartitionOptions());
+    // Cyclic cost graphs take the full-repropagation fallback; cover
+    // the DAG-shadow replica of the same loop too.
+    expectStrategiesAgree(replicateDagShadow(G, 1, 2), PartitionOptions());
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 0);
 }
