@@ -6,7 +6,10 @@
 #   ./scripts/check.sh asan-ubsan
 #
 # Each preset builds into its own directory (build/, build-asan/), so the
-# sanitizer run never dirties the ordinary build tree.
+# sanitizer run never dirties the ordinary build tree. Per preset the
+# gate is: the tier1-labelled test suite (ctest -L tier1, which includes
+# the fuzzing self-check), then a 200-program differential fuzzing smoke
+# through the full oracle set (see docs/testing.md).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,13 +21,26 @@ fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+builddir_for() {
+  case "$1" in
+    default) echo build ;;
+    release) echo build-release ;;
+    asan-ubsan) echo build-asan ;;
+    *) echo "build-$1" ;;
+  esac
+}
+
 for preset in "${PRESETS[@]}"; do
+  builddir="$(builddir_for "$preset")"
   echo "== [$preset] configure"
   cmake --preset "$preset"
   echo "== [$preset] build"
   cmake --build --preset "$preset" -j "$JOBS"
-  echo "== [$preset] test"
-  ctest --preset "$preset"
+  echo "== [$preset] test (tier1)"
+  ctest --preset "$preset" -L tier1
+  echo "== [$preset] sptfuzz smoke (200 programs)"
+  "./$builddir/tools/sptfuzz" --smoke --programs 200 --seed 1 \
+    --corpus tests/corpus --out "$builddir/fuzz-repros"
 done
 
 # Smoke-run the compile-time benchmark (small stress graphs, one repeat)

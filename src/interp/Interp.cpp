@@ -7,6 +7,7 @@
 #include "interp/Interp.h"
 
 #include "support/Debug.h"
+#include "support/WrapMath.h"
 
 #include <cmath>
 #include <cstdio>
@@ -128,31 +129,27 @@ StepResult Interpreter::step() {
 
   switch (I.Op) {
   case Opcode::Add:
-    setDst(Value::ofInt(RegV(0).I + RegV(1).I));
+    setDst(Value::ofInt(wrapAdd(RegV(0).I, RegV(1).I)));
     advance();
     break;
   case Opcode::Sub:
-    setDst(Value::ofInt(RegV(0).I - RegV(1).I));
+    setDst(Value::ofInt(wrapSub(RegV(0).I, RegV(1).I)));
     advance();
     break;
   case Opcode::Mul:
-    setDst(Value::ofInt(RegV(0).I * RegV(1).I));
+    setDst(Value::ofInt(wrapMul(RegV(0).I, RegV(1).I)));
     advance();
     break;
-  case Opcode::Div: {
-    const int64_t D = RegV(1).I;
-    setDst(Value::ofInt(D == 0 ? 0 : RegV(0).I / D));
+  case Opcode::Div:
+    setDst(Value::ofInt(wrapDiv(RegV(0).I, RegV(1).I)));
     advance();
     break;
-  }
-  case Opcode::Rem: {
-    const int64_t D = RegV(1).I;
-    setDst(Value::ofInt(D == 0 ? 0 : RegV(0).I % D));
+  case Opcode::Rem:
+    setDst(Value::ofInt(wrapRem(RegV(0).I, RegV(1).I)));
     advance();
     break;
-  }
   case Opcode::Neg:
-    setDst(Value::ofInt(-RegV(0).I));
+    setDst(Value::ofInt(wrapNeg(RegV(0).I)));
     advance();
     break;
   case Opcode::And:
@@ -168,7 +165,7 @@ StepResult Interpreter::step() {
     advance();
     break;
   case Opcode::Shl:
-    setDst(Value::ofInt(RegV(0).I << (RegV(1).I & 63)));
+    setDst(Value::ofInt(wrapShl(RegV(0).I, RegV(1).I)));
     advance();
     break;
   case Opcode::Shr:
@@ -188,7 +185,7 @@ StepResult Interpreter::step() {
     advance();
     break;
   case Opcode::Abs:
-    setDst(Value::ofInt(RegV(0).I < 0 ? -RegV(0).I : RegV(0).I));
+    setDst(Value::ofInt(wrapAbs(RegV(0).I)));
     advance();
     break;
 

@@ -1,0 +1,351 @@
+//===- lang/AstPrinter.cpp - SPTc source from an AST -----------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace spt;
+
+namespace {
+
+const char *binOpToken(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Rem:
+    return "%";
+  case BinOp::And:
+    return "&";
+  case BinOp::Or:
+    return "|";
+  case BinOp::Xor:
+    return "^";
+  case BinOp::Shl:
+    return "<<";
+  case BinOp::Shr:
+    return ">>";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::LAnd:
+    return "&&";
+  case BinOp::LOr:
+    return "||";
+  }
+  return "+";
+}
+
+const char *typeToken(Type Ty) {
+  switch (Ty) {
+  case Type::Int:
+    return "int";
+  case Type::Fp:
+    return "fp";
+  case Type::Void:
+    return "void";
+  }
+  return "int";
+}
+
+std::string indentOf(unsigned Indent) {
+  return std::string(2 * static_cast<size_t>(Indent), ' ');
+}
+
+/// Floating literal with round-trip precision; guarantees the spelling
+/// lexes as an FpLiteral (a '.' or exponent is always present).
+std::string fpLitSpelling(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  if (!std::strpbrk(Buf, ".eE"))
+    std::strcat(Buf, ".0");
+  return Buf;
+}
+
+void printStmt(const Stmt &S, unsigned Indent, std::string &Out);
+
+/// A for-header clause: a Decl prints with its ';' (mirroring the
+/// parser, which consumes it inside parseDecl), a simple statement
+/// prints bare.
+std::string forInitSource(const Stmt &S) {
+  if (S.Kind == StmtKind::Decl) {
+    std::string Out;
+    printStmt(S, 0, Out);
+    if (!Out.empty() && Out.back() == '\n')
+      Out.pop_back();
+    return Out;
+  }
+  assert(S.Kind == StmtKind::Assign || S.Kind == StmtKind::ExprEval);
+  if (S.Kind == StmtKind::Assign)
+    return exprToSource(*S.Target) + " = " + exprToSource(*S.Value) + ";";
+  return exprToSource(*S.Value) + ";";
+}
+
+std::string forStepSource(const Stmt &S) {
+  if (S.Kind == StmtKind::Assign)
+    return exprToSource(*S.Target) + " = " + exprToSource(*S.Value);
+  assert(S.Kind == StmtKind::ExprEval);
+  return exprToSource(*S.Value);
+}
+
+/// Bodies of if/else and loops always print as braced blocks: canonical,
+/// and immune to dangling-else reassociation.
+void printBody(const Stmt *Body, unsigned Indent, std::string &Out) {
+  Out += " {\n";
+  if (Body) {
+    if (Body->Kind == StmtKind::Block) {
+      for (const StmtPtr &Child : Body->Body)
+        if (Child)
+          printStmt(*Child, Indent + 1, Out);
+    } else {
+      printStmt(*Body, Indent + 1, Out);
+    }
+  }
+  Out += indentOf(Indent);
+  Out += "}";
+}
+
+void printStmt(const Stmt &S, unsigned Indent, std::string &Out) {
+  const std::string Ind = indentOf(Indent);
+  switch (S.Kind) {
+  case StmtKind::Block:
+    Out += Ind + "{\n";
+    for (const StmtPtr &Child : S.Body)
+      if (Child)
+        printStmt(*Child, Indent + 1, Out);
+    Out += Ind + "}\n";
+    return;
+  case StmtKind::Decl:
+    Out += Ind + typeToken(S.DeclTy) + std::string(" ") + S.Name;
+    if (S.Value)
+      Out += " = " + exprToSource(*S.Value);
+    Out += ";\n";
+    return;
+  case StmtKind::Assign:
+    Out += Ind + exprToSource(*S.Target) + " = " + exprToSource(*S.Value) +
+           ";\n";
+    return;
+  case StmtKind::ExprEval:
+    Out += Ind + exprToSource(*S.Value) + ";\n";
+    return;
+  case StmtKind::If:
+    Out += Ind + "if (" + exprToSource(*S.Value) + ")";
+    printBody(S.Then.get(), Indent, Out);
+    if (S.Else) {
+      Out += " else";
+      printBody(S.Else.get(), Indent, Out);
+    }
+    Out += "\n";
+    return;
+  case StmtKind::While:
+    Out += Ind + "while (" + exprToSource(*S.Value) + ")";
+    printBody(S.Then.get(), Indent, Out);
+    Out += "\n";
+    return;
+  case StmtKind::DoWhile:
+    Out += Ind + "do";
+    printBody(S.Then.get(), Indent, Out);
+    Out += " while (" + exprToSource(*S.Value) + ");\n";
+    return;
+  case StmtKind::For:
+    Out += Ind + "for (";
+    Out += S.Init ? forInitSource(*S.Init) : ";";
+    Out += " ";
+    if (S.Value)
+      Out += exprToSource(*S.Value);
+    Out += "; ";
+    if (S.Step)
+      Out += forStepSource(*S.Step);
+    Out += ")";
+    printBody(S.Then.get(), Indent, Out);
+    Out += "\n";
+    return;
+  case StmtKind::Return:
+    Out += Ind + "return";
+    if (S.Value)
+      Out += " " + exprToSource(*S.Value);
+    Out += ";\n";
+    return;
+  case StmtKind::Break:
+    Out += Ind + "break;\n";
+    return;
+  case StmtKind::Continue:
+    Out += Ind + "continue;\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string spt::exprToSource(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit: {
+    if (E.IntValue >= 0)
+      return std::to_string(E.IntValue);
+    // The parser only produces non-negative literals; mutations can go
+    // negative. INT64_MIN has no printable negation, so clamp it.
+    const int64_t V =
+        E.IntValue == INT64_MIN ? INT64_MIN + 1 : E.IntValue;
+    return "(0 - " + std::to_string(-V) + ")";
+  }
+  case ExprKind::FpLit:
+    if (E.FpValue < 0.0)
+      return "(0.0 - " + fpLitSpelling(-E.FpValue) + ")";
+    return fpLitSpelling(E.FpValue);
+  case ExprKind::Var:
+    return E.Name;
+  case ExprKind::Index:
+    return E.Name + "[" + exprToSource(*E.Lhs) + "]";
+  case ExprKind::Unary: {
+    const char *Tok = E.UOp == UnOp::Neg     ? "- "
+                      : E.UOp == UnOp::LogNot ? "!"
+                                              : "~";
+    return std::string("(") + Tok + exprToSource(*E.Lhs) + ")";
+  }
+  case ExprKind::Binary:
+    return "(" + exprToSource(*E.Lhs) + " " + binOpToken(E.BOp) + " " +
+           exprToSource(*E.Rhs) + ")";
+  case ExprKind::Cond:
+    return "(" + exprToSource(*E.Lhs) + " ? " + exprToSource(*E.Rhs) +
+           " : " + exprToSource(*E.Aux) + ")";
+  case ExprKind::Call: {
+    std::string Out = E.Name + "(";
+    for (size_t I = 0; I != E.Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += exprToSource(*E.Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  return "0";
+}
+
+std::string spt::stmtToSource(const Stmt &S, unsigned Indent) {
+  std::string Out;
+  printStmt(S, Indent, Out);
+  return Out;
+}
+
+std::string spt::programToSource(const ProgramAst &Program) {
+  std::string Out;
+  for (const ArrayAst &A : Program.Arrays)
+    Out += std::string(typeToken(A.ElemTy)) + " " + A.Name + "[" +
+           std::to_string(A.Size) + "];\n";
+  if (!Program.Arrays.empty())
+    Out += "\n";
+  for (const std::unique_ptr<FuncAst> &F : Program.Funcs) {
+    Out += std::string(typeToken(F->RetTy)) + " " + F->Name + "(";
+    for (size_t I = 0; I != F->Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::string(typeToken(F->Params[I].Ty)) + " " +
+             F->Params[I].Name;
+    }
+    Out += ")";
+    printBody(F->Body.get(), 0, Out);
+    Out += "\n\n";
+  }
+  return Out;
+}
+
+ExprPtr spt::cloneExpr(const Expr &E) {
+  auto C = std::make_unique<Expr>(E.Kind, E.Loc);
+  C->IntValue = E.IntValue;
+  C->FpValue = E.FpValue;
+  C->Name = E.Name;
+  C->UOp = E.UOp;
+  C->BOp = E.BOp;
+  if (E.Lhs)
+    C->Lhs = cloneExpr(*E.Lhs);
+  if (E.Rhs)
+    C->Rhs = cloneExpr(*E.Rhs);
+  if (E.Aux)
+    C->Aux = cloneExpr(*E.Aux);
+  for (const ExprPtr &A : E.Args)
+    C->Args.push_back(cloneExpr(*A));
+  return C;
+}
+
+StmtPtr spt::cloneStmt(const Stmt &S) {
+  auto C = std::make_unique<Stmt>(S.Kind, S.Loc);
+  C->DeclTy = S.DeclTy;
+  C->Name = S.Name;
+  if (S.Target)
+    C->Target = cloneExpr(*S.Target);
+  if (S.Value)
+    C->Value = cloneExpr(*S.Value);
+  if (S.Then)
+    C->Then = cloneStmt(*S.Then);
+  if (S.Else)
+    C->Else = cloneStmt(*S.Else);
+  if (S.Init)
+    C->Init = cloneStmt(*S.Init);
+  if (S.Step)
+    C->Step = cloneStmt(*S.Step);
+  for (const StmtPtr &Child : S.Body)
+    C->Body.push_back(Child ? cloneStmt(*Child) : nullptr);
+  return C;
+}
+
+std::unique_ptr<FuncAst> spt::cloneFunc(const FuncAst &F) {
+  auto C = std::make_unique<FuncAst>();
+  C->RetTy = F.RetTy;
+  C->Name = F.Name;
+  C->Params = F.Params;
+  C->Loc = F.Loc;
+  if (F.Body)
+    C->Body = cloneStmt(*F.Body);
+  return C;
+}
+
+ProgramAst spt::cloneProgram(const ProgramAst &Program) {
+  ProgramAst C;
+  C.Arrays = Program.Arrays;
+  for (const std::unique_ptr<FuncAst> &F : Program.Funcs)
+    C.Funcs.push_back(cloneFunc(*F));
+  return C;
+}
+
+unsigned spt::countStatements(const Stmt &S) {
+  unsigned N = S.Kind == StmtKind::Block ? 0 : 1;
+  for (const StmtPtr &Child : S.Body)
+    if (Child)
+      N += countStatements(*Child);
+  if (S.Then)
+    N += countStatements(*S.Then);
+  if (S.Else)
+    N += countStatements(*S.Else);
+  // For-header Init/Step clauses are part of the loop statement, not
+  // extra statements.
+  return N;
+}
+
+unsigned spt::countStatements(const ProgramAst &Program) {
+  unsigned N = 0;
+  for (const std::unique_ptr<FuncAst> &F : Program.Funcs)
+    if (F->Body)
+      N += countStatements(*F->Body);
+  return N;
+}

@@ -1,0 +1,59 @@
+//===- lang/AstPrinter.h - SPTc source from an AST -------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a ProgramAst back to parseable SPTc source. The fuzzing
+/// subsystem rewrites programs at the AST level (mutation operators,
+/// delta-debugging reduction) and needs every rewritten tree to round-trip
+/// through the real frontend, so the printer is deliberately canonical and
+/// conservative: binary and conditional expressions are fully
+/// parenthesized (no precedence reconstruction to get subtly wrong),
+/// floating literals print with enough digits to round-trip exactly, and
+/// negative integer literals — which the parser never produces but
+/// mutations can — are emitted as unary negations.
+///
+/// Invariant tests enforce parse(print(parse(S))) == parse(print(...)):
+/// printing is a fixpoint after one trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_LANG_ASTPRINTER_H
+#define SPT_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace spt {
+
+/// Renders \p E as a parseable expression.
+std::string exprToSource(const Expr &E);
+
+/// Renders \p S as parseable statement text at \p Indent levels (two
+/// spaces each). Block statements include their braces.
+std::string stmtToSource(const Stmt &S, unsigned Indent = 0);
+
+/// Renders the whole program: arrays, then functions, in order.
+std::string programToSource(const ProgramAst &Program);
+
+/// Deep copies. Mutation and reduction build candidate programs by
+/// cloning and editing; the parser's trees own children via unique_ptr,
+/// so structural copies live here next to the printer.
+ExprPtr cloneExpr(const Expr &E);
+StmtPtr cloneStmt(const Stmt &S);
+std::unique_ptr<FuncAst> cloneFunc(const FuncAst &F);
+ProgramAst cloneProgram(const ProgramAst &Program);
+
+/// Number of executable statements in the tree/program: every node except
+/// the Block containers and for-header Init/Step clauses. This is the
+/// statement count reducer reports and tests bound ("reproducer has <= N
+/// statements").
+unsigned countStatements(const Stmt &S);
+unsigned countStatements(const ProgramAst &Program);
+
+} // namespace spt
+
+#endif // SPT_LANG_ASTPRINTER_H

@@ -8,6 +8,7 @@
 
 #include "analysis/Cfg.h"
 #include "analysis/LoopInfo.h"
+#include "support/WrapMath.h"
 
 #include <map>
 #include <memory>
@@ -205,7 +206,7 @@ void ProfilerRun::onValueSample(const Function *F, StmtId Stmt, int64_t V) {
   ValueWatchState &S = ValueState[{F, Stmt}];
   if (S.HasLast) {
     ++S.Samples;
-    const int64_t Diff = V - S.Last;
+    const int64_t Diff = wrapSub(V, S.Last);
     if (S.Diffs.size() < 64 || S.Diffs.count(Diff))
       ++S.Diffs[Diff];
   }

@@ -1,0 +1,36 @@
+//===- support/Hash.h - Stable content hashing ----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a hashing over byte strings. The point is *stability*: these
+/// values are compared against golden constants committed to the test
+/// suite (generator fingerprints, corpus dedup keys), so the function must
+/// produce the same value on every platform and compiler forever. Do not
+/// change the constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_HASH_H
+#define SPT_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace spt {
+
+/// 64-bit FNV-1a over \p Bytes.
+inline uint64_t fnv1a(std::string_view Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const char C : Bytes) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_HASH_H

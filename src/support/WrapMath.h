@@ -1,0 +1,74 @@
+//===- support/WrapMath.h - Wrap-defined 64-bit integer arithmetic ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two's-complement wrapping arithmetic for SPTc program values. SPTc
+/// integers are defined to wrap modulo 2^64; doing the operations on
+/// int64_t directly would make overflowing programs — which the fuzzer
+/// generates freely — undefined behaviour, and the UBSan preset flags
+/// exactly that. Every place that executes or re-derives program
+/// arithmetic (the interpreter, the value profiler's stride deltas) goes
+/// through these helpers so program-visible results stay defined and
+/// bit-identical across presets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_WRAPMATH_H
+#define SPT_SUPPORT_WRAPMATH_H
+
+#include <cstdint>
+#include <limits>
+
+namespace spt {
+
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0ull - static_cast<uint64_t>(A));
+}
+
+inline int64_t wrapAbs(int64_t A) { return A < 0 ? wrapNeg(A) : A; }
+
+/// Shift count is masked to the word size; the shift itself is done
+/// unsigned so sign-bit shifts stay defined.
+inline int64_t wrapShl(int64_t A, int64_t Count) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) << (Count & 63));
+}
+
+/// Division by zero yields 0 (the interpreter's long-standing rule);
+/// INT64_MIN / -1 wraps to INT64_MIN instead of overflowing.
+inline int64_t wrapDiv(int64_t N, int64_t D) {
+  if (D == 0)
+    return 0;
+  if (D == -1)
+    return wrapNeg(N);
+  return N / D;
+}
+
+/// Remainder by zero yields 0; any remainder by -1 is exactly 0, which
+/// sidesteps the INT64_MIN % -1 overflow.
+inline int64_t wrapRem(int64_t N, int64_t D) {
+  if (D == 0 || D == -1)
+    return 0;
+  return N % D;
+}
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_WRAPMATH_H

@@ -1,0 +1,68 @@
+//===- testing/Corpus.cpp - Coverage-guided fuzzing corpus -----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Corpus.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace spt;
+
+bool Corpus::addIfNovel(const std::string &Source,
+                        const std::vector<uint32_t> &Features, bool Force) {
+  const uint64_t H = fnv1a(Source);
+  if (!Hashes.insert(H).second)
+    return false;
+
+  bool Novel = Force;
+  for (uint32_t F : Features)
+    if (!Covered.count(F))
+      Novel = true;
+  if (!Novel) {
+    Hashes.erase(H);
+    return false;
+  }
+
+  CorpusEntry E;
+  E.Source = Source;
+  E.ContentHash = H;
+  E.Features = Features;
+  std::sort(E.Features.begin(), E.Features.end());
+  E.Features.erase(std::unique(E.Features.begin(), E.Features.end()),
+                   E.Features.end());
+  Covered.insert(E.Features.begin(), E.Features.end());
+  Entries.push_back(std::move(E));
+  return true;
+}
+
+size_t Corpus::loadDirectory(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (!fs::is_directory(Dir, Ec))
+    return 0;
+
+  std::vector<fs::path> Paths;
+  for (const fs::directory_entry &DE : fs::directory_iterator(Dir, Ec))
+    if (DE.path().extension() == ".sptc")
+      Paths.push_back(DE.path());
+  std::sort(Paths.begin(), Paths.end());
+
+  size_t Loaded = 0;
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P);
+    if (!In)
+      continue;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    if (addIfNovel(Buf.str(), {}, /*Force=*/true))
+      ++Loaded;
+  }
+  return Loaded;
+}

@@ -1,0 +1,64 @@
+//===- testing/Corpus.h - Coverage-guided fuzzing corpus -------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's working set of interesting programs. A program earns a
+/// place by covering a pipeline feature (see Oracles.h's feature ids) no
+/// existing entry covers — the classic coverage-guided retention rule,
+/// with CompilationReport-derived features standing in for code coverage.
+/// Entries deduplicate by content hash, so reprinting noise cannot bloat
+/// the corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TESTING_CORPUS_H
+#define SPT_TESTING_CORPUS_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+struct CorpusEntry {
+  std::string Source;
+  uint64_t ContentHash = 0;
+  /// Features this entry covered when it was admitted (sorted).
+  std::vector<uint32_t> Features;
+};
+
+class Corpus {
+public:
+  /// Admits \p Source when it covers at least one feature no current
+  /// entry covers (or when Force is set and it is not a duplicate).
+  /// Returns true when the entry was added.
+  bool addIfNovel(const std::string &Source,
+                  const std::vector<uint32_t> &Features, bool Force = false);
+
+  /// Loads every *.sptc file of \p Dir (sorted by filename, for
+  /// determinism) with Force semantics: seed entries are kept regardless
+  /// of coverage so mutation always has raw material. Returns how many
+  /// files were loaded; missing/unreadable directories load zero.
+  size_t loadDirectory(const std::string &Dir);
+
+  const std::vector<CorpusEntry> &entries() const { return Entries; }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Number of distinct features covered across all entries.
+  size_t coveredFeatures() const { return Covered.size(); }
+  const std::set<uint32_t> &covered() const { return Covered; }
+
+private:
+  std::vector<CorpusEntry> Entries;
+  std::set<uint32_t> Covered;
+  std::set<uint64_t> Hashes;
+};
+
+} // namespace spt
+
+#endif // SPT_TESTING_CORPUS_H

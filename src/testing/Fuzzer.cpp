@@ -1,0 +1,169 @@
+//===- testing/Fuzzer.cpp - Coverage-guided differential fuzzing loop ------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Fuzzer.h"
+
+#include "support/Hash.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace spt;
+
+namespace {
+
+/// Writes a reproducer with its triage header; returns the path ("" when
+/// OutDir is unset or the write failed).
+std::string dumpRepro(const FuzzOptions &Opts, const std::string &Suffix,
+                      const std::string &Oracle, const std::string &Detail,
+                      const std::string &Source) {
+  if (Opts.OutDir.empty())
+    return "";
+  std::error_code Ec;
+  std::filesystem::create_directories(Opts.OutDir, Ec);
+  char Name[64];
+  std::snprintf(Name, sizeof(Name), "repro_%016llx%s.sptc",
+                static_cast<unsigned long long>(fnv1a(Source)),
+                Suffix.c_str());
+  const std::string Path = Opts.OutDir + "/" + Name;
+  std::ofstream Out(Path);
+  if (!Out)
+    return "";
+  Out << "// sptfuzz reproducer\n"
+      << "// oracle: " << Oracle << "\n"
+      << "// detail: " << Detail << "\n"
+      << "// fuzz seed: " << Opts.Seed << "\n"
+      << "// oracle seed: " << Opts.Oracle.Seed << "\n"
+      << (Opts.Oracle.InjectKnownBad ? "// known-bad injection: on\n" : "")
+      << Source;
+  return Path;
+}
+
+/// The reduction predicate: the candidate still compiles, terminates, and
+/// fails the *same* oracle. Restricting the suite to that oracle keeps
+/// each probe cheap (e.g. no sequential simulation while reducing an
+/// interp divergence).
+FailurePredicate predicateFor(const FuzzOptions &Opts,
+                              const std::string &Oracle) {
+  OracleOptions OO = Opts.Oracle;
+  OO.Only = {Oracle};
+  return [OO, Oracle](const std::string &Source) {
+    OracleRunReport R = runOracleSuite(Source, OO);
+    if (!R.Compiled || !R.Terminated)
+      return false;
+    const OracleResult *F = R.firstFailure();
+    return F && F->Oracle == Oracle;
+  };
+}
+
+} // namespace
+
+FuzzOutcome spt::runFuzz(const FuzzOptions &Opts) {
+  FuzzOutcome Out;
+
+  Corpus C;
+  if (!Opts.CorpusDir.empty())
+    C.loadDirectory(Opts.CorpusDir);
+
+  Random Rng(Opts.Seed ^ 0x66757a7aull); // "fuzz"
+  unsigned Executed = 0;
+  uint64_t Iter = 0;
+  // Bound total attempts so a corpus of hard-to-compile mutants cannot
+  // spin forever: rejected programs consume attempts too.
+  const uint64_t MaxAttempts = 10ull * Opts.Programs + 100;
+
+  while (Executed < Opts.Programs && Iter < MaxAttempts) {
+    ++Iter;
+    const uint64_t ProgSeed = Rng.next();
+
+    // Alternate fresh generation with corpus mutation once the corpus has
+    // material; mutation explores shapes the generator's templates cannot
+    // reach, generation keeps injecting diversity.
+    std::string Source;
+    bool FromCorpus = false;
+    if (!C.empty() && (Iter & 1)) {
+      const CorpusEntry &E =
+          C.entries()[ProgSeed % C.entries().size()];
+      MutationOutcome M = mutateSource(E.Source, ProgSeed, Opts.Mutator);
+      Source = std::move(M.Source);
+      FromCorpus = true;
+      ++Out.Stats.Mutated;
+    } else {
+      Source = generateProgram(ProgSeed, Opts.Generator);
+      ++Out.Stats.Generated;
+    }
+
+    OracleRunReport R = runOracleSuite(Source, Opts.Oracle);
+    if (!R.Compiled) {
+      ++Out.Stats.NonCompiling;
+      continue;
+    }
+    if (!R.Terminated) {
+      ++Out.Stats.NonTerminating;
+      continue;
+    }
+    ++Executed;
+    Out.Stats.Executed = Executed;
+
+    if (C.addIfNovel(Source, R.Features))
+      ++Out.Stats.CorpusAdds;
+    Out.Stats.CoveredFeatures = C.coveredFeatures();
+
+    if (Opts.Verbose && Executed % 20 == 0)
+      std::fprintf(stderr,
+                   "sptfuzz: %u/%u programs, %zu corpus entries, %zu "
+                   "features covered\n",
+                   Executed, Opts.Programs, C.size(), C.coveredFeatures());
+
+    const OracleResult *Fail = R.firstFailure();
+    if (!Fail)
+      continue;
+
+    Out.FoundDivergence = true;
+    Out.FailingOracle = Fail->Oracle;
+    Out.FailureDetail = Fail->Detail;
+    Out.FailingSource = Source;
+    Out.ReducedSource = Source;
+    Out.ReproPath =
+        dumpRepro(Opts, "", Fail->Oracle, Fail->Detail, Source);
+    if (Opts.Verbose)
+      std::fprintf(stderr,
+                   "sptfuzz: divergence on oracle '%s' (%s program): %s\n",
+                   Fail->Oracle.c_str(),
+                   FromCorpus ? "mutated" : "generated",
+                   Fail->Detail.c_str());
+
+    if (Opts.ReduceOnFailure) {
+      ReduceOutcome Red = reduceProgram(
+          Source, predicateFor(Opts, Fail->Oracle), Opts.Reduce);
+      Out.ReducedSource = Red.Source;
+      Out.ReducedStatements = Red.StatementCount;
+      Out.ReducedReproPath = dumpRepro(Opts, "_min", Fail->Oracle,
+                                       Fail->Detail, Red.Source);
+      if (Opts.Verbose)
+        std::fprintf(stderr,
+                     "sptfuzz: reduced to %u statements in %u rounds "
+                     "(%u candidates)\n",
+                     Red.StatementCount, Red.Rounds, Red.CandidatesTried);
+    }
+    return Out;
+  }
+
+  Out.Stats.CoveredFeatures = C.coveredFeatures();
+  return Out;
+}
+
+FuzzOutcome spt::runKnownBadSelfCheck(FuzzOptions Opts) {
+  // The planted bug is a deterministic miscompile (first in-loop add
+  // flipped to sub on the pipeline's copy); any generated program with an
+  // additive loop exposes it, so a handful of programs suffices.
+  Opts.Oracle.InjectKnownBad = true;
+  if (Opts.Programs > 25)
+    Opts.Programs = 25;
+  return runFuzz(Opts);
+}

@@ -1,0 +1,96 @@
+//===- testing/Fuzzer.h - Coverage-guided differential fuzzing loop --------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver that ties the subsystem together: generate or mutate a
+/// program, reject it cheaply if it does not compile or does not
+/// terminate, run the full oracle suite (testing/Oracles.h), keep it in
+/// the corpus when it covers a new pipeline feature, and — on the first
+/// divergence — dump the reproducer, delta-debug it down to a minimal
+/// program that still fails the same oracle, and dump that too.
+///
+/// Everything is deterministic for a fixed FuzzOptions::Seed: generation,
+/// mutation choices, oracle randomness, and the reduction, so a failing
+/// run replays bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TESTING_FUZZER_H
+#define SPT_TESTING_FUZZER_H
+
+#include "lang/ProgramGenerator.h"
+#include "testing/Corpus.h"
+#include "testing/Mutator.h"
+#include "testing/Oracles.h"
+#include "testing/Reducer.h"
+
+#include <cstdint>
+#include <string>
+
+namespace spt {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  /// Programs to run through the oracle suite (rejected mutants do not
+  /// count).
+  unsigned Programs = 200;
+  /// Seed corpus directory (*.sptc); empty = start from generation only.
+  std::string CorpusDir;
+  /// Where reproducers are written; empty = don't write files.
+  std::string OutDir;
+  /// Progress lines on stderr.
+  bool Verbose = false;
+  /// Reduce the failing program before returning (on by default; the
+  /// smoke mode's caller keeps it on so any smoke failure arrives
+  /// pre-shrunk).
+  bool ReduceOnFailure = true;
+
+  OracleOptions Oracle;
+  MutatorOptions Mutator;
+  GeneratorOptions Generator;
+  ReducerOptions Reduce;
+};
+
+struct FuzzStats {
+  unsigned Executed = 0;       ///< Programs that reached the oracles.
+  unsigned NonCompiling = 0;   ///< Mutants rejected by the frontend.
+  unsigned NonTerminating = 0; ///< Mutants rejected by the step budget.
+  unsigned Generated = 0;      ///< Fresh generator programs tried.
+  unsigned Mutated = 0;        ///< Corpus mutants tried.
+  unsigned CorpusAdds = 0;     ///< Programs retained for new coverage.
+  size_t CoveredFeatures = 0;  ///< Distinct features covered at the end.
+};
+
+struct FuzzOutcome {
+  FuzzStats Stats;
+  bool FoundDivergence = false;
+  std::string FailingOracle;
+  std::string FailureDetail;
+  /// The failing program as fuzzed.
+  std::string FailingSource;
+  /// After reduction (equals FailingSource when reduction is disabled or
+  /// made no progress).
+  std::string ReducedSource;
+  unsigned ReducedStatements = 0;
+  /// Paths of the dumped reproducers (empty when OutDir is empty).
+  std::string ReproPath;
+  std::string ReducedReproPath;
+};
+
+/// Runs the fuzzing loop. Returns after FuzzOptions::Programs programs,
+/// or at the first divergence.
+FuzzOutcome runFuzz(const FuzzOptions &Opts);
+
+/// The acceptance self-check behind `sptfuzz --selfcheck`: forces the
+/// known-bad mutation (OracleOptions::InjectKnownBad) into an otherwise
+/// default fuzzing run, and expects the suite to find the planted
+/// miscompile and reduce it to a small reproducer. Returns the outcome so
+/// callers can assert FoundDivergence and ReducedStatements.
+FuzzOutcome runKnownBadSelfCheck(FuzzOptions Opts);
+
+} // namespace spt
+
+#endif // SPT_TESTING_FUZZER_H

@@ -1,0 +1,541 @@
+//===- testing/Mutator.cpp - AST-level SPTc program mutation ---------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Mutator.h"
+
+#include "lang/Ast.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "support/Random.h"
+
+#include <functional>
+
+using namespace spt;
+
+namespace {
+
+/// A statement's position: the owning Block body vector and the index
+/// within it. Only valid until the next structural edit.
+struct StmtSlot {
+  std::vector<StmtPtr> *Body = nullptr;
+  size_t Index = 0;
+  Stmt *stmt() const { return (*Body)[Index].get(); }
+};
+
+/// Visits every Block body vector in the function, including loop and if
+/// bodies (which the canonical printer always keeps as Blocks).
+void forEachBlock(Stmt &S, const std::function<void(Stmt &)> &Fn) {
+  if (S.Kind == StmtKind::Block)
+    Fn(S);
+  for (StmtPtr &Child : S.Body)
+    if (Child)
+      forEachBlock(*Child, Fn);
+  if (S.Then)
+    forEachBlock(*S.Then, Fn);
+  if (S.Else)
+    forEachBlock(*S.Else, Fn);
+  // For-header Init/Step hold no blocks.
+}
+
+void forEachStmtSlot(ProgramAst &P, const std::function<void(StmtSlot)> &Fn) {
+  for (auto &F : P.Funcs) {
+    if (!F->Body)
+      continue;
+    forEachBlock(*F->Body, [&](Stmt &Block) {
+      for (size_t I = 0; I != Block.Body.size(); ++I)
+        if (Block.Body[I])
+          Fn(StmtSlot{&Block.Body, I});
+    });
+  }
+}
+
+void forEachExprIn(Expr &E, const std::function<void(Expr &)> &Fn) {
+  Fn(E);
+  if (E.Lhs)
+    forEachExprIn(*E.Lhs, Fn);
+  if (E.Rhs)
+    forEachExprIn(*E.Rhs, Fn);
+  if (E.Aux)
+    forEachExprIn(*E.Aux, Fn);
+  for (ExprPtr &A : E.Args)
+    forEachExprIn(*A, Fn);
+}
+
+void forEachExprInStmt(Stmt &S, const std::function<void(Expr &)> &Fn) {
+  if (S.Target)
+    forEachExprIn(*S.Target, Fn);
+  if (S.Value)
+    forEachExprIn(*S.Value, Fn);
+  for (StmtPtr &Child : S.Body)
+    if (Child)
+      forEachExprInStmt(*Child, Fn);
+  if (S.Then)
+    forEachExprInStmt(*S.Then, Fn);
+  if (S.Else)
+    forEachExprInStmt(*S.Else, Fn);
+  if (S.Init)
+    forEachExprInStmt(*S.Init, Fn);
+  if (S.Step)
+    forEachExprInStmt(*S.Step, Fn);
+}
+
+void forEachExpr(ProgramAst &P, const std::function<void(Expr &)> &Fn) {
+  for (auto &F : P.Funcs)
+    if (F->Body)
+      forEachExprInStmt(*F->Body, Fn);
+}
+
+bool isLoop(const Stmt &S) {
+  return S.Kind == StmtKind::For || S.Kind == StmtKind::While ||
+         S.Kind == StmtKind::DoWhile;
+}
+
+/// Ensures a loop/if body is a Block so statements can be inserted.
+Stmt *asBlock(StmtPtr &Body) {
+  if (!Body)
+    return nullptr;
+  if (Body->Kind == StmtKind::Block)
+    return Body.get();
+  auto Block = std::make_unique<Stmt>(StmtKind::Block, Body->Loc);
+  Block->Body.push_back(std::move(Body));
+  Body = std::move(Block);
+  return Body.get();
+}
+
+size_t pick(Random &Rng, size_t N) {
+  return static_cast<size_t>(Rng.nextBelow(static_cast<int64_t>(N)));
+}
+
+//===----------------------------------------------------------------------===//
+// The operators. Each returns true when it found a site and rewrote it.
+//===----------------------------------------------------------------------===//
+
+bool mutDeleteStmt(ProgramAst &P, Random &Rng) {
+  std::vector<StmtSlot> Sites;
+  forEachStmtSlot(P, [&](StmtSlot Slot) {
+    switch (Slot.stmt()->Kind) {
+    case StmtKind::Assign:
+    case StmtKind::ExprEval:
+    case StmtKind::If:
+    case StmtKind::For:
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      Sites.push_back(Slot);
+      break;
+    default: // Decls and returns stay: deleting them rarely compiles.
+      break;
+    }
+  });
+  if (Sites.empty())
+    return false;
+  const StmtSlot Slot = Sites[pick(Rng, Sites.size())];
+  Slot.Body->erase(Slot.Body->begin() + static_cast<ptrdiff_t>(Slot.Index));
+  return true;
+}
+
+bool mutDuplicateStmt(ProgramAst &P, Random &Rng) {
+  std::vector<StmtSlot> Sites;
+  forEachStmtSlot(P, [&](StmtSlot Slot) {
+    switch (Slot.stmt()->Kind) {
+    case StmtKind::Assign:
+    case StmtKind::ExprEval:
+    case StmtKind::If:
+    case StmtKind::For:
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+      Sites.push_back(Slot);
+      break;
+    default:
+      break;
+    }
+  });
+  if (Sites.empty())
+    return false;
+  const StmtSlot Slot = Sites[pick(Rng, Sites.size())];
+  StmtPtr Clone = cloneStmt(*Slot.stmt());
+  Slot.Body->insert(Slot.Body->begin() + static_cast<ptrdiff_t>(Slot.Index) +
+                        1,
+                    std::move(Clone));
+  return true;
+}
+
+bool mutSplitLoop(ProgramAst &P, Random &Rng) {
+  std::vector<StmtSlot> Sites;
+  forEachStmtSlot(P, [&](StmtSlot Slot) {
+    Stmt *S = Slot.stmt();
+    if (S->Kind == StmtKind::For && S->Then &&
+        S->Then->Kind == StmtKind::Block && S->Then->Body.size() >= 2)
+      Sites.push_back(Slot);
+  });
+  if (Sites.empty())
+    return false;
+  const StmtSlot Slot = Sites[pick(Rng, Sites.size())];
+  Stmt *Loop = Slot.stmt();
+  const size_t N = Loop->Then->Body.size();
+  const size_t Cut = 1 + pick(Rng, N - 1); // In [1, N-1].
+
+  // Second loop: same header, the body's suffix.
+  auto Second = std::make_unique<Stmt>(StmtKind::For, Loop->Loc);
+  if (Loop->Init)
+    Second->Init = cloneStmt(*Loop->Init);
+  if (Loop->Value)
+    Second->Value = cloneExpr(*Loop->Value);
+  if (Loop->Step)
+    Second->Step = cloneStmt(*Loop->Step);
+  Second->Then = std::make_unique<Stmt>(StmtKind::Block, Loop->Loc);
+  for (size_t I = Cut; I != N; ++I)
+    Second->Then->Body.push_back(std::move(Loop->Then->Body[I]));
+  Loop->Then->Body.resize(Cut);
+
+  Slot.Body->insert(Slot.Body->begin() + static_cast<ptrdiff_t>(Slot.Index) +
+                        1,
+                    std::move(Second));
+  return true;
+}
+
+bool mutPerturbConstant(ProgramAst &P, Random &Rng) {
+  std::vector<Expr *> Sites;
+  forEachExpr(P, [&](Expr &E) {
+    if (E.Kind == ExprKind::IntLit || E.Kind == ExprKind::FpLit)
+      Sites.push_back(&E);
+  });
+  if (Sites.empty())
+    return false;
+  Expr *E = Sites[pick(Rng, Sites.size())];
+  if (E->Kind == ExprKind::IntLit) {
+    switch (Rng.nextInRange(0, 4)) {
+    case 0:
+      E->IntValue += 1;
+      break;
+    case 1:
+      E->IntValue -= 1;
+      break;
+    case 2:
+      E->IntValue = E->IntValue * 2 + 1;
+      break;
+    case 3:
+      E->IntValue ^= 0xff;
+      break;
+    default:
+      E->IntValue = Rng.nextInRange(0, 2);
+      break;
+    }
+  } else {
+    switch (Rng.nextInRange(0, 3)) {
+    case 0:
+      E->FpValue *= 1.5;
+      break;
+    case 1:
+      E->FpValue += 0.25;
+      break;
+    case 2:
+      E->FpValue = -E->FpValue;
+      break;
+    default:
+      E->FpValue = 1.0;
+      break;
+    }
+  }
+  return true;
+}
+
+bool mutPerturbOperator(ProgramAst &P, Random &Rng) {
+  // Swap groups: an operator is replaced by a different member of its
+  // group, preserving rough type shape (the language is total, so even
+  // division is safe to introduce).
+  static const BinOp Arith[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                                BinOp::And, BinOp::Or,  BinOp::Xor};
+  static const BinOp Cmp[] = {BinOp::Eq, BinOp::Ne, BinOp::Lt,
+                              BinOp::Le, BinOp::Gt, BinOp::Ge};
+  static const BinOp Shift[] = {BinOp::Shl, BinOp::Shr};
+  static const BinOp Logic[] = {BinOp::LAnd, BinOp::LOr};
+
+  std::vector<Expr *> Sites;
+  forEachExpr(P, [&](Expr &E) {
+    if (E.Kind == ExprKind::Binary)
+      Sites.push_back(&E);
+  });
+  if (Sites.empty())
+    return false;
+  Expr *E = Sites[pick(Rng, Sites.size())];
+
+  auto swapWithin = [&](const BinOp *Group, size_t N) {
+    BinOp Repl = E->BOp;
+    while (Repl == E->BOp)
+      Repl = Group[pick(Rng, N)];
+    E->BOp = Repl;
+  };
+  switch (E->BOp) {
+  case BinOp::Add:
+  case BinOp::Sub:
+  case BinOp::Mul:
+  case BinOp::And:
+  case BinOp::Or:
+  case BinOp::Xor:
+    swapWithin(Arith, 6);
+    return true;
+  case BinOp::Div:
+  case BinOp::Rem:
+    E->BOp = E->BOp == BinOp::Div ? BinOp::Rem : BinOp::Div;
+    return true;
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    swapWithin(Cmp, 6);
+    return true;
+  case BinOp::Shl:
+  case BinOp::Shr:
+    swapWithin(Shift, 2);
+    return true;
+  case BinOp::LAnd:
+  case BinOp::LOr:
+    swapWithin(Logic, 2);
+    return true;
+  }
+  return false;
+}
+
+/// Int-typed scalar names usable inside \p F: parameters plus every
+/// declared int local (one virtual register per name for the whole
+/// function, so any declared name is referenceable after its decl; we
+/// only inject *after* loop entries, where the generated corpus has all
+/// its decls above).
+std::vector<std::string> intScalarsOf(const FuncAst &F) {
+  std::vector<std::string> Names;
+  for (const ParamAst &P : F.Params)
+    if (P.Ty == Type::Int)
+      Names.push_back(P.Name);
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &S) {
+    if (S.Kind == StmtKind::Decl && S.DeclTy == Type::Int)
+      Names.push_back(S.Name);
+    for (const StmtPtr &Child : S.Body)
+      if (Child)
+        Walk(*Child);
+    if (S.Then)
+      Walk(*S.Then);
+    if (S.Else)
+      Walk(*S.Else);
+    if (S.Init)
+      Walk(*S.Init);
+    if (S.Step)
+      Walk(*S.Step);
+  };
+  if (F.Body)
+    Walk(*F.Body);
+  return Names;
+}
+
+bool mutInjectStore(ProgramAst &P, Random &Rng) {
+  std::vector<const ArrayAst *> IntArrays;
+  for (const ArrayAst &A : P.Arrays)
+    if (A.ElemTy == Type::Int && A.Size > 0)
+      IntArrays.push_back(&A);
+  if (IntArrays.empty())
+    return false;
+
+  struct LoopSite {
+    Stmt *Loop;
+    FuncAst *Func;
+  };
+  std::vector<LoopSite> Sites;
+  for (auto &F : P.Funcs) {
+    if (!F->Body)
+      continue;
+    std::function<void(Stmt &)> Walk = [&](Stmt &S) {
+      if (isLoop(S) && S.Then)
+        Sites.push_back(LoopSite{&S, F.get()});
+      for (StmtPtr &Child : S.Body)
+        if (Child)
+          Walk(*Child);
+      if (S.Then)
+        Walk(*S.Then);
+      if (S.Else)
+        Walk(*S.Else);
+    };
+    Walk(*F->Body);
+  }
+  if (Sites.empty())
+    return false;
+
+  const LoopSite Site = Sites[pick(Rng, Sites.size())];
+  const ArrayAst &Arr = *IntArrays[pick(Rng, IntArrays.size())];
+  const std::vector<std::string> Vars = intScalarsOf(*Site.Func);
+
+  const SrcLoc Loc = Site.Loop->Loc;
+  auto index = [&](ExprPtr Base) {
+    // Power-of-two sizes mask; others reduce modulo the size. Negative or
+    // out-of-range indices are harmless (stores drop, loads read 0).
+    const bool Pow2 = (Arr.Size & (Arr.Size - 1)) == 0;
+    return makeBinary(Pow2 ? BinOp::And : BinOp::Rem, std::move(Base),
+                      makeIntLit(static_cast<int64_t>(Pow2 ? Arr.Size - 1
+                                                           : Arr.Size),
+                                 Loc),
+                      Loc);
+  };
+  auto scalarOrLit = [&]() -> ExprPtr {
+    if (Vars.empty() || Rng.nextBool(0.2))
+      return makeIntLit(Rng.nextInRange(0, 63), Loc);
+    return makeVar(Vars[pick(Rng, Vars.size())], Loc);
+  };
+
+  // arr[(v1 * K + v2) & mask] = (arr[(v1 + C) & mask] + v3) & 0x3fffffff;
+  const int64_t K = Rng.nextInRange(3, 61) | 1;
+  ExprPtr WriteIdx = index(makeBinary(
+      BinOp::Add,
+      makeBinary(BinOp::Mul, scalarOrLit(), makeIntLit(K, Loc), Loc),
+      scalarOrLit(), Loc));
+  ExprPtr ReadIdx = index(makeBinary(BinOp::Add, scalarOrLit(),
+                                     makeIntLit(Rng.nextInRange(1, 7), Loc),
+                                     Loc));
+  ExprPtr Rhs = makeBinary(
+      BinOp::And,
+      makeBinary(BinOp::Add, makeIndex(Arr.Name, std::move(ReadIdx), Loc),
+                 scalarOrLit(), Loc),
+      makeIntLit(1073741823, Loc), Loc);
+
+  auto Store = std::make_unique<Stmt>(StmtKind::Assign, Loc);
+  Store->Target = makeIndex(Arr.Name, std::move(WriteIdx), Loc);
+  Store->Value = std::move(Rhs);
+
+  Stmt *Body = asBlock(Site.Loop->Then);
+  if (!Body)
+    return false;
+  const size_t At = pick(Rng, Body->Body.size() + 1);
+  Body->Body.insert(Body->Body.begin() + static_cast<ptrdiff_t>(At),
+                    std::move(Store));
+  return true;
+}
+
+using MutatorFn = bool (*)(ProgramAst &, Random &);
+
+constexpr MutatorFn MutatorOf[NumMutationKinds] = {
+    mutDeleteStmt,      mutDuplicateStmt,  mutSplitLoop,
+    mutPerturbConstant, mutPerturbOperator, mutInjectStore,
+};
+
+} // namespace
+
+const char *spt::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::DeleteStmt:
+    return "delete-stmt";
+  case MutationKind::DuplicateStmt:
+    return "duplicate-stmt";
+  case MutationKind::SplitLoop:
+    return "split-loop";
+  case MutationKind::PerturbConstant:
+    return "perturb-constant";
+  case MutationKind::PerturbOperator:
+    return "perturb-operator";
+  case MutationKind::InjectStore:
+    return "inject-store";
+  }
+  return "unknown";
+}
+
+MutationOutcome spt::mutateSource(const std::string &Source, uint64_t Seed,
+                                  const MutatorOptions &Opts) {
+  MutationOutcome Out;
+  Out.Source = Source;
+
+  Parser P(Source);
+  ProgramAst Ast = P.parseProgram();
+  if (!P.errors().empty())
+    return Out;
+
+  Random Rng(Seed ^ 0x6d757461746full); // "mutato"
+  const unsigned Lo = Opts.MinMutations ? Opts.MinMutations : 1;
+  const unsigned Hi = Opts.MaxMutations < Lo ? Lo : Opts.MaxMutations;
+  const unsigned Count =
+      static_cast<unsigned>(Rng.nextInRange(Lo, Hi));
+
+  for (unsigned M = 0; M != Count; ++M) {
+    // Try the chosen operator; when it has no applicable site, fall
+    // through the others round-robin so a mutation is applied whenever
+    // any operator applies.
+    const unsigned First =
+        static_cast<unsigned>(Rng.nextBelow(NumMutationKinds));
+    for (unsigned K = 0; K != NumMutationKinds; ++K) {
+      const unsigned Idx = (First + K) % NumMutationKinds;
+      if (MutatorOf[Idx](Ast, Rng)) {
+        Out.Applied.push_back(static_cast<MutationKind>(Idx));
+        break;
+      }
+    }
+  }
+  if (!Out.Applied.empty())
+    Out.Source = programToSource(Ast);
+  return Out;
+}
+
+KnownBadOutcome spt::applyKnownBadMutation(const std::string &Source) {
+  KnownBadOutcome Out;
+  Out.Source = Source;
+
+  Parser P(Source);
+  ProgramAst Ast = P.parseProgram();
+  if (!P.errors().empty())
+    return Out;
+
+  // First Add (preorder) inside the first loop body (preorder) of the
+  // first function that has one: fully deterministic, and reapplies
+  // identically to any reduced variant that still contains such a site.
+  Expr *Victim = nullptr;
+  std::function<void(Expr &)> FindAdd = [&](Expr &E) {
+    if (Victim)
+      return;
+    if (E.Kind == ExprKind::Binary && E.BOp == BinOp::Add) {
+      Victim = &E;
+      return;
+    }
+    if (E.Lhs)
+      FindAdd(*E.Lhs);
+    if (E.Rhs)
+      FindAdd(*E.Rhs);
+    if (E.Aux)
+      FindAdd(*E.Aux);
+    for (ExprPtr &A : E.Args)
+      FindAdd(*A);
+  };
+  std::function<void(Stmt &, bool)> Walk = [&](Stmt &S, bool InLoop) {
+    if (Victim)
+      return;
+    // Only expressions in loop *bodies* qualify; the for-header step
+    // (i = i + 1) is exempt so the flip never destroys termination.
+    if (InLoop) {
+      if (S.Target)
+        FindAdd(*S.Target);
+      if (S.Value && S.Kind != StmtKind::For && S.Kind != StmtKind::While &&
+          S.Kind != StmtKind::DoWhile)
+        FindAdd(*S.Value);
+    }
+    for (StmtPtr &Child : S.Body)
+      if (Child)
+        Walk(*Child, InLoop);
+    if (S.Then)
+      Walk(*S.Then, InLoop || isLoop(S));
+    if (S.Else)
+      Walk(*S.Else, InLoop);
+  };
+  for (auto &F : Ast.Funcs) {
+    if (F->Body)
+      Walk(*F->Body, false);
+    if (Victim)
+      break;
+  }
+  if (!Victim)
+    return Out;
+
+  Victim->BOp = BinOp::Sub;
+  Out.Source = programToSource(Ast);
+  Out.Applied = true;
+  return Out;
+}

@@ -1,0 +1,94 @@
+//===- testing/Mutator.h - AST-level SPTc program mutation -----------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutation operators over SPTc programs for the differential fuzzer. A
+/// mutant is produced by parsing the source, applying a small number of
+/// AST rewrites, and printing the tree back through lang/AstPrinter — so
+/// every mutant goes through the real frontend exactly like a
+/// hand-written program.
+///
+/// Mutations are free to change program semantics: every oracle is
+/// differential *on the mutant itself* (baseline interpretation vs the
+/// transformed pipeline), so a semantics-changing rewrite simply explores
+/// a different program. Mutations may also produce programs that fail to
+/// compile or fail to terminate within the step budget; the fuzzer
+/// rejects those cheaply before any oracle runs.
+///
+/// The operator set is chosen to stress the paper's machinery:
+///  - statement deletion/duplication reshapes dependence graphs and kills
+///    or doubles violation candidates,
+///  - loop splitting turns one partitionable loop into two smaller ones
+///    with different profiles,
+///  - constant/operator perturbation shifts trip counts, branch
+///    probabilities and alias behaviour,
+///  - store injection adds scatter writes to global arrays inside loop
+///    bodies, manufacturing cross-iteration dependences the partitioner
+///    must respect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TESTING_MUTATOR_H
+#define SPT_TESTING_MUTATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// The mutation operators, in the order the round-robin fallback tries
+/// them when the randomly chosen operator has no applicable site.
+enum class MutationKind : uint8_t {
+  DeleteStmt,
+  DuplicateStmt,
+  SplitLoop,
+  PerturbConstant,
+  PerturbOperator,
+  InjectStore,
+};
+inline constexpr unsigned NumMutationKinds = 6;
+
+const char *mutationKindName(MutationKind Kind);
+
+struct MutatorOptions {
+  /// Number of rewrites applied per mutant, drawn uniformly.
+  unsigned MinMutations = 1;
+  unsigned MaxMutations = 3;
+};
+
+/// One mutation attempt's outcome.
+struct MutationOutcome {
+  /// The mutant source; equals the input when no operator applied.
+  std::string Source;
+  /// Operators actually applied, in application order.
+  std::vector<MutationKind> Applied;
+  bool changed() const { return !Applied.empty(); }
+};
+
+/// Mutates \p Source deterministically from \p Seed. Unparseable input is
+/// returned unchanged (the fuzzer only feeds corpus entries, which always
+/// parse, but the reducer's intermediate states go through here too).
+MutationOutcome mutateSource(const std::string &Source, uint64_t Seed,
+                             const MutatorOptions &Opts = MutatorOptions());
+
+/// The deliberately *known-bad* mutation behind `sptfuzz
+/// --inject-known-bad`: flips the first `+` found (in deterministic
+/// preorder) inside a loop body to `-`. The fuzzer harness applies it to
+/// the pipeline's copy of the program *after* capturing the baseline, so
+/// it behaves exactly like a miscompilation bug: the differential oracles
+/// must find the divergence and the reducer must shrink the reproducer
+/// while the flip still applies. Applied is false when the program has no
+/// qualifying site (e.g. a fully reduced program with no loop).
+struct KnownBadOutcome {
+  std::string Source;
+  bool Applied = false;
+};
+KnownBadOutcome applyKnownBadMutation(const std::string &Source);
+
+} // namespace spt
+
+#endif // SPT_TESTING_MUTATOR_H

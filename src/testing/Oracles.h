@@ -1,0 +1,143 @@
+//===- testing/Oracles.h - Differential oracle catalogue -------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable oracle set of the fuzzing subsystem. One oracle = one
+/// falsifiable claim about the pipeline, checked differentially on a
+/// single program. The catalogue unifies the repo's three historical
+/// ad-hoc differential harnesses (tests/fuzz_test.cpp's end-to-end
+/// checksum sweep, tests/chaos_test.cpp's fault-injection oracle, and the
+/// incremental-vs-reference equivalence walks of
+/// tests/cost_incremental_test.cpp / PartitionEquivalenceTest) into one
+/// engine that the fuzzer, the reducer and the tests all drive.
+///
+/// Oracles:
+///   verify          transformed modules pass ir::Verifier; report
+///                   invariants hold (finite non-negative costs, selected
+///                   loops searched, loop-id map consistent).
+///   interp          interpretation of the transformed module preserves
+///                   the baseline checksum and output, per mode.
+///   seqsim          the sequential simulator computes the same result,
+///                   output and final memory image as plain
+///                   interpretation.
+///   sptsim          the speculative simulator's architectural state
+///                   matches the sequential reference, per mode.
+///   chaos           ditto under fault injection (forced squashes, value
+///                   flips, timing jitter).
+///   cost-diff       MisspecCostModel scratch path is bit-identical to
+///                   the reference path on the program's dependence
+///                   graphs, over random partition walks.
+///   partition-diff  PartitionSearch incremental and reference strategies
+///                   return bit-identical results on the program's loops.
+///   report-diff     whole-pipeline reference vs incremental evaluation:
+///                   renderReportDeterministic is byte-equal.
+///
+/// Every oracle is deterministic given (Source, OracleOptions): internal
+/// randomness derives from the source's content hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TESTING_ORACLES_H
+#define SPT_TESTING_ORACLES_H
+
+#include "driver/SptCompiler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+struct OracleOptions {
+  /// Step budget for every interpretation/simulation run, and the
+  /// profiling budget handed to compileSpt. Programs whose *baseline*
+  /// does not terminate within the budget are rejected before any oracle
+  /// runs (mutants can loop forever; that is not a divergence).
+  uint64_t MaxSteps = 40000000ull;
+  /// Fault-injection pressure of the chaos oracle.
+  double ChaosRate = 0.3;
+  /// Master seed for the chaos injector and the cost-walk RNG.
+  uint64_t Seed = 0x5eed5eed5eedull;
+  /// Caps for the graph-level oracles, which grow with program size.
+  unsigned MaxLoopsForGraphOracles = 6;
+  unsigned MaxCostTrials = 10;
+  /// Restrict the run to the named oracles (empty = all). Unknown names
+  /// are ignored.
+  std::vector<std::string> Only;
+  /// Hidden fault: compile the pipeline's copy from a known-bad mutated
+  /// source (see applyKnownBadMutation) while the baseline keeps the
+  /// original. Emulates a miscompilation the oracles must catch; used to
+  /// self-test the fuzzer's detection and reduction machinery.
+  bool InjectKnownBad = false;
+};
+
+enum class OracleStatus : uint8_t { Pass, Fail, Skipped };
+
+struct OracleResult {
+  std::string Oracle;
+  OracleStatus Status = OracleStatus::Pass;
+  /// For failures: what diverged, with enough context to triage. For
+  /// skips: why the oracle did not apply.
+  std::string Detail;
+};
+
+/// Everything one suite run produced.
+struct OracleRunReport {
+  /// False when the frontend rejected the program (mutants may not
+  /// compile; the fuzzer discards them).
+  bool Compiled = false;
+  /// False when the baseline interpretation exhausted MaxSteps.
+  bool Terminated = false;
+  std::string FrontendError;
+  std::vector<OracleResult> Results;
+  /// Pipeline feature coverage of this program (sorted, deduplicated);
+  /// see featureName(). Drives corpus retention.
+  std::vector<uint32_t> Features;
+
+  bool allPassed() const {
+    for (const OracleResult &R : Results)
+      if (R.Status == OracleStatus::Fail)
+        return false;
+    return true;
+  }
+  const OracleResult *firstFailure() const {
+    for (const OracleResult &R : Results)
+      if (R.Status == OracleStatus::Fail)
+        return &R;
+    return nullptr;
+  }
+};
+
+struct OracleInfo {
+  const char *Name;
+  const char *Description;
+};
+
+/// The registered oracles, in execution order.
+const std::vector<OracleInfo> &oracleCatalogue();
+
+/// Runs the oracle suite on \p Source.
+OracleRunReport runOracleSuite(const std::string &Source,
+                               const OracleOptions &Opts = OracleOptions());
+
+/// Human-readable name of a coverage feature id.
+std::string featureName(uint32_t Feature);
+
+/// The chaos comparison shared by the chaos oracle and
+/// tests/chaos_test.cpp's sweep: compile \p Source under \p Mode with
+/// \p CompilerSeed, simulate speculatively with a fault injector at
+/// \p SquashRate (value-flip and jitter rates scale off it, matching the
+/// historical harness), and compare architectural state against the
+/// sequential simulation of the untransformed program. Returns "" on
+/// match, else a description of the divergence.
+std::string chaosCompare(const std::string &Source, CompilationMode Mode,
+                         double SquashRate, uint64_t CompilerSeed,
+                         uint64_t SimSeed, uint64_t InjectorSeed,
+                         uint64_t MaxSteps = 500000000ull);
+
+} // namespace spt
+
+#endif // SPT_TESTING_ORACLES_H

@@ -1,0 +1,458 @@
+//===- testing/Reducer.cpp - Automatic .sptc reproducer reduction ----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Reducer.h"
+
+#include "lang/Ast.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace spt;
+
+namespace {
+
+bool parseOk(const std::string &Source, ProgramAst &Out) {
+  Parser P(Source);
+  Out = P.parseProgram();
+  return P.errors().empty();
+}
+
+bool isLoop(const Stmt &S) {
+  return S.Kind == StmtKind::For || S.Kind == StmtKind::While ||
+         S.Kind == StmtKind::DoWhile;
+}
+
+//===----------------------------------------------------------------------===//
+// Preorder statement ids for the deletion pass. Ids follow exactly
+// countStatements' notion of a statement (every node except Block
+// containers; For-header Init/Step are part of the loop), so the id space
+// and the size metric agree.
+//===----------------------------------------------------------------------===//
+
+StmtPtr cloneStmtDrop(const Stmt &S, uint32_t &Next, uint32_t Lo,
+                      uint32_t Hi) {
+  if (S.Kind == StmtKind::Block) {
+    auto C = std::make_unique<Stmt>(StmtKind::Block, S.Loc);
+    for (const StmtPtr &Child : S.Body)
+      if (Child)
+        if (StmtPtr R = cloneStmtDrop(*Child, Next, Lo, Hi))
+          C->Body.push_back(std::move(R));
+    return C;
+  }
+
+  const uint32_t Id = Next++;
+  const bool Dropped = Id >= Lo && Id < Hi;
+  StmtPtr C;
+  if (!Dropped) {
+    C = std::make_unique<Stmt>(S.Kind, S.Loc);
+    C->DeclTy = S.DeclTy;
+    C->Name = S.Name;
+    if (S.Target)
+      C->Target = cloneExpr(*S.Target);
+    if (S.Value)
+      C->Value = cloneExpr(*S.Value);
+    if (S.Init)
+      C->Init = cloneStmt(*S.Init);
+    if (S.Step)
+      C->Step = cloneStmt(*S.Step);
+  }
+  // Children consume ids whether or not this node survives, so ids are
+  // stable across every candidate built from the same base tree.
+  for (const StmtPtr &Child : S.Body)
+    if (Child) {
+      StmtPtr R = cloneStmtDrop(*Child, Next, Lo, Hi);
+      if (C && R)
+        C->Body.push_back(std::move(R));
+    }
+  if (S.Then) {
+    StmtPtr R = cloneStmtDrop(*S.Then, Next, Lo, Hi);
+    if (C)
+      C->Then = std::move(R);
+  }
+  if (S.Else) {
+    StmtPtr R = cloneStmtDrop(*S.Else, Next, Lo, Hi);
+    if (C)
+      C->Else = std::move(R);
+  }
+  return C;
+}
+
+ProgramAst cloneProgramDrop(const ProgramAst &P, uint32_t Lo, uint32_t Hi) {
+  ProgramAst C;
+  C.Arrays = P.Arrays;
+  uint32_t Next = 0;
+  for (const auto &F : P.Funcs) {
+    auto CF = std::make_unique<FuncAst>();
+    CF->RetTy = F->RetTy;
+    CF->Name = F->Name;
+    CF->Params = F->Params;
+    CF->Loc = F->Loc;
+    if (F->Body)
+      CF->Body = cloneStmtDrop(*F->Body, Next, Lo, Hi);
+    C.Funcs.push_back(std::move(CF));
+  }
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Site collection for the in-place passes (hoist, trip shrink, expression
+// simplification). Collection order is the deterministic preorder walk, so
+// site k means the same thing on any clone of the same tree.
+//===----------------------------------------------------------------------===//
+
+struct StmtSlot {
+  std::vector<StmtPtr> *Body = nullptr;
+  size_t Index = 0;
+  Stmt *stmt() const { return (*Body)[Index].get(); }
+};
+
+void forEachBlock(Stmt &S, const std::function<void(Stmt &)> &Fn) {
+  if (S.Kind == StmtKind::Block)
+    Fn(S);
+  for (StmtPtr &Child : S.Body)
+    if (Child)
+      forEachBlock(*Child, Fn);
+  if (S.Then)
+    forEachBlock(*S.Then, Fn);
+  if (S.Else)
+    forEachBlock(*S.Else, Fn);
+}
+
+std::vector<StmtSlot> collectLoopSlots(ProgramAst &P) {
+  std::vector<StmtSlot> Slots;
+  for (auto &F : P.Funcs) {
+    if (!F->Body)
+      continue;
+    forEachBlock(*F->Body, [&](Stmt &Block) {
+      for (size_t I = 0; I != Block.Body.size(); ++I)
+        if (Block.Body[I] && isLoop(*Block.Body[I]))
+          Slots.push_back(StmtSlot{&Block.Body, I});
+    });
+  }
+  return Slots;
+}
+
+/// Loop-header condition literals above the shrink floor.
+std::vector<Expr *> collectTripLiterals(ProgramAst &P) {
+  std::vector<Expr *> Sites;
+  std::function<void(Expr &)> Scan = [&](Expr &E) {
+    if (E.Kind == ExprKind::IntLit && E.IntValue > 8)
+      Sites.push_back(&E);
+    if (E.Lhs)
+      Scan(*E.Lhs);
+    if (E.Rhs)
+      Scan(*E.Rhs);
+    if (E.Aux)
+      Scan(*E.Aux);
+    for (ExprPtr &A : E.Args)
+      Scan(*A);
+  };
+  std::function<void(Stmt &)> Walk = [&](Stmt &S) {
+    if (isLoop(S) && S.Value)
+      Scan(*S.Value);
+    for (StmtPtr &Child : S.Body)
+      if (Child)
+        Walk(*Child);
+    if (S.Then)
+      Walk(*S.Then);
+    if (S.Else)
+      Walk(*S.Else);
+  };
+  for (auto &F : P.Funcs)
+    if (F->Body)
+      Walk(*F->Body);
+  return Sites;
+}
+
+/// Expressions the simplification pass may rewrite: everything reachable
+/// from statement values, conditions, for-header clauses and store-index
+/// subtrees — but never an assignment target itself (replacing an lvalue
+/// with a literal cannot parse).
+std::vector<Expr *> collectSimplifySites(ProgramAst &P) {
+  std::vector<Expr *> Sites;
+  std::function<void(Expr &)> Scan = [&](Expr &E) {
+    if (E.Kind == ExprKind::Binary || E.Kind == ExprKind::Cond ||
+        E.Kind == ExprKind::Call || E.Kind == ExprKind::Unary ||
+        E.Kind == ExprKind::Index)
+      Sites.push_back(&E);
+    if (E.Lhs)
+      Scan(*E.Lhs);
+    if (E.Rhs)
+      Scan(*E.Rhs);
+    if (E.Aux)
+      Scan(*E.Aux);
+    for (ExprPtr &A : E.Args)
+      Scan(*A);
+  };
+  std::function<void(Stmt &)> Walk = [&](Stmt &S) {
+    if (S.Target && S.Target->Lhs) // Index target: its subscript only.
+      Scan(*S.Target->Lhs);
+    if (S.Value)
+      Scan(*S.Value);
+    for (StmtPtr &Child : S.Body)
+      if (Child)
+        Walk(*Child);
+    if (S.Then)
+      Walk(*S.Then);
+    if (S.Else)
+      Walk(*S.Else);
+    if (S.Init)
+      Walk(*S.Init);
+    if (S.Step)
+      Walk(*S.Step);
+  };
+  for (auto &F : P.Funcs)
+    if (F->Body)
+      Walk(*F->Body);
+  return Sites;
+}
+
+/// Overwrites \p E with \p R's contents (the tree-node equivalent of
+/// *E = *R with deep members moved, not copied).
+void replaceExpr(Expr &E, ExprPtr R) {
+  E.Kind = R->Kind;
+  E.IntValue = R->IntValue;
+  E.FpValue = R->FpValue;
+  E.Name = std::move(R->Name);
+  E.UOp = R->UOp;
+  E.BOp = R->BOp;
+  E.Lhs = std::move(R->Lhs);
+  E.Rhs = std::move(R->Rhs);
+  E.Aux = std::move(R->Aux);
+  E.Args = std::move(R->Args);
+}
+
+//===----------------------------------------------------------------------===//
+// The reduction driver.
+//===----------------------------------------------------------------------===//
+
+struct Reduction {
+  const FailurePredicate &StillFails;
+  const ReducerOptions &Opts;
+
+  std::string Cur;
+  ProgramAst CurAst;
+  unsigned CurStmts = 0;
+  unsigned Tried = 0;
+
+  Reduction(const FailurePredicate &Pred, const ReducerOptions &O)
+      : StillFails(Pred), Opts(O) {}
+
+  bool outOfBudget() const { return Tried >= Opts.MaxCandidates; }
+
+  /// Prints \p Cand, checks it shrinks and still fails, and adopts it.
+  bool tryAdopt(ProgramAst Cand) {
+    if (outOfBudget())
+      return false;
+    const unsigned Stmts = countStatements(Cand);
+    std::string Printed = programToSource(Cand);
+    if (std::make_pair(Stmts, Printed.size()) >=
+        std::make_pair(CurStmts, Cur.size()))
+      return false;
+    ++Tried;
+    if (!StillFails(Printed))
+      return false;
+    Cur = std::move(Printed);
+    CurAst = std::move(Cand);
+    CurStmts = Stmts;
+    return true;
+  }
+
+  /// Classic ddmin sweep: delete id chunks of shrinking size.
+  bool passDelete() {
+    bool Progress = false;
+    for (uint32_t Chunk : {8u, 4u, 2u, 1u}) {
+      uint32_t Start = 0;
+      while (Start < CurStmts && !outOfBudget()) {
+        if (tryAdopt(cloneProgramDrop(CurAst, Start, Start + Chunk)))
+          Progress = true; // Ids shifted; retry the same window.
+        else
+          Start += Chunk;
+      }
+    }
+    return Progress;
+  }
+
+  /// Replaces a loop with its body (dissolves the loop structure while
+  /// keeping one iteration's statements available for further deletion).
+  bool passHoist() {
+    bool Progress = false;
+    for (size_t K = 0; !outOfBudget(); ++K) {
+      ProgramAst Cand = cloneProgram(CurAst);
+      std::vector<StmtSlot> Slots = collectLoopSlots(Cand);
+      if (K >= Slots.size())
+        break;
+      StmtSlot Slot = Slots[K];
+      StmtPtr Loop = std::move((*Slot.Body)[Slot.Index]);
+      auto At = Slot.Body->begin() + static_cast<ptrdiff_t>(Slot.Index);
+      At = Slot.Body->erase(At);
+      if (Loop->Then) {
+        if (Loop->Then->Kind == StmtKind::Block) {
+          for (StmtPtr &Child : Loop->Then->Body)
+            if (Child)
+              At = std::next(Slot.Body->insert(At, std::move(Child)));
+        } else {
+          Slot.Body->insert(At, std::move(Loop->Then));
+        }
+      }
+      if (tryAdopt(std::move(Cand)))
+        Progress = true; // Slots shifted; same index now names the next.
+    }
+    return Progress;
+  }
+
+  /// Clamps loop-header literals to 8, shrinking trip counts.
+  bool passShrinkTrips() {
+    bool Progress = false;
+    for (size_t K = 0; !outOfBudget(); ++K) {
+      ProgramAst Cand = cloneProgram(CurAst);
+      std::vector<Expr *> Sites = collectTripLiterals(Cand);
+      if (K >= Sites.size())
+        break;
+      Sites[K]->IntValue = 8;
+      if (tryAdopt(std::move(Cand)))
+        Progress = true;
+    }
+    return Progress;
+  }
+
+  /// Collapses an expression to one of its operands or to a literal.
+  bool passSimplify() {
+    bool Progress = false;
+    size_t K = 0;
+    while (!outOfBudget()) {
+      bool Adopted = false;
+      for (int Action = 0; Action != 3 && !outOfBudget(); ++Action) {
+        ProgramAst Cand = cloneProgram(CurAst);
+        std::vector<Expr *> Sites = collectSimplifySites(Cand);
+        if (K >= Sites.size())
+          return Progress;
+        Expr &E = *Sites[K];
+        if (Action == 0 && E.Lhs)
+          replaceExpr(E, cloneExpr(*E.Lhs));
+        else if (Action == 1 && E.Rhs)
+          replaceExpr(E, cloneExpr(*E.Rhs));
+        else if (Action == 2 && E.Kind != ExprKind::IntLit)
+          replaceExpr(E, makeIntLit(0, E.Loc));
+        else
+          continue;
+        if (tryAdopt(std::move(Cand))) {
+          Progress = Adopted = true;
+          break; // Site list changed; re-enumerate at the same index.
+        }
+      }
+      if (!Adopted)
+        ++K;
+    }
+    return Progress;
+  }
+
+  /// Drops functions nobody calls and arrays nobody references.
+  bool passDropDead() {
+    ProgramAst Cand = cloneProgram(CurAst);
+    std::set<std::string> UsedNames;
+    std::function<void(Expr &)> Scan = [&](Expr &E) {
+      if (E.Kind == ExprKind::Call || E.Kind == ExprKind::Var ||
+          E.Kind == ExprKind::Index)
+        UsedNames.insert(E.Name);
+      if (E.Lhs)
+        Scan(*E.Lhs);
+      if (E.Rhs)
+        Scan(*E.Rhs);
+      if (E.Aux)
+        Scan(*E.Aux);
+      for (ExprPtr &A : E.Args)
+        Scan(*A);
+    };
+    std::function<void(Stmt &)> Walk = [&](Stmt &S) {
+      if (S.Target)
+        Scan(*S.Target);
+      if (S.Value)
+        Scan(*S.Value);
+      for (StmtPtr &Child : S.Body)
+        if (Child)
+          Walk(*Child);
+      if (S.Then)
+        Walk(*S.Then);
+      if (S.Else)
+        Walk(*S.Else);
+      if (S.Init)
+        Walk(*S.Init);
+      if (S.Step)
+        Walk(*S.Step);
+    };
+    for (auto &F : Cand.Funcs)
+      if (F->Body)
+        Walk(*F->Body);
+
+    bool Changed = false;
+    for (auto It = Cand.Funcs.begin(); It != Cand.Funcs.end();) {
+      if ((*It)->Name != "main" && !UsedNames.count((*It)->Name)) {
+        It = Cand.Funcs.erase(It);
+        Changed = true;
+      } else {
+        ++It;
+      }
+    }
+    for (auto It = Cand.Arrays.begin(); It != Cand.Arrays.end();) {
+      if (!UsedNames.count(It->Name)) {
+        It = Cand.Arrays.erase(It);
+        Changed = true;
+      } else {
+        ++It;
+      }
+    }
+    return Changed && tryAdopt(std::move(Cand));
+  }
+};
+
+} // namespace
+
+ReduceOutcome spt::reduceProgram(const std::string &Source,
+                                 const FailurePredicate &StillFails,
+                                 const ReducerOptions &Opts) {
+  ReduceOutcome Out;
+  Out.Source = Source;
+
+  ProgramAst Ast;
+  if (!parseOk(Source, Ast))
+    return Out;
+  Out.StatementCount = countStatements(Ast);
+
+  // Reduce from the canonical reprint; every candidate is printed through
+  // the same path, so the base must fail in printed form too.
+  Reduction R(StillFails, Opts);
+  R.Cur = programToSource(Ast);
+  R.CurAst = std::move(Ast);
+  R.CurStmts = Out.StatementCount;
+  ++R.Tried;
+  if (!StillFails(R.Cur)) {
+    Out.CandidatesTried = R.Tried;
+    return Out;
+  }
+
+  for (unsigned Round = 0; Round != Opts.MaxRounds; ++Round) {
+    Out.Rounds = Round + 1;
+    bool Progress = false;
+    Progress |= R.passDelete();
+    Progress |= R.passHoist();
+    Progress |= R.passShrinkTrips();
+    Progress |= R.passDelete();
+    Progress |= R.passSimplify();
+    Progress |= R.passDropDead();
+    if (!Progress || R.outOfBudget())
+      break;
+  }
+
+  Out.Source = R.Cur;
+  Out.StatementCount = R.CurStmts;
+  Out.CandidatesTried = R.Tried;
+  return Out;
+}

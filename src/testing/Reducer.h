@@ -1,0 +1,66 @@
+//===- testing/Reducer.h - Automatic .sptc reproducer reduction ------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging over SPTc programs: given a failing program and a
+/// predicate that re-checks the failure, shrink the program while the
+/// predicate keeps holding. The passes work on the AST (via
+/// lang/AstPrinter's clone helpers) so every candidate is a well-formed
+/// source the real frontend re-parses:
+///
+///   - chunked statement deletion (classic ddmin over preorder statement
+///     ids, chunk sizes 8/4/2/1),
+///   - loop-to-body hoisting (replace a loop with its body, once),
+///   - trip-count shrinking (loop-header literals clamp to 8),
+///   - expression simplification (a binary/call collapses to one operand
+///     or a literal),
+///   - dead function and array removal.
+///
+/// A candidate is adopted only when the predicate holds AND the program
+/// got strictly smaller — lexicographically by (statement count, source
+/// length) — so the reduction is monotone and terminates. The predicate
+/// itself decides what "still failing" means (same oracle, same
+/// divergence direction, ...); non-compiling candidates simply fail it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_TESTING_REDUCER_H
+#define SPT_TESTING_REDUCER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace spt {
+
+/// Returns true when \p Source still exhibits the failure being reduced.
+using FailurePredicate = std::function<bool(const std::string &Source)>;
+
+struct ReducerOptions {
+  /// Full pass-pipeline sweeps before giving up on further progress.
+  unsigned MaxRounds = 12;
+  /// Total predicate evaluations across the whole reduction.
+  unsigned MaxCandidates = 4000;
+};
+
+struct ReduceOutcome {
+  std::string Source;
+  /// AST statement count of the final program (countStatements).
+  unsigned StatementCount = 0;
+  unsigned Rounds = 0;
+  unsigned CandidatesTried = 0;
+};
+
+/// Reduces \p Source under \p StillFails. The input must satisfy the
+/// predicate; if it does not (or does not parse), it is returned
+/// unchanged.
+ReduceOutcome reduceProgram(const std::string &Source,
+                            const FailurePredicate &StillFails,
+                            const ReducerOptions &Opts = ReducerOptions());
+
+} // namespace spt
+
+#endif // SPT_TESTING_REDUCER_H

@@ -1,0 +1,19 @@
+# Applies ctest LABELS to every test a gtest discovery file registered.
+#
+# gtest_discover_tests(PROPERTIES LABELS ...) cannot carry more than one
+# label: the discovery plumbing splices list arguments, so `tier1;fuzz`
+# arrives as `LABELS tier1 fuzz` and everything after the first label is
+# dropped (CMake <= 3.27). Instead, tests/CMakeLists.txt appends a small
+# stub per test binary to TEST_INCLUDE_FILES that sets LABEL_TESTS_FILE
+# and LABEL_VALUES and includes this script; running after the discovery
+# include, it parses the generated add_test() calls and attaches the full
+# label list to each test.
+if(EXISTS "${LABEL_TESTS_FILE}")
+  file(STRINGS "${LABEL_TESTS_FILE}" _label_lines REGEX "^add_test")
+  foreach(_label_line IN LISTS _label_lines)
+    if(_label_line MATCHES "^add_test\\( *\\[=\\[([^]]+)\\]=\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                           LABELS "${LABEL_VALUES}")
+    endif()
+  endforeach()
+endif()

@@ -17,7 +17,9 @@
 //
 // All randomness — program shape, compiler, simulator rnd(), injector —
 // derives from the one master seed, so any failure reproduces from the
-// test name alone.
+// test name alone. The sweep itself drives the shared chaos comparison
+// of the fuzzing subsystem (testing/Oracles.h), the same code path
+// sptfuzz exercises coverage-guided.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +31,7 @@
 #include "sim/SeqSim.h"
 #include "sim/SptSim.h"
 #include "support/Random.h"
+#include "testing/Oracles.h"
 
 #include <gtest/gtest.h>
 
@@ -61,37 +64,20 @@ TEST_P(ChaosOracleTest, FaultsNeverChangeArchitecturalResults) {
   const uint64_t SimSeed = Derive.next();
 
   const std::string Source = generateProgram(MasterSeed);
-  auto BaseM = compileOrDie(Source);
-  const SeqSimResult Ref = runSequential(*BaseM, "main", {},
-                                         MachineConfig(), 500000000ull,
-                                         SimSeed);
+  ASSERT_TRUE(compileSource(Source).ok()) << "seed " << MasterSeed;
 
   for (CompilationMode Mode :
        {CompilationMode::Basic, CompilationMode::Best,
         CompilationMode::Anticipated}) {
-    auto M = compileOrDie(Source);
-    SptCompilerOptions Opts;
-    Opts.Mode = Mode;
-    Opts.RngSeed = CompilerSeed;
-    CompilationReport Report = compileSpt(*M, Opts);
-    ASSERT_EQ(verifyModule(*M), "")
-        << "seed " << MasterSeed << " mode " << compilationModeName(Mode);
-
     for (double Rate : kSquashRates) {
-      FaultInjector FI(injectorOptionsFor(
-          Rate, Derive.next() ^ static_cast<uint64_t>(Mode)));
-      SptSimResult Sim =
-          runSpt(*M, "main", {}, Report.SptLoops, MachineConfig(),
-                 500000000ull, SimSeed, &FI);
-      const std::string Where =
-          "seed " + std::to_string(MasterSeed) + " mode " +
-          compilationModeName(Mode) + " squash rate " +
-          std::to_string(Rate) + " (injected " +
-          std::to_string(FI.stats().total()) + " faults)";
-      ASSERT_EQ(Sim.Result.I, Ref.Result.I) << Where << "\n" << Source;
-      ASSERT_EQ(Sim.Output, Ref.Output) << Where;
-      ASSERT_EQ(Sim.MemoryHash, Ref.MemoryHash)
-          << Where << " (memory image diverged)";
+      const uint64_t InjectorSeed =
+          Derive.next() ^ static_cast<uint64_t>(Mode);
+      const std::string Divergence = chaosCompare(
+          Source, Mode, Rate, CompilerSeed, SimSeed, InjectorSeed);
+      ASSERT_EQ(Divergence, "")
+          << "seed " << MasterSeed << " mode " << compilationModeName(Mode)
+          << " squash rate " << Rate << "\n"
+          << Source;
     }
   }
 }

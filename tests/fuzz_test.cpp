@@ -4,28 +4,31 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Property suite over randomly generated SPTc programs: for many seeds,
-// every compilation mode must preserve the program's checksum and output,
-// and the transformed modules must verify. This is the strongest
-// end-to-end check on the dependence analysis, the partition legality
-// rules, the transformation's temporary insertion, and the simulator's
-// replay machinery.
+// Property suite over randomly generated SPTc programs, driven through
+// the shared oracle engine (testing/Oracles.h): for many seeds, every
+// compilation mode must preserve the program's checksum and output, the
+// transformed modules must verify, and the simulators must agree on
+// architectural state — with and without fault injection. This is the
+// strongest end-to-end check on the dependence analysis, the partition
+// legality rules, the transformation's temporary insertion, and the
+// simulator's replay machinery.
+//
+// The sptfuzz tool runs the same engine coverage-guided over mutated
+// corpora; this suite pins a deterministic seed range into the tier1
+// gate.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/SptCompiler.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
-#include "ir/Verifier.h"
 #include "lang/Frontend.h"
 #include "lang/ProgramGenerator.h"
-#include "sim/FaultInjector.h"
-#include "sim/SptSim.h"
+#include "testing/Oracles.h"
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <fstream>
+#include <string>
 
 using namespace spt;
 
@@ -38,16 +41,13 @@ class FaultedFuzzPipelineTest : public ::testing::TestWithParam<uint64_t> {};
 /// exact seeds and rates as comments — next to the test binary, so one
 /// failing sweep entry can be replayed without re-running the sweep.
 std::string dumpReproducer(uint64_t Seed, const std::string &Source,
-                           const char *ModeName, double Rate) {
+                           const std::string &Detail) {
   const std::string Path =
       "fuzz_repro_seed" + std::to_string(Seed) + ".sptc";
   std::ofstream Out(Path);
   Out << "// fuzz reproducer\n"
       << "// generator seed: " << Seed << "\n"
-      << "// mode: " << ModeName << "\n"
-      << "// injector: squash=" << Rate << " loadflip=" << Rate * 0.5
-      << " regflip=" << Rate * 0.25 << " jitter=" << Rate
-      << " seed=" << Seed << "\n"
+      << "// divergence: " << Detail << "\n"
       << Source;
   return Path;
 }
@@ -58,37 +58,22 @@ TEST_P(FuzzPipelineTest, GeneratedProgramsSurviveEveryMode) {
   const uint64_t Seed = GetParam();
   const std::string Source = generateProgram(Seed);
 
-  CompileResult Base = compileSource(Source);
-  ASSERT_TRUE(Base.ok()) << "seed " << Seed << ":\n"
-                         << (Base.Errors.empty() ? "" : Base.Errors[0])
-                         << "\n"
-                         << Source;
-  RunOutcome Want = runFunction(*Base.M, "main");
-
-  for (CompilationMode Mode :
-       {CompilationMode::Basic, CompilationMode::Best,
-        CompilationMode::Anticipated}) {
-    auto M = compileOrDie(Source);
-    SptCompilerOptions Opts;
-    Opts.Mode = Mode;
-    CompilationReport Report = compileSpt(*M, Opts);
-    ASSERT_EQ(verifyModule(*M), "")
-        << "seed " << Seed << " mode " << compilationModeName(Mode);
-
-    // Plain interpretation of the transformed module.
-    RunOutcome Got = runFunction(*M, "main");
-    ASSERT_EQ(Got.Result.I, Want.Result.I)
-        << "seed " << Seed << " mode " << compilationModeName(Mode)
-        << "\n" << Source;
-    ASSERT_EQ(Got.Output, Want.Output) << "seed " << Seed;
-
-    // And under full speculative simulation.
-    SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops);
-    ASSERT_EQ(Sim.Result.I, Want.Result.I)
-        << "seed " << Seed << " mode " << compilationModeName(Mode)
-        << " (speculative simulation diverged)\n" << Source;
-    ASSERT_EQ(Sim.Output, Want.Output) << "seed " << Seed;
-  }
+  // The fault-free oracles: module verification and report invariants,
+  // interpretation of the transformed module per mode, the sequential
+  // simulator against plain interpretation, and the speculative
+  // simulator's architectural state per mode.
+  OracleOptions OO;
+  OO.Only = {"verify", "interp", "seqsim", "sptsim"};
+  OracleRunReport R = runOracleSuite(Source, OO);
+  ASSERT_TRUE(R.Compiled) << "seed " << Seed << ":\n"
+                          << R.FrontendError << "\n"
+                          << Source;
+  ASSERT_TRUE(R.Terminated) << "seed " << Seed;
+  const OracleResult *F = R.firstFailure();
+  ASSERT_TRUE(R.allPassed())
+      << "seed " << Seed << " oracle " << F->Oracle << ": " << F->Detail
+      << "\n"
+      << Source;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
@@ -96,48 +81,25 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
 
 // The fault-injected sweep: a disjoint, larger seed range through the
 // full compiler and a speculative simulation under injected squashes,
-// value flips and timing jitter. Any divergence dumps a reproducer file
-// (.sptc source annotated with every seed and rate involved) before
-// failing, so the first broken seed is immediately replayable.
+// value flips and timing jitter, via the engine's chaos comparison. Any
+// divergence dumps a reproducer file before failing, so the first broken
+// seed is immediately replayable.
 TEST_P(FaultedFuzzPipelineTest, FaultInjectedSweepMatchesReference) {
   const uint64_t Seed = GetParam();
   constexpr double Rate = 0.3;
   const std::string Source = generateProgram(Seed);
-
-  CompileResult Base = compileSource(Source);
-  ASSERT_TRUE(Base.ok()) << "seed " << Seed;
-  RunOutcome Want = runFunction(*Base.M, "main");
+  ASSERT_TRUE(compileSource(Source).ok()) << "seed " << Seed;
 
   for (CompilationMode Mode :
        {CompilationMode::Basic, CompilationMode::Best,
         CompilationMode::Anticipated}) {
-    auto M = compileOrDie(Source);
-    SptCompilerOptions Opts;
-    Opts.Mode = Mode;
-    CompilationReport Report = compileSpt(*M, Opts);
-    EXPECT_EQ(verifyModule(*M), "")
-        << "seed " << Seed << " mode " << compilationModeName(Mode);
-
-    FaultInjectorOptions FO;
-    FO.Seed = Seed;
-    FO.ForcedSquashRate = Rate;
-    FO.LoadFlipRate = Rate * 0.5;
-    FO.RegFlipRate = Rate * 0.25;
-    FO.TimingJitterRate = Rate;
-    FaultInjector FI(FO);
-    SptSimResult Sim = runSpt(*M, "main", {}, Report.SptLoops,
-                              MachineConfig(), 500000000ull,
-                              0x5eed5eed5eedull, &FI);
-    EXPECT_EQ(Sim.Result.I, Want.Result.I)
-        << "seed " << Seed << " mode " << compilationModeName(Mode);
-    EXPECT_EQ(Sim.Output, Want.Output)
-        << "seed " << Seed << " mode " << compilationModeName(Mode);
-
-    if (HasFailure()) {
-      const std::string Path =
-          dumpReproducer(Seed, Source, compilationModeName(Mode), Rate);
-      FAIL() << "fault-injected pipeline diverged; reproducer dumped to "
-             << Path;
+    const std::string Divergence = chaosCompare(
+        Source, Mode, Rate, /*CompilerSeed=*/Seed, /*SimSeed=*/0x5eed5eed5eedull,
+        /*InjectorSeed=*/Seed);
+    if (!Divergence.empty()) {
+      const std::string Path = dumpReproducer(Seed, Source, Divergence);
+      FAIL() << "seed " << Seed << " mode " << compilationModeName(Mode)
+             << ": " << Divergence << "; reproducer dumped to " << Path;
     }
   }
 }

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace spt;
 
 TEST(WorkloadsTest, TenBenchmarksRegistered) {
@@ -42,6 +44,72 @@ TEST(WorkloadsTest, DeterministicAcrossRuns) {
     EXPECT_EQ(runFunction(*M1, "main").Result.I,
               runFunction(*M2, "main").Result.I)
         << W.Name;
+  }
+}
+
+namespace {
+
+/// Structural sanity of one compilation report; every field tests or
+/// tools later key on must already be consistent here.
+void expectReportInvariants(const Workload &W, CompilationMode Mode,
+                            const CompilationReport &Report) {
+  const std::string Where =
+      W.Name + std::string(" mode ") + compilationModeName(Mode);
+  EXPECT_EQ(Report.Mode, Mode) << Where;
+  if (!Report.Degraded) {
+    EXPECT_EQ(Report.EffectiveMode, Mode) << Where;
+  }
+
+  // Each benchmark is engineered around several loops; losing them all
+  // would mean the frontend or loop discovery quietly broke.
+  EXPECT_GE(Report.Loops.size(), 2u) << Where;
+
+  size_t Selected = 0;
+  for (const LoopRecord &L : Report.Loops) {
+    const std::string At = Where + " loop in " + L.FuncName;
+    EXPECT_TRUE(std::isfinite(L.BodyWeight) && L.BodyWeight >= 0.0) << At;
+    EXPECT_TRUE(std::isfinite(L.Work) && L.Work >= 0.0) << At;
+    EXPECT_TRUE(std::isfinite(L.GainEstimate) && L.GainEstimate >= 0.0) << At;
+    EXPECT_GE(L.Depth, 1u) << At;
+    EXPECT_GE(L.UnrollFactor, 1u) << At;
+    if (L.Selected) {
+      ++Selected;
+      EXPECT_EQ(L.Reason, RejectReason::Selected) << At;
+      EXPECT_TRUE(L.Partition.Searched) << At;
+      EXPECT_TRUE(std::isfinite(L.Partition.Cost) && L.Partition.Cost >= 0.0)
+          << At;
+      EXPECT_GE(L.SptLoopId, 0) << At;
+      EXPECT_EQ(Report.SptLoops.count(L.SptLoopId), 1u) << At;
+    } else {
+      EXPECT_NE(L.Reason, RejectReason::Selected) << At;
+    }
+  }
+  EXPECT_EQ(Selected, Report.numSelected()) << Where;
+  EXPECT_EQ(Report.SptLoops.size(), Report.numSelected()) << Where;
+}
+
+} // namespace
+
+/// Per-workload report invariants across all modes, and determinism of
+/// the whole selection pipeline: two independent compilations must render
+/// byte-identical deterministic reports (same loops, same costs, same
+/// selected SPTs).
+TEST(WorkloadsTest, ReportInvariantsAndSelectionDeterminism) {
+  for (const Workload &W : allWorkloads()) {
+    for (CompilationMode Mode :
+         {CompilationMode::Basic, CompilationMode::Best,
+          CompilationMode::Anticipated}) {
+      auto M1 = compileWorkload(W);
+      auto M2 = compileWorkload(W);
+      SptCompilerOptions Opts;
+      Opts.Mode = Mode;
+      CompilationReport R1 = compileSpt(*M1, Opts);
+      CompilationReport R2 = compileSpt(*M2, Opts);
+      expectReportInvariants(W, Mode, R1);
+      EXPECT_EQ(renderReportDeterministic(R1), renderReportDeterministic(R2))
+          << W.Name << " mode " << compilationModeName(Mode)
+          << ": selection is not deterministic";
+    }
   }
 }
 

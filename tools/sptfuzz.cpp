@@ -1,0 +1,258 @@
+//===- tools/sptfuzz.cpp - Differential fuzzing CLI ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line driver for the testing/ subsystem. Modes:
+//
+//   sptfuzz --smoke          bounded fuzz run for CI (fails on divergence)
+//   sptfuzz --fuzz           open-ended run with full-size programs
+//   sptfuzz --selfcheck      plant the known-bad mutation and require the
+//                            suite to find AND reduce it (acceptance check)
+//   sptfuzz --reduce FILE    shrink an existing .sptc reproducer
+//   sptfuzz --list-oracles   print the oracle catalogue
+//
+// Everything is deterministic for a fixed --seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace spt;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sptfuzz MODE [options]\n"
+      "\n"
+      "modes:\n"
+      "  --smoke            run a bounded fuzzing sweep (CI entry point);\n"
+      "                     exits 1 on any oracle divergence\n"
+      "  --fuzz             open-ended fuzzing with full-size programs\n"
+      "  --selfcheck        plant a known-bad mutation and require the\n"
+      "                     oracles to catch it and the reducer to shrink\n"
+      "                     the reproducer\n"
+      "  --reduce FILE      delta-debug an existing .sptc reproducer\n"
+      "  --list-oracles     print the oracle catalogue and exit\n"
+      "\n"
+      "options:\n"
+      "  --programs N       programs per run (default 200)\n"
+      "  --seed N           master seed (default 1)\n"
+      "  --corpus DIR       seed corpus of .sptc files\n"
+      "  --out DIR          where reproducers are written\n"
+      "  --oracle NAME      restrict to one oracle (repeatable)\n"
+      "  --max-steps N      interpretation/simulation step budget\n"
+      "  --verbose          progress on stderr\n");
+}
+
+bool parseUint(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+int listOracles() {
+  for (const OracleInfo &O : oracleCatalogue())
+    std::printf("%-16s %s\n", O.Name, O.Description);
+  return 0;
+}
+
+int reduceFile(const FuzzOptions &Opts, const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "sptfuzz: cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Source = Buf.str();
+
+  OracleRunReport R = runOracleSuite(Source, Opts.Oracle);
+  if (!R.Compiled) {
+    std::fprintf(stderr, "sptfuzz: %s does not compile: %s\n", Path.c_str(),
+                 R.FrontendError.c_str());
+    return 1;
+  }
+  if (!R.Terminated) {
+    std::fprintf(stderr, "sptfuzz: %s does not terminate within the step "
+                 "budget\n", Path.c_str());
+    return 1;
+  }
+  const OracleResult *Fail = R.firstFailure();
+  if (!Fail) {
+    std::fprintf(stderr,
+                 "sptfuzz: %s passes every oracle; nothing to reduce\n",
+                 Path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "sptfuzz: reducing against oracle '%s': %s\n",
+               Fail->Oracle.c_str(), Fail->Detail.c_str());
+
+  OracleOptions OO = Opts.Oracle;
+  OO.Only = {Fail->Oracle};
+  const std::string Oracle = Fail->Oracle;
+  ReduceOutcome Red = reduceProgram(
+      Source,
+      [&OO, &Oracle](const std::string &Candidate) {
+        OracleRunReport CR = runOracleSuite(Candidate, OO);
+        if (!CR.Compiled || !CR.Terminated)
+          return false;
+        const OracleResult *F = CR.firstFailure();
+        return F && F->Oracle == Oracle;
+      },
+      Opts.Reduce);
+  std::fprintf(stderr,
+               "sptfuzz: reduced to %u statements (%u candidates, %u "
+               "rounds)\n",
+               Red.StatementCount, Red.CandidatesTried, Red.Rounds);
+  std::fputs(Red.Source.c_str(), stdout);
+  return 0;
+}
+
+void printOutcome(const FuzzOutcome &Out) {
+  std::fprintf(stderr,
+               "sptfuzz: %u programs executed (%u generated, %u mutated; "
+               "%u non-compiling, %u non-terminating rejected), %u corpus "
+               "adds, %zu features covered\n",
+               Out.Stats.Executed, Out.Stats.Generated, Out.Stats.Mutated,
+               Out.Stats.NonCompiling, Out.Stats.NonTerminating,
+               Out.Stats.CorpusAdds, Out.Stats.CoveredFeatures);
+  if (!Out.FoundDivergence)
+    return;
+  std::fprintf(stderr, "sptfuzz: DIVERGENCE on oracle '%s': %s\n",
+               Out.FailingOracle.c_str(), Out.FailureDetail.c_str());
+  if (!Out.ReproPath.empty())
+    std::fprintf(stderr, "sptfuzz: reproducer: %s\n", Out.ReproPath.c_str());
+  if (!Out.ReducedReproPath.empty())
+    std::fprintf(stderr, "sptfuzz: reduced reproducer (%u statements): %s\n",
+                 Out.ReducedStatements, Out.ReducedReproPath.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  enum class Mode { None, Smoke, Fuzz, SelfCheck, Reduce, ListOracles };
+  Mode M = Mode::None;
+  FuzzOptions Opts;
+  std::string ReducePath;
+  bool ProgramsSet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string A = Argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sptfuzz: %s needs a value\n", A.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    uint64_t N = 0;
+    if (A == "--smoke")
+      M = Mode::Smoke;
+    else if (A == "--fuzz")
+      M = Mode::Fuzz;
+    else if (A == "--selfcheck")
+      M = Mode::SelfCheck;
+    else if (A == "--reduce") {
+      M = Mode::Reduce;
+      ReducePath = next();
+    } else if (A == "--list-oracles")
+      M = Mode::ListOracles;
+    else if (A == "--programs") {
+      if (!parseUint(next(), N)) {
+        std::fprintf(stderr, "sptfuzz: bad --programs value\n");
+        return 2;
+      }
+      Opts.Programs = static_cast<unsigned>(N);
+      ProgramsSet = true;
+    } else if (A == "--seed") {
+      if (!parseUint(next(), N)) {
+        std::fprintf(stderr, "sptfuzz: bad --seed value\n");
+        return 2;
+      }
+      Opts.Seed = N;
+    } else if (A == "--corpus")
+      Opts.CorpusDir = next();
+    else if (A == "--out")
+      Opts.OutDir = next();
+    else if (A == "--oracle")
+      Opts.Oracle.Only.push_back(next());
+    else if (A == "--max-steps") {
+      if (!parseUint(next(), N)) {
+        std::fprintf(stderr, "sptfuzz: bad --max-steps value\n");
+        return 2;
+      }
+      Opts.Oracle.MaxSteps = N;
+    } else if (A == "--verbose")
+      Opts.Verbose = true;
+    else if (A == "--inject-known-bad") {
+      // Deliberately undocumented: re-enables the known-bad mutation in a
+      // plain fuzz/smoke run, for exercising the detection path by hand.
+      Opts.Oracle.InjectKnownBad = true;
+    } else {
+      std::fprintf(stderr, "sptfuzz: unknown argument %s\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  switch (M) {
+  case Mode::None:
+    usage();
+    return 2;
+  case Mode::ListOracles:
+    return listOracles();
+  case Mode::Reduce:
+    return reduceFile(Opts, ReducePath);
+  case Mode::Smoke: {
+    // CI shape: bounded programs, smaller generator output so the sweep
+    // stays fast under sanitizers, full oracle set.
+    if (!ProgramsSet)
+      Opts.Programs = 200;
+    Opts.Generator.MaxLoops = 4;
+    Opts.Generator.MaxStmtsPerBody = 6;
+    Opts.Generator.MaxTrip = 120;
+    Opts.Oracle.MaxSteps = std::min<uint64_t>(Opts.Oracle.MaxSteps,
+                                              8000000ull);
+    FuzzOutcome Out = runFuzz(Opts);
+    printOutcome(Out);
+    return Out.FoundDivergence ? 1 : 0;
+  }
+  case Mode::Fuzz: {
+    FuzzOutcome Out = runFuzz(Opts);
+    printOutcome(Out);
+    return Out.FoundDivergence ? 1 : 0;
+  }
+  case Mode::SelfCheck: {
+    FuzzOutcome Out = runKnownBadSelfCheck(Opts);
+    printOutcome(Out);
+    if (!Out.FoundDivergence) {
+      std::fprintf(stderr,
+                   "sptfuzz: selfcheck FAILED: the planted known-bad "
+                   "mutation was not detected\n");
+      return 1;
+    }
+    if (Out.ReducedStatements == 0 || Out.ReducedStatements > 15) {
+      std::fprintf(stderr,
+                   "sptfuzz: selfcheck FAILED: reproducer not reduced "
+                   "(%u statements)\n",
+                   Out.ReducedStatements);
+      return 1;
+    }
+    std::fprintf(stderr, "sptfuzz: selfcheck passed\n");
+    return 0;
+  }
+  }
+  return 2;
+}
