@@ -6,13 +6,8 @@
 
 #include "bench/BenchCommon.h"
 
-#include "analysis/Cfg.h"
-#include "analysis/DepGraph.h"
-#include "analysis/Freq.h"
-#include "analysis/LoopInfo.h"
-#include "support/Debug.h"
-#include "transform/Cleanup.h"
-#include "support/OStream.h"
+#include "spt.h"
+
 
 #include <algorithm>
 

@@ -15,11 +15,7 @@
 #ifndef SPT_BENCH_BENCHCOMMON_H
 #define SPT_BENCH_BENCHCOMMON_H
 
-#include "driver/SptCompiler.h"
-#include "sim/Machine.h"
-#include "sim/SeqSim.h"
-#include "sim/SptSim.h"
-#include "workloads/Workloads.h"
+#include "spt.h"
 
 #include <map>
 #include <memory>

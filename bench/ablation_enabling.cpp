@@ -14,8 +14,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "support/OStream.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 using namespace spt;
 using namespace spt::bench;
@@ -48,8 +48,8 @@ int main() {
     for (size_t CI = 0; CI != 4; ++CI) {
       EvalOptions Opts;
       Opts.Compiler.Mode = CompilationMode::Best;
-      Opts.Compiler.EnableDepProfiles = Configs[CI].DepProfiles;
-      Opts.Compiler.EnableSvp = Configs[CI].Svp;
+      Opts.Compiler.Enabling.EnableDepProfiles = Configs[CI].DepProfiles;
+      Opts.Compiler.Enabling.EnableSvp = Configs[CI].Svp;
       WorkloadEval E = evaluateWorkload(W, {CompilationMode::Best}, Opts);
       const double Gain =
           E.Modes.at(CompilationMode::Best).speedupOver(E.Seq) - 1.0;

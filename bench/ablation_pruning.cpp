@@ -12,17 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/CallEffects.h"
-#include "analysis/Cfg.h"
-#include "analysis/DepGraph.h"
-#include "analysis/Freq.h"
-#include "analysis/LoopInfo.h"
-#include "cost/CostModel.h"
-#include "ir/IR.h"
-#include "partition/Partition.h"
-#include "support/OStream.h"
-#include "support/Table.h"
-#include "workloads/Workloads.h"
+#include "spt.h"
 
 #include <cmath>
 

@@ -13,8 +13,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "support/OStream.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 using namespace spt;
 using namespace spt::bench;
@@ -35,7 +35,7 @@ int main() {
       double GainSum = 0.0;
       for (const char *Name : Subset) {
         EvalOptions Opts;
-        Opts.Compiler.CostFraction = CostFraction;
+        Opts.Compiler.Selection.CostFraction = CostFraction;
         WorkloadEval E = evaluateWorkload(workloadByName(Name),
                                           {CompilationMode::Best}, Opts);
         const ModeEval &ME = E.Modes.at(CompilationMode::Best);
@@ -58,7 +58,7 @@ int main() {
       double GainSum = 0.0;
       for (const char *Name : Subset) {
         EvalOptions Opts;
-        Opts.Compiler.PreForkSizeFraction = PreFork;
+        Opts.Compiler.Selection.PreForkSizeFraction = PreFork;
         WorkloadEval E = evaluateWorkload(workloadByName(Name),
                                           {CompilationMode::Best}, Opts);
         const ModeEval &ME = E.Modes.at(CompilationMode::Best);

@@ -16,10 +16,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "sim/FaultInjector.h"
-#include "support/Debug.h"
-#include "support/OStream.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 using namespace spt;
 

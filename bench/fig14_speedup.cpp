@@ -16,8 +16,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "support/OStream.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 using namespace spt;
 using namespace spt::bench;

@@ -16,8 +16,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "support/OStream.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 using namespace spt;
 using namespace spt::bench;
@@ -36,7 +36,7 @@ int main() {
     WorkloadEval E = evaluateWorkload(W, {CompilationMode::Best}, Opts);
     const double Cov = selectedLoopCoverage(E, CompilationMode::Best);
     const double Max =
-        maxLoopCoverage(E, Opts.Compiler.MaxBodyWeight);
+        maxLoopCoverage(E, Opts.Compiler.Selection.MaxBodyWeight);
     T.beginRow();
     T.cell(E.Name);
     T.cell(static_cast<uint64_t>(

@@ -18,9 +18,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "support/OStream.h"
-#include "support/Statistics.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 using namespace spt;
 using namespace spt::bench;
@@ -33,7 +32,7 @@ std::pair<double, uint64_t> scatter(bool ModelCallEffects, bool Print) {
   Table T({"program", "loop", "est. cost ratio", "actual reexec ratio"});
   for (const Workload &W : allWorkloads()) {
     EvalOptions Opts;
-    Opts.Compiler.ModelCallEffectsInCost = ModelCallEffects;
+    Opts.Compiler.Enabling.ModelCallEffectsInCost = ModelCallEffects;
     WorkloadEval E = evaluateWorkload(W, {CompilationMode::Best}, Opts);
     const ModeEval &ME = E.Modes.at(CompilationMode::Best);
     for (const LoopRecord &Rec : ME.Report.Loops) {

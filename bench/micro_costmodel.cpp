@@ -13,16 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/CallEffects.h"
-#include "analysis/Cfg.h"
-#include "analysis/DepGraph.h"
-#include "analysis/Freq.h"
-#include "analysis/LoopInfo.h"
-#include "cost/CostModel.h"
-#include "interp/Interp.h"
-#include "ir/IR.h"
-#include "lang/Frontend.h"
-#include "partition/Partition.h"
+#include "spt.h"
 
 #include <benchmark/benchmark.h>
 

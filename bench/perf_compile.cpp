@@ -13,12 +13,15 @@
 //   baseline  retained pre-optimization evaluation paths, sequential
 //             (ReferencePartitionEvaluation; the pre-PR behaviour),
 //   seq       incremental scratch evaluation, sequential,
-//   par       incremental scratch evaluation, parallel pass 1.
+//   par       incremental scratch evaluation, parallel pass 1,
+//   obs       seq with span tracing and counter recording enabled; its
+//             wall time against seq is the observability overhead, and
+//             its aggregate stats dump lands in the JSON output.
 //
-// All three must produce byte-identical deterministic reports (the
-// incremental cost path is bit-exact against the reference, and the
-// parallel merge is deterministic); the binary fails loudly if they do
-// not.
+// All four must produce byte-identical deterministic reports (the
+// incremental cost path is bit-exact against the reference, the parallel
+// merge is deterministic, and observability never feeds back into
+// planning); the binary fails loudly if they do not.
 //
 // Phase 2 — a partition-search stress sweep. The workload sources are
 // compact teaching kernels whose loops carry only a handful of violation
@@ -46,18 +49,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/CallEffects.h"
-#include "analysis/Cfg.h"
-#include "analysis/DepGraph.h"
-#include "analysis/Freq.h"
-#include "analysis/LoopInfo.h"
-#include "cost/CostModel.h"
-#include "driver/SptCompiler.h"
-#include "partition/Partition.h"
-#include "support/OStream.h"
-#include "support/Table.h"
-#include "support/ThreadPool.h"
-#include "workloads/Workloads.h"
+#include "spt.h"
 
 #include <chrono>
 #include <cstdio>
@@ -79,15 +71,22 @@ struct ConfigRun {
   uint64_t CostEvals = 0;      ///< Sum of cost-model evaluations.
 };
 
+/// Compiles \p W Repeat times through the spt::Compiler facade. \p Obs,
+/// when non-null, turns on span tracing and counter recording into that
+/// shared context (the "obs" configuration); null compiles with
+/// observability off, the facade's default.
 ConfigRun runConfig(const Workload &W, bool Reference, uint32_t Jobs,
-                    int Repeat) {
+                    int Repeat, ObsContext *Obs = nullptr) {
   ConfigRun Out;
   for (int R = 0; R != Repeat; ++R) {
     auto M = compileWorkload(W);
     SptCompilerOptions Opts;
     Opts.ReferencePartitionEvaluation = Reference;
     Opts.Jobs = Jobs;
-    CompilationReport Report = compileSpt(*M, Opts);
+    if (Obs)
+      Opts = Opts.withTracing(Obs);
+    Compiler C(Opts);
+    CompilationReport Report = C.compile(*M);
     if (R == 0) {
       Out.PassOneSeconds = Report.PassOneSeconds;
       Out.Rendered = renderReportDeterministic(Report);
@@ -255,11 +254,13 @@ int main(int Argc, char **Argv) {
     Suite.resize(3);
 
   Table T({"workload", "nodes", "cost evals", "baseline (s)", "seq (s)",
-           "par (s)", "speedup seq", "speedup par", "identical"});
+           "par (s)", "obs (s)", "speedup seq", "speedup par",
+           "identical"});
 
-  double BaseTotal = 0.0, SeqTotal = 0.0, ParTotal = 0.0;
+  double BaseTotal = 0.0, SeqTotal = 0.0, ParTotal = 0.0, ObsTotal = 0.0;
   uint64_t NodesTotal = 0, EvalsTotal = 0;
   bool AllIdentical = true;
+  ObsContext ObsCtx; // Shared sink for every obs-configuration compile.
   std::string Json;
   Json += "{\n  \"workloads\": [\n";
 
@@ -268,13 +269,17 @@ int main(int Argc, char **Argv) {
     const ConfigRun Base = runConfig(W, /*Reference=*/true, 1, Repeat);
     const ConfigRun Seq = runConfig(W, /*Reference=*/false, 1, Repeat);
     const ConfigRun Par = runConfig(W, /*Reference=*/false, Jobs, Repeat);
+    const ConfigRun Obs =
+        runConfig(W, /*Reference=*/false, 1, Repeat, &ObsCtx);
 
-    const bool Identical =
-        Base.Rendered == Seq.Rendered && Seq.Rendered == Par.Rendered;
+    const bool Identical = Base.Rendered == Seq.Rendered &&
+                           Seq.Rendered == Par.Rendered &&
+                           Seq.Rendered == Obs.Rendered;
     AllIdentical = AllIdentical && Identical;
     BaseTotal += Base.PassOneSeconds;
     SeqTotal += Seq.PassOneSeconds;
     ParTotal += Par.PassOneSeconds;
+    ObsTotal += Obs.PassOneSeconds;
     NodesTotal += Seq.Nodes;
     EvalsTotal += Seq.CostEvals;
 
@@ -287,6 +292,7 @@ int main(int Argc, char **Argv) {
     T.cell(fmt(Base.PassOneSeconds));
     T.cell(fmt(Seq.PassOneSeconds));
     T.cell(fmt(Par.PassOneSeconds));
+    T.cell(fmt(Obs.PassOneSeconds));
     T.cell(fmt2(SpeedSeq));
     T.cell(fmt2(SpeedPar));
     T.cell(Identical ? "yes" : "NO");
@@ -297,6 +303,7 @@ int main(int Argc, char **Argv) {
     Json += ", \"baseline_seconds\": " + fmt(Base.PassOneSeconds);
     Json += ", \"seq_seconds\": " + fmt(Seq.PassOneSeconds);
     Json += ", \"par_seconds\": " + fmt(Par.PassOneSeconds);
+    Json += ", \"obs_seconds\": " + fmt(Obs.PassOneSeconds);
     Json += ", \"speedup_seq\": " + fmt2(SpeedSeq);
     Json += ", \"speedup_par\": " + fmt2(SpeedPar);
     Json += std::string(", \"reports_identical\": ") +
@@ -308,9 +315,12 @@ int main(int Argc, char **Argv) {
 
   const double SpeedSeq = BaseTotal / SeqTotal;
   const double SpeedPar = BaseTotal / ParTotal;
+  const double ObsOverhead = SeqTotal == 0.0 ? 0.0 : ObsTotal / SeqTotal;
   outs() << "\npass 1: baseline " << fmt(BaseTotal) << " s, seq "
          << fmt(SeqTotal) << " s (" << fmt2(SpeedSeq) << "x), par "
-         << fmt(ParTotal) << " s (" << fmt2(SpeedPar) << "x)\n";
+         << fmt(ParTotal) << " s (" << fmt2(SpeedPar) << "x), obs "
+         << fmt(ObsTotal) << " s (" << fmt2(ObsOverhead)
+         << "x of seq with tracing on)\n";
   outs() << "deterministic reports "
          << (AllIdentical ? "byte-identical across all configurations\n"
                           : "DIVERGED — bit-exactness violated\n");
@@ -379,6 +389,17 @@ int main(int Argc, char **Argv) {
   Json += ", \"par_jobs\": " + std::to_string(EffectiveJobs);
   Json += std::string(", \"reports_identical\": ") +
           (AllIdentical ? "true" : "false");
+  Json += "},\n";
+  // The obs configuration's aggregate stats block: counters, histogram
+  // buckets and span counts over every traced compile of the run
+  // (deterministic — no wall-clock inside).
+  Json += "  \"observability\": {";
+  Json += "\"pass1_obs_seconds\": " + fmt(ObsTotal);
+  Json += ", \"pass1_overhead_vs_seq\": " + fmt2(ObsOverhead);
+  std::string StatsJson = renderStatsJson(ObsCtx.snapshot());
+  while (!StatsJson.empty() && StatsJson.back() == '\n')
+    StatsJson.pop_back();
+  Json += ", \"stats\": " + StatsJson;
   Json += "}\n}\n";
 
   std::ofstream Out(OutPath);

@@ -14,8 +14,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchCommon.h"
-#include "support/OStream.h"
-#include "support/Table.h"
+
+#include "spt.h"
 
 #include <map>
 #include <string>

@@ -20,17 +20,28 @@ cmake --preset release
 echo "== [release] build perf_compile"
 cmake --build --preset release -j "$JOBS" --target perf_compile
 
+OUT_PATH="$PWD/BENCH_compile.json"
 OUT_SET=0
 for arg in "$@"; do
   case "$arg" in
-    --out=*) OUT_SET=1 ;;
+    --out=*) OUT_SET=1; OUT_PATH="${arg#--out=}" ;;
   esac
 done
 
 ARGS=("$@")
 if [ "$OUT_SET" -eq 0 ]; then
-  ARGS+=("--out=$PWD/BENCH_compile.json")
+  ARGS+=("--out=$OUT_PATH")
 fi
 
 echo "== perf_compile ${ARGS[*]}"
 ./build-release/bench/perf_compile "${ARGS[@]}"
+
+# The JSON carries an "observability" block: the obs configuration's
+# pass-1 overhead against seq, plus the aggregate counter/span stats of
+# the traced compiles (docs/observability.md explains how to read it).
+if grep -q '"observability"' "$OUT_PATH"; then
+  echo "== observability stats block recorded in $OUT_PATH"
+else
+  echo "== ERROR: $OUT_PATH is missing the observability stats block" >&2
+  exit 1
+fi

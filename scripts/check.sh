@@ -51,6 +51,19 @@ done
 if [[ " ${PRESETS[*]} " == *" default "* ]]; then
   echo "== [default] perf_compile --quick"
   ./build/bench/perf_compile --quick --out=build/BENCH_compile_quick.json
+
+  # Trace-enabled smoke: compile the workload suite (gzip et al.) with
+  # observability on, then validate both artifacts — the Chrome trace
+  # must parse and nest, the stats dump must be well-formed JSON and
+  # carry the branch-and-bound prune and incremental-cost-scratch
+  # counters (see docs/observability.md for the catalogue).
+  echo "== [default] spttrace + tracecheck (observability smoke)"
+  ./build/tools/spttrace --json --trace=build/spt_trace.json \
+    --stats=build/spt_stats.json
+  ./build/tools/tracecheck build/spt_trace.json
+  ./build/tools/tracecheck --stats build/spt_stats.json
+  grep -q '"partition\.prune\.' build/spt_stats.json
+  grep -q '"cost\.scratch\.' build/spt_stats.json
 fi
 
 echo "== all presets passed: ${PRESETS[*]}"

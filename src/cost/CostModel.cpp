@@ -345,6 +345,9 @@ void MisspecCostModel::initScratch(Scratch &S,
                                    const PartitionSet &InPreFork) const {
   assert(InPreFork.size() == G->size() && "partition size mismatch");
   const size_t N = G->size();
+  if (!S.InPre.empty())
+    ++S.Stat.Reuses;
+  ++S.Stat.Inits;
   S.V.assign(N, 0.0);
   S.Base.assign(N, 0.0);
   S.TmpV.assign(N, 0.0);
@@ -418,6 +421,7 @@ double MisspecCostModel::costWithToggled(Scratch &S,
     // Fixpoint iteration from a warm start can converge to different
     // rounding than the reference's cold start, so cyclic graphs always
     // re-propagate fully (still allocation-free via the Tmp buffers).
+    ++S.Stat.FullEvals;
     for (uint32_t Vc : Plan.Vcs)
       S.InGroup[Vc] = 1;
     propagateFull(S.TmpV, S.TmpBase, S.InPre.data(), S.InGroup.data());
@@ -426,6 +430,7 @@ double MisspecCostModel::costWithToggled(Scratch &S,
     return sumCost(S.TmpV.data());
   }
 
+  ++S.Stat.ConeEvals;
   for (uint32_t Vc : Plan.Vcs) {
     assert(!S.InPre[Vc] && "toggled candidate already committed");
     S.InGroup[Vc] = 1;
@@ -493,6 +498,7 @@ double MisspecCostModel::refreshCost(Scratch &S) const {
 void MisspecCostModel::applyCommittedDelta(Scratch &S, const TogglePlan &Plan,
                                            bool Refresh) const {
   if (Cyclic) {
+    ++S.Stat.FullCommits;
     // Record the full solution (cycles are rare), then re-propagate.
     for (uint32_t C : Order)
       S.VTrail.push_back(Scratch::Saved{C, S.V[C]});
@@ -501,6 +507,7 @@ void MisspecCostModel::applyCommittedDelta(Scratch &S, const TogglePlan &Plan,
     propagateFull(S.V, S.Base, S.InPre.data(), nullptr);
     S.PrefixValidTo = 0;
   } else {
+    ++S.Stat.ConeCommits;
     const size_t BBase = S.BaseTrail.size();
     S.BaseTrail.resize(BBase + Plan.BaseDsts.size());
     Scratch::Saved *BT = S.BaseTrail.data() + BBase;
@@ -537,6 +544,7 @@ void pushFrame(MisspecCostModel::Scratch &S) {
       static_cast<uint32_t>(S.PreTrail.size()),
       static_cast<uint32_t>(S.CostPrefix.size() - 1), S.PrefixValidTo,
       S.Cost});
+  S.Stat.MaxDepth = std::max<uint64_t>(S.Stat.MaxDepth, S.Frames.size());
 }
 } // namespace
 
@@ -577,6 +585,7 @@ void MisspecCostModel::commitUntoggleDeferred(Scratch &S,
 
 void MisspecCostModel::undoToggle(Scratch &S) const {
   assert(!S.Frames.empty() && "undoToggle without a matching commit");
+  ++S.Stat.Undos;
   const Scratch::Frame F = S.Frames.back();
   S.Frames.pop_back();
   for (size_t K = S.VTrail.size(); K != F.VSize; --K)

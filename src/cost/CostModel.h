@@ -161,6 +161,22 @@ public:
     std::vector<Frame> Frames;
 
     size_t depth() const { return Frames.size(); }
+
+    /// Evaluation counters, maintained unconditionally: the Scratch is
+    /// caller-owned and single-threaded, so plain increments cost nothing
+    /// measurable next to the propagation work they count. PartitionSearch
+    /// flushes them into the observability registry once per search (see
+    /// docs/observability.md for the counter catalogue).
+    struct EvalStats {
+      uint64_t Inits = 0;       ///< initScratch full propagations.
+      uint64_t Reuses = 0;      ///< initScratch calls reusing a warm scratch.
+      uint64_t ConeEvals = 0;   ///< costWithToggled via the cone path.
+      uint64_t FullEvals = 0;   ///< costWithToggled via cyclic full fixpoint.
+      uint64_t ConeCommits = 0; ///< Committed deltas via the cone path.
+      uint64_t FullCommits = 0; ///< Committed deltas via full re-propagation.
+      uint64_t Undos = 0;       ///< undoToggle calls.
+      uint64_t MaxDepth = 0;    ///< High-water undo-trail frame depth.
+    } Stat;
   };
 
   /// The precomputed footprint of toggling one violation-candidate group:

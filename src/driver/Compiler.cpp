@@ -1,0 +1,43 @@
+//===- driver/Compiler.cpp - The public compilation facade ---------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+using namespace spt;
+
+Compiler::Compiler(const SptCompilerOptions &Opts) : Opts(Opts) {}
+Compiler::~Compiler() = default;
+
+ObsContext *Compiler::obsIfEnabled() {
+  if (!Opts.Observability.Enabled)
+    return nullptr;
+  if (Opts.Observability.Context)
+    return Opts.Observability.Context;
+  if (!OwnedObs)
+    OwnedObs = std::make_unique<ObsContext>();
+  return OwnedObs.get();
+}
+
+CompilationReport Compiler::compile(Module &M) {
+  SptCompilerOptions Run = Opts;
+  Run.Observability.Context = obsIfEnabled();
+  return compileSpt(M, Run);
+}
+
+StatsSnapshot Compiler::stats() const {
+  ObsContext *Obs = Opts.Observability.Context
+                        ? Opts.Observability.Context
+                        : OwnedObs.get();
+  return Obs ? Obs->snapshot() : StatsSnapshot();
+}
+
+std::string Compiler::trace() const {
+  ObsContext *Obs = Opts.Observability.Context
+                        ? Opts.Observability.Context
+                        : OwnedObs.get();
+  return Obs ? exportChromeTrace(Obs->Trace)
+             : std::string("{\"traceEvents\": []}\n");
+}

@@ -187,17 +187,26 @@ double loopDynamicWeight(const Module &M, const Function &F, const Loop &L,
 class Compilation {
 public:
   Compilation(Module &M, const SptCompilerOptions &Opts)
-      : M(M), Opts(Opts) {}
+      : M(M), Opts(Opts) {
+    if (Opts.Observability.Enabled) {
+      if (Opts.Observability.Context)
+        Obs = Opts.Observability.Context;
+      else {
+        OwnedObs = std::make_unique<ObsContext>();
+        Obs = OwnedObs.get();
+      }
+    }
+  }
 
   CompilationReport run();
 
 private:
   bool wantDepProfiles() const {
-    return Opts.Mode != CompilationMode::Basic && Opts.EnableDepProfiles &&
+    return Opts.Mode != CompilationMode::Basic && Opts.Enabling.EnableDepProfiles &&
            !DegradedToBasic;
   }
   bool wantSvp() const {
-    return Opts.Mode != CompilationMode::Basic && Opts.EnableSvp &&
+    return Opts.Mode != CompilationMode::Basic && Opts.Enabling.EnableSvp &&
            !DegradedToBasic;
   }
   bool unrollWhileLoops() const {
@@ -223,7 +232,7 @@ private:
     DepGraphOptions DG;
     if (wantDepProfiles() && Profile)
       DG.DepProfile = Profile->Deps.profileFor(&F, L.Id);
-    DG.ModelCallEffectsInCost = Opts.ModelCallEffectsInCost;
+    DG.ModelCallEffectsInCost = Opts.Enabling.ModelCallEffectsInCost;
     DG.AllowImpureCallMotion =
         Opts.Mode == CompilationMode::Anticipated && !DegradedToBasic;
     DG.CoarseAliasClasses =
@@ -234,10 +243,11 @@ private:
 
   PartitionOptions partitionOptions() const {
     PartitionOptions P;
-    P.PreForkSizeFraction = Opts.PreForkSizeFraction;
-    P.MaxViolationCandidates = Opts.MaxViolationCandidates;
+    P.PreForkSizeFraction = Opts.Selection.PreForkSizeFraction;
+    P.MaxViolationCandidates = Opts.Selection.MaxViolationCandidates;
     P.MaxSearchSeconds = Opts.MaxPartitionSeconds;
     P.ReferenceEvaluation = Opts.ReferencePartitionEvaluation;
+    P.Obs = Obs;
     return P;
   }
 
@@ -266,6 +276,9 @@ private:
 
   Module &M;
   const SptCompilerOptions &Opts;
+  /// Null when observability is disabled; counters and spans all check.
+  ObsContext *Obs = nullptr;
+  std::unique_ptr<ObsContext> OwnedObs;
   CompilationReport Report;
   std::unique_ptr<ProfileBundle> Profile;
   /// Set once profile data proved unusable; flips the mode-dependent
@@ -303,14 +316,14 @@ void Compilation::stageUnroll() {
         if (!L)
           continue;
         const double W = loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
-        if (W >= Opts.MinBodyWeight || W <= 0.0)
+        if (W >= Opts.Selection.MinBodyWeight || W <= 0.0)
           continue;
         const bool Counted = isCountedLoop(*F, *L);
         if (!Counted && !unrollWhileLoops())
           continue; // ORC's LNO only unrolls DO loops (Section 7.1).
-        const double Needed = Opts.MinBodyWeight / W;
+        const double Needed = Opts.Selection.MinBodyWeight / W;
         const uint32_t Factor = static_cast<uint32_t>(std::min<double>(
-            Opts.MaxUnrollFactor, std::max(2.0, std::ceil(Needed))));
+            Opts.Selection.MaxUnrollFactor, std::max(2.0, std::ceil(Needed))));
         UnrollResult R = unrollLoop(*F, *L, Factor);
         if (R.Ok)
           Unrolled[{F->name(), Header}] = UnrollInfo{Factor, Counted};
@@ -395,7 +408,7 @@ void Compilation::stageProfile() {
   POpts.CollectEdges = true;
   POpts.CollectDeps = wantDepProfiles();
   POpts.CollectValues = wantSvp();
-  POpts.AttributeCalleeAccesses = Opts.AttributeCalleeAccesses;
+  POpts.AttributeCalleeAccesses = Opts.Enabling.AttributeCalleeAccesses;
   POpts.MaxSteps = Opts.ProfileMaxSteps;
   POpts.RngSeed = Opts.RngSeed;
 
@@ -463,9 +476,9 @@ void Compilation::stageSvp() {
           continue;
         const double BodyW =
             loopDynamicWeight(M, *F, *L, A.Freq, &FuncWeights);
-        if (BodyW < Opts.MinBodyWeight || BodyW > Opts.MaxBodyWeight)
+        if (BodyW < Opts.Selection.MinBodyWeight || BodyW > Opts.Selection.MaxBodyWeight)
           continue;
-        if (A.Freq.avgTripCount(*L) < Opts.MinTripCount)
+        if (A.Freq.avgTripCount(*L) < Opts.Selection.MinTripCount)
           continue;
         LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
                                              A.Freq, Effects,
@@ -474,10 +487,10 @@ void Compilation::stageSvp() {
         PartitionSearch Search(G, Model, partitionOptions());
         PartitionResult Current = Search.run();
         if (!Current.Searched ||
-            Current.Cost <= Opts.CostFraction * BodyW)
+            Current.Cost <= Opts.Selection.CostFraction * BodyW)
           continue; // Plain reordering already handles this loop.
-        SvpOptions SOpts = Opts.Svp;
-        SOpts.PreForkSizeFraction = Opts.PreForkSizeFraction;
+        SvpOptions SOpts = Opts.Enabling.Svp;
+        SOpts.PreForkSizeFraction = Opts.Selection.PreForkSizeFraction;
         auto Cands = findSvpCandidates(G, Search, Profile->Values, SOpts);
         if (Cands.empty())
           continue;
@@ -508,7 +521,7 @@ void Compilation::stageSvp() {
     POpts.CollectEdges = true;
     POpts.CollectDeps = wantDepProfiles();
     POpts.CollectValues = false;
-    POpts.AttributeCalleeAccesses = Opts.AttributeCalleeAccesses;
+    POpts.AttributeCalleeAccesses = Opts.Enabling.AttributeCalleeAccesses;
     POpts.MaxSteps = Opts.ProfileMaxSteps;
     POpts.RngSeed = Opts.RngSeed;
     ValueProfileData SavedValues = std::move(Profile->Values);
@@ -554,15 +567,15 @@ void Compilation::evaluateLoopCandidate(const Function &F,
     Rec.Reason = RejectReason::NeverExecuted;
     return;
   }
-  if (Rec.BodyWeight > Opts.MaxBodyWeight) {
+  if (Rec.BodyWeight > Opts.Selection.MaxBodyWeight) {
     Rec.Reason = RejectReason::BodyTooLarge;
     return;
   }
-  if (Rec.BodyWeight < Opts.MinBodyWeight) {
+  if (Rec.BodyWeight < Opts.Selection.MinBodyWeight) {
     Rec.Reason = RejectReason::BodyTooSmall;
     return;
   }
-  if (Rec.TripCount < Opts.MinTripCount) {
+  if (Rec.TripCount < Opts.Selection.MinTripCount) {
     Rec.Reason = RejectReason::LowTripCount;
     return;
   }
@@ -586,7 +599,7 @@ void Compilation::evaluateLoopCandidate(const Function &F,
       Rec.Reason = RejectReason::TooManyVcs;
       return;
     }
-    if (Rec.Partition.Cost > Opts.CostFraction * Rec.BodyWeight) {
+    if (Rec.Partition.Cost > Opts.Selection.CostFraction * Rec.BodyWeight) {
       Rec.Reason = RejectReason::HighCost;
       return;
     }
@@ -618,12 +631,12 @@ void Compilation::evaluateLoopCandidate(const Function &F,
         std::max(Rec.BodyWeight * 0.55, CriticalPath * 0.8);
     const double SpecLeg = std::max(Rec.BodyWeight * 0.5, CriticalPath);
     const double ParPair = Rec.Partition.PreForkWeight + SpecLeg +
-                           Opts.ForkOverheadWeight +
-                           Opts.CommitOverheadWeight +
-                           Opts.JoinSerializationWeight +
+                           Opts.Machine.ForkOverheadWeight +
+                           Opts.Machine.CommitOverheadWeight +
+                           Opts.Machine.JoinSerializationWeight +
                            Rec.Partition.Cost;
     Rec.GainEstimate = (2.0 * SeqIter) / ParPair;
-    if (Rec.GainEstimate <= Opts.MinGainEstimate) {
+    if (Rec.GainEstimate <= Opts.Selection.MinGainEstimate) {
       Rec.Reason = RejectReason::NoGain;
       return;
     }
@@ -668,7 +681,11 @@ void Compilation::passOne() {
   std::vector<CandResult> Results(Cands.size());
   const unsigned Jobs =
       Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
+  obsAdd(Obs, "driver.pass1.candidates", Cands.size());
   parallelForIndexed(Jobs, Cands.size(), [&](size_t I) {
+    ObsSpan S(Obs, Obs ? "pass1.loop " + Cands[I].F->name() + ":" +
+                             std::to_string(Cands[I].L->Header)
+                       : std::string());
     evaluateLoopCandidate(*Cands[I].F, *Cands[I].A, *Cands[I].L, Effects,
                           Results[I].Rec, Results[I].Diags,
                           Results[I].Blocks);
@@ -722,6 +739,8 @@ void Compilation::passTwo() {
     PickedHeaders[Rec.FuncName].push_back(Rec.Header);
     Picked.push_back(I);
   }
+  obsAdd(Obs, "driver.pass2.tentative", Order.size());
+  obsAdd(Obs, "driver.pass2.overlap_rejected", Order.size() - Picked.size());
 
   // Final partition + transformation, assigning SPT loop ids.
   CallEffects Effects = CallEffects::compute(M);
@@ -771,6 +790,7 @@ void Compilation::passTwo() {
     Rec.NumCarriedRegs = T.NumCarriedRegs;
     Rec.NumMovedStmts = T.NumMovedStmts;
     Report.SptLoops[NextLoopId] = SptLoopDesc{F, T.PreForkEntry};
+    obsAdd(Obs, "driver.pass2.transformed", 1);
     ++NextLoopId;
     } catch (const std::exception &E) {
       // applySptTransform only mutates the function once its dominance
@@ -806,6 +826,8 @@ void Compilation::passTwo() {
 }
 
 CompilationReport Compilation::run() {
+  {
+  ObsSpan CompileSpan(Obs, "compile");
   Report.Mode = Opts.Mode;
   Report.EffectiveMode = Opts.Mode;
   // Validate external profile data against the pristine module: stage A
@@ -814,12 +836,32 @@ CompilationReport Compilation::run() {
   if (Opts.ExternalProfile)
     validateExternalProfile();
   FuncWeights = computeFunctionWeights(M);
-  stageUnroll();
-  FuncWeights = computeFunctionWeights(M); // Unrolling grew some bodies.
-  stageProfile();
-  stageSvp();
-  passOne();
-  passTwo();
+  {
+    ObsSpan S(Obs, "stageA.unroll");
+    stageUnroll();
+    FuncWeights = computeFunctionWeights(M); // Unrolling grew some bodies.
+  }
+  {
+    ObsSpan S(Obs, "stageB.profile");
+    stageProfile();
+  }
+  {
+    ObsSpan S(Obs, "stageC.svp");
+    stageSvp();
+  }
+  {
+    ObsSpan S(Obs, "pass1");
+    passOne();
+  }
+  {
+    ObsSpan S(Obs, "pass2");
+    passTwo();
+  }
+  obsAdd(Obs, "driver.compilations", 1);
+  obsAdd(Obs, "driver.degraded", Report.Degraded ? 1 : 0);
+  } // Close the "compile" span so the snapshot below includes it.
+  if (Obs)
+    Report.Stats = Obs->snapshot();
   return Report;
 }
 

@@ -39,6 +39,7 @@
 
 #include "analysis/ProfileData.h"
 #include "interp/Interp.h"
+#include "obs/Obs.h"
 #include "partition/Partition.h"
 #include "sim/SptSim.h"
 #include "support/Status.h"
@@ -79,7 +80,21 @@ enum class RejectReason {
 
 const char *rejectReasonName(RejectReason Reason);
 
-/// Compiler thresholds and mode knobs.
+/// Compiler thresholds and mode knobs, grouped by concern:
+///
+///   Selection      Section 6.1 selection criteria (thresholds a loop must
+///                  clear to be SPT-transformed).
+///   Machine        Modeled hardware overheads in the analytic gain
+///                  estimate.
+///   Enabling       Stage B/C enabling techniques and their ablation
+///                  switches.
+///   Observability  The span/counter layer (off by default).
+///
+/// The pre-regroup flat field names (`Opts.CostFraction`, …) remain
+/// available as reference aliases of the nested fields so existing call
+/// sites keep compiling, but they are DEPRECATED: new code should write
+/// `Opts.Selection.CostFraction` etc. The aliases will be removed in the
+/// next PR (see docs/observability.md, "Options migration").
 struct SptCompilerOptions {
   CompilationMode Mode = CompilationMode::Best;
 
@@ -87,34 +102,71 @@ struct SptCompilerOptions {
   std::string ProfileEntry = "main";
   std::vector<Value> ProfileArgs;
 
-  // Section 6.1 selection criteria.
-  double CostFraction = 0.08;        ///< Cost < fraction * body weight.
-  double PreForkSizeFraction = 0.34; ///< Pre-fork < fraction * body.
-  double MinBodyWeight = 200.0;      ///< Dynamic weight per iteration.
-  double MaxBodyWeight = 1500.0;     ///< Hardware speculative-size limit.
-  double MinTripCount = 2.0;
-  uint32_t MaxViolationCandidates = 30;
-  uint32_t MaxUnrollFactor = 16;
+  /// Section 6.1 selection criteria.
+  struct SelectionOptions {
+    double CostFraction = 0.08;        ///< Cost < fraction * body weight.
+    double PreForkSizeFraction = 0.34; ///< Pre-fork < fraction * body.
+    double MinBodyWeight = 200.0;      ///< Dynamic weight per iteration.
+    double MaxBodyWeight = 1500.0;     ///< Hardware speculative-size limit.
+    double MinTripCount = 2.0;
+    uint32_t MaxViolationCandidates = 30;
+    uint32_t MaxUnrollFactor = 16;
+    /// Minimum analytically estimated speedup to select a loop.
+    double MinGainEstimate = 1.15;
+  } Selection;
 
   /// Machine overheads used in the analytic gain estimate.
-  double ForkOverheadWeight = 6.0;
-  double CommitOverheadWeight = 5.0;
-  /// Pipeline-restart cost the speculative core pays per thread (its
-  /// scheduling window starts cold at each fork).
-  double JoinSerializationWeight = 20.0;
-  /// Minimum analytically estimated speedup to select a loop.
-  double MinGainEstimate = 1.15;
+  struct MachineOptions {
+    double ForkOverheadWeight = 6.0;
+    double CommitOverheadWeight = 5.0;
+    /// Pipeline-restart cost the speculative core pays per thread (its
+    /// scheduling window starts cold at each fork).
+    double JoinSerializationWeight = 20.0;
+  } Machine;
 
-  SvpOptions Svp;
-  /// Ablation switches within BEST/ANTICIPATED: individually disable the
-  /// enabling techniques the mode would otherwise use.
-  bool EnableSvp = true;
-  bool EnableDepProfiles = true;
+  /// Stage B/C enabling techniques and their ablation switches.
+  struct EnablingOptions {
+    SvpOptions Svp;
+    /// Ablation switches within BEST/ANTICIPATED: individually disable
+    /// the enabling techniques the mode would otherwise use.
+    bool EnableSvp = true;
+    bool EnableDepProfiles = true;
+    /// Figure 19 ablation: model call effects in cost estimation.
+    bool ModelCallEffectsInCost = true;
+    /// Attribute callee memory accesses to call sites while profiling.
+    bool AttributeCalleeAccesses = true;
+  } Enabling;
 
-  /// Figure 19 ablation: model call effects in cost estimation.
-  bool ModelCallEffectsInCost = true;
-  /// Attribute callee memory accesses to call sites while profiling.
-  bool AttributeCalleeAccesses = true;
+  /// The span/counter observability layer (docs/observability.md).
+  struct ObservabilityOptions {
+    /// Master switch. When false (default) the pipeline pays one null
+    /// pointer test per instrumentation site and records nothing.
+    bool Enabled = false;
+    /// Record into this caller-owned context (so one context can span
+    /// several compilations, as the spt::Compiler facade does). When
+    /// null and Enabled, compileSpt creates a context for the duration
+    /// of the run; its snapshot still lands in CompilationReport::Stats.
+    ObsContext *Context = nullptr;
+  } Observability;
+
+  // --- DEPRECATED flat aliases of the nested fields above. ---
+  double &CostFraction = Selection.CostFraction;
+  double &PreForkSizeFraction = Selection.PreForkSizeFraction;
+  double &MinBodyWeight = Selection.MinBodyWeight;
+  double &MaxBodyWeight = Selection.MaxBodyWeight;
+  double &MinTripCount = Selection.MinTripCount;
+  uint32_t &MaxViolationCandidates = Selection.MaxViolationCandidates;
+  uint32_t &MaxUnrollFactor = Selection.MaxUnrollFactor;
+  double &MinGainEstimate = Selection.MinGainEstimate;
+  double &ForkOverheadWeight = Machine.ForkOverheadWeight;
+  double &CommitOverheadWeight = Machine.CommitOverheadWeight;
+  double &JoinSerializationWeight = Machine.JoinSerializationWeight;
+  SvpOptions &Svp = Enabling.Svp;
+  bool &EnableSvp = Enabling.EnableSvp;
+  bool &EnableDepProfiles = Enabling.EnableDepProfiles;
+  bool &ModelCallEffectsInCost = Enabling.ModelCallEffectsInCost;
+  bool &AttributeCalleeAccesses = Enabling.AttributeCalleeAccesses;
+  // --- End deprecated aliases. ---
 
   uint64_t RngSeed = 0x5eed5eed5eedull;
   uint64_t ProfileMaxSteps = 500000000ull;
@@ -143,6 +195,87 @@ struct SptCompilerOptions {
   /// Results are bit-identical to the default incremental paths; this is
   /// the measured baseline of bench/perf_compile.
   bool ReferencePartitionEvaluation = false;
+
+  SptCompilerOptions() = default;
+  /// The reference aliases force user-defined copying: only value members
+  /// are copied, so a copy's aliases bind to its OWN nested structs (the
+  /// NSDMIs above run for the omitted reference members).
+  SptCompilerOptions(const SptCompilerOptions &O)
+      : Mode(O.Mode), ProfileEntry(O.ProfileEntry),
+        ProfileArgs(O.ProfileArgs), Selection(O.Selection),
+        Machine(O.Machine), Enabling(O.Enabling),
+        Observability(O.Observability), RngSeed(O.RngSeed),
+        ProfileMaxSteps(O.ProfileMaxSteps),
+        ExternalProfile(O.ExternalProfile),
+        MaxPartitionSeconds(O.MaxPartitionSeconds), Jobs(O.Jobs),
+        ReferencePartitionEvaluation(O.ReferencePartitionEvaluation) {}
+  SptCompilerOptions &operator=(const SptCompilerOptions &O) {
+    Mode = O.Mode;
+    ProfileEntry = O.ProfileEntry;
+    ProfileArgs = O.ProfileArgs;
+    Selection = O.Selection;
+    Machine = O.Machine;
+    Enabling = O.Enabling;
+    Observability = O.Observability;
+    RngSeed = O.RngSeed;
+    ProfileMaxSteps = O.ProfileMaxSteps;
+    ExternalProfile = O.ExternalProfile;
+    MaxPartitionSeconds = O.MaxPartitionSeconds;
+    Jobs = O.Jobs;
+    ReferencePartitionEvaluation = O.ReferencePartitionEvaluation;
+    return *this;
+  }
+
+  // --- Builder: mode factories plus chainable with*() setters. ---
+  //   auto Opts = SptCompilerOptions::best().withJobs(8).withTracing();
+  static SptCompilerOptions basic() {
+    SptCompilerOptions O;
+    O.Mode = CompilationMode::Basic;
+    return O;
+  }
+  static SptCompilerOptions best() {
+    SptCompilerOptions O;
+    O.Mode = CompilationMode::Best;
+    return O;
+  }
+  static SptCompilerOptions anticipated() {
+    SptCompilerOptions O;
+    O.Mode = CompilationMode::Anticipated;
+    return O;
+  }
+  SptCompilerOptions withMode(CompilationMode M) const {
+    SptCompilerOptions O = *this;
+    O.Mode = M;
+    return O;
+  }
+  SptCompilerOptions withJobs(uint32_t J) const {
+    SptCompilerOptions O = *this;
+    O.Jobs = J;
+    return O;
+  }
+  SptCompilerOptions withSeed(uint64_t Seed) const {
+    SptCompilerOptions O = *this;
+    O.RngSeed = Seed;
+    return O;
+  }
+  SptCompilerOptions withProfile(const ProfileBundle *P) const {
+    SptCompilerOptions O = *this;
+    O.ExternalProfile = P;
+    return O;
+  }
+  SptCompilerOptions withPartitionDeadline(double Seconds) const {
+    SptCompilerOptions O = *this;
+    O.MaxPartitionSeconds = Seconds;
+    return O;
+  }
+  /// Enables observability; recording goes to \p Ctx when given, else to
+  /// a per-compilation context.
+  SptCompilerOptions withTracing(ObsContext *Ctx = nullptr) const {
+    SptCompilerOptions O = *this;
+    O.Observability.Enabled = true;
+    O.Observability.Context = Ctx;
+    return O;
+  }
 };
 
 /// One loop candidate's pass-1/pass-2 record.
@@ -192,6 +325,12 @@ struct CompilationReport {
   /// analysis), for bench/perf_compile. Timing only — excluded from
   /// renderReportDeterministic.
   double PassOneSeconds = 0.0;
+  /// Counter/histogram/span-count snapshot of the observability layer;
+  /// empty unless Observability.Enabled. Deterministic for a given seed
+  /// and module at any Jobs setting, but deliberately excluded from
+  /// renderReportDeterministic so enabling tracing cannot perturb report
+  /// comparisons. Render with renderStatsText/renderStatsJson.
+  StatsSnapshot Stats;
 
   size_t numSelected() const {
     size_t N = 0;

@@ -183,8 +183,10 @@ void printStmt(const Stmt &S, unsigned Indent, std::string &Out) {
     return;
   case StmtKind::Return:
     Out += Ind + "return";
-    if (S.Value)
-      Out += " " + exprToSource(*S.Value);
+    if (S.Value) {
+      Out += " ";
+      Out += exprToSource(*S.Value);
+    }
     Out += ";\n";
     return;
   case StmtKind::Break:
@@ -207,11 +209,20 @@ std::string spt::exprToSource(const Expr &E) {
     // negative. INT64_MIN has no printable negation, so clamp it.
     const int64_t V =
         E.IntValue == INT64_MIN ? INT64_MIN + 1 : E.IntValue;
-    return "(0 - " + std::to_string(-V) + ")";
+    // Built by append: `const char * + std::string&&` trips GCC 12's
+    // bogus -Wrestrict at -O3 (GCC PR105651).
+    std::string Out = "(0 - ";
+    Out += std::to_string(-V);
+    Out += ")";
+    return Out;
   }
   case ExprKind::FpLit:
-    if (E.FpValue < 0.0)
-      return "(0.0 - " + fpLitSpelling(-E.FpValue) + ")";
+    if (E.FpValue < 0.0) {
+      std::string Out = "(0.0 - ";
+      Out += fpLitSpelling(-E.FpValue);
+      Out += ")";
+      return Out;
+    }
     return fpLitSpelling(E.FpValue);
   case ExprKind::Var:
     return E.Name;
@@ -221,14 +232,34 @@ std::string spt::exprToSource(const Expr &E) {
     const char *Tok = E.UOp == UnOp::Neg     ? "- "
                       : E.UOp == UnOp::LogNot ? "!"
                                               : "~";
-    return std::string("(") + Tok + exprToSource(*E.Lhs) + ")";
+    // Built by append: `const char * + std::string&&` trips GCC 12's
+    // bogus -Wrestrict at -O3 (GCC PR105651).
+    std::string Out = "(";
+    Out += Tok;
+    Out += exprToSource(*E.Lhs);
+    Out += ")";
+    return Out;
   }
-  case ExprKind::Binary:
-    return "(" + exprToSource(*E.Lhs) + " " + binOpToken(E.BOp) + " " +
-           exprToSource(*E.Rhs) + ")";
-  case ExprKind::Cond:
-    return "(" + exprToSource(*E.Lhs) + " ? " + exprToSource(*E.Rhs) +
-           " : " + exprToSource(*E.Aux) + ")";
+  case ExprKind::Binary: {
+    std::string Out = "(";
+    Out += exprToSource(*E.Lhs);
+    Out += " ";
+    Out += binOpToken(E.BOp);
+    Out += " ";
+    Out += exprToSource(*E.Rhs);
+    Out += ")";
+    return Out;
+  }
+  case ExprKind::Cond: {
+    std::string Out = "(";
+    Out += exprToSource(*E.Lhs);
+    Out += " ? ";
+    Out += exprToSource(*E.Rhs);
+    Out += " : ";
+    Out += exprToSource(*E.Aux);
+    Out += ")";
+    return Out;
+  }
   case ExprKind::Call: {
     std::string Out = E.Name + "(";
     for (size_t I = 0; I != E.Args.size(); ++I) {

@@ -1,0 +1,391 @@
+//===- obs/Json.cpp - Minimal JSON parser + Chrome trace validator -------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace spt;
+using namespace spt::json;
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : S(Text) {}
+
+  bool run(Value &Out, std::string &Err) {
+    skipWs();
+    if (!parseValue(Out, Err))
+      return false;
+    skipWs();
+    if (Pos != S.size()) {
+      Err = fail("trailing characters after top-level value");
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::string fail(const std::string &Msg) const {
+    std::ostringstream OS;
+    OS << Msg << " at offset " << Pos;
+    return OS.str();
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           (S[Pos] == ' ' || S[Pos] == '\t' || S[Pos] == '\n' ||
+            S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool parseValue(Value &Out, std::string &Err) {
+    if (Pos >= S.size()) {
+      Err = fail("unexpected end of input");
+      return false;
+    }
+    switch (S[Pos]) {
+    case '{':
+      return parseObject(Out, Err);
+    case '[':
+      return parseArray(Out, Err);
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str, Err);
+    case 't':
+      return parseLiteral("true", Out, Err);
+    case 'f':
+      return parseLiteral("false", Out, Err);
+    case 'n':
+      return parseLiteral("null", Out, Err);
+    default:
+      return parseNumber(Out, Err);
+    }
+  }
+
+  bool parseLiteral(const char *Lit, Value &Out, std::string &Err) {
+    for (const char *P = Lit; *P; ++P, ++Pos) {
+      if (Pos >= S.size() || S[Pos] != *P) {
+        Err = fail(std::string("bad literal, expected '") + Lit + "'");
+        return false;
+      }
+    }
+    if (Lit[0] == 'n') {
+      Out.K = Value::Kind::Null;
+    } else {
+      Out.K = Value::Kind::Bool;
+      Out.B = Lit[0] == 't';
+    }
+    return true;
+  }
+
+  bool parseNumber(Value &Out, std::string &Err) {
+    const size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start) {
+      Err = fail("expected a value");
+      return false;
+    }
+    const std::string Tok = S.substr(Start, Pos - Start);
+    char *End = nullptr;
+    Out.Num = std::strtod(Tok.c_str(), &End);
+    if (End != Tok.c_str() + Tok.size()) {
+      Pos = Start;
+      Err = fail("malformed number '" + Tok + "'");
+      return false;
+    }
+    Out.K = Value::Kind::Number;
+    return true;
+  }
+
+  bool parseString(std::string &Out, std::string &Err) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos];
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size()) {
+          Err = fail("unterminated escape");
+          return false;
+        }
+        switch (S[Pos]) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 >= S.size()) {
+            Err = fail("truncated \\u escape");
+            return false;
+          }
+          unsigned Code = 0;
+          for (int I = 1; I <= 4; ++I) {
+            const char H = S[Pos + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else {
+              Err = fail("bad hex digit in \\u escape");
+              return false;
+            }
+          }
+          Pos += 4;
+          // Encode the code point as UTF-8. Surrogate pairs are not
+          // reassembled — our own exports never emit non-BMP text.
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Err = fail("unknown escape");
+          return false;
+        }
+        ++Pos;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        Err = fail("raw control character in string");
+        return false;
+      } else {
+        Out += C;
+        ++Pos;
+      }
+    }
+    if (Pos >= S.size()) {
+      Err = fail("unterminated string");
+      return false;
+    }
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseArray(Value &Out, std::string &Err) {
+    Out.K = Value::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Value Elem;
+      skipWs();
+      if (!parseValue(Elem, Err))
+        return false;
+      Out.Arr.push_back(std::move(Elem));
+      skipWs();
+      if (Pos >= S.size()) {
+        Err = fail("unterminated array");
+        return false;
+      }
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      Err = fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parseObject(Value &Out, std::string &Err) {
+    Out.K = Value::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"') {
+        Err = fail("expected object key string");
+        return false;
+      }
+      std::string Key;
+      if (!parseString(Key, Err))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':') {
+        Err = fail("expected ':' after object key");
+        return false;
+      }
+      ++Pos;
+      skipWs();
+      Value Member;
+      if (!parseValue(Member, Err))
+        return false;
+      Out.Obj[Key] = std::move(Member);
+      skipWs();
+      if (Pos >= S.size()) {
+        Err = fail("unterminated object");
+        return false;
+      }
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      Err = fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool spt::json::parse(const std::string &Text, Value &Out,
+                      std::string &Err) {
+  return Parser(Text).run(Out, Err);
+}
+
+bool spt::validateChromeTrace(const std::string &Text, std::string &Err,
+                              size_t *NumEventsOut) {
+  json::Value Root;
+  if (!json::parse(Text, Root, Err))
+    return false;
+  const json::Value *EventsV = Root.get("traceEvents");
+  if (!EventsV || !EventsV->isArray()) {
+    Err = "missing or non-array traceEvents";
+    return false;
+  }
+
+  struct Span {
+    double Start = 0.0;
+    double End = 0.0;
+  };
+  // (pid, tid) -> spans, kept in file order (exporter sorts them
+  // start-ascending, containing-first per thread).
+  std::map<std::pair<double, double>, std::vector<Span>> PerThread;
+
+  size_t Idx = 0;
+  for (const json::Value &E : EventsV->Arr) {
+    std::ostringstream Where;
+    Where << "event " << Idx;
+    ++Idx;
+    if (!E.isObject()) {
+      Err = Where.str() + ": not an object";
+      return false;
+    }
+    const json::Value *Name = E.get("name");
+    const json::Value *Ph = E.get("ph");
+    const json::Value *Pid = E.get("pid");
+    const json::Value *Tid = E.get("tid");
+    const json::Value *Ts = E.get("ts");
+    if (!Name || !Name->isString() || Name->Str.empty()) {
+      Err = Where.str() + ": missing name";
+      return false;
+    }
+    if (!Ph || !Ph->isString()) {
+      Err = Where.str() + ": missing ph";
+      return false;
+    }
+    if (!Pid || !Pid->isNumber() || !Tid || !Tid->isNumber()) {
+      Err = Where.str() + ": missing pid/tid";
+      return false;
+    }
+    if (!Ts || !Ts->isNumber()) {
+      Err = Where.str() + ": missing ts";
+      return false;
+    }
+    if (Ph->Str != "X") {
+      // The exporter only emits complete events; other phase types are
+      // legal trace_event but unexpected here.
+      Err = Where.str() + ": unexpected phase '" + Ph->Str + "'";
+      return false;
+    }
+    const json::Value *Dur = E.get("dur");
+    if (!Dur || !Dur->isNumber() || Dur->Num < 0.0) {
+      Err = Where.str() + ": missing or negative dur";
+      return false;
+    }
+    PerThread[{Pid->Num, Tid->Num}].push_back(
+        Span{Ts->Num, Ts->Num + Dur->Num});
+  }
+
+  // Per-thread proper nesting: walking spans sorted (start asc, end desc)
+  // with a stack of open intervals, every span must fit entirely inside
+  // the enclosing open span or start at/after its end. Eps absorbs the
+  // double rounding from the ns -> fractional-us conversion.
+  const double Eps = 1e-3;
+  for (auto &[Key, Spans] : PerThread) {
+    std::stable_sort(Spans.begin(), Spans.end(),
+                     [](const Span &A, const Span &B) {
+                       if (A.Start != B.Start)
+                         return A.Start < B.Start;
+                       return A.End > B.End;
+                     });
+    std::vector<Span> Stack;
+    for (const Span &Sp : Spans) {
+      while (!Stack.empty() && Stack.back().End <= Sp.Start + Eps)
+        Stack.pop_back();
+      if (!Stack.empty() && Sp.End > Stack.back().End + Eps) {
+        std::ostringstream OS;
+        OS << "span [" << Sp.Start << ", " << Sp.End
+           << ") on tid " << Key.second
+           << " overlaps but does not nest inside [" << Stack.back().Start
+           << ", " << Stack.back().End << ")";
+        Err = OS.str();
+        return false;
+      }
+      Stack.push_back(Sp);
+    }
+  }
+
+  if (NumEventsOut)
+    *NumEventsOut = EventsV->Arr.size();
+  return true;
+}

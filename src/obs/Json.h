@@ -1,0 +1,73 @@
+//===- obs/Json.h - Minimal JSON parser + Chrome trace validator ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny recursive-descent JSON reader, just enough to validate the
+/// framework's own exports (Chrome traces, stats dumps, BENCH_*.json)
+/// without an external dependency. Numbers are doubles, objects are
+/// key-sorted maps; no streaming, no comments, strict UTF-8 passthrough.
+///
+/// `validateChromeTrace` layers the trace_event schema checks on top:
+/// a traceEvents array of complete ("X") events with the required keys,
+/// and per-(pid, tid) proper nesting — every pair of spans on a thread
+/// either disjoint or one containing the other, which the RAII tracer
+/// guarantees by construction and the exporter must not destroy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_OBS_JSON_H
+#define SPT_OBS_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spt {
+namespace json {
+
+/// One parsed JSON value. A tagged union kept deliberately simple; the
+/// validators only ever walk it, never mutate it.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::map<std::string, Value> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+};
+
+/// Parses \p Text. On success returns true and fills \p Out; on failure
+/// returns false and \p Err holds a one-line message with an offset.
+bool parse(const std::string &Text, Value &Out, std::string &Err);
+
+} // namespace json
+
+/// Checks that \p Text is valid JSON in Chrome trace_event format with
+/// properly nested spans (see file comment). Returns true on success;
+/// otherwise \p Err names the first violation. \p NumEventsOut (optional)
+/// receives the event count.
+bool validateChromeTrace(const std::string &Text, std::string &Err,
+                         size_t *NumEventsOut = nullptr);
+
+} // namespace spt
+
+#endif // SPT_OBS_JSON_H

@@ -1,0 +1,108 @@
+//===- obs/Obs.cpp - Stats snapshot rendering ----------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace spt;
+
+namespace {
+
+// Escapes a metric/span name for embedding in a JSON string. Names are
+// ASCII identifiers with dots and spaces, but loop spans embed function
+// and header names from user programs, so escape defensively.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string spt::renderStatsText(const StatsSnapshot &S) {
+  std::ostringstream OS;
+  OS << "== counters (" << S.Counters.size() << ")\n";
+  for (const auto &[Name, V] : S.Counters)
+    OS << "  " << Name << " " << V << "\n";
+  OS << "== histograms (" << S.Histograms.size() << ")\n";
+  for (const auto &[Name, Row] : S.Histograms) {
+    OS << "  " << Name << " count=" << Row.Count << " sum=" << Row.Sum
+       << "\n";
+    for (const auto &[Bucket, N] : Row.Buckets) {
+      // Bucket i covers [2^(i-1), 2^i); bucket 0 is exactly zero.
+      const uint64_t Lo = Bucket == 0 ? 0 : (uint64_t{1} << (Bucket - 1));
+      const uint64_t Hi = Bucket == 0 ? 0 : (uint64_t{1} << Bucket) - 1;
+      OS << "    [" << Lo << ".." << Hi << "] " << N << "\n";
+    }
+  }
+  OS << "== spans (" << S.SpanCounts.size() << ")\n";
+  for (const auto &[Name, N] : S.SpanCounts)
+    OS << "  " << Name << " x" << N << "\n";
+  return OS.str();
+}
+
+std::string spt::renderStatsJson(const StatsSnapshot &S) {
+  std::ostringstream OS;
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    OS << (First ? "\n" : ",\n") << "    \"" << jsonEscape(Name)
+       << "\": " << V;
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, Row] : S.Histograms) {
+    OS << (First ? "\n" : ",\n") << "    \"" << jsonEscape(Name)
+       << "\": {\"count\": " << Row.Count << ", \"sum\": " << Row.Sum
+       << ", \"buckets\": [";
+    bool FirstB = true;
+    for (const auto &[Bucket, N] : Row.Buckets) {
+      OS << (FirstB ? "" : ", ") << "[" << Bucket << ", " << N << "]";
+      FirstB = false;
+    }
+    OS << "]}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "},\n  \"spans\": {";
+  First = true;
+  for (const auto &[Name, N] : S.SpanCounts) {
+    OS << (First ? "\n" : ",\n") << "    \"" << jsonEscape(Name)
+       << "\": " << N;
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "}\n}\n";
+  return OS.str();
+}

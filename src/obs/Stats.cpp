@@ -1,10 +1,10 @@
-//===- support/Statistics.cpp - Streaming statistics accumulators --------===//
+//===- obs/Stats.cpp - Streaming statistics accumulators -----------------===//
 //
 // Part of the SPT framework (PLDI 2004 reproduction). MIT license.
 //
 //===----------------------------------------------------------------------===//
 
-#include "support/Statistics.h"
+#include "obs/Stats.h"
 
 #include <cassert>
 #include <cmath>

@@ -1,4 +1,4 @@
-//===- support/Statistics.h - Streaming statistics accumulators ----------===//
+//===- obs/Stats.h - Streaming statistics accumulators -------------------===//
 //
 // Part of the SPT framework (PLDI 2004 reproduction). MIT license.
 //
@@ -10,10 +10,14 @@
 /// correlation (used to evaluate Figure 19's estimated-cost vs measured
 /// re-execution-ratio relationship).
 ///
+/// Formerly support/Statistics.h; folded into obs/ so the framework has one
+/// home for metrics (these streaming accumulators plus the Counter /
+/// Histogram registries in obs/Obs.h), not two.
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef SPT_SUPPORT_STATISTICS_H
-#define SPT_SUPPORT_STATISTICS_H
+#ifndef SPT_OBS_STATS_H
+#define SPT_OBS_STATS_H
 
 #include <cstdint>
 
@@ -69,4 +73,4 @@ private:
 
 } // namespace spt
 
-#endif // SPT_SUPPORT_STATISTICS_H
+#endif // SPT_OBS_STATS_H

@@ -1,0 +1,88 @@
+//===- obs/Tracer.cpp - Chrome trace_event export ------------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace spt;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string spt::exportChromeTrace(const Tracer &T) {
+  std::vector<Tracer::Event> Events = T.events();
+  // Parents before children within a thread: earlier start first, and at
+  // equal start the longer (enclosing) span first. Perfetto accepts any
+  // order but the nesting validator in obs/Json.cpp relies on this.
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const Tracer::Event &A, const Tracer::Event &B) {
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.DurNs > B.DurNs;
+                   });
+  // trace_event timestamps are microseconds; emit all three fractional
+  // digits so the ns-exact containment relation between parent and child
+  // spans survives the unit change (the nesting validator depends on it).
+  const auto Us = [](uint64_t Ns) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(Ns / 1000),
+                  static_cast<unsigned long long>(Ns % 1000));
+    return std::string(Buf);
+  };
+  std::ostringstream OS;
+  OS << "{\"traceEvents\": [";
+  bool First = true;
+  for (const Tracer::Event &E : Events) {
+    OS << (First ? "\n" : ",\n");
+    OS << "  {\"name\": \"" << jsonEscape(E.Name)
+       << "\", \"cat\": \"spt\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << E.Tid << ", \"ts\": " << Us(E.StartNs) << ", \"dur\": "
+       << Us(E.DurNs) << "}";
+    First = false;
+  }
+  OS << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return OS.str();
+}

@@ -485,6 +485,8 @@ PartitionResult PartitionSearch::run() {
 
   if (G.violationCandidates().size() > Opts.MaxViolationCandidates) {
     Best.Searched = false;
+    obsAdd(Opts.Obs, "partition.searches", 1);
+    obsAdd(Opts.Obs, "partition.skipped.too_many_vcs", 1);
     return Best;
   }
   Best.Searched = true;
@@ -524,5 +526,31 @@ PartitionResult PartitionSearch::run() {
   Best.BudgetExhausted = Stats.BudgetExhausted;
   if (Best.InPreFork.empty())
     Best.InPreFork.assign(G.size(), 0);
+
+  // Single batched observability flush per search: the hot path above
+  // only bumps plain integers (Stats and the scratches' EvalStats).
+  if (ObsContext *Obs = Opts.Obs) {
+    obsAdd(Obs, "partition.searches", 1);
+    obsAdd(Obs, "partition.nodes.visited", Best.NodesVisited);
+    obsAdd(Obs, "partition.prune.size", Best.SizePrunes);
+    obsAdd(Obs, "partition.prune.lower_bound", Best.LowerBoundPrunes);
+    obsAdd(Obs, "partition.cost.evals", Best.CostEvals);
+    obsAdd(Obs, "partition.budget.exhausted", Best.BudgetExhausted ? 1 : 0);
+    obsSample(Obs, "partition.nodes_per_search", Best.NodesVisited);
+    const auto FlushScratch = [&](const MisspecCostModel::Scratch &S) {
+      obsAdd(Obs, "cost.scratch.inits", S.Stat.Inits);
+      obsAdd(Obs, "cost.scratch.reuses", S.Stat.Reuses);
+      obsAdd(Obs, "cost.scratch.evals.cone", S.Stat.ConeEvals);
+      obsAdd(Obs, "cost.scratch.evals.full_fixpoint", S.Stat.FullEvals);
+      obsAdd(Obs, "cost.scratch.commits.cone", S.Stat.ConeCommits);
+      obsAdd(Obs, "cost.scratch.commits.full_fixpoint", S.Stat.FullCommits);
+      obsAdd(Obs, "cost.scratch.undos", S.Stat.Undos);
+      obsMax(Obs, "cost.scratch.undo_depth.max", S.Stat.MaxDepth);
+    };
+    FlushScratch(Scratch);
+    FlushScratch(LbScratch);
+    if (Opts.ReferenceEvaluation)
+      obsAdd(Obs, "partition.reference.evals", Best.CostEvals);
+  }
   return Best;
 }

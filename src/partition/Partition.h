@@ -52,6 +52,7 @@
 
 #include "analysis/DepGraph.h"
 #include "cost/CostModel.h"
+#include "obs/Obs.h"
 
 #include <cstdint>
 #include <limits>
@@ -81,6 +82,10 @@ struct PartitionOptions {
   /// The perf_compile baseline and the equivalence tests set this; results
   /// are bit-identical to the default incremental path.
   bool ReferenceEvaluation = false;
+  /// Observability sink; null (the default) disables recording. The hot
+  /// search path never touches it — run() flushes its statistics and the
+  /// scratches' evaluation counters once, after the search finishes.
+  ObsContext *Obs = nullptr;
 };
 
 /// Result of the optimal-partition search for one loop.

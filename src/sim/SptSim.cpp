@@ -242,7 +242,9 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
                          const std::vector<Value> &Args,
                          const std::map<int64_t, SptLoopDesc> &Loops,
                          const MachineConfig &Machine, uint64_t MaxSteps,
-                         uint64_t RngSeed, FaultInjector *Injector) {
+                         uint64_t RngSeed, FaultInjector *Injector,
+                         ObsContext *Obs) {
+  ObsSpan RunSpan(Obs, "sim.runSpt");
   const Function *F = M.findFunction(FnName);
   if (!F)
     spt_fatal("runSpt: no such function");
@@ -423,5 +425,37 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
   Result.Result = In.returnValue();
   Result.Output = In.output();
   Result.MemoryHash = In.memoryHash();
+
+  // One batched flush of the run's speculation counters; the simulation
+  // loop above never touches the registry.
+  if (Obs) {
+    obsAdd(Obs, "sim.runs", 1);
+    obsAdd(Obs, "sim.chaos_runs", FI ? 1 : 0);
+    SptLoopRunStats Tot;
+    for (const auto &[Id, S] : Result.PerLoop) {
+      (void)Id;
+      Tot.Forks += S.Forks;
+      Tot.Joins += S.Joins;
+      Tot.KilledBeforeJoin += S.KilledBeforeJoin;
+      Tot.Squashed += S.Squashed;
+      Tot.ViolatedThreads += S.ViolatedThreads;
+      Tot.SpecInstrs += S.SpecInstrs;
+      Tot.ReexecInstrs += S.ReexecInstrs;
+      Tot.Iterations += S.Iterations;
+    }
+    obsAdd(Obs, "sim.forks", Tot.Forks);
+    obsAdd(Obs, "sim.joins", Tot.Joins);
+    obsAdd(Obs, "sim.killed_before_join", Tot.KilledBeforeJoin);
+    obsAdd(Obs, "sim.squashes", Tot.Squashed);
+    // Every violated join is recovered by main-core re-execution
+    // (sequential semantics hold by construction), so violations and
+    // recoveries coincide; clean joins banked their speculative work.
+    obsAdd(Obs, "sim.recoveries", Tot.ViolatedThreads);
+    obsAdd(Obs, "sim.clean_joins", Tot.Joins - Tot.ViolatedThreads);
+    obsAdd(Obs, "sim.spec_instrs", Tot.SpecInstrs);
+    obsAdd(Obs, "sim.reexec_instrs", Tot.ReexecInstrs);
+    obsAdd(Obs, "sim.iterations", Tot.Iterations);
+    obsSample(Obs, "sim.reexec_per_run", Tot.ReexecInstrs);
+  }
   return Result;
 }

@@ -40,6 +40,7 @@
 #define SPT_SIM_SPTSIM_H
 
 #include "interp/Interp.h"
+#include "obs/Obs.h"
 #include "sim/Machine.h"
 
 #include <map>
@@ -113,13 +114,17 @@ class FaultInjector;
 /// \p Injector, when non-null, adversarially perturbs the speculation
 /// machinery (forced squashes, flipped speculative values, timing jitter —
 /// see sim/FaultInjector.h); architectural results must not change.
+/// \p Obs, when non-null, receives a "sim.runSpt" span and the run's
+/// speculation counters (squashes, violations, re-executed instructions),
+/// flushed once at the end of the run.
 SptSimResult runSpt(const Module &M, const std::string &FnName,
                     const std::vector<Value> &Args,
                     const std::map<int64_t, SptLoopDesc> &Loops,
                     const MachineConfig &Machine = MachineConfig(),
                     uint64_t MaxSteps = 500000000ull,
                     uint64_t RngSeed = 0x5eed5eed5eedull,
-                    FaultInjector *Injector = nullptr);
+                    FaultInjector *Injector = nullptr,
+                    ObsContext *Obs = nullptr);
 
 } // namespace spt
 

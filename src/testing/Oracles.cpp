@@ -300,7 +300,7 @@ OracleResult oracleSptSim(const Prepared &P, const OracleOptions &Opts) {
   for (unsigned MI = 0; MI != 3; ++MI) {
     SptSimResult Sim =
         runSpt(*P.Modes[MI].M, "main", {}, P.Modes[MI].Report.SptLoops,
-               MachineConfig(), Opts.MaxSteps, P.SimSeed);
+               MachineConfig(), Opts.MaxSteps, P.SimSeed, nullptr, Opts.Obs);
     if (Sim.Result.I != P.SeqRef.Result.I) {
       R.Status = OracleStatus::Fail;
       R.Detail = "speculative checksum " + std::to_string(Sim.Result.I) +
@@ -339,7 +339,7 @@ OracleResult oracleChaos(const Prepared &P, const OracleOptions &Opts) {
     FaultInjector FI(injectorOptionsAt(Opts.ChaosRate, Derive.next()));
     SptSimResult Sim =
         runSpt(*P.Modes[MI].M, "main", {}, P.Modes[MI].Report.SptLoops,
-               MachineConfig(), Opts.MaxSteps, P.SimSeed, &FI);
+               MachineConfig(), Opts.MaxSteps, P.SimSeed, &FI, Opts.Obs);
     if (Sim.Result.I != P.SeqRef.Result.I || Sim.Output != P.SeqRef.Output ||
         Sim.MemoryHash != P.SeqRef.MemoryHash) {
       R.Status = OracleStatus::Fail;
@@ -617,7 +617,22 @@ OracleRunReport spt::runOracleSuite(const std::string &Source,
   for (const OracleEntry &E : kOracles) {
     if (!wanted(Opts, E.Info.Name))
       continue;
-    Out.Results.push_back(E.Fn(P, Opts));
+    {
+      ObsSpan S(Opts.Obs,
+                Opts.Obs ? std::string("oracle.") + E.Info.Name
+                         : std::string());
+      Out.Results.push_back(E.Fn(P, Opts));
+    }
+    if (Opts.Obs) {
+      const OracleResult &R = Out.Results.back();
+      obsAdd(Opts.Obs, "oracle.runs", 1);
+      const char *Verdict = R.Status == OracleStatus::Pass   ? "pass"
+                            : R.Status == OracleStatus::Fail ? "fail"
+                                                             : "skip";
+      Opts.Obs->Metrics
+          .counter(std::string("oracle.") + E.Info.Name + "." + Verdict)
+          ->inc();
+    }
   }
   return Out;
 }

@@ -72,6 +72,10 @@ struct OracleOptions {
   /// original. Emulates a miscompilation the oracles must catch; used to
   /// self-test the fuzzer's detection and reduction machinery.
   bool InjectKnownBad = false;
+  /// Observability sink: per-oracle "oracle.<name>" spans plus
+  /// pass/fail/skip counters, and the speculative simulations' counters.
+  /// Null (default) disables recording.
+  ObsContext *Obs = nullptr;
 };
 
 enum class OracleStatus : uint8_t { Pass, Fail, Skipped };

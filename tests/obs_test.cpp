@@ -1,0 +1,478 @@
+//===- tests/obs_test.cpp - Observability layer tests ----------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The obs/ contracts: counter/histogram arithmetic, registry snapshots,
+// the RAII span tracer and its Chrome trace export, the JSON parser and
+// trace validator, the statistical accumulators folded in from
+// support/Statistics.h, and — through compileSpt and the spt::Compiler
+// facade — the determinism contract of the whole instrumented pipeline:
+//
+//   * the stats dump is byte-identical across runs and across Jobs
+//     settings (counters are additive/max-merged, histograms bucket by
+//     value, the dump carries no wall-clock),
+//   * enabling tracing leaves renderReportDeterministic byte-identical,
+//   * the exported trace is valid Chrome trace_event JSON with properly
+//     nested spans.
+//
+// Also pins the SptCompilerOptions regrouping: deprecated flat aliases
+// share storage with the nested fields, and copies rebind aliases to
+// their own nested structs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spt.h"
+
+#include <gtest/gtest.h>
+
+using namespace spt;
+
+namespace {
+
+// --- Counters, histograms, registry ------------------------------------===//
+
+TEST(CounterTest, AddIncAndValue) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add(5);
+  C.inc();
+  EXPECT_EQ(C.value(), 6u);
+}
+
+TEST(CounterTest, MaxIsMonotonic) {
+  Counter C;
+  C.max(7);
+  EXPECT_EQ(C.value(), 7u);
+  C.max(3); // Lower watermark never lowers the counter.
+  EXPECT_EQ(C.value(), 7u);
+  C.max(22);
+  EXPECT_EQ(C.value(), 22u);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  EXPECT_EQ(Histogram::bucketFor(0), 0);
+  EXPECT_EQ(Histogram::bucketFor(1), 1);
+  EXPECT_EQ(Histogram::bucketFor(2), 2);
+  EXPECT_EQ(Histogram::bucketFor(3), 2);
+  EXPECT_EQ(Histogram::bucketFor(4), 3);
+  EXPECT_EQ(Histogram::bucketFor(7), 3);
+  EXPECT_EQ(Histogram::bucketFor(8), 4);
+  // Everything above 2^30 collapses into the last bucket.
+  EXPECT_EQ(Histogram::bucketFor(~0ull), Histogram::NumBuckets - 1);
+}
+
+TEST(HistogramTest, CountAndSumTrackSamples) {
+  Histogram H;
+  H.add(0);
+  H.add(3);
+  H.add(3);
+  H.add(100);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 106u);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(2), 2u);
+  EXPECT_EQ(H.bucket(7), 1u); // 100 is in [64, 128).
+}
+
+TEST(RegistryTest, CreateOnFirstUseIsStable) {
+  Registry R;
+  Counter *A = R.counter("a.b");
+  EXPECT_EQ(A, R.counter("a.b"));
+  A->add(3);
+  R.counter("a.a")->add(1);
+  R.histogram("h")->add(5);
+  StatsSnapshot S;
+  R.snapshotInto(S);
+  ASSERT_EQ(S.Counters.size(), 2u);
+  EXPECT_EQ(S.Counters.begin()->first, "a.a"); // Sorted by name.
+  EXPECT_EQ(S.Counters["a.b"], 3u);
+  ASSERT_EQ(S.Histograms.size(), 1u);
+  EXPECT_EQ(S.Histograms["h"].Count, 1u);
+  EXPECT_EQ(S.Histograms["h"].Sum, 5u);
+}
+
+TEST(ObsHelpersTest, NullContextIsNoop) {
+  // Must not crash, must not allocate anything observable.
+  obsAdd(nullptr, "x", 5);
+  obsMax(nullptr, "x", 5);
+  obsSample(nullptr, "x", 5);
+  ObsSpan S(nullptr, "span");
+}
+
+TEST(ObsHelpersTest, ZeroDeltaAddsNoCounter) {
+  ObsContext Ctx;
+  obsAdd(&Ctx, "zero", 0);
+  EXPECT_TRUE(Ctx.snapshot().Counters.empty());
+  obsAdd(&Ctx, "one", 1);
+  EXPECT_EQ(Ctx.snapshot().Counters.size(), 1u);
+}
+
+TEST(ObsSpanTest, RecordsNestedSpans) {
+  ObsContext Ctx;
+  {
+    ObsSpan Outer(&Ctx, "outer");
+    {
+      ObsSpan Inner(&Ctx, "inner");
+    }
+    {
+      ObsSpan Inner(&Ctx, "inner");
+    }
+  }
+  StatsSnapshot S = Ctx.snapshot();
+  EXPECT_EQ(S.SpanCounts["outer"], 1u);
+  EXPECT_EQ(S.SpanCounts["inner"], 2u);
+
+  std::string Err;
+  size_t N = 0;
+  EXPECT_TRUE(validateChromeTrace(exportChromeTrace(Ctx.Trace), Err, &N))
+      << Err;
+  EXPECT_EQ(N, 3u);
+}
+
+// --- Statistical accumulators (formerly support/Statistics.h) ----------===//
+
+TEST(RunningStatTest, TracksMinMeanMax) {
+  RunningStat S;
+  S.add(2.0);
+  S.add(4.0);
+  S.add(6.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 12.0);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(GeoMeanTest, MatchesClosedForm) {
+  GeoMean G;
+  G.add(1.0);
+  G.add(4.0);
+  EXPECT_NEAR(G.value(), 2.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectPositive) {
+  Correlation C;
+  for (int I = 0; I < 10; ++I)
+    C.add(I, 2.0 * I + 1.0);
+  EXPECT_NEAR(C.pearson(), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectNegative) {
+  Correlation C;
+  for (int I = 0; I < 10; ++I)
+    C.add(I, -3.0 * I);
+  EXPECT_NEAR(C.pearson(), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ZeroVarianceIsZero) {
+  Correlation C;
+  for (int I = 0; I < 10; ++I)
+    C.add(5.0, I);
+  EXPECT_DOUBLE_EQ(C.pearson(), 0.0);
+}
+
+// --- Stats rendering ----------------------------------------------------===//
+
+StatsSnapshot sampleSnapshot() {
+  ObsContext Ctx;
+  obsAdd(&Ctx, "b.two", 2);
+  obsAdd(&Ctx, "a.one", 1);
+  obsSample(&Ctx, "hist", 3);
+  obsSample(&Ctx, "hist", 0);
+  {
+    ObsSpan S(&Ctx, "s");
+  }
+  return Ctx.snapshot();
+}
+
+TEST(StatsRenderTest, TextIsDeterministicAndSorted) {
+  const std::string A = renderStatsText(sampleSnapshot());
+  const std::string B = renderStatsText(sampleSnapshot());
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("a.one 1"), std::string::npos);
+  EXPECT_NE(A.find("b.two 2"), std::string::npos);
+  EXPECT_LT(A.find("a.one"), A.find("b.two"));
+  EXPECT_NE(A.find("s x1"), std::string::npos);
+}
+
+TEST(StatsRenderTest, JsonParsesBack) {
+  const std::string J = renderStatsJson(sampleSnapshot());
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(J, V, Err)) << Err;
+  ASSERT_TRUE(V.isObject());
+  const json::Value *Counters = V.get("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_TRUE(Counters->isObject());
+  EXPECT_EQ(Counters->Obj.size(), 2u);
+  EXPECT_DOUBLE_EQ(Counters->Obj.at("b.two").Num, 2.0);
+  const json::Value *Hist = V.get("histograms");
+  ASSERT_NE(Hist, nullptr);
+  EXPECT_DOUBLE_EQ(Hist->Obj.at("hist").Obj.at("count").Num, 2.0);
+  const json::Value *Spans = V.get("spans");
+  ASSERT_NE(Spans, nullptr);
+  EXPECT_DOUBLE_EQ(Spans->Obj.at("s").Num, 1.0);
+}
+
+TEST(StatsRenderTest, EmptySnapshotRendersEmptyObjects) {
+  StatsSnapshot S;
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(renderStatsJson(S), V, Err)) << Err;
+  EXPECT_TRUE(V.get("counters")->Obj.empty());
+}
+
+// --- JSON parser + trace validator --------------------------------------===//
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"e\": \"x\\n\\\"y\\\"\"}",
+      V, Err))
+      << Err;
+  EXPECT_DOUBLE_EQ(V.get("a")->Arr[2].Num, -300.0);
+  EXPECT_TRUE(V.get("b")->get("c")->B);
+  EXPECT_EQ(V.get("b")->get("d")->K, json::Value::Kind::Null);
+  EXPECT_EQ(V.get("e")->Str, "x\n\"y\"");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse("{", V, Err));
+  EXPECT_FALSE(json::parse("{\"a\": }", V, Err));
+  EXPECT_FALSE(json::parse("[1, 2,]", V, Err));
+  EXPECT_FALSE(json::parse("tru", V, Err));
+  EXPECT_FALSE(json::parse("{} trailing", V, Err));
+}
+
+namespace {
+std::string traceJson(const std::string &Events) {
+  return "{\"traceEvents\": [" + Events + "]}";
+}
+std::string event(double Ts, double Dur, int Tid = 1) {
+  return "{\"name\": \"e\", \"cat\": \"spt\", \"ph\": \"X\", \"pid\": 1, "
+         "\"tid\": " +
+         std::to_string(Tid) + ", \"ts\": " + std::to_string(Ts) +
+         ", \"dur\": " + std::to_string(Dur) + "}";
+}
+} // namespace
+
+TEST(TraceValidatorTest, AcceptsProperNesting) {
+  std::string Err;
+  size_t N = 0;
+  // parent [0, 100] containing child [10, 40], then sibling [50, 30].
+  EXPECT_TRUE(validateChromeTrace(
+      traceJson(event(0, 100) + ", " + event(10, 40) + ", " + event(50, 30)),
+      Err, &N))
+      << Err;
+  EXPECT_EQ(N, 3u);
+}
+
+TEST(TraceValidatorTest, RejectsPartialOverlap) {
+  std::string Err;
+  // [0, 50] and [30, 40] overlap without containment: impossible for
+  // RAII spans of one thread.
+  EXPECT_FALSE(validateChromeTrace(
+      traceJson(event(0, 50) + ", " + event(30, 40)), Err));
+}
+
+TEST(TraceValidatorTest, SeparateThreadsDoNotInteract) {
+  std::string Err;
+  // The same overlap is fine across different tids.
+  EXPECT_TRUE(validateChromeTrace(
+      traceJson(event(0, 50, 1) + ", " + event(30, 40, 2)), Err))
+      << Err;
+}
+
+TEST(TraceValidatorTest, RejectsSchemaViolations) {
+  std::string Err;
+  EXPECT_FALSE(validateChromeTrace("{}", Err)); // No traceEvents.
+  EXPECT_FALSE(validateChromeTrace("not json", Err));
+  EXPECT_FALSE(validateChromeTrace(
+      traceJson("{\"name\": \"e\", \"ph\": \"B\", \"pid\": 1, \"tid\": 1, "
+                "\"ts\": 0, \"dur\": 1}"),
+      Err)); // Only complete events.
+  EXPECT_FALSE(validateChromeTrace(
+      traceJson("{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"ts\": 0, "
+                "\"dur\": 1}"),
+      Err)); // Missing name.
+}
+
+// --- Options regroup: aliases, copies, builder ---------------------------===//
+
+TEST(OptionsTest, FlatAliasesShareStorageWithNestedFields) {
+  SptCompilerOptions O;
+  O.CostFraction = 0.5;
+  EXPECT_DOUBLE_EQ(O.Selection.CostFraction, 0.5);
+  O.Selection.MaxViolationCandidates = 7;
+  EXPECT_EQ(O.MaxViolationCandidates, 7u);
+  O.EnableSvp = false;
+  EXPECT_FALSE(O.Enabling.EnableSvp);
+  O.Enabling.Svp.MinHitRatio = 0.75;
+  EXPECT_DOUBLE_EQ(O.Svp.MinHitRatio, 0.75);
+}
+
+TEST(OptionsTest, CopyRebindsAliasesToOwnStorage) {
+  SptCompilerOptions A;
+  A.Selection.CostFraction = 0.25;
+  SptCompilerOptions B = A;
+  EXPECT_DOUBLE_EQ(B.CostFraction, 0.25); // Value copied...
+  B.CostFraction = 0.75;                  // ...but storage is B's own.
+  EXPECT_DOUBLE_EQ(B.Selection.CostFraction, 0.75);
+  EXPECT_DOUBLE_EQ(A.Selection.CostFraction, 0.25);
+}
+
+TEST(OptionsTest, AssignmentCopiesValuesNotBindings) {
+  SptCompilerOptions A, B;
+  A.MinBodyWeight = 42.0;
+  B = A;
+  B.MinBodyWeight = 43.0;
+  EXPECT_DOUBLE_EQ(A.Selection.MinBodyWeight, 42.0);
+  EXPECT_DOUBLE_EQ(B.Selection.MinBodyWeight, 43.0);
+}
+
+TEST(OptionsTest, BuilderChains) {
+  ObsContext Ctx;
+  const SptCompilerOptions O = SptCompilerOptions::anticipated()
+                                   .withJobs(8)
+                                   .withSeed(99)
+                                   .withPartitionDeadline(1.5)
+                                   .withTracing(&Ctx);
+  EXPECT_EQ(O.Mode, CompilationMode::Anticipated);
+  EXPECT_EQ(O.Jobs, 8u);
+  EXPECT_EQ(O.RngSeed, 99u);
+  EXPECT_DOUBLE_EQ(O.MaxPartitionSeconds, 1.5);
+  EXPECT_TRUE(O.Observability.Enabled);
+  EXPECT_EQ(O.Observability.Context, &Ctx);
+  EXPECT_EQ(SptCompilerOptions::basic().Mode, CompilationMode::Basic);
+  EXPECT_EQ(SptCompilerOptions::best().Mode, CompilationMode::Best);
+}
+
+// --- Instrumented pipeline ----------------------------------------------===//
+
+/// Compiles the first \p NumWorkloads workloads into \p Ctx at \p Jobs and
+/// returns the deterministic report renderings.
+std::vector<std::string> compileInto(ObsContext &Ctx, uint32_t Jobs,
+                                     size_t NumWorkloads) {
+  std::vector<Workload> Suite = allWorkloads();
+  Suite.resize(NumWorkloads);
+  std::vector<std::string> Rendered;
+  for (const Workload &W : Suite) {
+    auto M = compileWorkload(W);
+    SptCompilerOptions Opts = SptCompilerOptions::best()
+                                  .withJobs(Jobs)
+                                  .withTracing(&Ctx);
+    Rendered.push_back(renderReportDeterministic(compileSpt(*M, Opts)));
+  }
+  return Rendered;
+}
+
+TEST(PipelineObsTest, StatsDumpByteIdenticalAcrossRuns) {
+  ObsContext A, B;
+  compileInto(A, 1, 3);
+  compileInto(B, 1, 3);
+  const std::string DumpA = renderStatsText(A.snapshot());
+  EXPECT_EQ(DumpA, renderStatsText(B.snapshot()));
+  // The pipeline counters the dump must carry (the acceptance set):
+  // branch-and-bound prune heuristics and the incremental cost scratch.
+  EXPECT_NE(DumpA.find("partition.prune."), std::string::npos) << DumpA;
+  EXPECT_NE(DumpA.find("partition.nodes.visited"), std::string::npos);
+  EXPECT_NE(DumpA.find("cost.scratch."), std::string::npos);
+  EXPECT_NE(DumpA.find("driver.compilations 3"), std::string::npos);
+}
+
+TEST(PipelineObsTest, CounterTotalsIdenticalAcrossJobs) {
+  // Counters are sums and max-merges of per-loop quantities, histograms
+  // bucket by value, span counts ignore threads: the whole snapshot is
+  // interleaving-independent, so the dump matches at any Jobs setting.
+  ObsContext J1, J4, J8;
+  compileInto(J1, 1, 3);
+  compileInto(J4, 4, 3);
+  compileInto(J8, 8, 3);
+  const std::string D1 = renderStatsText(J1.snapshot());
+  EXPECT_EQ(D1, renderStatsText(J4.snapshot()));
+  EXPECT_EQ(D1, renderStatsText(J8.snapshot()));
+}
+
+TEST(PipelineObsTest, TracingLeavesReportByteIdentical) {
+  std::vector<Workload> Suite = allWorkloads();
+  Suite.resize(2);
+  for (const Workload &W : Suite) {
+    auto M1 = compileWorkload(W);
+    auto M2 = compileWorkload(W);
+    const std::string Plain =
+        renderReportDeterministic(compileSpt(*M1, SptCompilerOptions()));
+    const std::string Traced = renderReportDeterministic(
+        compileSpt(*M2, SptCompilerOptions().withTracing()));
+    EXPECT_EQ(Plain, Traced) << W.Name;
+  }
+}
+
+TEST(PipelineObsTest, ReportCarriesStatsOnlyWhenEnabled) {
+  auto M1 = compileWorkload(allWorkloads()[0]);
+  const CompilationReport Off = compileSpt(*M1, SptCompilerOptions());
+  EXPECT_TRUE(Off.Stats.empty());
+
+  auto M2 = compileWorkload(allWorkloads()[0]);
+  const CompilationReport On =
+      compileSpt(*M2, SptCompilerOptions().withTracing());
+  EXPECT_FALSE(On.Stats.empty());
+  EXPECT_EQ(On.Stats.Counters.at("driver.compilations"), 1u);
+  EXPECT_EQ(On.Stats.SpanCounts.at("compile"), 1u);
+  EXPECT_EQ(On.Stats.SpanCounts.at("pass1"), 1u);
+  EXPECT_EQ(On.Stats.SpanCounts.at("pass2"), 1u);
+}
+
+TEST(PipelineObsTest, ExportedTraceValidatesAndNests) {
+  ObsContext Ctx;
+  compileInto(Ctx, 4, 2); // Parallel pass 1: multiple trace lanes.
+  const std::string Trace = exportChromeTrace(Ctx.Trace);
+  std::string Err;
+  size_t N = 0;
+  ASSERT_TRUE(validateChromeTrace(Trace, Err, &N)) << Err;
+  EXPECT_GT(N, 0u);
+  // Span taxonomy sanity: the stage spans made it into the export.
+  EXPECT_NE(Trace.find("\"stageA.unroll\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"pass1.loop "), std::string::npos);
+}
+
+TEST(CompilerFacadeTest, AccumulatesAcrossCompilations) {
+  Compiler C(SptCompilerOptions::best().withTracing());
+  std::vector<Workload> Suite = allWorkloads();
+  Suite.resize(2);
+  for (const Workload &W : Suite) {
+    auto M = compileWorkload(W);
+    C.compile(*M);
+  }
+  const StatsSnapshot S = C.stats();
+  EXPECT_EQ(S.Counters.at("driver.compilations"), 2u);
+  EXPECT_EQ(S.SpanCounts.at("compile"), 2u);
+  std::string Err;
+  size_t N = 0;
+  EXPECT_TRUE(validateChromeTrace(C.trace(), Err, &N)) << Err;
+  EXPECT_GT(N, 0u);
+}
+
+TEST(CompilerFacadeTest, DisabledFacadeIsEmpty) {
+  Compiler C;
+  auto M = compileWorkload(allWorkloads()[0]);
+  C.compile(*M);
+  EXPECT_TRUE(C.stats().empty());
+  std::string Err;
+  size_t N = 99;
+  EXPECT_TRUE(validateChromeTrace(C.trace(), Err, &N)) << Err;
+  EXPECT_EQ(N, 0u);
+}
+
+} // namespace

@@ -6,7 +6,6 @@
 
 #include "support/OStream.h"
 #include "support/Random.h"
-#include "support/Statistics.h"
 #include "support/Status.h"
 #include "support/Table.h"
 
@@ -73,52 +72,6 @@ TEST(RandomTest, RoughlyUniform) {
     EXPECT_GT(Bucket, N / 10 - N / 50);
     EXPECT_LT(Bucket, N / 10 + N / 50);
   }
-}
-
-TEST(RunningStatTest, TracksMinMeanMax) {
-  RunningStat S;
-  S.add(2.0);
-  S.add(4.0);
-  S.add(6.0);
-  EXPECT_EQ(S.count(), 3u);
-  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
-  EXPECT_DOUBLE_EQ(S.min(), 2.0);
-  EXPECT_DOUBLE_EQ(S.max(), 6.0);
-  EXPECT_DOUBLE_EQ(S.sum(), 12.0);
-}
-
-TEST(RunningStatTest, EmptyIsZero) {
-  RunningStat S;
-  EXPECT_EQ(S.count(), 0u);
-  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
-}
-
-TEST(GeoMeanTest, MatchesClosedForm) {
-  GeoMean G;
-  G.add(1.0);
-  G.add(4.0);
-  EXPECT_NEAR(G.value(), 2.0, 1e-12);
-}
-
-TEST(CorrelationTest, PerfectPositive) {
-  Correlation C;
-  for (int I = 0; I < 10; ++I)
-    C.add(I, 2.0 * I + 1.0);
-  EXPECT_NEAR(C.pearson(), 1.0, 1e-12);
-}
-
-TEST(CorrelationTest, PerfectNegative) {
-  Correlation C;
-  for (int I = 0; I < 10; ++I)
-    C.add(I, -3.0 * I);
-  EXPECT_NEAR(C.pearson(), -1.0, 1e-12);
-}
-
-TEST(CorrelationTest, ZeroVarianceIsZero) {
-  Correlation C;
-  for (int I = 0; I < 10; ++I)
-    C.add(5.0, I);
-  EXPECT_DOUBLE_EQ(C.pearson(), 0.0);
 }
 
 TEST(TableTest, AlignsColumns) {

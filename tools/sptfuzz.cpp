@@ -17,7 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "testing/Fuzzer.h"
+#include "spt.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -53,6 +53,9 @@ void usage() {
       "  --out DIR          where reproducers are written\n"
       "  --oracle NAME      restrict to one oracle (repeatable)\n"
       "  --max-steps N      interpretation/simulation step budget\n"
+      "  --stats            print the observability stats dump (oracle\n"
+      "                     verdict counters, speculation counters, span\n"
+      "                     counts) on stderr at exit\n"
       "  --verbose          progress on stderr\n");
 }
 
@@ -147,6 +150,8 @@ int main(int Argc, char **Argv) {
   FuzzOptions Opts;
   std::string ReducePath;
   bool ProgramsSet = false;
+  bool WantStats = false;
+  ObsContext StatsCtx;
 
   for (int I = 1; I < Argc; ++I) {
     const std::string A = Argv[I];
@@ -194,6 +199,9 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.Oracle.MaxSteps = N;
+    } else if (A == "--stats") {
+      WantStats = true;
+      Opts.Oracle.Obs = &StatsCtx;
     } else if (A == "--verbose")
       Opts.Verbose = true;
     else if (A == "--inject-known-bad") {
@@ -207,6 +215,14 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Every exit path below funnels through here so --stats always dumps,
+  // including after a divergence or a failed selfcheck.
+  auto finish = [&](int Rc) {
+    if (WantStats)
+      std::fputs(renderStatsText(StatsCtx.snapshot()).c_str(), stderr);
+    return Rc;
+  };
+
   switch (M) {
   case Mode::None:
     usage();
@@ -214,7 +230,7 @@ int main(int Argc, char **Argv) {
   case Mode::ListOracles:
     return listOracles();
   case Mode::Reduce:
-    return reduceFile(Opts, ReducePath);
+    return finish(reduceFile(Opts, ReducePath));
   case Mode::Smoke: {
     // CI shape: bounded programs, smaller generator output so the sweep
     // stays fast under sanitizers, full oracle set.
@@ -227,12 +243,12 @@ int main(int Argc, char **Argv) {
                                               8000000ull);
     FuzzOutcome Out = runFuzz(Opts);
     printOutcome(Out);
-    return Out.FoundDivergence ? 1 : 0;
+    return finish(Out.FoundDivergence ? 1 : 0);
   }
   case Mode::Fuzz: {
     FuzzOutcome Out = runFuzz(Opts);
     printOutcome(Out);
-    return Out.FoundDivergence ? 1 : 0;
+    return finish(Out.FoundDivergence ? 1 : 0);
   }
   case Mode::SelfCheck: {
     FuzzOutcome Out = runKnownBadSelfCheck(Opts);
@@ -241,17 +257,17 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "sptfuzz: selfcheck FAILED: the planted known-bad "
                    "mutation was not detected\n");
-      return 1;
+      return finish(1);
     }
     if (Out.ReducedStatements == 0 || Out.ReducedStatements > 15) {
       std::fprintf(stderr,
                    "sptfuzz: selfcheck FAILED: reproducer not reduced "
                    "(%u statements)\n",
                    Out.ReducedStatements);
-      return 1;
+      return finish(1);
     }
     std::fprintf(stderr, "sptfuzz: selfcheck passed\n");
-    return 0;
+    return finish(0);
   }
   }
   return 2;

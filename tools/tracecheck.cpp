@@ -1,0 +1,104 @@
+//===- tools/tracecheck.cpp - Observability artifact validator -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the files the observability layer emits, for CI smoke tests
+// (scripts/check.sh) and by hand after a spttrace run:
+//
+//   tracecheck TRACE.json ...         each file must be Chrome trace_event
+//                                     JSON: a traceEvents array of ph:"X"
+//                                     complete events with numeric
+//                                     pid/tid/ts and non-negative dur, and
+//                                     the spans of every (pid,tid) lane
+//                                     must nest properly (a child interval
+//                                     never escapes its parent).
+//   tracecheck --stats STATS.json ... each file must be a stats dump in
+//                                     JSON form: an object with
+//                                     "counters", "histograms" and
+//                                     "spans" members.
+//
+// Prints one line per file; exits 1 on the first malformed file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spt.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace spt;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+bool checkStatsDump(const std::string &Text, std::string &Err,
+                    size_t &NumCounters) {
+  json::Value V;
+  if (!json::parse(Text, V, Err))
+    return false;
+  if (!V.isObject()) {
+    Err = "stats dump is not a JSON object";
+    return false;
+  }
+  for (const char *Key : {"counters", "histograms", "spans"}) {
+    const json::Value *M = V.get(Key);
+    if (!M || !M->isObject()) {
+      Err = std::string("missing or non-object \"") + Key + "\" member";
+      return false;
+    }
+  }
+  NumCounters = V.get("counters")->Obj.size();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool StatsMode = false;
+  int Checked = 0;
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--stats") {
+      StatsMode = true;
+      continue;
+    }
+    std::string Text;
+    if (!readFile(Arg, Text)) {
+      std::fprintf(stderr, "tracecheck: cannot read %s\n", Arg.c_str());
+      return 1;
+    }
+    std::string Err;
+    size_t N = 0;
+    const bool Ok = StatsMode ? checkStatsDump(Text, Err, N)
+                              : validateChromeTrace(Text, Err, &N);
+    if (!Ok) {
+      std::fprintf(stderr, "tracecheck: %s: INVALID: %s\n", Arg.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    std::printf("tracecheck: %s: ok (%zu %s)\n", Arg.c_str(), N,
+                StatsMode ? "counters" : "events");
+    ++Checked;
+  }
+  if (Checked == 0) {
+    std::fprintf(stderr,
+                 "usage: tracecheck [--stats] FILE [FILE...]\n"
+                 "  validates Chrome trace_event JSON (default) or a JSON\n"
+                 "  stats dump (--stats)\n");
+    return 2;
+  }
+  return 0;
+}
