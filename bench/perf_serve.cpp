@@ -1,0 +1,243 @@
+//===- bench/perf_serve.cpp - Batch compilation service throughput ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures BatchCompileServer throughput: compiles/sec over a generated
+// program batch at Jobs = 1/4/8 workers, cold cache vs warm cache.
+//
+// Per worker-count configuration the SAME server instance runs the batch
+// twice: a cold pass (every program misses the compile cache and is
+// compiled) and a warm pass (every program should be served from cache,
+// checksum-verified). The server's parallelism is across compilations —
+// each worker compiles whole programs at Jobs=1 — so this is the bench
+// where worker scaling actually pays, unlike the per-program pass-1
+// fan-out measured by perf_compile.
+//
+// Correctness gates (the bench fails loudly, speedups are reported not
+// asserted):
+//   - every configuration's reports, cold and warm, must be
+//     byte-identical to the single-threaded cold reference,
+//   - the warm pass must be served from cache (hits == programs).
+//
+// The scaling expectation (Jobs=8 >= 2x Jobs=1 cold) is only meaningful
+// on a multi-core host; the JSON records hardware_concurrency so
+// scripts/bench.sh can gate that assertion honestly instead of failing
+// on single-core CI containers.
+//
+// Flags: --quick (100 programs), --programs=N (default 1000),
+// --out=PATH (default BENCH_serve.json).
+//
+//===----------------------------------------------------------------------===//
+
+#include "spt.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace spt;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string fmt(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+std::string fmt2(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", V);
+  return Buf;
+}
+
+/// One timed pass through an already-constructed server.
+struct PassResult {
+  double Seconds = 0.0;
+  ServeBatchReport Report;
+};
+
+PassResult runPass(BatchCompileServer &Server,
+                   const std::vector<ServeRequest> &Batch) {
+  PassResult Out;
+  const auto T0 = Clock::now();
+  Server.start();
+  for (const ServeRequest &R : Batch)
+    Server.submitOrWait(R);
+  Out.Report = Server.drain();
+  Out.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+  return Out;
+}
+
+/// Byte-compares reports (and error messages) against the reference,
+/// matched by request Id. Returns the mismatch count.
+unsigned compareReports(const ServeBatchReport &Ref,
+                        const ServeBatchReport &Got) {
+  std::map<uint64_t, const ServeOutcome *> ById;
+  for (const ServeOutcome &O : Ref.Outcomes)
+    ById[O.Id] = &O;
+  unsigned Bad = 0;
+  for (const ServeOutcome &O : Got.Outcomes) {
+    auto It = ById.find(O.Id);
+    if (It == ById.end() || O.Report != It->second->Report ||
+        O.Error.message() != It->second->Error.message())
+      ++Bad;
+  }
+  if (Got.Outcomes.size() != Ref.Outcomes.size())
+    ++Bad;
+  return Bad;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Programs = 1000;
+  std::string OutPath = "BENCH_serve.json";
+  for (int I = 1; I != Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--quick") {
+      Programs = 100;
+    } else if (Arg.rfind("--programs=", 0) == 0) {
+      Programs = std::strtoull(Arg.c_str() + 11, nullptr, 10);
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(6);
+    } else {
+      errs() << "unknown flag: " << Arg
+             << " (expected --quick --programs=N --out=PATH)\n";
+      return 2;
+    }
+  }
+
+  const unsigned Cores = std::thread::hardware_concurrency();
+  outs() << "==============================================================\n";
+  outs() << " perf_serve: batch compilation service throughput\n";
+  outs() << " " << Programs << " generated programs, "
+         << "hardware concurrency " << Cores << "\n";
+  outs() << "==============================================================\n";
+
+  GeneratorOptions GO;
+  GO.MinLoops = 2;
+  GO.MaxLoops = 3;
+  GO.MaxStmtsPerBody = 5;
+  GO.MaxTrip = 100;
+  std::vector<ServeRequest> Batch;
+  Batch.reserve(Programs);
+  for (uint64_t I = 0; I != Programs; ++I) {
+    ServeRequest R;
+    R.Id = I + 1;
+    R.Name = "gen/" + std::to_string(I);
+    R.Source = generateProgram(1 + I, GO);
+    Batch.push_back(std::move(R));
+  }
+
+  struct ConfigResult {
+    unsigned Jobs;
+    PassResult Cold, Warm;
+    unsigned ColdBad = 0, WarmBad = 0;
+  };
+  const unsigned JobCounts[] = {1, 4, 8};
+  std::vector<ConfigResult> Results;
+  // Reserve up front: Reference points into the vector and must survive
+  // the later push_backs.
+  Results.reserve(std::size(JobCounts));
+  const ServeBatchReport *Reference = nullptr;
+
+  for (unsigned Jobs : JobCounts) {
+    ServeOptions SO;
+    SO.Workers = Jobs;
+    SO.MaxQueue = 256; // Finite: submitOrWait exercises backpressure.
+    SO.CacheCapacity = Programs + 64; // Room for the whole batch.
+    SO.Compiler.ProfileMaxSteps = 2000000;
+    BatchCompileServer Server(SO);
+
+    ConfigResult R;
+    R.Jobs = Jobs;
+    R.Cold = runPass(Server, Batch); // Cache starts empty: every miss.
+    R.Warm = runPass(Server, Batch); // Same server: cache is populated.
+    Results.push_back(std::move(R));
+    ConfigResult &C = Results.back();
+    if (!Reference)
+      Reference = &Results.front().Cold.Report; // Jobs=1 cold = gold.
+    C.ColdBad = compareReports(*Reference, C.Cold.Report);
+    C.WarmBad = compareReports(*Reference, C.Warm.Report);
+
+    outs() << "jobs=" << Jobs << ": cold " << fmt(C.Cold.Seconds) << " s ("
+           << fmt2(Programs / C.Cold.Seconds) << "/s), warm "
+           << fmt(C.Warm.Seconds) << " s ("
+           << fmt2(Programs / C.Warm.Seconds) << "/s), warm cache hits "
+           << C.Warm.Report.Cache.Hits << ", identical "
+           << (C.ColdBad + C.WarmBad == 0 ? "yes" : "NO") << "\n";
+  }
+
+  const ConfigResult &J1 = Results[0];
+  const ConfigResult &J8 = Results.back();
+  const double ColdSpeedup8 = J8.Cold.Seconds == 0.0
+                                  ? 0.0
+                                  : J1.Cold.Seconds / J8.Cold.Seconds;
+  const double WarmSpeedup1 = J1.Warm.Seconds == 0.0
+                                  ? 0.0
+                                  : J1.Cold.Seconds / J1.Warm.Seconds;
+  bool AllIdentical = true;
+  bool WarmServedFromCache = true;
+  for (const ConfigResult &C : Results) {
+    AllIdentical = AllIdentical && C.ColdBad == 0 && C.WarmBad == 0;
+    // The warm pass recompiles nothing when the cache worked: its delta
+    // of hits over the cold pass must cover the whole batch.
+    WarmServedFromCache =
+        WarmServedFromCache &&
+        C.Warm.Report.Cache.Hits >= C.Cold.Report.Cache.Hits + Programs;
+  }
+
+  outs() << "\ncold speedup jobs=8 vs jobs=1: " << fmt2(ColdSpeedup8)
+         << "x (hardware concurrency " << Cores << ")\n";
+  outs() << "warm-cache speedup at jobs=1: " << fmt2(WarmSpeedup1) << "x\n";
+  outs() << "reports " << (AllIdentical ? "byte-identical" : "DIVERGED")
+         << " across all configurations, warm passes "
+         << (WarmServedFromCache ? "fully cache-served\n"
+                                 : "NOT fully cache-served\n");
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"programs\": " + std::to_string(Programs) + ",\n";
+  Json += "  \"hardware_concurrency\": " + std::to_string(Cores) + ",\n";
+  Json += "  \"configs\": [\n";
+  for (size_t CI = 0; CI != Results.size(); ++CI) {
+    const ConfigResult &C = Results[CI];
+    Json += "    {\"jobs\": " + std::to_string(C.Jobs);
+    Json += ", \"cold_seconds\": " + fmt(C.Cold.Seconds);
+    Json += ", \"cold_compiles_per_second\": " +
+            fmt2(Programs / C.Cold.Seconds);
+    Json += ", \"warm_seconds\": " + fmt(C.Warm.Seconds);
+    Json += ", \"warm_compiles_per_second\": " +
+            fmt2(Programs / C.Warm.Seconds);
+    Json += ", \"warm_cache_hits\": " +
+            std::to_string(C.Warm.Report.Cache.Hits);
+    Json += std::string(", \"reports_identical\": ") +
+            (C.ColdBad + C.WarmBad == 0 ? "true" : "false") + "}";
+    Json += CI + 1 != Results.size() ? ",\n" : "\n";
+  }
+  Json += "  ],\n";
+  Json += "  \"summary\": {";
+  Json += "\"cold_speedup_jobs8_vs_jobs1\": " + fmt2(ColdSpeedup8);
+  Json += ", \"warm_speedup_jobs1\": " + fmt2(WarmSpeedup1);
+  Json += std::string(", \"reports_identical\": ") +
+          (AllIdentical ? "true" : "false");
+  Json += std::string(", \"warm_served_from_cache\": ") +
+          (WarmServedFromCache ? "true" : "false");
+  Json += "}\n}\n";
+
+  std::ofstream Out(OutPath);
+  Out << Json;
+  Out.close();
+  outs() << "wrote " << OutPath << "\n";
+
+  return AllIdentical && WarmServedFromCache ? 0 : 1;
+}

@@ -41,6 +41,13 @@ for preset in "${PRESETS[@]}"; do
   echo "== [$preset] sptfuzz smoke (200 programs)"
   "./$builddir/tools/sptfuzz" --smoke --programs 200 --seed 1 \
     --corpus tests/corpus --out "$builddir/fuzz-repros"
+  # Batch-service smoke: the deterministic selfcheck plus a small chaos
+  # batch over the seed corpus with --verify (non-faulted reports must be
+  # byte-identical to a fault-free single-worker reference).
+  echo "== [$preset] sptserve selfcheck + chaos smoke"
+  "./$builddir/tools/sptserve" --selfcheck --seed 1
+  "./$builddir/tools/sptserve" --batch --corpus tests/corpus \
+    --programs 50 --jobs 4 --chaos 0.3 --seed 1 --verify
 done
 
 # Smoke-run the compile-time benchmark (small stress graphs, one repeat)

@@ -247,6 +247,7 @@ private:
     P.MaxViolationCandidates = Opts.Selection.MaxViolationCandidates;
     P.MaxSearchSeconds = Opts.MaxPartitionSeconds;
     P.ReferenceEvaluation = Opts.ReferencePartitionEvaluation;
+    P.Cancel = Opts.Cancel;
     P.Obs = Obs;
     return P;
   }
@@ -411,6 +412,7 @@ void Compilation::stageProfile() {
   POpts.AttributeCalleeAccesses = Opts.Enabling.AttributeCalleeAccesses;
   POpts.MaxSteps = Opts.ProfileMaxSteps;
   POpts.RngSeed = Opts.RngSeed;
+  POpts.Cancel = Opts.Cancel;
 
   if (wantSvp()) {
     // Watch every register-defining violation candidate (found with the
@@ -524,6 +526,7 @@ void Compilation::stageSvp() {
     POpts.AttributeCalleeAccesses = Opts.Enabling.AttributeCalleeAccesses;
     POpts.MaxSteps = Opts.ProfileMaxSteps;
     POpts.RngSeed = Opts.RngSeed;
+    POpts.Cancel = Opts.Cancel;
     ValueProfileData SavedValues = std::move(Profile->Values);
     Profile = std::make_unique<ProfileBundle>(
         profileRun(M, Opts.ProfileEntry, Opts.ProfileArgs, POpts));
@@ -548,6 +551,16 @@ void Compilation::evaluateLoopCandidate(const Function &F,
   Rec.FuncName = F.name();
   Rec.Header = L.Header;
   Rec.Depth = L.Depth;
+  // Cancellation point: once the request token fires, remaining
+  // candidates record a cheap skip instead of running dependence/cost
+  // analysis. The whole report is then marked Cancelled, so these
+  // placeholder records are never compared or cached.
+  if (isCancelled(Opts.Cancel)) {
+    Rec.Reason = RejectReason::StageError;
+    Rec.FailureDetail = "skipped: compilation cancelled";
+    Diags.warn(DiagStage::Partition, Rec.FailureDetail, F.name(), L.Header);
+    return;
+  }
   Rec.Counted = isCountedLoop(F, L);
   auto UnrollIt = Unrolled.find({F.name(), L.Header});
   if (UnrollIt != Unrolled.end()) {
@@ -747,6 +760,15 @@ void Compilation::passTwo() {
   int64_t NextLoopId = 1;
   for (size_t I : Picked) {
     LoopRecord &Rec = Report.Loops[I];
+    // Each transform is atomic per loop, so stopping between loops
+    // leaves the module verifiable; cleanup/verify below still run.
+    if (isCancelled(Opts.Cancel)) {
+      Rec.Reason = RejectReason::StageError;
+      Rec.FailureDetail = "skipped: compilation cancelled";
+      Report.Diags.warn(DiagStage::Transform, Rec.FailureDetail,
+                        Rec.FuncName, Rec.Header);
+      continue;
+    }
     Function *F = M.findFunction(Rec.FuncName);
     try {
     FuncAnalysis A(*F, &Profile->Edges);
@@ -836,29 +858,36 @@ CompilationReport Compilation::run() {
   if (Opts.ExternalProfile)
     validateExternalProfile();
   FuncWeights = computeFunctionWeights(M);
-  {
+  // Stage boundaries double as cancellation points. Once the token
+  // fires, every remaining stage is skipped — in particular passOne and
+  // passTwo require stage B's Profile, so a cancellation before or
+  // during profiling must short-circuit them.
+  auto Cancelled = [this] { return isCancelled(Opts.Cancel); };
+  if (!Cancelled()) {
     ObsSpan S(Obs, "stageA.unroll");
     stageUnroll();
     FuncWeights = computeFunctionWeights(M); // Unrolling grew some bodies.
   }
-  {
+  if (!Cancelled()) {
     ObsSpan S(Obs, "stageB.profile");
     stageProfile();
   }
-  {
+  if (!Cancelled() && Profile) {
     ObsSpan S(Obs, "stageC.svp");
     stageSvp();
   }
-  {
+  if (!Cancelled() && Profile) {
     ObsSpan S(Obs, "pass1");
     passOne();
   }
-  {
+  if (!Cancelled() && Profile) {
     ObsSpan S(Obs, "pass2");
     passTwo();
   }
+  Report.Cancelled = Cancelled();
   obsAdd(Obs, "driver.compilations", 1);
   obsAdd(Obs, "driver.degraded", Report.Degraded ? 1 : 0);
+  obsAdd(Obs, "driver.cancelled", Report.Cancelled ? 1 : 0);
   } // Close the "compile" span so the snapshot below includes it.
   if (Obs)
     Report.Stats = Obs->snapshot();

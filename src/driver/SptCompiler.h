@@ -42,6 +42,7 @@
 #include "obs/Obs.h"
 #include "partition/Partition.h"
 #include "sim/SptSim.h"
+#include "support/CancelToken.h"
 #include "support/Status.h"
 #include "svp/Svp.h"
 
@@ -90,11 +91,11 @@ const char *rejectReasonName(RejectReason Reason);
 ///                  switches.
 ///   Observability  The span/counter layer (off by default).
 ///
-/// The pre-regroup flat field names (`Opts.CostFraction`, …) remain
-/// available as reference aliases of the nested fields so existing call
-/// sites keep compiling, but they are DEPRECATED: new code should write
-/// `Opts.Selection.CostFraction` etc. The aliases will be removed in the
-/// next PR (see docs/observability.md, "Options migration").
+/// The pre-regroup flat field names (`Opts.CostFraction`, …) are gone:
+/// write `Opts.Selection.CostFraction` etc. (The deprecated reference
+/// aliases and the copy machinery they forced were removed once the last
+/// in-tree users migrated — see docs/observability.md, "Options
+/// migration".)
 struct SptCompilerOptions {
   CompilationMode Mode = CompilationMode::Best;
 
@@ -149,25 +150,6 @@ struct SptCompilerOptions {
     ObsContext *Context = nullptr;
   } Observability;
 
-  // --- DEPRECATED flat aliases of the nested fields above. ---
-  double &CostFraction = Selection.CostFraction;
-  double &PreForkSizeFraction = Selection.PreForkSizeFraction;
-  double &MinBodyWeight = Selection.MinBodyWeight;
-  double &MaxBodyWeight = Selection.MaxBodyWeight;
-  double &MinTripCount = Selection.MinTripCount;
-  uint32_t &MaxViolationCandidates = Selection.MaxViolationCandidates;
-  uint32_t &MaxUnrollFactor = Selection.MaxUnrollFactor;
-  double &MinGainEstimate = Selection.MinGainEstimate;
-  double &ForkOverheadWeight = Machine.ForkOverheadWeight;
-  double &CommitOverheadWeight = Machine.CommitOverheadWeight;
-  double &JoinSerializationWeight = Machine.JoinSerializationWeight;
-  SvpOptions &Svp = Enabling.Svp;
-  bool &EnableSvp = Enabling.EnableSvp;
-  bool &EnableDepProfiles = Enabling.EnableDepProfiles;
-  bool &ModelCallEffectsInCost = Enabling.ModelCallEffectsInCost;
-  bool &AttributeCalleeAccesses = Enabling.AttributeCalleeAccesses;
-  // --- End deprecated aliases. ---
-
   uint64_t RngSeed = 0x5eed5eed5eedull;
   uint64_t ProfileMaxSteps = 500000000ull;
 
@@ -183,6 +165,18 @@ struct SptCompilerOptions {
   /// incumbent and surfaces PartitionResult::BudgetExhausted.
   double MaxPartitionSeconds = 0.0;
 
+  /// Cooperative cancellation for the whole compilation (null = never
+  /// cancels). The batch server arms one token per request with the
+  /// request deadline; the pipeline polls it at stage boundaries, per
+  /// loop candidate, inside the profiler's interpretation loop, and on
+  /// the partition search's budget stride. Unlike MaxPartitionSeconds —
+  /// a per-search budget that restarts for every loop — the token
+  /// carries one absolute deadline, so a request deadline cannot be
+  /// overshot by a full loop search. When it fires, compileSpt stops
+  /// early and returns a report with Cancelled = true; such reports are
+  /// partial and must not be cached or compared.
+  const CancelToken *Cancel = nullptr;
+
   /// Pass-1 worker threads: independent loop candidates (each with its own
   /// dependence graph, cost model and partition search) evaluate
   /// concurrently, and their records, diagnostics and block sets merge in
@@ -195,36 +189,6 @@ struct SptCompilerOptions {
   /// Results are bit-identical to the default incremental paths; this is
   /// the measured baseline of bench/perf_compile.
   bool ReferencePartitionEvaluation = false;
-
-  SptCompilerOptions() = default;
-  /// The reference aliases force user-defined copying: only value members
-  /// are copied, so a copy's aliases bind to its OWN nested structs (the
-  /// NSDMIs above run for the omitted reference members).
-  SptCompilerOptions(const SptCompilerOptions &O)
-      : Mode(O.Mode), ProfileEntry(O.ProfileEntry),
-        ProfileArgs(O.ProfileArgs), Selection(O.Selection),
-        Machine(O.Machine), Enabling(O.Enabling),
-        Observability(O.Observability), RngSeed(O.RngSeed),
-        ProfileMaxSteps(O.ProfileMaxSteps),
-        ExternalProfile(O.ExternalProfile),
-        MaxPartitionSeconds(O.MaxPartitionSeconds), Jobs(O.Jobs),
-        ReferencePartitionEvaluation(O.ReferencePartitionEvaluation) {}
-  SptCompilerOptions &operator=(const SptCompilerOptions &O) {
-    Mode = O.Mode;
-    ProfileEntry = O.ProfileEntry;
-    ProfileArgs = O.ProfileArgs;
-    Selection = O.Selection;
-    Machine = O.Machine;
-    Enabling = O.Enabling;
-    Observability = O.Observability;
-    RngSeed = O.RngSeed;
-    ProfileMaxSteps = O.ProfileMaxSteps;
-    ExternalProfile = O.ExternalProfile;
-    MaxPartitionSeconds = O.MaxPartitionSeconds;
-    Jobs = O.Jobs;
-    ReferencePartitionEvaluation = O.ReferencePartitionEvaluation;
-    return *this;
-  }
 
   // --- Builder: mode factories plus chainable with*() setters. ---
   //   auto Opts = SptCompilerOptions::best().withJobs(8).withTracing();
@@ -266,6 +230,11 @@ struct SptCompilerOptions {
   SptCompilerOptions withPartitionDeadline(double Seconds) const {
     SptCompilerOptions O = *this;
     O.MaxPartitionSeconds = Seconds;
+    return O;
+  }
+  SptCompilerOptions withCancel(const CancelToken *Token) const {
+    SptCompilerOptions O = *this;
+    O.Cancel = Token;
     return O;
   }
   /// Enables observability; recording goes to \p Ctx when given, else to
@@ -314,6 +283,11 @@ struct CompilationReport {
   CompilationMode EffectiveMode = CompilationMode::Best;
   /// True when missing/corrupt profile data forced the Basic fallback.
   bool Degraded = false;
+  /// True when SptCompilerOptions::Cancel fired during the run. The
+  /// report is partial (whatever completed before the token tripped) and
+  /// is excluded from renderReportDeterministic comparisons — callers
+  /// like the batch server discard it and retry, degrade, or skip.
+  bool Cancelled = false;
   /// Structured per-stage diagnostics (degradations, skipped loops,
   /// exhausted budgets); never empty when Degraded or any loop carries
   /// RejectReason::StageError.

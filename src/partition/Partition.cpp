@@ -265,14 +265,24 @@ bool PartitionSearch::outOfBudget() {
   }
   // NodesVisited is 1 at the first check (incremented on node entry), so
   // compare against 1 mod stride or a short search never reads the clock.
-  if (DeadlineNs != 0 && Stats.NodesVisited % DeadlineCheckStride == 1) {
-    const uint64_t NowNs = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-    if (NowNs >= DeadlineNs) {
+  // The shared CancelToken rides the same stride: it is the request-level
+  // deadline, and checking it here is what lets a batch deadline stop a
+  // search mid-tree instead of only between loops.
+  if ((DeadlineNs != 0 || Opts.Cancel) &&
+      Stats.NodesVisited % DeadlineCheckStride == 1) {
+    if (isCancelled(Opts.Cancel)) {
       Stats.BudgetExhausted = true;
       return true;
+    }
+    if (DeadlineNs != 0) {
+      const uint64_t NowNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+      if (NowNs >= DeadlineNs) {
+        Stats.BudgetExhausted = true;
+        return true;
+      }
     }
   }
   return false;

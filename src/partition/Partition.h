@@ -53,6 +53,7 @@
 #include "analysis/DepGraph.h"
 #include "cost/CostModel.h"
 #include "obs/Obs.h"
+#include "support/CancelToken.h"
 
 #include <cstdint>
 #include <limits>
@@ -74,6 +75,14 @@ struct PartitionOptions {
   /// MaxSearchNodes this truncates rather than fails: the best incumbent
   /// found so far is returned with BudgetExhausted set.
   double MaxSearchSeconds = 0.0;
+  /// Shared cooperative cancellation (null disables it). Polled on the
+  /// same stride as the wall-clock deadline, so a request-level token —
+  /// which carries one ABSOLUTE deadline across every search of a
+  /// compilation, unlike MaxSearchSeconds which restarts per loop — is
+  /// honored mid-search instead of overshooting by a full loop search.
+  /// Firing truncates exactly like the other budgets: the best incumbent
+  /// is kept and BudgetExhausted is set.
+  const CancelToken *Cancel = nullptr;
   /// Ablation toggles for the two pruning heuristics.
   bool EnableSizePrune = true;
   bool EnableLowerBoundPrune = true;

@@ -231,7 +231,18 @@ ProfileBundle ProfilerRun::run(const std::string &FnName,
   enterBlock(Shadow.back(), F->entry());
 
   uint64_t Steps = 0;
+  // Token poll stride: cheap relative to an interpreted step, frequent
+  // enough that a request deadline stops a runaway profile within
+  // microseconds rather than after the full step budget.
+  constexpr uint64_t CancelCheckStride = 16384;
   while (!In.done() && Steps < Opts.MaxSteps) {
+    if (Opts.Cancel && Steps % CancelCheckStride == 0 &&
+        Opts.Cancel->cancelled()) {
+      Bundle.Completed = false;
+      Bundle.Error = "profileRun: cancelled after " +
+                     std::to_string(Steps) + " steps";
+      break;
+    }
     const StepResult R = In.step();
     ++Steps;
     const StmtId TopStmt = R.I->Id;
@@ -299,10 +310,11 @@ ProfileBundle ProfilerRun::run(const std::string &FnName,
       enterBlock(Shadow.back(), R.NextBlock);
     }
   }
-  if (!In.done()) {
+  if (!In.done() && Bundle.Completed) {
     // Budget exhaustion is survivable: the caller gets whatever was
     // measured so far, flagged as incomplete, and decides whether partial
     // profiles are usable (the driver degrades to static analysis).
+    // (Cancellation above already set Completed/Error; keep its message.)
     Bundle.Completed = false;
     Bundle.Error = "profileRun: step budget exhausted after " +
                    std::to_string(Steps) + " steps";

@@ -33,6 +33,7 @@
 #include "analysis/ProfileData.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
+#include "support/CancelToken.h"
 
 #include <memory>
 #include <set>
@@ -75,6 +76,11 @@ struct ProfilerOptions {
   std::set<std::pair<const Function *, StmtId>> ValueWatch;
   uint64_t MaxSteps = 500000000ull;
   uint64_t RngSeed = 0x5eed5eed5eedull;
+  /// Cooperative cancellation (null disables it), polled every few
+  /// thousand interpreted steps. Firing aborts the run like step-budget
+  /// exhaustion: the bundle comes back Completed = false with an
+  /// explanatory Error, and the driver degrades or abandons it.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// Runs \p FnName(\p Args) under instrumentation and returns the profiles.

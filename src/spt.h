@@ -35,6 +35,9 @@
 #include "obs/Obs.h"            // ObsContext, counters, stats dumps
 #include "obs/Stats.h"          // RunningStat, GeoMean, Correlation
 #include "obs/Tracer.h"         // Tracer, exportChromeTrace
+#include "serve/BatchCompileServer.h" // BatchCompileServer, ServeOptions
+#include "serve/CompileCache.h"       // checksum-verified LRU compile cache
+#include "support/CancelToken.h"      // cooperative cancellation/deadlines
 
 // --- Bench/tooling surface ---------------------------------------------===//
 #include "analysis/CallEffects.h"

@@ -1,0 +1,109 @@
+//===- support/CancelToken.h - Cooperative cancellation --------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared cancellation point for long-running pipeline work. One token
+/// serves a whole request: the batch server arms it with the request's
+/// deadline (or cancels it explicitly on shutdown), and every cooperating
+/// phase — the profiler's interpretation loop, each pass-1 loop candidate,
+/// and the partition search's budget check — polls it at bounded
+/// intervals and abandons work when it fires.
+///
+/// Two trigger sources, checked together by cancelled():
+///  - an explicit cancel() from any thread (sticky), and
+///  - an absolute wall-clock deadline armed via armDeadlineAfter().
+///
+/// Polling is cheap (one relaxed atomic load when no deadline is armed;
+/// one steady_clock read otherwise), but hot loops should still poll on a
+/// stride — PartitionSearch reuses its existing DeadlineCheckStride.
+///
+/// Contrast with the per-search wall-clock budget
+/// (PartitionOptions::MaxSearchSeconds): that budget restarts for every
+/// loop, so a request-level deadline could historically be overshot by up
+/// to one full loop search. The token carries one *absolute* deadline
+/// across every search and stage of a compilation, so cancellation is
+/// honored mid-search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SUPPORT_CANCELTOKEN_H
+#define SPT_SUPPORT_CANCELTOKEN_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spt {
+
+/// Sticky cancellation flag plus an optional absolute deadline. Thread-safe:
+/// any thread may cancel/arm, any number may poll.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// steady_clock now, in nanoseconds since the clock's epoch.
+  static uint64_t nowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Trips the token permanently.
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) the deadline \p Seconds from now. Non-positive
+  /// values trip the token immediately.
+  void armDeadlineAfter(double Seconds) {
+    if (Seconds <= 0.0) {
+      cancel();
+      return;
+    }
+    DeadlineNs.store(nowNs() + static_cast<uint64_t>(Seconds * 1e9),
+                     std::memory_order_relaxed);
+  }
+
+  /// Clears the deadline (the explicit flag, if set, stays set).
+  void clearDeadline() { DeadlineNs.store(0, std::memory_order_relaxed); }
+
+  /// True once cancel() was called or the armed deadline passed. The
+  /// deadline branch latches into the flag so later polls skip the clock.
+  bool cancelled() const {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    const uint64_t D = DeadlineNs.load(std::memory_order_relaxed);
+    if (D != 0 && nowNs() >= D) {
+      Flag.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Seconds until the armed deadline (0 when tripped; a large value when
+  /// no deadline is armed). For sizing sub-budgets off the shared token.
+  double remainingSeconds() const {
+    if (Flag.load(std::memory_order_relaxed))
+      return 0.0;
+    const uint64_t D = DeadlineNs.load(std::memory_order_relaxed);
+    if (D == 0)
+      return 1e18;
+    const uint64_t Now = nowNs();
+    return Now >= D ? 0.0 : static_cast<double>(D - Now) * 1e-9;
+  }
+
+private:
+  mutable std::atomic<bool> Flag{false};
+  std::atomic<uint64_t> DeadlineNs{0};
+};
+
+/// Null-safe poll: a null token never cancels.
+inline bool isCancelled(const CancelToken *Token) {
+  return Token && Token->cancelled();
+}
+
+} // namespace spt
+
+#endif // SPT_SUPPORT_CANCELTOKEN_H

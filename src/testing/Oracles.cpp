@@ -15,8 +15,12 @@
 #include "interp/Interp.h"
 #include "ir/IR.h"
 #include "ir/Verifier.h"
+#include "lang/AstPrinter.h"
 #include "lang/Frontend.h"
+#include "lang/Parser.h"
 #include "partition/Partition.h"
+#include "serve/BatchCompileServer.h"
+#include "serve/CompileCache.h"
 #include "sim/FaultInjector.h"
 #include "sim/SeqSim.h"
 #include "sim/SptSim.h"
@@ -462,6 +466,89 @@ OracleResult oracleReportDiff(const Prepared &P, const OracleOptions &Opts) {
   return R;
 }
 
+OracleResult oracleCacheDiff(const Prepared &P, const OracleOptions &Opts) {
+  OracleResult R{"cache-diff", OracleStatus::Pass, ""};
+  // Replays the batch server's cache pipeline: canonicalize through the
+  // AST printer, compile the canonical text cold, round-trip the report
+  // through a real CompileCache, and require byte-identity at each hop.
+  // This is the end-to-end guard on the cache's keying assumption — same
+  // canonical reprint and options fingerprint imply the same report.
+  Parser Pr(P.PipelineSource);
+  ProgramAst Ast = Pr.parseProgram();
+  if (!Pr.errors().empty()) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "pipeline source stopped parsing: " + Pr.errors().front();
+    return R;
+  }
+  const std::string Canonical = programToSource(Ast);
+  const uint64_t ContentHash = fnv1a(Canonical);
+
+  CompileCache Cache(8);
+  uint64_t FirstKey = 0;
+  for (unsigned MI = 0; MI != 3; ++MI) {
+    SptCompilerOptions SO;
+    SO.Mode = kModes[MI];
+    SO.RngSeed = P.CompilerSeed;
+    SO.ProfileMaxSteps = Opts.MaxSteps;
+    const uint64_t Key =
+        CompileCache::key(ContentHash, compilerOptionsFingerprint(SO));
+    if (MI == 0)
+      FirstKey = Key;
+
+    CompileResult CR = compileSource(Canonical);
+    if (!CR.ok()) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "canonical reprint stopped compiling" + modeTag(MI);
+      return R;
+    }
+    CompilationReport Cold = compileSpt(*CR.M, SO);
+    const std::string ColdRendered = renderReportDeterministic(Cold);
+    if (ColdRendered != P.Modes[MI].Rendered) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "canonical reprint compiles to a different report than "
+                 "the original source (cache keying assumption violated)" +
+                 modeTag(MI);
+      return R;
+    }
+
+    Cache.insert(Key, ColdRendered);
+    std::string Warm;
+    if (!Cache.lookup(Key, Warm)) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "freshly inserted cache entry missed" + modeTag(MI);
+      return R;
+    }
+    if (Warm != ColdRendered) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "warm-cache report is not byte-identical to the cold "
+                 "compile" + modeTag(MI);
+      return R;
+    }
+  }
+
+  // Corruption must be detected, counted, and never served. The LRU
+  // victim is mode 0's entry (inserted first, never touched since).
+  const CompileCacheStats Before = Cache.stats();
+  if (!Cache.corruptOneEntry()) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "cache reported no entry to corrupt after three inserts";
+    return R;
+  }
+  std::string Served;
+  if (Cache.lookup(FirstKey, Served)) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "corrupted cache entry was served instead of detected";
+    return R;
+  }
+  const CompileCacheStats After = Cache.stats();
+  if (After.Corrupt != Before.Corrupt + 1) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "checksum mismatch was not counted as corruption";
+    return R;
+  }
+  return R;
+}
+
 using OracleFn = OracleResult (*)(const Prepared &, const OracleOptions &);
 
 struct OracleEntry {
@@ -489,6 +576,9 @@ const OracleEntry kOracles[] = {
     {{"report-diff", "reference-evaluation compilation reports byte-equal "
                      "to incremental ones"},
      oracleReportDiff},
+    {{"cache-diff", "warm-cache compile reports byte-equal to cold "
+                    "compiles; corrupt entries detected, never served"},
+     oracleCacheDiff},
 };
 
 bool wanted(const OracleOptions &Opts, const char *Name) {

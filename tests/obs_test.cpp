@@ -309,50 +309,46 @@ TEST(TraceValidatorTest, RejectsSchemaViolations) {
       Err)); // Missing name.
 }
 
-// --- Options regroup: aliases, copies, builder ---------------------------===//
+// --- Options regroup: copies, builder -----------------------------------===//
 
-TEST(OptionsTest, FlatAliasesShareStorageWithNestedFields) {
-  SptCompilerOptions O;
-  O.CostFraction = 0.5;
-  EXPECT_DOUBLE_EQ(O.Selection.CostFraction, 0.5);
-  O.Selection.MaxViolationCandidates = 7;
-  EXPECT_EQ(O.MaxViolationCandidates, 7u);
-  O.EnableSvp = false;
-  EXPECT_FALSE(O.Enabling.EnableSvp);
-  O.Enabling.Svp.MinHitRatio = 0.75;
-  EXPECT_DOUBLE_EQ(O.Svp.MinHitRatio, 0.75);
-}
-
-TEST(OptionsTest, CopyRebindsAliasesToOwnStorage) {
+// The deprecated flat reference aliases are gone; SptCompilerOptions is a
+// plain aggregate again, so copying and assignment must be value-semantic
+// with no storage shared between instances.
+TEST(OptionsTest, CopyIsValueSemantic) {
   SptCompilerOptions A;
   A.Selection.CostFraction = 0.25;
   SptCompilerOptions B = A;
-  EXPECT_DOUBLE_EQ(B.CostFraction, 0.25); // Value copied...
-  B.CostFraction = 0.75;                  // ...but storage is B's own.
+  EXPECT_DOUBLE_EQ(B.Selection.CostFraction, 0.25); // Value copied...
+  B.Selection.CostFraction = 0.75;                  // ...storage is B's own.
   EXPECT_DOUBLE_EQ(B.Selection.CostFraction, 0.75);
   EXPECT_DOUBLE_EQ(A.Selection.CostFraction, 0.25);
 }
 
-TEST(OptionsTest, AssignmentCopiesValuesNotBindings) {
+TEST(OptionsTest, AssignmentIsValueSemantic) {
   SptCompilerOptions A, B;
-  A.MinBodyWeight = 42.0;
+  A.Selection.MinBodyWeight = 42.0;
+  A.Enabling.Svp.MinHitRatio = 0.75;
   B = A;
-  B.MinBodyWeight = 43.0;
+  B.Selection.MinBodyWeight = 43.0;
   EXPECT_DOUBLE_EQ(A.Selection.MinBodyWeight, 42.0);
   EXPECT_DOUBLE_EQ(B.Selection.MinBodyWeight, 43.0);
+  EXPECT_DOUBLE_EQ(B.Enabling.Svp.MinHitRatio, 0.75);
 }
 
 TEST(OptionsTest, BuilderChains) {
   ObsContext Ctx;
+  CancelToken Tok;
   const SptCompilerOptions O = SptCompilerOptions::anticipated()
                                    .withJobs(8)
                                    .withSeed(99)
                                    .withPartitionDeadline(1.5)
+                                   .withCancel(&Tok)
                                    .withTracing(&Ctx);
   EXPECT_EQ(O.Mode, CompilationMode::Anticipated);
   EXPECT_EQ(O.Jobs, 8u);
   EXPECT_EQ(O.RngSeed, 99u);
   EXPECT_DOUBLE_EQ(O.MaxPartitionSeconds, 1.5);
+  EXPECT_EQ(O.Cancel, &Tok);
   EXPECT_TRUE(O.Observability.Enabled);
   EXPECT_EQ(O.Observability.Context, &Ctx);
   EXPECT_EQ(SptCompilerOptions::basic().Mode, CompilationMode::Basic);

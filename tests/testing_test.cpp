@@ -169,18 +169,19 @@ TEST(KnownBadMutationTest, NoLoopMeansNoApplication) {
 // Oracle suite.
 //===----------------------------------------------------------------------===//
 
-TEST(OracleSuiteTest, CatalogueHasEightDistinctOracles) {
+TEST(OracleSuiteTest, CatalogueHasNineDistinctOracles) {
   const auto &Cat = oracleCatalogue();
-  ASSERT_EQ(Cat.size(), 8u);
+  ASSERT_EQ(Cat.size(), 9u);
   std::set<std::string> Names;
   for (const OracleInfo &O : Cat) {
     Names.insert(O.Name);
     EXPECT_FALSE(std::string(O.Description).empty()) << O.Name;
   }
-  EXPECT_EQ(Names.size(), 8u);
+  EXPECT_EQ(Names.size(), 9u);
   EXPECT_TRUE(Names.count("interp"));
   EXPECT_TRUE(Names.count("chaos"));
   EXPECT_TRUE(Names.count("report-diff"));
+  EXPECT_TRUE(Names.count("cache-diff"));
 }
 
 TEST(OracleSuiteTest, PassesOnGeneratedPrograms) {
