@@ -387,6 +387,8 @@ int main(int Argc, char **Argv) {
   Json += ", \"cost_evals\": " +
           std::to_string(EvalsTotal + StressInc.CostEvals);
   Json += ", \"par_jobs\": " + std::to_string(EffectiveJobs);
+  Json += ", \"hardware_concurrency\": " +
+          std::to_string(ThreadPool::defaultConcurrency());
   Json += std::string(", \"reports_identical\": ") +
           (AllIdentical ? "true" : "false");
   Json += "},\n";

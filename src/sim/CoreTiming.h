@@ -16,6 +16,15 @@
 /// One CoreTiming instance models one core; the SPT simulator runs two
 /// (main + speculative) against one shared CacheHierarchy.
 ///
+/// The step accounting is split in two so the block-level timing memo
+/// (sim/TimingMemo.h) can replay it: resolve() performs the *stateful
+/// microarchitectural lookups* (cache access, predictor training) and
+/// applyTiming() the *pure scoreboard arithmetic* — a composition of max
+/// and + over the core's clocks, ring and register-ready times, which is
+/// therefore invariant under uniform time translation. onStep() is
+/// exactly resolve() followed by applyTiming(), so the memoized and the
+/// reference paths share one definition of the model.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPT_SIM_CORETIMING_H
@@ -25,23 +34,56 @@
 #include "ir/IR.h"
 #include "sim/Cache.h"
 #include "sim/Machine.h"
+#include "sim/SimOptions.h"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
 namespace spt {
 
-/// Per-branch-site 2-bit saturating counters.
+/// Per-branch-site 2-bit saturating counters, stored as one dense table
+/// per function indexed by statement id (ids are dense per function, so
+/// this replaces the former std::map<(Function*, StmtId)> — the map walk
+/// was ~1.3% of a whole-suite profile on its own).
 class BranchPredictor {
 public:
   /// Returns true when the prediction matched \p Taken, and trains.
-  bool predictAndTrain(const Function *F, StmtId Site, bool Taken);
+  bool predictAndTrain(const Function *F, StmtId Site, bool Taken) {
+    ++Lookups;
+    std::vector<uint8_t> &Tab = tableFor(F);
+    if (Site >= Tab.size())
+      Tab.resize(Site + 1, 0);
+    uint8_t &Counter = Tab[Site]; // Starts weakly not-taken (0).
+    const bool Predicted = Counter >= 2;
+    if (Taken && Counter < 3)
+      ++Counter;
+    else if (!Taken && Counter > 0)
+      --Counter;
+    const bool Correct = Predicted == Taken;
+    if (!Correct)
+      ++Mispredicts;
+    return Correct;
+  }
 
   uint64_t lookups() const { return Lookups; }
   uint64_t mispredicts() const { return Mispredicts; }
 
 private:
-  std::map<std::pair<const Function *, StmtId>, uint8_t> Counters;
+  std::vector<uint8_t> &tableFor(const Function *F) {
+    if (F == LastF && LastTab)
+      return *LastTab;
+    std::vector<uint8_t> &Tab = Tables[F];
+    if (Tab.empty() && F)
+      Tab.resize(F->maxStmtId(), 0);
+    LastF = F;
+    LastTab = &Tab;
+    return Tab;
+  }
+
+  std::map<const Function *, std::vector<uint8_t>> Tables;
+  const Function *LastF = nullptr;
+  std::vector<uint8_t> *LastTab = nullptr;
   uint64_t Lookups = 0;
   uint64_t Mispredicts = 0;
 };
@@ -56,21 +98,180 @@ private:
 /// static (Itanium-style) schedule hides non-critical latency. Branch
 /// mispredictions stall the front end (slot clock) past the branch's
 /// resolution by the configured penalty.
+///
+/// Under SimFidelity::FastForward the scoreboard, cache and predictor are
+/// bypassed entirely: each step charges its issue slot plus a fixed
+/// per-class latency fraction (docs/simulation.md defines the table).
 class CoreTiming {
 public:
   CoreTiming(const MachineConfig &Machine, CacheHierarchy &Cache,
-             BranchPredictor &Predictor);
+             BranchPredictor &Predictor,
+             SimFidelity Fidelity = SimFidelity::Exact);
+
+  /// The microarchitectural inputs of one step after the stateful
+  /// lookups are resolved. Everything applyTiming() needs.
+  struct ResolvedStep {
+    const Instr *I = nullptr;
+    size_t Depth = 0;         ///< Interpreter stack depth after the step.
+    uint32_t LatCycles = 0;   ///< Final operation latency in cycles.
+    uint32_t NumSrcs = 0;     ///< == I->Srcs.size(); cached.
+    bool IsBr = false;        ///< Conditional branch (pays mispredicts).
+    bool BrCorrect = true;    ///< Predictor outcome for IsBr steps.
+    bool IsCallEnter = false;
+    bool IsReturn = false;
+  };
+
+  /// Performs the stateful lookups for \p R — the cache access for
+  /// memory operations and the branch predictor training — advancing
+  /// cache/predictor state exactly. Pure scoreboard state is untouched.
+  ResolvedStep resolve(const StepResult &R, size_t Depth) {
+    ResolvedStep S;
+    S.I = R.I;
+    S.Depth = Depth;
+    S.NumSrcs = static_cast<uint32_t>(R.I->Srcs.size());
+    S.IsCallEnter = R.IsCallEnter;
+    S.IsReturn = R.IsReturn;
+
+    uint64_t LatCycles = Machine.LatIntAlu;
+    switch (opcodeClass(R.I->Op)) {
+    case OpClass::IntAlu:
+      LatCycles = Machine.LatIntAlu;
+      break;
+    case OpClass::IntMul:
+      LatCycles = Machine.LatIntMul;
+      break;
+    case OpClass::IntDiv:
+      LatCycles = Machine.LatIntDiv;
+      break;
+    case OpClass::FpAlu:
+      LatCycles = Machine.LatFpAlu;
+      break;
+    case OpClass::FpMul:
+      LatCycles = Machine.LatFpMul;
+      break;
+    case OpClass::FpDiv:
+      LatCycles = Machine.LatFpDiv;
+      break;
+    case OpClass::MemLoad:
+      LatCycles = Cache.access(R.Addr);
+      break;
+    case OpClass::MemStore:
+      Cache.access(R.Addr);
+      LatCycles = Machine.LatStore;
+      break;
+    case OpClass::Branch:
+      LatCycles = Machine.LatBranch;
+      break;
+    case OpClass::Call:
+      LatCycles = Machine.CallOverhead;
+      break;
+    case OpClass::Marker:
+      LatCycles = 0;
+      break;
+    }
+    // External math builtins are heavyweight.
+    if (R.I->Op == Opcode::Call && !R.IsCallEnter)
+      LatCycles = Machine.MathBuiltinLatency;
+    S.LatCycles = static_cast<uint32_t>(LatCycles);
+
+    if (R.I->Op == Opcode::Br) {
+      S.IsBr = true;
+      S.BrCorrect = Predictor.predictAndTrain(R.F, R.I->Id, R.BranchTaken);
+    }
+    return S;
+  }
+
+  /// Pure scoreboard arithmetic for a resolved step: max/+ over clocks,
+  /// the in-flight ring and register-ready times. Translation-invariant
+  /// (see file comment); shared by the reference path and memo replay.
+  void applyTiming(const ResolvedStep &S) {
+    ++Retired;
+    const uint64_t IssueSlot = IssueSlotSubticks;
+
+    // The frame the instruction executed in: for returns, the popped
+    // frame was Depth (after-pop depth + 1); otherwise the current top.
+    const size_t ExecFrame =
+        S.IsReturn ? S.Depth : (S.Depth == 0 ? 0 : S.Depth - 1);
+    // For call-enters the instruction itself ran in the caller frame.
+    const size_t SrcFrame =
+        S.IsCallEnter && ExecFrame > 0 ? ExecFrame - 1 : ExecFrame;
+
+    // Issue when a slot is free, the operands are ready, and the
+    // in-flight window has room (the oldest in-flight completed).
+    uint64_t IssueAt = std::max(SlotTime, InFlight[InFlightIdx]);
+    for (uint32_t N = 0; N != S.NumSrcs; ++N)
+      IssueAt = std::max(IssueAt, regReady(SrcFrame, S.I->Srcs[N]));
+    // A dependence-stalled instruction occupies no extra front-end
+    // bandwidth: the static schedule places independent work in between.
+    // Stalls are bounded by operand readiness and the in-flight window.
+    SlotTime += IssueSlot;
+
+    const uint64_t Done =
+        IssueAt + IssueSlot + uint64_t(S.LatCycles) * SubticksPerCycle;
+    Now = std::max(Now, Done);
+    InFlight[InFlightIdx] = Done;
+    if (++InFlightIdx == InFlight.size())
+      InFlightIdx = 0;
+
+    // Results.
+    if (S.I->Dst != NoReg && !S.IsCallEnter)
+      setRegReady(SrcFrame, S.I->Dst, Done);
+
+    // Conditional branches pay the misprediction penalty on the front
+    // end.
+    if (S.IsBr && !S.BrCorrect) {
+      SlotTime = std::max(
+          SlotTime, Done + Machine.BranchMispredictPenalty * SubticksPerCycle);
+      Now = std::max(Now, SlotTime);
+    }
+
+    // Frame bookkeeping.
+    if (S.IsCallEnter) {
+      if (Frames.size() < S.Depth)
+        Frames.resize(S.Depth);
+      Frames[S.Depth - 1].clear();
+      // Arguments become ready after the call overhead; the front end
+      // redirects into the callee at the same time.
+      const uint64_t ArgsReady =
+          IssueAt + IssueSlot + Machine.CallOverhead * SubticksPerCycle;
+      for (size_t A = 0; A != S.I->Srcs.size(); ++A)
+        setRegReady(S.Depth - 1, static_cast<Reg>(A), ArgsReady);
+      SlotTime = std::max(SlotTime, ArgsReady);
+      Now = std::max(Now, SlotTime);
+    } else if (S.IsReturn) {
+      if (Frames.size() > S.Depth)
+        Frames.resize(S.Depth);
+      // Return redirect; the caller's destination register readiness is
+      // approximated by the clock itself.
+      SlotTime += Machine.CallOverhead * SubticksPerCycle / 2;
+      Now = std::max(Now, SlotTime);
+    }
+  }
 
   /// Accounts one executed instruction; \p Depth is the interpreter's
   /// stack depth after the step (frames are tracked from call/return
-  /// flags). Returns the subtick at which the instruction completed.
-  uint64_t onStep(const StepResult &R, size_t Depth);
+  /// flags).
+  void onStep(const StepResult &R, size_t Depth) {
+    if (Fidelity == SimFidelity::FastForward) {
+      fastStep(R);
+      return;
+    }
+    applyTiming(resolve(R, Depth));
+  }
+
+  bool isFastForward() const { return Fidelity == SimFidelity::FastForward; }
 
   /// Current core clock in subticks.
   uint64_t now() const { return Now; }
   /// Sets the clock (thread starts); register scoreboards are flushed to
   /// be ready at the new time.
   void setNow(uint64_t Subticks);
+  /// Resets the core to a fresh thread start at \p Subticks: drops all
+  /// frame scoreboards (unknown registers read as ready-at-0, exactly as
+  /// a newly constructed core) and fills the in-flight window. Lets the
+  /// SPT simulator reuse one ghost core arena per speculative thread
+  /// with the same timing a per-thread construction had.
+  void resetFor(uint64_t Subticks);
   /// Moves the clock forward to at least \p Subticks without disturbing
   /// register readiness or the in-flight window (used at joins: the core
   /// keeps its pipeline state while waiting).
@@ -88,12 +289,32 @@ public:
   }
 
 private:
-  uint64_t regReady(size_t Frame, Reg R) const;
-  void setRegReady(size_t Frame, Reg R, uint64_t T);
+  friend class BlockTimer; // The block-timing memo manipulates the
+                           // scoreboard state directly on a hit.
+
+  uint64_t regReady(size_t Frame, Reg R) const {
+    if (Frame >= Frames.size() || R >= Frames[Frame].size())
+      return 0;
+    return Frames[Frame][R];
+  }
+
+  void setRegReady(size_t Frame, Reg R, uint64_t T) {
+    if (Frame >= Frames.size())
+      Frames.resize(Frame + 1);
+    if (R >= Frames[Frame].size())
+      Frames[Frame].resize(R + 1, 0);
+    Frames[Frame][R] = T;
+  }
+
+  /// Fast-forward accounting: issue slot + a fixed per-class latency
+  /// fraction, no microarchitectural state at all.
+  void fastStep(const StepResult &R);
 
   const MachineConfig &Machine;
   CacheHierarchy &Cache;
   BranchPredictor &Predictor;
+  SimFidelity Fidelity;
+  uint64_t IssueSlotSubticks;
 
   uint64_t Now = 0;      ///< Visible clock: max completion time.
   uint64_t SlotTime = 0; ///< Issue-bandwidth clock.

@@ -9,6 +9,7 @@
 #include "analysis/Cfg.h"
 #include "analysis/LoopInfo.h"
 #include "sim/CoreTiming.h"
+#include "sim/TimingMemo.h"
 #include "support/Debug.h"
 
 #include <memory>
@@ -21,18 +22,20 @@ namespace {
 struct FuncLoops {
   CfgInfo Cfg;
   LoopNest Nest;
-  std::map<BlockId, const Loop *> HeaderToLoop;
+  /// Loop headed by each block (indexed by BlockId), or null.
+  std::vector<const Loop *> HeaderOf;
 
   explicit FuncLoops(const Function &F)
       : Cfg(CfgInfo::compute(F)), Nest(LoopNest::compute(F, Cfg)) {
+    HeaderOf.assign(F.numBlocks(), nullptr);
     for (uint32_t LI = 0; LI != Nest.numLoops(); ++LI)
-      HeaderToLoop[Nest.loop(LI)->Header] = Nest.loop(LI);
+      HeaderOf[Nest.loop(LI)->Header] = Nest.loop(LI);
   }
 };
 
 struct ActiveLoop {
-  const Function *F = nullptr;
   const Loop *L = nullptr;
+  LoopSeqStats *Stats = nullptr; ///< Cached; PerLoop never rehashes nodes.
 };
 
 struct ShadowFrame {
@@ -46,7 +49,8 @@ struct ShadowFrame {
 SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
                                 const std::vector<Value> &Args,
                                 const MachineConfig &Machine,
-                                uint64_t MaxSteps, uint64_t RngSeed) {
+                                uint64_t MaxSteps, uint64_t RngSeed,
+                                const SimOptions &Sim) {
   const Function *F = M.findFunction(FnName);
   if (!F)
     spt_fatal("runSequential: no such function");
@@ -58,7 +62,9 @@ SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
 
   CacheHierarchy Cache(Machine);
   BranchPredictor Predictor;
-  CoreTiming Core(Machine, Cache, Predictor);
+  CoreTiming Core(Machine, Cache, Predictor, Sim.Fidelity);
+  TimingMemo Memo;
+  BlockTimer BT(Core, Sim.Memo ? &Memo : nullptr);
 
   SeqSimResult Result;
   std::map<const Function *, std::unique_ptr<FuncLoops>> Cache_;
@@ -75,49 +81,64 @@ SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
   auto enterBlock = [&](ShadowFrame &Sh, BlockId To) {
     while (!Sh.Active.empty() && !Sh.Active.back().L->contains(To))
       Sh.Active.pop_back();
-    auto It = Sh.FL->HeaderToLoop.find(To);
-    if (It == Sh.FL->HeaderToLoop.end())
+    const Loop *L = To < Sh.FL->HeaderOf.size() ? Sh.FL->HeaderOf[To]
+                                                : nullptr;
+    if (!L)
       return;
-    const Loop *L = It->second;
     LoopSeqStats &Stats = Result.PerLoop[{Sh.F, L->Id}];
     if (!Sh.Active.empty() && Sh.Active.back().L == L) {
       ++Stats.Iterations;
       return;
     }
-    Sh.Active.push_back(ActiveLoop{Sh.F, L});
+    Sh.Active.push_back(ActiveLoop{L, &Stats});
     ++Stats.Activations;
     ++Stats.Iterations;
   };
   enterBlock(Shadow.back(), F->entry());
 
+  // Timing is attributed per segment: a run of steps over which the
+  // active-loop sets are constant (bounded by block boundaries and
+  // call/return barriers — exactly where the block timer syncs the core
+  // clock). Per-step deltas telescope, so the per-loop sums are
+  // byte-identical to per-step attribution.
+  uint64_t SegStart = Core.now();
+  uint64_t SegSteps = 0;
+  auto closeSegment = [&]() {
+    const uint64_t Delta = Core.now() - SegStart;
+    if (Delta != 0 || SegSteps != 0)
+      for (ShadowFrame &Sh : Shadow)
+        for (ActiveLoop &A : Sh.Active) {
+          A.Stats->Subticks += Delta;
+          A.Stats->Instrs += SegSteps;
+        }
+    SegStart = Core.now();
+    SegSteps = 0;
+  };
+
   uint64_t Steps = 0;
   while (!In.done() && Steps < MaxSteps) {
-    const uint64_t Before = Core.now();
     const StepResult R = In.step();
     ++Steps;
-    Core.onStep(R, In.stackDepth());
-    const uint64_t Delta = Core.now() - Before;
-
-    // Attribute to every active loop in every frame.
-    for (ShadowFrame &Sh : Shadow)
-      for (ActiveLoop &A : Sh.Active) {
-        LoopSeqStats &Stats = Result.PerLoop[{A.F, A.L->Id}];
-        Stats.Subticks += Delta;
-        ++Stats.Instrs;
-      }
+    ++SegSteps;
+    BT.onStep(R, In.stackDepth());
 
     if (R.IsCallEnter) {
+      closeSegment();
       const Function *Callee = In.topFrame().F;
       Shadow.push_back(ShadowFrame{Callee, &loopsFor(Callee), {}});
       enterBlock(Shadow.back(), Callee->entry());
     } else if (R.IsReturn) {
+      closeSegment();
       Shadow.pop_back();
     } else if (R.IsBranch) {
+      closeSegment();
       enterBlock(Shadow.back(), R.NextBlock);
     }
   }
   if (!In.done())
     spt_fatal("runSequential: step budget exhausted (infinite loop?)");
+  BT.sync();
+  closeSegment();
 
   Result.Subticks = Core.now();
   Result.Instrs = Core.retired();
@@ -126,5 +147,6 @@ SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
   Result.MemoryHash = In.memoryHash();
   Result.BranchLookups = Predictor.lookups();
   Result.BranchMispredicts = Predictor.mispredicts();
+  Result.Perf = Memo.Stats;
   return Result;
 }

@@ -19,6 +19,7 @@
 
 #include "interp/Interp.h"
 #include "sim/Machine.h"
+#include "sim/SimOptions.h"
 
 #include <map>
 #include <string>
@@ -54,6 +55,10 @@ struct SeqSimResult {
   uint64_t BranchLookups = 0;
   uint64_t BranchMispredicts = 0;
 
+  /// Fast-path effectiveness (memo hit/miss/invalidation). Not part of
+  /// the architectural report; differential comparisons exclude it.
+  SimPerfCounters Perf;
+
   double cycles() const {
     return static_cast<double>(Subticks) / SubticksPerCycle;
   }
@@ -63,12 +68,16 @@ struct SeqSimResult {
   }
 };
 
-/// Simulates \p FnName(\p Args) on a single core.
+/// Simulates \p FnName(\p Args) on a single core. \p Sim selects the
+/// timing fidelity and fast paths (sim/SimOptions.h); the default —
+/// exact fidelity with block-level timing memoization — is byte-identical
+/// to the unmemoized reference (SimOptions::exactNoMemo()).
 SeqSimResult runSequential(const Module &M, const std::string &FnName,
                            const std::vector<Value> &Args = {},
                            const MachineConfig &Machine = MachineConfig(),
                            uint64_t MaxSteps = 500000000ull,
-                           uint64_t RngSeed = 0x5eed5eed5eedull);
+                           uint64_t RngSeed = 0x5eed5eed5eedull,
+                           const SimOptions &Sim = SimOptions());
 
 } // namespace spt
 

@@ -3,45 +3,155 @@
 // Part of the SPT framework (PLDI 2004 reproduction). MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Hot-path layout: the speculation scoreboard (speculation buffer, undo
+// log, last-writer tables, main/ghost register-write sets) lives in flat
+// open-addressing hashes, epoch-tagged arenas and bitsets reused across
+// speculative threads — the former std::map/std::set machinery was ~10%
+// of a whole-suite profile. Violation detection is batched: the ghost
+// records a structure-of-arrays trace (direct-violation flags plus
+// resolved producer indices) and one post-pass per buffer epoch closes it
+// over the dynamic dependences, replacing the per-access map scans. The
+// pass is order-equivalent to the former inline closure because producers
+// always precede consumers in the trace.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sim/SptSim.h"
 
 #include "sim/CoreTiming.h"
 #include "sim/FaultInjector.h"
+#include "sim/TimingMemo.h"
 #include "support/Debug.h"
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <memory>
 
 using namespace spt;
 
 namespace {
+
+/// Open-addressing (linear probe) address map with O(1) epoch-based
+/// clearing: the speculation buffer and the undo log. Never shrinks; one
+/// arena serves every speculative thread of a run.
+class SpecAddrMap {
+public:
+  struct Slot {
+    uint64_t Addr = 0;
+    uint64_t Epoch = 0;
+    Value V{};
+    int32_t Writer = -1;
+  };
+
+  void reset() {
+    ++Epoch;
+    Live = 0;
+  }
+
+  const Slot *find(uint64_t Addr) const {
+    if (Live == 0)
+      return nullptr;
+    size_t I = indexOf(Addr);
+    while (true) {
+      const Slot &S = Slots[I];
+      if (S.Epoch != Epoch)
+        return nullptr;
+      if (S.Addr == Addr)
+        return &S;
+      if (++I == Slots.size())
+        I = 0;
+    }
+  }
+
+  void insertOrAssign(uint64_t Addr, Value V, int32_t Writer) {
+    ensureCapacity();
+    Slot &S = findSlot(Addr);
+    S.V = V;
+    S.Writer = Writer;
+  }
+
+  /// First write wins (undo log: the pre-fork value).
+  void insertIfAbsent(uint64_t Addr, Value V) {
+    ensureCapacity();
+    const bool Existed = Live > 0 && find(Addr) != nullptr;
+    if (Existed)
+      return;
+    Slot &S = findSlot(Addr);
+    S.V = V;
+    S.Writer = -1;
+  }
+
+private:
+  static size_t mix(uint64_t X) {
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdull;
+    X ^= X >> 33;
+    return static_cast<size_t>(X);
+  }
+  size_t indexOf(uint64_t Addr) const {
+    return mix(Addr) & (Slots.size() - 1);
+  }
+
+  Slot &findSlot(uint64_t Addr) {
+    size_t I = indexOf(Addr);
+    while (Slots[I].Epoch == Epoch && Slots[I].Addr != Addr)
+      if (++I == Slots.size())
+        I = 0;
+    if (Slots[I].Epoch != Epoch) {
+      ++Live;
+      Slots[I].Epoch = Epoch;
+      Slots[I].Addr = Addr;
+    }
+    return Slots[I];
+  }
+
+  void ensureCapacity() {
+    if (Slots.empty()) {
+      Slots.resize(64);
+      return;
+    }
+    if (Live * 4 < Slots.size() * 3)
+      return;
+    std::vector<Slot> Old;
+    Old.swap(Slots);
+    Slots.resize(Old.size() * 2);
+    const size_t Relive = Live;
+    Live = 0;
+    for (const Slot &S : Old)
+      if (S.Epoch == Epoch) {
+        Slot &N = findSlot(S.Addr);
+        N.V = S.V;
+        N.Writer = S.Writer;
+      }
+    (void)Relive;
+  }
+
+  std::vector<Slot> Slots;
+  uint64_t Epoch = 1;
+  size_t Live = 0;
+};
 
 /// Per-step ghost memory semantics: reads hit the speculation buffer,
 /// then the undo log (a stale value: violation), then shared memory;
 /// writes are buffered.
 class GhostMemHooks final : public Interpreter::MemHooks {
 public:
-  GhostMemHooks(const std::map<uint64_t, Value> &UndoLog,
+  GhostMemHooks(SpecAddrMap &SpecBuffer, const SpecAddrMap &UndoLog,
                 FaultInjector *Injector)
-      : UndoLog(UndoLog), Injector(Injector) {}
+      : SpecBuffer(SpecBuffer), UndoLog(UndoLog), Injector(Injector) {}
 
   Value onLoad(uint64_t Addr, Value Fallback) override {
     LastLoadViolated = false;
     LastLoadInjected = false;
     LastLoadSpecWriter = -1;
     Value V = Fallback;
-    auto Spec = SpecBuffer.find(Addr);
-    if (Spec != SpecBuffer.end()) {
-      LastLoadSpecWriter = Spec->second.WriterEntry;
-      V = Spec->second.V;
-    } else {
-      auto Undo = UndoLog.find(Addr);
-      if (Undo != UndoLog.end()) {
-        LastLoadViolated = true;
-        V = Undo->second;
-      }
+    if (const SpecAddrMap::Slot *Spec = SpecBuffer.find(Addr)) {
+      LastLoadSpecWriter = Spec->Writer;
+      V = Spec->V;
+    } else if (const SpecAddrMap::Slot *Undo = UndoLog.find(Addr)) {
+      LastLoadViolated = true;
+      V = Undo->V;
     }
     // Injected corruption models a wrong speculative value the hardware
     // detects at commit: the consuming instruction joins the re-execution
@@ -54,25 +164,21 @@ public:
   }
 
   bool onStore(uint64_t Addr, Value V) override {
-    SpecBuffer[Addr] = BufferedValue{V, CurrentEntry};
+    SpecBuffer.insertOrAssign(Addr, V, CurrentEntry);
     return true; // Never reaches shared memory.
   }
 
   /// Set by the driver loop before each ghost step.
-  int64_t CurrentEntry = -1;
+  int32_t CurrentEntry = -1;
   /// Outputs of the last load.
   bool LastLoadViolated = false;
   bool LastLoadInjected = false;
-  int64_t LastLoadSpecWriter = -1;
+  int32_t LastLoadSpecWriter = -1;
 
 private:
-  struct BufferedValue {
-    Value V;
-    int64_t WriterEntry = -1;
-  };
-  const std::map<uint64_t, Value> &UndoLog;
+  SpecAddrMap &SpecBuffer;
+  const SpecAddrMap &UndoLog;
   FaultInjector *Injector;
-  std::map<uint64_t, BufferedValue> SpecBuffer;
 };
 
 /// Result of simulating one speculative thread.
@@ -85,7 +191,7 @@ struct GhostOutcome {
   uint64_t ReexecSubticks = 0;
 };
 
-/// State captured when the main thread forks.
+/// State captured when the main thread forks. Arena-reused across forks.
 struct PendingSpec {
   int64_t LoopId = -1;
   const SptLoopDesc *Desc = nullptr;
@@ -93,10 +199,31 @@ struct PendingSpec {
   std::vector<Value> Regs;
   Random Rng;
   uint64_t ForkSubtick = 0;
-  std::set<Reg> MainRegWrites;
-  std::map<uint64_t, Value> UndoLog;
+  /// Registers the main thread wrote post-fork (loop-frame), as a bitset
+  /// over the loop function's registers.
+  std::vector<uint64_t> MainRegWriteBits;
+  SpecAddrMap UndoLog;
   uint64_t MainRndCalls = 0;
   uint64_t MainIoCalls = 0;
+
+  void resetFor(int64_t Id, const SptLoopDesc *D, size_t Depth) {
+    LoopId = Id;
+    Desc = D;
+    FrameDepth = Depth;
+    MainRegWriteBits.assign((D->F->numRegs() + 63) / 64, 0);
+    UndoLog.reset();
+    MainRndCalls = 0;
+    MainIoCalls = 0;
+  }
+  bool mainWrote(Reg R) const {
+    return (R >> 6) < MainRegWriteBits.size() &&
+           (MainRegWriteBits[R >> 6] >> (R & 63)) & 1;
+  }
+  void setMainWrote(Reg R) {
+    if ((R >> 6) >= MainRegWriteBits.size())
+      MainRegWriteBits.resize((R >> 6) + 1, 0);
+    MainRegWriteBits[R >> 6] |= 1ull << (R & 63);
+  }
 };
 
 /// Undo-logging hook for the main core's post-fork leg.
@@ -108,8 +235,8 @@ public:
   Value onLoad(uint64_t, Value Fallback) override { return Fallback; }
 
   bool onStore(uint64_t Addr, Value) override {
-    Spec.UndoLog.emplace(Addr, In.peekAddr(Addr)); // First write wins.
-    return false;                                  // Write through.
+    Spec.UndoLog.insertIfAbsent(Addr, In.peekAddr(Addr)); // First write wins.
+    return false;                                         // Write through.
   }
 
 private:
@@ -117,103 +244,126 @@ private:
   PendingSpec &Spec;
 };
 
+/// Structure-of-arrays ghost trace and last-writer tables, arena-reused
+/// across speculative threads (epoch/run-id tagged, O(1) begin).
+struct GhostArena {
+  // Per-trace-entry columns.
+  std::vector<uint8_t> Direct;     ///< Directly violated.
+  std::vector<uint8_t> IsLoad;
+  std::vector<int32_t> SpecWriter; ///< Spec-buffer producer entry or -1.
+  std::vector<uint32_t> SrcBegin;  ///< Offsets into SrcWriters (+sentinel).
+  std::vector<int32_t> SrcWriters; ///< Resolved register producers.
+  std::vector<uint8_t> Reexec;     ///< Closure output.
+  // Last-writer tables: per frame, per register, (run id, trace index).
+  std::vector<std::vector<std::pair<uint32_t, int32_t>>> Writers;
+  uint32_t RunId = 0;
+  /// Registers the ghost wrote in the loop frame (frame 0), as a bitset.
+  std::vector<uint64_t> GhostWrote;
+
+  void beginRun(unsigned LoopRegs) {
+    ++RunId;
+    Direct.clear();
+    IsLoad.clear();
+    SpecWriter.clear();
+    SrcBegin.clear();
+    SrcWriters.clear();
+    GhostWrote.assign((LoopRegs + 63) / 64, 0);
+  }
+  int32_t writerOf(size_t Frame, Reg R) const {
+    if (Frame >= Writers.size())
+      return -1;
+    const auto &W = Writers[Frame];
+    if (R >= W.size() || W[R].first != RunId)
+      return -1;
+    return W[R].second;
+  }
+  void setWriter(size_t Frame, Reg R, int32_t Idx) {
+    if (Frame >= Writers.size())
+      Writers.resize(Frame + 1);
+    auto &W = Writers[Frame];
+    if (R >= W.size())
+      W.resize(R + 1, {0, -1});
+    W[R] = {RunId, Idx};
+  }
+  bool ghostWrote(Reg R) const {
+    return (R >> 6) < GhostWrote.size() &&
+           (GhostWrote[R >> 6] >> (R & 63)) & 1;
+  }
+  void setGhostWrote(Reg R) {
+    if ((R >> 6) >= GhostWrote.size())
+      GhostWrote.resize((R >> 6) + 1, 0);
+    GhostWrote[R >> 6] |= 1ull << (R & 63);
+  }
+};
+
 /// Simulates the speculative thread (one full iteration) as a ghost.
 GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
                       const PendingSpec &Spec, const MachineConfig &Machine,
-                      CacheHierarchy &Cache, BranchPredictor &SpecPredictor,
-                      uint64_t MaxGhostSteps, FaultInjector *Injector) {
+                      CoreTiming &Core, TimingMemo *Memo, GhostArena &A,
+                      SpecAddrMap &SpecBuffer, uint64_t MaxGhostSteps,
+                      FaultInjector *Injector, SimPerfCounters &Perf) {
   GhostOutcome Out;
 
   Interpreter Ghost(M, MainIn);
   Ghost.rng() = Spec.Rng;
   Ghost.startAt(Spec.Desc->F, Spec.Desc->PreForkEntry, 0, Spec.Regs);
 
-  GhostMemHooks Hooks(Spec.UndoLog, Injector);
+  SpecBuffer.reset();
+  GhostMemHooks Hooks(SpecBuffer, Spec.UndoLog, Injector);
   Ghost.setMemHooks(&Hooks);
 
-  CoreTiming Core(Machine, Cache, SpecPredictor);
-  Core.setNow(Spec.ForkSubtick);
+  Core.resetFor(Spec.ForkSubtick);
+  BlockTimer BT(Core, Memo);
+  A.beginRun(Spec.Desc->F->numRegs());
 
-  // Dynamic dependence state for the violation slice.
-  struct TraceEntry {
-    bool Reexec = false;
-    uint64_t CostSubticks = 0;
-    bool IsLoad = false;
-  };
-  std::vector<TraceEntry> Trace;
-  std::map<std::pair<size_t, Reg>, int64_t> LastRegWriter;
-  std::set<Reg> GhostWroteLoopReg;
-
-  const uint64_t IssueSlot = SubticksPerCycle / Machine.IssueWidth;
-
-  while (!Ghost.done() && Trace.size() < MaxGhostSteps) {
+  uint32_t N = 0;
+  while (!Ghost.done() && N < MaxGhostSteps) {
     const size_t DepthBefore = Ghost.stackDepth();
-    Hooks.CurrentEntry = static_cast<int64_t>(Trace.size());
-    const uint64_t Before = Core.now();
+    Hooks.CurrentEntry = static_cast<int32_t>(N);
     const StepResult R = Ghost.step();
     const size_t Depth = Ghost.stackDepth();
-    Core.onStep(R, Depth);
-
-    TraceEntry Entry;
-    Entry.CostSubticks = Core.now() - Before;
-    Entry.IsLoad = R.IsLoad;
+    BT.onStep(R, Depth);
 
     // Frame the instruction read its operands in: always the top frame
     // before the step (returns pop after reading; calls push after).
     const size_t SrcFrame = DepthBefore - 1;
 
-    // Violations: stale register reads at the loop frame.
-    if (SrcFrame == 0)
-      for (Reg S : R.I->Srcs)
-        if (!GhostWroteLoopReg.count(S) && Spec.MainRegWrites.count(S))
-          Entry.Reexec = true;
+    uint8_t Direct = 0;
+    A.SrcBegin.push_back(static_cast<uint32_t>(A.SrcWriters.size()));
+    for (Reg S : R.I->Srcs) {
+      A.SrcWriters.push_back(A.writerOf(SrcFrame, S));
+      // Violations: stale register reads at the loop frame.
+      if (SrcFrame == 0 && !A.ghostWrote(S) && Spec.mainWrote(S))
+        Direct = 1;
+    }
 
     // Violations: stale memory reads, and injected value corruption
     // (modelled as hardware-detected misspeculation).
     if (R.IsLoad && (Hooks.LastLoadViolated || Hooks.LastLoadInjected))
-      Entry.Reexec = true;
+      Direct = 1;
 
     // Violations: racing stateful builtins.
     if (R.I->Op == Opcode::Call) {
       const Function *Callee = M.function(R.I->calleeIndex());
       if (Callee->isExternal()) {
         if (Callee->name() == "rnd" && Spec.MainRndCalls > 0)
-          Entry.Reexec = true;
+          Direct = 1;
         if (Callee->name() == "print_int" || Callee->name() == "print_fp")
-          Entry.Reexec = true; // I/O cannot speculate.
+          Direct = 1; // I/O cannot speculate.
       }
     }
 
-    // Dependence closure: inherit re-execution from producers.
-    if (!Entry.Reexec) {
-      for (Reg S : R.I->Srcs) {
-        auto It = LastRegWriter.find({SrcFrame, S});
-        if (It != LastRegWriter.end() && It->second >= 0 &&
-            Trace[static_cast<size_t>(It->second)].Reexec)
-          Entry.Reexec = true;
-      }
-      if (R.IsLoad && Hooks.LastLoadSpecWriter >= 0 &&
-          Trace[static_cast<size_t>(Hooks.LastLoadSpecWriter)].Reexec)
-        Entry.Reexec = true;
-    }
+    A.Direct.push_back(Direct);
+    A.IsLoad.push_back(R.IsLoad);
+    A.SpecWriter.push_back(R.IsLoad ? Hooks.LastLoadSpecWriter : -1);
 
     // Record writes.
     if (R.I->Dst != NoReg && !R.IsCallEnter) {
-      LastRegWriter[{SrcFrame, R.I->Dst}] =
-          static_cast<int64_t>(Trace.size());
+      A.setWriter(SrcFrame, R.I->Dst, static_cast<int32_t>(N));
       if (SrcFrame == 0)
-        GhostWroteLoopReg.insert(R.I->Dst);
+        A.setGhostWrote(R.I->Dst);
     }
-
-    if (Entry.Reexec) {
-      Out.Violated = true;
-      ++Out.ReexecInstrs;
-      Out.ReexecSubticks +=
-          IssueSlot + (R.IsLoad ? Machine.L1.HitLatencyCycles *
-                                      SubticksPerCycle
-                                : 0);
-    }
-    Trace.push_back(Entry);
+    ++N;
 
     // Stop conditions: completed one iteration, predicted loop exit, or
     // the loop frame returned.
@@ -231,8 +381,42 @@ GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
   }
 
   Ghost.setMemHooks(nullptr);
+  BT.sync();
   Out.EndSubtick = Core.now();
-  Out.Instrs = Trace.size();
+  Out.Instrs = N;
+  A.SrcBegin.push_back(static_cast<uint32_t>(A.SrcWriters.size()));
+
+  // Batched violation closure over this buffer epoch: one forward pass
+  // over the SoA trace inherits re-execution from register producers and
+  // speculation-buffer flow. Producers precede consumers, so the pass is
+  // equivalent to the former per-access inline closure.
+  ++Perf.ViolationBatches;
+  A.Reexec.assign(N, 0);
+  const uint64_t IssueSlot = SubticksPerCycle / Machine.IssueWidth;
+  for (uint32_t I = 0; I != N; ++I) {
+    uint8_t Rx = A.Direct[I];
+    if (!Rx) {
+      for (uint32_t S = A.SrcBegin[I]; S != A.SrcBegin[I + 1]; ++S) {
+        const int32_t W = A.SrcWriters[S];
+        if (W >= 0 && A.Reexec[static_cast<uint32_t>(W)]) {
+          Rx = 1;
+          break;
+        }
+      }
+      if (!Rx && A.SpecWriter[I] >= 0 &&
+          A.Reexec[static_cast<uint32_t>(A.SpecWriter[I])])
+        Rx = 1;
+    }
+    A.Reexec[I] = Rx;
+    if (Rx) {
+      ++Out.ReexecInstrs;
+      Out.ReexecSubticks +=
+          IssueSlot + (A.IsLoad[I] ? Machine.L1.HitLatencyCycles *
+                                         SubticksPerCycle
+                                   : 0);
+    }
+  }
+  Out.Violated = Out.ReexecInstrs != 0;
   return Out;
 }
 
@@ -243,7 +427,7 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
                          const std::map<int64_t, SptLoopDesc> &Loops,
                          const MachineConfig &Machine, uint64_t MaxSteps,
                          uint64_t RngSeed, FaultInjector *Injector,
-                         ObsContext *Obs) {
+                         ObsContext *Obs, const SimOptions &Sim) {
   ObsSpan RunSpan(Obs, "sim.runSpt");
   const Function *F = M.findFunction(FnName);
   if (!F)
@@ -258,18 +442,39 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
 
   CacheHierarchy Cache(Machine);
   BranchPredictor MainPredictor, SpecPredictor;
-  CoreTiming Core(Machine, Cache, MainPredictor);
+  CoreTiming Core(Machine, Cache, MainPredictor, Sim.Fidelity);
+  CoreTiming GhostCore(Machine, Cache, SpecPredictor, Sim.Fidelity);
+  TimingMemo Memo;
+  TimingMemo *MemoPtr = Sim.Memo ? &Memo : nullptr;
+  BlockTimer BT(Core, MemoPtr);
 
   SptSimResult Result;
 
-  // Iteration-boundary lookup: (function, block) -> loop id.
-  std::map<std::pair<const Function *, BlockId>, int64_t> BoundaryOf;
-  for (const auto &[Id, Desc] : Loops)
-    BoundaryOf[{Desc.F, Desc.PreForkEntry}] = Id;
+  // Iteration-boundary lookup: (function, block) -> loop id. A handful
+  // of entries; a linear scan beats the former std::map per branch.
+  struct BoundaryEntry {
+    const Function *F;
+    BlockId B;
+    int64_t Id;
+  };
+  std::vector<BoundaryEntry> Boundaries;
+  for (const auto &[Id, Desc] : Loops) {
+    bool Replaced = false;
+    for (BoundaryEntry &BE : Boundaries)
+      if (BE.F == Desc.F && BE.B == Desc.PreForkEntry) {
+        BE.Id = Id; // Same overwrite semantics as the former map.
+        Replaced = true;
+        break;
+      }
+    if (!Replaced)
+      Boundaries.push_back({Desc.F, Desc.PreForkEntry, Id});
+  }
 
   enum class Mode { Normal, PostFork, Replay };
   Mode State = Mode::Normal;
   PendingSpec Spec;
+  GhostArena Arena;
+  SpecAddrMap SpecBuffer;
   std::unique_ptr<MainPostForkHooks> PostForkHooks;
   uint64_t ReplayInstrs = 0;
   uint64_t ReexecInstrsTotal = 0;
@@ -284,11 +489,12 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
     const size_t Depth = In.stackDepth();
 
     if (State != Mode::Replay)
-      Core.onStep(R, Depth);
+      BT.onStep(R, Depth);
     else
       ++ReplayInstrs;
 
-    // Loop wall-time tracking.
+    // Loop wall-time tracking. Fork/kill markers are block-timer
+    // barriers, so the clock is exact here.
     if (R.IsFork && Loops.count(R.I->IntImm) &&
         !LoopEnterSubtick.count(R.I->IntImm))
       LoopEnterSubtick[R.I->IntImm] = Core.now();
@@ -309,10 +515,7 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
           Core.charge(Machine.ForkOverhead);
           if (FI)
             Core.charge(FI->forkJitterSubticks());
-          Spec = PendingSpec();
-          Spec.LoopId = R.I->IntImm;
-          Spec.Desc = &Desc;
-          Spec.FrameDepth = Depth;
+          Spec.resetFor(R.I->IntImm, &Desc, Depth);
           Spec.Regs = In.topFrame().Regs;
           if (FI && !Spec.Regs.empty() && FI->shouldFlipReg()) {
             // Corrupt one snapshot register — the speculative thread's
@@ -322,7 +525,7 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
             // dependent slice is re-executed.
             const size_t Idx = FI->pickIndex(Spec.Regs.size());
             Spec.Regs[Idx] = FI->corrupt(Spec.Regs[Idx]);
-            Spec.MainRegWrites.insert(static_cast<Reg>(Idx));
+            Spec.setMainWrote(static_cast<Reg>(Idx));
           }
           Spec.Rng = In.rng();
           Spec.ForkSubtick = Core.now();
@@ -337,7 +540,7 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
     case Mode::PostFork: {
       // Track the main thread's post-fork effects.
       if (R.I->Dst != NoReg && !R.IsCallEnter && Depth == Spec.FrameDepth)
-        Spec.MainRegWrites.insert(R.I->Dst);
+        Spec.setMainWrote(R.I->Dst);
       if (R.I->Op == Opcode::Call) {
         const Function *Callee = M.function(R.I->calleeIndex());
         if (Callee->isExternal()) {
@@ -365,9 +568,10 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
         In.setMemHooks(nullptr);
         PostForkHooks.reset();
 
-        GhostOutcome Ghost = runGhost(M, In, Spec, Machine, Cache,
-                                      SpecPredictor, /*MaxGhostSteps=*/
-                                      1u << 20, FI);
+        GhostOutcome Ghost =
+            runGhost(M, In, Spec, Machine, GhostCore, MemoPtr, Arena,
+                     SpecBuffer, /*MaxGhostSteps=*/1u << 20, FI,
+                     Memo.Stats);
         if (Ghost.Completed && FI && FI->shouldForceSquash())
           Ghost.Completed = false; // Injected: hardware lost the buffer.
         if (!Ghost.Completed) {
@@ -410,21 +614,25 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
     }
 
     // Iteration counting at boundaries (any mode).
-    if (R.IsBranch) {
-      auto It = BoundaryOf.find({In.done() ? nullptr : In.topFrame().F,
-                                 R.NextBlock});
-      if (It != BoundaryOf.end())
-        ++Result.PerLoop[It->second].Iterations;
+    if (R.IsBranch && !Boundaries.empty()) {
+      const Function *TopF = In.done() ? nullptr : In.topFrame().F;
+      for (const BoundaryEntry &BE : Boundaries)
+        if (BE.F == TopF && BE.B == R.NextBlock) {
+          ++Result.PerLoop[BE.Id].Iterations;
+          break;
+        }
     }
   }
   if (!In.done())
     spt_fatal("runSpt: step budget exhausted (infinite loop?)");
+  BT.sync();
 
   Result.Subticks = Core.now();
   Result.Instrs = Core.retired() + ReplayInstrs + ReexecInstrsTotal;
   Result.Result = In.returnValue();
   Result.Output = In.output();
   Result.MemoryHash = In.memoryHash();
+  Result.Perf = Memo.Stats;
 
   // One batched flush of the run's speculation counters; the simulation
   // loop above never touches the registry.
@@ -456,6 +664,11 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
     obsAdd(Obs, "sim.reexec_instrs", Tot.ReexecInstrs);
     obsAdd(Obs, "sim.iterations", Tot.Iterations);
     obsSample(Obs, "sim.reexec_per_run", Tot.ReexecInstrs);
+    // Fast-path effectiveness, batched like the rest.
+    obsAdd(Obs, "sim.memo.hits", Result.Perf.MemoHits);
+    obsAdd(Obs, "sim.memo.misses", Result.Perf.MemoMisses);
+    obsAdd(Obs, "sim.memo.invalidations", Result.Perf.MemoInvalidations);
+    obsAdd(Obs, "sim.violation.batch", Result.Perf.ViolationBatches);
   }
   return Result;
 }

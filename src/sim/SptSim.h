@@ -42,6 +42,7 @@
 #include "interp/Interp.h"
 #include "obs/Obs.h"
 #include "sim/Machine.h"
+#include "sim/SimOptions.h"
 
 #include <map>
 #include <string>
@@ -98,6 +99,11 @@ struct SptSimResult {
   uint64_t MemoryHash = 0;
   std::map<int64_t, SptLoopRunStats> PerLoop;
 
+  /// Fast-path effectiveness (memo hit/miss/invalidation, batched
+  /// violation closures). Not part of the architectural report;
+  /// differential comparisons exclude it.
+  SimPerfCounters Perf;
+
   double cycles() const {
     return static_cast<double>(Subticks) / SubticksPerCycle;
   }
@@ -117,6 +123,12 @@ class FaultInjector;
 /// \p Obs, when non-null, receives a "sim.runSpt" span and the run's
 /// speculation counters (squashes, violations, re-executed instructions),
 /// flushed once at the end of the run.
+/// \p Sim selects the timing fidelity and fast paths (sim/SimOptions.h).
+/// Speculation outcomes (forks, joins, squashes, violations, re-executed
+/// slices) are functions of architectural state only, so every counter
+/// and all architectural fields are bit-identical across fidelities; the
+/// default exact+memo configuration is byte-identical to the unmemoized
+/// reference in every field.
 SptSimResult runSpt(const Module &M, const std::string &FnName,
                     const std::vector<Value> &Args,
                     const std::map<int64_t, SptLoopDesc> &Loops,
@@ -124,7 +136,8 @@ SptSimResult runSpt(const Module &M, const std::string &FnName,
                     uint64_t MaxSteps = 500000000ull,
                     uint64_t RngSeed = 0x5eed5eed5eedull,
                     FaultInjector *Injector = nullptr,
-                    ObsContext *Obs = nullptr);
+                    ObsContext *Obs = nullptr,
+                    const SimOptions &Sim = SimOptions());
 
 } // namespace spt
 

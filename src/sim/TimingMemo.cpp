@@ -1,0 +1,203 @@
+//===- sim/TimingMemo.cpp - Block-level timing memoization --------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TimingMemo.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace spt;
+
+namespace {
+
+constexpr size_t kMaxVariants = 4;
+/// A block whose recorded state diverges this often without a single hit
+/// is not stabilizing; stop paying the compare/record overhead for it.
+constexpr uint32_t kDeadInvalidations = 16;
+
+} // namespace
+
+void BlockTimer::flushSlow() {
+  for (const CoreTiming::ResolvedStep &S : Buf)
+    Core.applyTiming(S);
+  Buf.clear();
+  Keys.clear();
+  CandidateValid = false;
+}
+
+bool BlockTimer::profileMatches(const MemoEntry &E) const {
+  if (NowIn - BaseSlot != E.DNow)
+    return false;
+  const size_t N = Buf.size();
+  if (std::memcmp(Keys.data(), E.StepKeys.data(), N * sizeof(uint32_t)) != 0)
+    return false;
+  const size_t W = Core.InFlight.size();
+  const size_t K = std::min(N, W);
+  size_t Pos = IdxIn;
+  for (size_t I = 0; I != K; ++I) {
+    if (int64_t(Core.InFlight[Pos] - BaseSlot) != E.InFlightD[I])
+      return false;
+    if (++Pos == W)
+      Pos = 0;
+  }
+  const size_t SrcFrame = BufDepth == 0 ? 0 : BufDepth - 1;
+  for (const auto &[R, D] : E.RegReadD)
+    if (int64_t(Core.regReady(SrcFrame, R) - BaseSlot) != D)
+      return false;
+  return true;
+}
+
+void BlockTimer::applyHit(const MemoEntry &E) {
+  const uint64_t Base = BaseSlot;
+  Core.Now = Base + E.DNowOut;
+  Core.SlotTime = Base + E.DSlotOut;
+  Core.Retired += E.NSteps;
+  const size_t W = Core.InFlight.size();
+  const size_t K = E.DoneD.size();
+  size_t Pos = (IdxIn + (E.NSteps - K)) % W;
+  for (size_t I = 0; I != K; ++I) {
+    Core.InFlight[Pos] = Base + E.DoneD[I];
+    if (++Pos == W)
+      Pos = 0;
+  }
+  Core.InFlightIdx = (IdxIn + E.NSteps) % W;
+  const size_t SrcFrame = BufDepth == 0 ? 0 : BufDepth - 1;
+  for (const auto &[R, D] : E.RegWriteD)
+    Core.setRegReady(SrcFrame, R, Base + D);
+}
+
+void BlockTimer::record(MemoEntry &E) {
+  const uint64_t Base = BaseSlot;
+  const size_t N = Buf.size();
+  const size_t W = Core.InFlight.size();
+  const size_t K = std::min(N, W);
+  const size_t SrcFrame = BufDepth == 0 ? 0 : BufDepth - 1;
+
+  E.NSteps = static_cast<uint32_t>(N);
+  E.DNow = NowIn - Base;
+  E.StepKeys = Keys;
+  E.StepHash = RunHash;
+
+  E.InFlightD.resize(K);
+  size_t Pos = IdxIn;
+  for (size_t I = 0; I != K; ++I) {
+    E.InFlightD[I] = int64_t(Core.InFlight[Pos] - Base);
+    if (++Pos == W)
+      Pos = 0;
+  }
+
+  // External reads and the written set, against pre-replay state.
+  ++Gen;
+  WrittenList.clear();
+  E.RegReadD.clear();
+  E.RegWriteD.clear();
+  auto ensure = [&](Reg R) {
+    if (R >= ReadGen.size()) {
+      ReadGen.resize(R + 1, 0);
+      WriteGen.resize(R + 1, 0);
+    }
+  };
+  for (const CoreTiming::ResolvedStep &S : Buf) {
+    for (uint32_t SI = 0; SI != S.NumSrcs; ++SI) {
+      const Reg R = S.I->Srcs[SI];
+      ensure(R);
+      if (WriteGen[R] != Gen && ReadGen[R] != Gen) {
+        ReadGen[R] = Gen;
+        E.RegReadD.emplace_back(R,
+                                int64_t(Core.regReady(SrcFrame, R) - Base));
+      }
+    }
+    if (S.I->Dst != NoReg) {
+      ensure(S.I->Dst);
+      if (WriteGen[S.I->Dst] != Gen) {
+        WriteGen[S.I->Dst] = Gen;
+        WrittenList.push_back(S.I->Dst);
+      }
+    }
+  }
+
+  // Replay through the reference arithmetic, then snapshot the outputs.
+  for (const CoreTiming::ResolvedStep &S : Buf)
+    Core.applyTiming(S);
+
+  E.DNowOut = Core.Now - Base;
+  E.DSlotOut = Core.SlotTime - Base;
+  E.DoneD.resize(K);
+  Pos = (IdxIn + (N - K)) % W;
+  for (size_t I = 0; I != K; ++I) {
+    E.DoneD[I] = Core.InFlight[Pos] - Base;
+    if (++Pos == W)
+      Pos = 0;
+  }
+  for (Reg R : WrittenList)
+    E.RegWriteD.emplace_back(R, Core.regReady(SrcFrame, R) - Base);
+}
+
+void BlockTimer::finalize() {
+  const size_t N = Buf.size();
+  std::vector<BlockMemo> &Blocks = Memo->blocksFor(BlockF);
+  BlockMemo &BM = Blocks[Block];
+  if (!CandidateValid || BM.Dead) {
+    flushSlow();
+    return;
+  }
+
+  for (MemoEntry &E : BM.Variants) {
+    if (E.NSteps != N || E.StepHash != RunHash)
+      continue;
+    if (profileMatches(E)) {
+      applyHit(E);
+      E.LastUse = ++Memo->UseClock;
+      ++BM.Hits;
+      ++Memo->Stats.MemoHits;
+      Buf.clear();
+      Keys.clear();
+      CandidateValid = false;
+      return;
+    }
+    // Same resolved step pattern, diverged microarchitectural profile:
+    // the recorded timing is stale for this state — invalidate in place.
+    ++BM.Invalidations;
+    ++Memo->Stats.MemoInvalidations;
+    ++Memo->Stats.MemoMisses;
+    record(E);
+    E.LastUse = ++Memo->UseClock;
+    Buf.clear();
+    Keys.clear();
+    CandidateValid = false;
+    if (BM.Hits == 0 && BM.Invalidations >= kDeadInvalidations) {
+      BM.Dead = true;
+      BM.Variants.clear();
+      BM.Variants.shrink_to_fit();
+    }
+    return;
+  }
+
+  // New variant for this block.
+  ++Memo->Stats.MemoMisses;
+  MemoEntry *Slot;
+  if (BM.Variants.size() < kMaxVariants) {
+    BM.Variants.emplace_back();
+    Slot = &BM.Variants.back();
+  } else {
+    Slot = &*std::min_element(BM.Variants.begin(), BM.Variants.end(),
+                              [](const MemoEntry &A, const MemoEntry &B) {
+                                return A.LastUse < B.LastUse;
+                              });
+    ++BM.Invalidations;
+    ++Memo->Stats.MemoInvalidations;
+  }
+  record(*Slot);
+  Slot->LastUse = ++Memo->UseClock;
+  Buf.clear();
+  Keys.clear();
+  CandidateValid = false;
+  if (BM.Hits == 0 && BM.Invalidations >= kDeadInvalidations) {
+    BM.Dead = true;
+    BM.Variants.clear();
+    BM.Variants.shrink_to_fit();
+  }
+}

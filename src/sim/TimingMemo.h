@@ -1,0 +1,200 @@
+//===- sim/TimingMemo.h - Block-level timing memoization ---------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-level memoization of the scoreboard arithmetic in CoreTiming.
+///
+/// The interpreter always executes functionally and the stateful
+/// microarchitectural components always advance exactly: every memory
+/// access probes the cache hierarchy and every conditional branch trains
+/// its predictor, in program order (CoreTiming::resolve). What a memo hit
+/// elides is only CoreTiming::applyTiming — the per-instruction max/+
+/// scoreboard arithmetic — for one complete straight-line execution of a
+/// basic block.
+///
+/// Soundness rests on applyTiming being invariant under uniform time
+/// translation: it is a composition of max and + over the core's clocks,
+/// in-flight ring and register-ready times, with only relative constants
+/// added. A recorded entry therefore stores the block's timing *profile
+/// relative to a base* (the slot clock at block entry): the resolved
+/// per-step inputs (cache latencies — i.e. the projection of cache-set
+/// state the block observed — and predictor outcomes), the entry gap
+/// between the visible and the slot clock, the consumed in-flight-window
+/// entries and every register read before written, all as deltas against
+/// the base. A lookup *verifies full equality of that profile* (the hash
+/// is only a prefilter) and then applies the recorded output deltas
+/// translated by the current base — bit-for-bit what replaying the
+/// arithmetic would compute, by translation invariance. Any divergence of
+/// the keyed state (a cache set evolved, a predictor counter moved, a
+/// dependence distance changed) fails the comparison and the block is
+/// re-simulated instruction by instruction and re-recorded: that is the
+/// invalidation path, counted in SimPerfCounters::MemoInvalidations.
+///
+/// Blocks whose profile never stabilizes (e.g. pure latency-bound chains
+/// whose visible/slot-clock gap grows every iteration) are detected by an
+/// invalidation backoff and permanently drop to the reference path.
+///
+/// Call enters/returns and the SPT fork/kill markers are barriers: the
+/// pending block is flushed through the reference arithmetic and the
+/// barrier step accounted directly, so drivers may read CoreTiming::now()
+/// after any barrier or block boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_SIM_TIMINGMEMO_H
+#define SPT_SIM_TIMINGMEMO_H
+
+#include "sim/CoreTiming.h"
+#include "sim/SimOptions.h"
+
+#include <map>
+#include <vector>
+
+namespace spt {
+
+/// One recorded execution variant of a basic block. All times are deltas
+/// against the base (slot clock at block entry).
+struct MemoEntry {
+  // --- key ---
+  uint32_t NSteps = 0;
+  uint64_t StepHash = 0; ///< Prefilter over StepKeys; equality is checked.
+  /// Per-step resolved inputs: latency | IsBr<<30 | BrCorrect<<31.
+  std::vector<uint32_t> StepKeys;
+  uint64_t DNow = 0; ///< Visible-clock lead over the base at entry.
+  /// Consumed in-flight ring entries (oldest first), delta vs base.
+  std::vector<int64_t> InFlightD;
+  /// Registers read before written in the block, first-read order.
+  std::vector<std::pair<Reg, int64_t>> RegReadD;
+  // --- recorded outputs ---
+  uint64_t DNowOut = 0;
+  uint64_t DSlotOut = 0;
+  /// Ring entries as left by the block's last min(NSteps, W) steps.
+  std::vector<uint64_t> DoneD;
+  /// Final ready times of every register the block writes.
+  std::vector<std::pair<Reg, uint64_t>> RegWriteD;
+  uint64_t LastUse = 0; ///< LRU stamp.
+};
+
+/// Per-block variant store.
+struct BlockMemo {
+  std::vector<MemoEntry> Variants;
+  uint32_t Hits = 0;
+  uint32_t Invalidations = 0;
+  bool Dead = false; ///< Backoff: state never stabilized; stop memoizing.
+};
+
+/// The per-run memo table: one BlockMemo per (function, block). Shared
+/// between the main and the speculative core of one simulation — the
+/// profiles are relative, so both cores hit the same entries.
+class TimingMemo {
+public:
+  std::vector<BlockMemo> &blocksFor(const Function *F) {
+    if (F == LastF)
+      return *LastVec;
+    std::vector<BlockMemo> &V = ByFunc[F];
+    if (V.size() < F->numBlocks())
+      V.resize(F->numBlocks());
+    LastF = F;
+    LastVec = &V;
+    return V;
+  }
+
+  SimPerfCounters Stats;
+  uint64_t UseClock = 0;
+
+private:
+  std::map<const Function *, std::vector<BlockMemo>> ByFunc;
+  const Function *LastF = nullptr;
+  std::vector<BlockMemo> *LastVec = nullptr;
+};
+
+/// Drives one CoreTiming through the memo: buffers the resolved steps of
+/// the current basic block and, at the terminator, either applies a
+/// verified recorded profile or replays + records. With a null memo
+/// (exact-no-memo reference, or fast-forward fidelity) every step goes
+/// straight to CoreTiming::onStep.
+class BlockTimer {
+public:
+  BlockTimer(CoreTiming &Core, TimingMemo *Memo)
+      : Core(Core), Memo(Core.isFastForward() ? nullptr : Memo) {}
+
+  ~BlockTimer() { sync(); }
+
+  /// Accounts one executed step. After a step with IsBranch, IsCallEnter,
+  /// IsReturn, IsFork or IsKill the core clock is exact and may be read.
+  void onStep(const StepResult &R, size_t Depth) {
+    if (!Memo) {
+      Core.onStep(R, Depth);
+      return;
+    }
+    if (R.IsCallEnter || R.IsReturn || R.IsFork || R.IsKill) {
+      // Barrier: frame switches and the SPT markers (whose sites read the
+      // clock) are never memoized.
+      sync();
+      Core.onStep(R, Depth);
+      return;
+    }
+    if (Buf.empty()) {
+      BlockF = R.F;
+      Block = R.Block;
+      BufDepth = Depth;
+      // Only complete top-entered runs are memo candidates; resumption
+      // mid-block (after a call returned) is flushed unrecorded.
+      CandidateValid = R.Index == 0;
+      BaseSlot = Core.SlotTime;
+      NowIn = Core.Now;
+      IdxIn = Core.InFlightIdx;
+      RunHash = 1469598103934665603ull;
+    }
+    Buf.push_back(Core.resolve(R, Depth));
+    const CoreTiming::ResolvedStep &S = Buf.back();
+    const uint32_t Key =
+        S.LatCycles | (uint32_t(S.IsBr) << 30) | (uint32_t(S.BrCorrect) << 31);
+    Keys.push_back(Key);
+    RunHash = (RunHash ^ Key) * 1099511628211ull;
+    if (R.IsBranch)
+      finalize();
+  }
+
+  /// Flushes any buffered steps through the reference arithmetic (without
+  /// recording). Call before reading the core clock mid-block.
+  void sync() {
+    if (!Buf.empty())
+      flushSlow();
+  }
+
+private:
+  void flushSlow();
+  void finalize();
+  bool profileMatches(const MemoEntry &E) const;
+  void applyHit(const MemoEntry &E);
+  void record(MemoEntry &E);
+
+  CoreTiming &Core;
+  TimingMemo *Memo;
+
+  std::vector<CoreTiming::ResolvedStep> Buf;
+  /// Per-step memo keys of Buf, maintained incrementally with a running
+  /// FNV hash so finalize() never re-walks Buf to key or hash it.
+  std::vector<uint32_t> Keys;
+  uint64_t RunHash = 1469598103934665603ull;
+  const Function *BlockF = nullptr;
+  BlockId Block = NoBlock;
+  size_t BufDepth = 0;
+  bool CandidateValid = false;
+  uint64_t BaseSlot = 0; ///< Slot clock at block entry (the base).
+  uint64_t NowIn = 0;    ///< Visible clock at block entry.
+  size_t IdxIn = 0;      ///< Ring position at block entry.
+
+  // Scratch for record(): register first-read/write marks by generation.
+  std::vector<uint32_t> ReadGen, WriteGen;
+  std::vector<Reg> WrittenList;
+  uint32_t Gen = 0;
+};
+
+} // namespace spt
+
+#endif // SPT_SIM_TIMINGMEMO_H

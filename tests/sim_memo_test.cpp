@@ -1,0 +1,302 @@
+//===- tests/sim_memo_test.cpp - Timing-memo fidelity tests -------------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The block-level timing memo (sim/TimingMemo.h) must be invisible: the
+// default exact+memo configuration has to reproduce the unmemoized
+// reference bit for bit, in every report field, on programs specifically
+// built to diverge the memo keys — cache-set evolution changing a block's
+// load latencies between executions, and data-dependent branches moving
+// the predictor counters. Fast-forward fidelity is held to a weaker
+// contract checked here too: all architectural fields and speculation
+// counters identical, timing within a coarse band.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SeqSim.h"
+#include "sim/SptSim.h"
+
+#include "analysis/CallEffects.h"
+#include "analysis/Cfg.h"
+#include "analysis/DepGraph.h"
+#include "analysis/Freq.h"
+#include "analysis/LoopInfo.h"
+#include "cost/CostModel.h"
+#include "interp/Interp.h"
+#include "lang/Frontend.h"
+#include "partition/Partition.h"
+#include "transform/SptTransform.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace spt;
+
+namespace {
+
+/// Field-exhaustive equality of two sequential reports (everything except
+/// SimPerfCounters::Perf, which is the fast path's own telemetry).
+void expectSameSeqReport(const SeqSimResult &A, const SeqSimResult &B) {
+  EXPECT_EQ(A.Subticks, B.Subticks);
+  EXPECT_EQ(A.Instrs, B.Instrs);
+  EXPECT_EQ(A.Result.I, B.Result.I);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.MemoryHash, B.MemoryHash);
+  EXPECT_EQ(A.BranchLookups, B.BranchLookups);
+  EXPECT_EQ(A.BranchMispredicts, B.BranchMispredicts);
+  ASSERT_EQ(A.PerLoop.size(), B.PerLoop.size());
+  auto IA = A.PerLoop.begin();
+  auto IB = B.PerLoop.begin();
+  for (; IA != A.PerLoop.end(); ++IA, ++IB) {
+    EXPECT_EQ(IA->first, IB->first);
+    // The stats structs are plain counters: compare them as raw bytes.
+    EXPECT_EQ(std::memcmp(&IA->second, &IB->second, sizeof(LoopSeqStats)),
+              0);
+  }
+}
+
+/// Field-exhaustive equality of two SPT reports (excluding Perf).
+void expectSameSptReport(const SptSimResult &A, const SptSimResult &B) {
+  EXPECT_EQ(A.Subticks, B.Subticks);
+  EXPECT_EQ(A.Instrs, B.Instrs);
+  EXPECT_EQ(A.Result.I, B.Result.I);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.MemoryHash, B.MemoryHash);
+  ASSERT_EQ(A.PerLoop.size(), B.PerLoop.size());
+  auto IA = A.PerLoop.begin();
+  auto IB = B.PerLoop.begin();
+  for (; IA != A.PerLoop.end(); ++IA, ++IB) {
+    EXPECT_EQ(IA->first, IB->first);
+    EXPECT_EQ(
+        std::memcmp(&IA->second, &IB->second, sizeof(SptLoopRunStats)), 0);
+  }
+}
+
+/// Transforms the dominant top-level loop of f (same recipe as
+/// sim_test.cpp's sptPrepare).
+std::map<int64_t, SptLoopDesc> sptPrepare(Module &M) {
+  Function *F = M.findFunction("f");
+  CfgInfo Cfg = CfgInfo::compute(*F);
+  LoopNest Nest = LoopNest::compute(*F, Cfg);
+  const Loop *Outer = nullptr;
+  for (uint32_t I = 0; I != Nest.numLoops(); ++I)
+    if (Nest.loop(I)->Depth == 1 &&
+        (!Outer || Nest.loop(I)->Blocks.size() > Outer->Blocks.size()))
+      Outer = Nest.loop(I);
+  EXPECT_NE(Outer, nullptr);
+  auto Probs = CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
+  FreqInfo Freq = FreqInfo::compute(*F, Cfg, Nest, Probs);
+  CallEffects Effects = CallEffects::compute(M);
+  LoopDepGraph G =
+      LoopDepGraph::build(M, *F, Cfg, Nest, *Outer, Freq, Effects);
+  MisspecCostModel Model(G);
+  PartitionResult P = PartitionSearch(G, Model, PartitionOptions()).run();
+  EXPECT_TRUE(P.Searched);
+  SptTransformResult R =
+      applySptTransform(M, *F, Cfg, *Outer, G, P.InPreFork, /*LoopId=*/1);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  std::map<int64_t, SptLoopDesc> Loops;
+  Loops[1] = SptLoopDesc{F, R.PreForkEntry};
+  return Loops;
+}
+
+/// Cache-divergent: the body block's load latency keeps changing as the
+/// strided sweep evolves the cache sets (hits and misses interleave), so
+/// the memo's resolved-latency keys diverge run over run.
+const char *CacheDivergentSrc =
+    "int a[262144];\n"
+    "int f(int n) {\n"
+    "  int i; int s;\n"
+    "  for (i = 0; i < n; i = i + 1)\n"
+    "    s = s + a[(i * 1031) % 262144] + a[(i * 17) % 262144];\n"
+    "  return s;\n"
+    "}\n";
+
+/// Predictor-divergent: a data-dependent branch the 2-bit counters chase
+/// without converging, moving BrCorrect between executions of the same
+/// block.
+const char *PredictorDivergentSrc =
+    "int f(int n) {\n"
+    "  int i; int s;\n"
+    "  for (i = 0; i < n; i = i + 1) {\n"
+    "    if (i % 3 == 0) s = s + 7;\n"
+    "    else if (i % 7 < 3) s = s - 2;\n"
+    "    else s = s + 1;\n"
+    "  }\n"
+    "  return s;\n"
+    "}\n";
+
+/// Stable: a regular loop whose profile settles (short carried chain, so
+/// the issue clock outruns it and the deltas converge); the memo must
+/// actually hit here, not just stay invisible.
+const char *StableSrc =
+    "int f(int n) {\n"
+    "  int i; int s;\n"
+    "  for (i = 0; i < n; i = i + 1) s = s + i;\n"
+    "  return s;\n"
+    "}\n";
+
+/// A long-latency loop-carried fp chain: the visible clock's lead over
+/// the issue clock grows every iteration, so the profile never repeats.
+/// The invalidation backoff must retire the block to the reference path
+/// while the report stays bit-identical (docs/simulation.md documents
+/// this as the memo's structural miss case).
+const char *CarriedChainSrc =
+    "fp a[4096]; fp b[4096];\n"
+    "int f(int n) {\n"
+    "  int i; fp s;\n"
+    "  for (i = 0; i < n; i = i + 1) {\n"
+    "    int k; fp v;\n"
+    "    k = i % 4096;\n"
+    "    v = a[k] * 3.0 + 1.0;\n"
+    "    v = v / 7.0 + sqrt(v);\n"
+    "    b[k] = v;\n"
+    "    s = s + v;\n"
+    "  }\n"
+    "  return ftoi(s);\n"
+    "}\n";
+
+/// Speculation-heavy source with both violating and clean iterations.
+const char *MixedSptSrc =
+    "int a[8192]; fp b[8192];\n"
+    "int f(int n) {\n"
+    "  int i;\n"
+    "  a[0] = 1;\n"
+    "  for (i = 1; i < n; i = i + 1) {\n"
+    "    fp v;\n"
+    "    v = itof(a[i - 1]) * 1.5 + sqrt(itof(i) + 2.0);\n"
+    "    b[i % 8192] = v + b[(i * 13) % 8192] / 3.0;\n"
+    "    if (i % 5 == 0) a[i] = a[i - 1] + ftoi(v) % 7;\n"
+    "    else a[i] = i;\n"
+    "  }\n"
+    "  return a[n - 1];\n"
+    "}\n";
+
+} // namespace
+
+TEST(SimMemoTest, SeqCacheDivergentBitIdentical) {
+  auto M = compileOrDie(CacheDivergentSrc);
+  SeqSimResult Ref = runSequential(*M, "f", {Value::ofInt(20000)},
+                                   MachineConfig(), 500000000ull,
+                                   0x5eed5eed5eedull, SimOptions::exactNoMemo());
+  SeqSimResult Memo = runSequential(*M, "f", {Value::ofInt(20000)});
+  expectSameSeqReport(Ref, Memo);
+  EXPECT_EQ(Ref.Perf.MemoHits, 0u);
+  EXPECT_EQ(Ref.Perf.MemoMisses, 0u);
+}
+
+TEST(SimMemoTest, SeqPredictorDivergentBitIdentical) {
+  auto M = compileOrDie(PredictorDivergentSrc);
+  SeqSimResult Ref = runSequential(*M, "f", {Value::ofInt(30000)},
+                                   MachineConfig(), 500000000ull,
+                                   0x5eed5eed5eedull, SimOptions::exactNoMemo());
+  SeqSimResult Memo = runSequential(*M, "f", {Value::ofInt(30000)});
+  expectSameSeqReport(Ref, Memo);
+}
+
+TEST(SimMemoTest, SeqStableLoopHitsAndStaysIdentical) {
+  auto M = compileOrDie(StableSrc);
+  SeqSimResult Ref = runSequential(*M, "f", {Value::ofInt(20000)},
+                                   MachineConfig(), 500000000ull,
+                                   0x5eed5eed5eedull, SimOptions::exactNoMemo());
+  SeqSimResult Memo = runSequential(*M, "f", {Value::ofInt(20000)});
+  expectSameSeqReport(Ref, Memo);
+  // The fast path must actually engage on a stable loop.
+  EXPECT_GT(Memo.Perf.MemoHits, 1000u);
+  EXPECT_GT(Memo.Perf.hitRate(), 0.5);
+}
+
+TEST(SimMemoTest, SeqCarriedChainBacksOffBitIdentical) {
+  auto M = compileOrDie(CarriedChainSrc);
+  SeqSimResult Ref = runSequential(*M, "f", {Value::ofInt(20000)},
+                                   MachineConfig(), 500000000ull,
+                                   0x5eed5eed5eedull, SimOptions::exactNoMemo());
+  SeqSimResult Memo = runSequential(*M, "f", {Value::ofInt(20000)});
+  expectSameSeqReport(Ref, Memo);
+  // The growing clock gap invalidates until the backoff retires the
+  // block; the counters must show that path was taken, and misses must
+  // stop growing afterwards (bounded, not one per iteration).
+  EXPECT_GT(Memo.Perf.MemoInvalidations, 0u);
+  EXPECT_LT(Memo.Perf.MemoMisses, 1000u);
+}
+
+TEST(SimMemoTest, SptMixedWorkloadBitIdentical) {
+  auto Ref = compileOrDie(MixedSptSrc);
+  auto Mem = compileOrDie(MixedSptSrc);
+  auto RefLoops = sptPrepare(*Ref);
+  auto MemLoops = sptPrepare(*Mem);
+  SptSimResult R =
+      runSpt(*Ref, "f", {Value::ofInt(4000)}, RefLoops, MachineConfig(),
+             500000000ull, 0x5eed5eed5eedull, nullptr, nullptr,
+             SimOptions::exactNoMemo());
+  SptSimResult M =
+      runSpt(*Mem, "f", {Value::ofInt(4000)}, MemLoops);
+  expectSameSptReport(R, M);
+}
+
+TEST(SimMemoTest, SptCacheDivergentBitIdentical) {
+  auto Ref = compileOrDie(CacheDivergentSrc);
+  auto Mem = compileOrDie(CacheDivergentSrc);
+  auto RefLoops = sptPrepare(*Ref);
+  auto MemLoops = sptPrepare(*Mem);
+  SptSimResult R =
+      runSpt(*Ref, "f", {Value::ofInt(8000)}, RefLoops, MachineConfig(),
+             500000000ull, 0x5eed5eed5eedull, nullptr, nullptr,
+             SimOptions::exactNoMemo());
+  SptSimResult M = runSpt(*Mem, "f", {Value::ofInt(8000)}, MemLoops);
+  expectSameSptReport(R, M);
+}
+
+TEST(SimMemoTest, FastForwardPreservesArchitecturalState) {
+  auto Exact = compileOrDie(MixedSptSrc);
+  auto Fast = compileOrDie(MixedSptSrc);
+  auto ExactLoops = sptPrepare(*Exact);
+  auto FastLoops = sptPrepare(*Fast);
+  SptSimResult E = runSpt(*Exact, "f", {Value::ofInt(4000)}, ExactLoops);
+  SptSimResult F =
+      runSpt(*Fast, "f", {Value::ofInt(4000)}, FastLoops, MachineConfig(),
+             500000000ull, 0x5eed5eed5eedull, nullptr, nullptr,
+             SimOptions::fastForward());
+  // Architectural state and speculation outcomes: bit-identical.
+  EXPECT_EQ(E.Result.I, F.Result.I);
+  EXPECT_EQ(E.Output, F.Output);
+  EXPECT_EQ(E.MemoryHash, F.MemoryHash);
+  EXPECT_EQ(E.Instrs, F.Instrs);
+  ASSERT_EQ(E.PerLoop.size(), F.PerLoop.size());
+  auto IE = E.PerLoop.begin();
+  auto IF = F.PerLoop.begin();
+  for (; IE != E.PerLoop.end(); ++IE, ++IF) {
+    EXPECT_EQ(IE->first, IF->first);
+    EXPECT_EQ(IE->second.Forks, IF->second.Forks);
+    EXPECT_EQ(IE->second.Joins, IF->second.Joins);
+    EXPECT_EQ(IE->second.Squashed, IF->second.Squashed);
+    EXPECT_EQ(IE->second.ViolatedThreads, IF->second.ViolatedThreads);
+    EXPECT_EQ(IE->second.SpecInstrs, IF->second.SpecInstrs);
+    EXPECT_EQ(IE->second.ReexecInstrs, IF->second.ReexecInstrs);
+    EXPECT_EQ(IE->second.Iterations, IF->second.Iterations);
+  }
+  // Timing: coarse, but within a sane band of the exact model.
+  EXPECT_GT(F.Subticks, E.Subticks / 8);
+  EXPECT_LT(F.Subticks, E.Subticks * 8);
+  // Fast-forward never engages the memo.
+  EXPECT_EQ(F.Perf.MemoHits + F.Perf.MemoMisses, 0u);
+}
+
+TEST(SimMemoTest, SeqFastForwardPreservesArchitecturalState) {
+  auto M = compileOrDie(PredictorDivergentSrc);
+  SeqSimResult E = runSequential(*M, "f", {Value::ofInt(30000)});
+  SeqSimResult F = runSequential(*M, "f", {Value::ofInt(30000)},
+                                 MachineConfig(), 500000000ull,
+                                 0x5eed5eed5eedull, SimOptions::fastForward());
+  EXPECT_EQ(E.Result.I, F.Result.I);
+  EXPECT_EQ(E.Output, F.Output);
+  EXPECT_EQ(E.MemoryHash, F.MemoryHash);
+  EXPECT_EQ(E.Instrs, F.Instrs);
+  // No predictor in fast-forward.
+  EXPECT_EQ(F.BranchLookups, 0u);
+  EXPECT_GT(F.Subticks, E.Subticks / 8);
+  EXPECT_LT(F.Subticks, E.Subticks * 8);
+}

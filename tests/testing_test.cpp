@@ -169,17 +169,18 @@ TEST(KnownBadMutationTest, NoLoopMeansNoApplication) {
 // Oracle suite.
 //===----------------------------------------------------------------------===//
 
-TEST(OracleSuiteTest, CatalogueHasNineDistinctOracles) {
+TEST(OracleSuiteTest, CatalogueHasTenDistinctOracles) {
   const auto &Cat = oracleCatalogue();
-  ASSERT_EQ(Cat.size(), 9u);
+  ASSERT_EQ(Cat.size(), 10u);
   std::set<std::string> Names;
   for (const OracleInfo &O : Cat) {
     Names.insert(O.Name);
     EXPECT_FALSE(std::string(O.Description).empty()) << O.Name;
   }
-  EXPECT_EQ(Names.size(), 9u);
+  EXPECT_EQ(Names.size(), 10u);
   EXPECT_TRUE(Names.count("interp"));
   EXPECT_TRUE(Names.count("chaos"));
+  EXPECT_TRUE(Names.count("sim-fidelity-diff"));
   EXPECT_TRUE(Names.count("report-diff"));
   EXPECT_TRUE(Names.count("cache-diff"));
 }
