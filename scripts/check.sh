@@ -55,6 +55,16 @@ for preset in "${PRESETS[@]}"; do
   echo "== [$preset] perf_sim --quick (simulator fast-path smoke)"
   "./$builddir/bench/perf_sim" --quick \
     --out="$builddir/BENCH_sim_quick.json"
+  # Interpreter decode differential smoke: the lockstep record-stream
+  # walk between the decoded (threaded, fused) engine and the reference
+  # switch engine, plus perf_interp --quick, which exits nonzero when
+  # either the record streams diverge or the decoded engine drops under
+  # the 2x aggregate throughput gate. Under sanitizers this doubles as a
+  # memory-safety pass over the computed-goto dispatch loop.
+  echo "== [$preset] interp decode differential smoke"
+  "./$builddir/tests/interp_decode_test"
+  "./$builddir/bench/perf_interp" --quick \
+    --out="$builddir/BENCH_interp_quick.json"
 done
 
 # Smoke-run the compile-time benchmark (small stress graphs, one repeat)

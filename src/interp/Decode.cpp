@@ -1,0 +1,1137 @@
+//===- interp/Decode.cpp - Decode pass + threaded-dispatch engine -----------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+// Three things live here:
+//
+//  1. The decode pass: Function -> DecodedFunction (flattening, operand
+//     pre-extraction, branch-target resolution, superinstruction fusion)
+//     and the fingerprint-validated module-level cache behind
+//     Module::decodeCache().
+//
+//  2. The decoded execution engine: one dispatch loop, templated over the
+//     step sink so Interpreter::run() (no records at all) and
+//     Interpreter::runBatch() (records streamed to a StepSink) share every
+//     opcode body. Dispatch is computed-goto under SPT_INTERP_THREADED and
+//     a plain switch otherwise; the bodies are written once behind macros.
+//
+//  3. The byte-identity discipline. Every record a fused or plain decoded
+//     op emits is constructed with exactly the fields the reference
+//     engine's step() would have produced, at the exact sequential point
+//     (a fused pair emits its first record before the second instruction
+//     executes), and the final <=1 step of a bounded run is delegated to
+//     step() itself so a budget can never split a superinstruction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Decode.h"
+
+#include "interp/Interp.h"
+#include "support/Debug.h"
+#include "support/WrapMath.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace spt;
+
+namespace spt {
+
+/// The decoded execution engine (friend of Interpreter). Also the decode
+/// pass's door into Interpreter's private BuiltinKind resolution.
+struct DecodeEngine {
+  template <class Sink>
+  static uint64_t run(Interpreter &In, Sink &S, uint64_t MaxSteps);
+
+  static uint32_t builtinKindRaw(const Function &F) {
+    return static_cast<uint32_t>(Interpreter::builtinKindOf(F));
+  }
+};
+
+} // namespace spt
+
+//===----------------------------------------------------------------------===//
+// Fingerprint + array layout.
+//===----------------------------------------------------------------------===//
+
+uint64_t spt::functionFingerprint(const Function &F) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto mix = [&H](uint64_t Bits) {
+    for (int Byte = 0; Byte != 8; ++Byte) {
+      H ^= (Bits >> (Byte * 8)) & 0xffu;
+      H *= 0x100000001b3ull;
+    }
+  };
+  mix(F.numRegs());
+  mix(F.numParams());
+  mix(F.numBlocks());
+  mix(F.isExternal());
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock *BB = F.block(B);
+    // Storage identity, not just content: decoded ops hold Instr pointers,
+    // and a pass that rebuilds a block's instruction vector with identical
+    // contents (e.g. a no-op cleanup) still moves the storage they point
+    // into. Same address + same content == the pointers are still good.
+    mix(reinterpret_cast<uintptr_t>(BB->Instrs.data()));
+    mix(BB->Instrs.size());
+    for (const Instr &I : BB->Instrs) {
+      mix(uint64_t(static_cast<uint8_t>(I.Op)) |
+          (uint64_t(static_cast<uint8_t>(I.Ty)) << 8));
+      mix(I.Dst);
+      mix(I.Srcs.size());
+      for (Reg R : I.Srcs)
+        mix(R);
+      mix(static_cast<uint64_t>(I.IntImm));
+      uint64_t FpBits;
+      std::memcpy(&FpBits, &I.FpImm, sizeof(FpBits));
+      mix(FpBits);
+      mix(I.Id);
+    }
+    mix(BB->Succs.size());
+    for (BlockId S : BB->Succs)
+      mix(S);
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Decode pass.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Destination register with the NoReg -> scratch-slot mapping applied
+/// (frames allocate numRegs()+1 arena slots; see Interpreter::pushFrame).
+uint32_t mapDst(const Function &F, Reg Dst) {
+  return Dst == NoReg ? F.numRegs() : Dst;
+}
+
+DOp plainDOpFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return DOp::Add;
+  case Opcode::Sub:
+    return DOp::Sub;
+  case Opcode::Mul:
+    return DOp::Mul;
+  case Opcode::Div:
+    return DOp::Div;
+  case Opcode::Rem:
+    return DOp::Rem;
+  case Opcode::Neg:
+    return DOp::Neg;
+  case Opcode::And:
+    return DOp::And;
+  case Opcode::Or:
+    return DOp::Or;
+  case Opcode::Xor:
+    return DOp::Xor;
+  case Opcode::Shl:
+    return DOp::Shl;
+  case Opcode::Shr:
+    return DOp::Shr;
+  case Opcode::Not:
+    return DOp::Not;
+  case Opcode::Min:
+    return DOp::Min;
+  case Opcode::Max:
+    return DOp::Max;
+  case Opcode::Abs:
+    return DOp::Abs;
+  case Opcode::FAdd:
+    return DOp::FAdd;
+  case Opcode::FSub:
+    return DOp::FSub;
+  case Opcode::FMul:
+    return DOp::FMul;
+  case Opcode::FDiv:
+    return DOp::FDiv;
+  case Opcode::FNeg:
+    return DOp::FNeg;
+  case Opcode::FAbs:
+    return DOp::FAbs;
+  case Opcode::FMin:
+    return DOp::FMin;
+  case Opcode::FMax:
+    return DOp::FMax;
+  case Opcode::IntToFp:
+    return DOp::IntToFp;
+  case Opcode::FpToInt:
+    return DOp::FpToInt;
+  case Opcode::CmpEq:
+    return DOp::CmpEq;
+  case Opcode::CmpNe:
+    return DOp::CmpNe;
+  case Opcode::CmpLt:
+    return DOp::CmpLt;
+  case Opcode::CmpLe:
+    return DOp::CmpLe;
+  case Opcode::CmpGt:
+    return DOp::CmpGt;
+  case Opcode::CmpGe:
+    return DOp::CmpGe;
+  case Opcode::FCmpEq:
+    return DOp::FCmpEq;
+  case Opcode::FCmpNe:
+    return DOp::FCmpNe;
+  case Opcode::FCmpLt:
+    return DOp::FCmpLt;
+  case Opcode::FCmpLe:
+    return DOp::FCmpLe;
+  case Opcode::FCmpGt:
+    return DOp::FCmpGt;
+  case Opcode::FCmpGe:
+    return DOp::FCmpGe;
+  case Opcode::Copy:
+    return DOp::Copy;
+  case Opcode::ConstInt:
+    return DOp::ConstInt;
+  case Opcode::ConstFp:
+    return DOp::ConstFp;
+  case Opcode::Select:
+    return DOp::Select;
+  case Opcode::Load:
+    return DOp::Load;
+  case Opcode::Store:
+    return DOp::Store;
+  case Opcode::Call:
+    return DOp::Call;
+  case Opcode::Br:
+    return DOp::Br;
+  case Opcode::Jmp:
+    return DOp::Jmp;
+  case Opcode::Ret:
+    return DOp::Ret;
+  case Opcode::SptFork:
+    return DOp::SptFork;
+  case Opcode::SptKill:
+    return DOp::SptKill;
+  }
+  spt_fatal("unknown opcode in decode");
+}
+
+void decodePlain(const Module &M, const Function &F, const BasicBlock &BB,
+                 BlockId B, uint32_t Idx, const std::vector<uint64_t> &Bases,
+                 DecodedFunction &DF, DecOp &O) {
+  const Instr &I = BB.Instrs[Idx];
+  O.Op = plainDOpFor(I.Op);
+  O.I0 = &I;
+  O.I1 = nullptr;
+  O.Block = B;
+  O.Index = Idx;
+  switch (O.Op) {
+  // Binary register ops: A = dst, B/C = sources.
+  case DOp::Add:
+  case DOp::Sub:
+  case DOp::Mul:
+  case DOp::Div:
+  case DOp::Rem:
+  case DOp::And:
+  case DOp::Or:
+  case DOp::Xor:
+  case DOp::Shl:
+  case DOp::Shr:
+  case DOp::Min:
+  case DOp::Max:
+  case DOp::FAdd:
+  case DOp::FSub:
+  case DOp::FMul:
+  case DOp::FDiv:
+  case DOp::FMin:
+  case DOp::FMax:
+  case DOp::CmpEq:
+  case DOp::CmpNe:
+  case DOp::CmpLt:
+  case DOp::CmpLe:
+  case DOp::CmpGt:
+  case DOp::CmpGe:
+  case DOp::FCmpEq:
+  case DOp::FCmpNe:
+  case DOp::FCmpLt:
+  case DOp::FCmpLe:
+  case DOp::FCmpGt:
+  case DOp::FCmpGe:
+    O.A = mapDst(F, I.Dst);
+    O.B = I.Srcs[0];
+    O.C = I.Srcs[1];
+    break;
+  // Unary register ops: A = dst, B = source.
+  case DOp::Neg:
+  case DOp::Not:
+  case DOp::Abs:
+  case DOp::FNeg:
+  case DOp::FAbs:
+  case DOp::IntToFp:
+  case DOp::FpToInt:
+  case DOp::Copy:
+    O.A = mapDst(F, I.Dst);
+    O.B = I.Srcs[0];
+    break;
+  case DOp::ConstInt:
+    O.A = mapDst(F, I.Dst);
+    O.Imm = I.IntImm;
+    break;
+  case DOp::ConstFp:
+    O.A = mapDst(F, I.Dst);
+    O.FImm = I.FpImm;
+    break;
+  case DOp::Select:
+    O.A = mapDst(F, I.Dst);
+    O.B = I.Srcs[0];
+    O.C = I.Srcs[1];
+    O.T0 = I.Srcs[2];
+    break;
+  case DOp::Load:
+    O.A = mapDst(F, I.Dst);
+    O.B = I.Srcs[0];
+    O.C = I.arrayId();
+    O.UImm = Bases[I.arrayId()];
+    break;
+  case DOp::Store:
+    O.A = I.arrayId();
+    O.B = I.Srcs[0];
+    O.C = I.Srcs[1];
+    O.UImm = Bases[I.arrayId()];
+    break;
+  case DOp::Call: {
+    const Function *Callee = M.function(I.calleeIndex());
+    O.B = static_cast<uint32_t>(DF.SrcPool.size());
+    O.T0 = static_cast<uint32_t>(I.Srcs.size());
+    for (Reg R : I.Srcs)
+      DF.SrcPool.push_back(R);
+    O.P = Callee;
+    if (Callee->isExternal()) {
+      O.Op = DOp::CallExt;
+      O.A = mapDst(F, I.Dst);
+      O.C = DecodeEngine::builtinKindRaw(*Callee);
+    } else {
+      O.A = I.Dst; // Raw: the callee's RetDst, NoReg means "discard".
+      O.C = I.calleeIndex();
+    }
+    break;
+  }
+  case DOp::Br:
+    O.B = I.Srcs[0];
+    O.T0 = DF.BlockStart[BB.Succs[0]];
+    O.T1 = DF.BlockStart[BB.Succs[1]];
+    O.UImm = uint64_t(BB.Succs[0]) | (uint64_t(BB.Succs[1]) << 32);
+    break;
+  case DOp::Jmp:
+    O.T0 = DF.BlockStart[BB.Succs[0]];
+    O.UImm = BB.Succs[0];
+    break;
+  case DOp::Ret:
+    O.NSrcs = static_cast<uint8_t>(I.Srcs.size());
+    O.B = I.Srcs.empty() ? 0 : I.Srcs[0];
+    break;
+  case DOp::SptFork:
+  case DOp::SptKill:
+    break;
+  default:
+    spt_fatal("decodePlain: unexpected op");
+  }
+}
+
+/// Greedy left-to-right superinstruction rewrite of one block. The second
+/// instruction of a fused pair keeps its plain slot (normal flow skips it
+/// with PC += 2; mid-stream entry at its position still works).
+void fuseBlock(const Function &F, const BasicBlock &BB, uint32_t Start,
+               DecodedFunction &DF) {
+  const size_t N = BB.Instrs.size();
+  size_t Idx = 0;
+  while (Idx + 1 < N) {
+    const Instr &I = BB.Instrs[Idx];
+    const Instr &J = BB.Instrs[Idx + 1];
+    DecOp &O = DF.Code[Start + Idx];
+    const DecOp &O2 = DF.Code[Start + Idx + 1];
+    DOp Fused = DOp::kCount;
+
+    if (J.Op == Opcode::Br && I.Dst != NoReg && J.Srcs[0] == I.Dst) {
+      // Integer compare feeding the block's conditional branch.
+      switch (I.Op) {
+      case Opcode::CmpEq:
+        Fused = DOp::CmpEqBr;
+        break;
+      case Opcode::CmpNe:
+        Fused = DOp::CmpNeBr;
+        break;
+      case Opcode::CmpLt:
+        Fused = DOp::CmpLtBr;
+        break;
+      case Opcode::CmpLe:
+        Fused = DOp::CmpLeBr;
+        break;
+      case Opcode::CmpGt:
+        Fused = DOp::CmpGtBr;
+        break;
+      case Opcode::CmpGe:
+        Fused = DOp::CmpGeBr;
+        break;
+      default:
+        break;
+      }
+      if (Fused != DOp::kCount) {
+        O.Op = Fused;
+        O.A = I.Dst;
+        O.B = I.Srcs[0];
+        O.C = I.Srcs[1];
+        O.T0 = O2.T0;
+        O.T1 = O2.T1;
+        O.UImm = O2.UImm;
+      }
+    } else if (I.Op == Opcode::ConstInt && J.Op == Opcode::Add &&
+               I.Dst != NoReg &&
+               (J.Srcs[0] == I.Dst || J.Srcs[1] == I.Dst)) {
+      // Add-immediate: the constant is still written (int add commutes, so
+      // the surviving operand order is irrelevant).
+      Fused = DOp::ConstAdd;
+      O.Op = Fused;
+      O.A = mapDst(F, J.Dst);
+      O.B = J.Srcs[0] == I.Dst ? J.Srcs[1] : J.Srcs[0];
+      O.C = I.Dst;
+      O.Imm = I.IntImm;
+    } else if (I.Op == Opcode::Mul && J.Op == Opcode::Add && I.Dst != NoReg &&
+               (J.Srcs[0] == I.Dst || J.Srcs[1] == I.Dst)) {
+      Fused = DOp::MulAdd;
+      O.Op = Fused;
+      O.A = mapDst(F, J.Dst);
+      O.B = I.Srcs[0];
+      O.C = I.Srcs[1];
+      O.T0 = I.Dst;
+      O.T1 = J.Srcs[0] == I.Dst ? J.Srcs[1] : J.Srcs[0];
+    } else if (I.Op == Opcode::Add && J.Op == Opcode::Load && I.Dst != NoReg &&
+               J.Srcs[0] == I.Dst) {
+      // Index arithmetic feeding the access address.
+      Fused = DOp::AddLoad;
+      O.Op = Fused;
+      O.A = mapDst(F, J.Dst);
+      O.B = I.Srcs[0];
+      O.C = I.Srcs[1];
+      O.T0 = I.Dst;
+      O.T1 = J.arrayId();
+      O.UImm = O2.UImm;
+    } else if (I.Op == Opcode::Add && J.Op == Opcode::Store &&
+               I.Dst != NoReg && J.Srcs[0] == I.Dst) {
+      Fused = DOp::AddStore;
+      O.Op = Fused;
+      O.A = J.Srcs[1]; // Value register, read after the add retires.
+      O.B = I.Srcs[0];
+      O.C = I.Srcs[1];
+      O.T0 = I.Dst;
+      O.T1 = J.arrayId();
+      O.UImm = O2.UImm;
+    }
+
+    if (Fused != DOp::kCount) {
+      O.I1 = &J;
+      ++DF.NumFused;
+      Idx += 2;
+    } else {
+      ++Idx;
+    }
+  }
+}
+
+std::shared_ptr<const DecodedFunction>
+buildImage(const Module &M, const Function &F, uint64_t Fingerprint,
+           const std::vector<uint64_t> &Bases) {
+  auto DF = std::make_shared<DecodedFunction>();
+  DF->F = &F;
+  DF->Fingerprint = Fingerprint;
+  DF->BlockStart.resize(F.numBlocks());
+  uint32_t Total = 0;
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    DF->BlockStart[B] = Total;
+    Total += static_cast<uint32_t>(F.block(B)->Instrs.size());
+  }
+  DF->Code.resize(Total);
+  for (BlockId B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock *BB = F.block(B);
+    for (uint32_t Idx = 0; Idx != BB->Instrs.size(); ++Idx)
+      decodePlain(M, F, *BB, B, Idx, Bases, *DF,
+                  DF->Code[DF->BlockStart[B] + Idx]);
+  }
+  for (BlockId B = 0; B != F.numBlocks(); ++B)
+    fuseBlock(F, *F.block(B), DF->BlockStart[B], *DF);
+  return DF;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Module-level cache.
+//===----------------------------------------------------------------------===//
+
+DecodedModule::DecodedModule(const Module &M)
+    : M(M), ArrayBase(arrayBaseLayout(M)) {
+  Images.resize(M.numFunctions());
+}
+
+std::shared_ptr<const DecodedFunction>
+DecodedModule::imageFor(const Function *F) {
+  const uint32_t Idx = M.indexOf(F);
+  const uint64_t Fingerprint = functionFingerprint(*F);
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Images.size() < M.numFunctions())
+    Images.resize(M.numFunctions());
+  if (ArrayBase.size() != M.numArrays())
+    ArrayBase = arrayBaseLayout(M); // Arrays are append-only.
+  std::shared_ptr<const DecodedFunction> &Slot = Images[Idx];
+  if (!Slot || Slot->Fingerprint != Fingerprint)
+    Slot = buildImage(M, *F, Fingerprint, ArrayBase);
+  return Slot;
+}
+
+DecodedModule &Module::decodeCache() const {
+  std::call_once(DecodeCacheOnce, [this] {
+    DecodeCache = std::make_shared<DecodedModule>(*this);
+  });
+  return *DecodeCache;
+}
+
+const DecodedFunction *Interpreter::imageByIndex(uint32_t Idx) {
+  if (FnImages.size() <= Idx)
+    FnImages.resize(std::max<size_t>(M.numFunctions(), Idx + 1));
+  std::shared_ptr<const DecodedFunction> &Slot = FnImages[Idx];
+  if (!Slot)
+    Slot = M.decodeCache().imageFor(M.function(Idx));
+  return Slot.get();
+}
+
+const DecodedFunction *Interpreter::imageOf(const Function *F) {
+  return imageByIndex(M.indexOf(F));
+}
+
+//===----------------------------------------------------------------------===//
+// The decoded execution engine.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// run(): no records at all — the pure-throughput path.
+struct NullSink {
+  static constexpr bool NeedsRecords = false;
+  bool onStep(const StepResult &) { return true; }
+};
+
+/// runBatch(): records delivered through the virtual StepSink.
+struct VirtualSink {
+  StepSink &S;
+  static constexpr bool NeedsRecords = true;
+  bool onStep(const StepResult &R) { return S.onStep(R); }
+};
+
+} // namespace
+
+#if SPT_INTERP_THREADED
+#define SPT_LIKELY(X) __builtin_expect(!!(X), 1)
+#endif
+
+template <class Sink>
+uint64_t DecodeEngine::run(Interpreter &In, Sink &S, uint64_t MaxSteps) {
+  constexpr bool Rec = Sink::NeedsRecords;
+  if (In.Stack.empty() || MaxSteps == 0)
+    return 0;
+
+  uint64_t Steps = 0;
+  // The fast loop only starts an op with >= 2 steps of budget so a fused
+  // pair can never overshoot MaxSteps; the final step goes through the
+  // reference engine in the tail below.
+  const uint64_t FastBudget = MaxSteps - 1;
+  bool Go = true;
+
+  // Decoded images for every live frame (frames may have been pushed by
+  // the reference engine before this call).
+  std::vector<const DecodedFunction *> Imgs;
+  Imgs.reserve(In.Stack.size() + 16);
+  for (const Frame &Fr : In.Stack)
+    Imgs.push_back(In.imageOf(Fr.F));
+
+  const Function *CurF = In.Stack.back().F;
+  const DecodedFunction *Img = Imgs.back();
+  const DecOp *Code = Img->Code.data();
+  uint32_t PC = Img->offsetOf(In.Stack.back().Block, In.Stack.back().Index);
+  Value *R = In.RegArena.data() + In.Stack.back().RegBase;
+
+  auto refreshTop = [&]() {
+    const Frame &Fr = In.Stack.back();
+    CurF = Fr.F;
+    Img = Imgs.back();
+    Code = Img->Code.data();
+    R = In.RegArena.data() + Fr.RegBase;
+  };
+
+  // Record emitters. Each builds exactly the StepResult the reference
+  // engine would have returned and runs the sink synchronously, at the
+  // sequential point step() would have returned it.
+  auto emitVal = [&](const Instr *I, BlockId Blk, uint32_t Idx, Value V) {
+    StepResult Rc;
+    Rc.F = CurF;
+    Rc.I = I;
+    Rc.Block = Blk;
+    Rc.Index = Idx;
+    Rc.Result = V;
+    if (!S.onStep(Rc))
+      Go = false;
+  };
+  auto emitMem = [&](const Instr *I, BlockId Blk, uint32_t Idx, bool IsLoad,
+                     uint64_t Addr, bool OOB, Value V) {
+    StepResult Rc;
+    Rc.F = CurF;
+    Rc.I = I;
+    Rc.Block = Blk;
+    Rc.Index = Idx;
+    Rc.IsLoad = IsLoad;
+    Rc.IsStore = !IsLoad;
+    Rc.Addr = Addr;
+    Rc.OutOfBounds = OOB;
+    Rc.Result = V;
+    if (!S.onStep(Rc))
+      Go = false;
+  };
+  auto emitBranch = [&](const Instr *I, BlockId Blk, uint32_t Idx, bool Taken,
+                        BlockId Next) {
+    StepResult Rc;
+    Rc.F = CurF;
+    Rc.I = I;
+    Rc.Block = Blk;
+    Rc.Index = Idx;
+    Rc.IsBranch = true;
+    Rc.BranchTaken = Taken;
+    Rc.NextBlock = Next;
+    if (!S.onStep(Rc))
+      Go = false;
+  };
+  auto emitCallEnter = [&](const Instr *I, BlockId Blk, uint32_t Idx) {
+    StepResult Rc;
+    Rc.F = CurF;
+    Rc.I = I;
+    Rc.Block = Blk;
+    Rc.Index = Idx;
+    Rc.IsCallEnter = true;
+    if (!S.onStep(Rc))
+      Go = false;
+  };
+  auto emitRet = [&](const Instr *I, BlockId Blk, uint32_t Idx, Value V) {
+    StepResult Rc;
+    Rc.F = CurF;
+    Rc.I = I;
+    Rc.Block = Blk;
+    Rc.Index = Idx;
+    Rc.IsReturn = true;
+    Rc.Result = V;
+    if (!S.onStep(Rc))
+      Go = false;
+  };
+  auto emitMarker = [&](const Instr *I, BlockId Blk, uint32_t Idx, bool Fork) {
+    StepResult Rc;
+    Rc.F = CurF;
+    Rc.I = I;
+    Rc.Block = Blk;
+    Rc.Index = Idx;
+    Rc.IsFork = Fork;
+    Rc.IsKill = !Fork;
+    if (!S.onStep(Rc))
+      Go = false;
+  };
+  // The record-free instantiation discards every emit call site.
+  (void)emitVal;
+  (void)emitMem;
+  (void)emitBranch;
+  (void)emitCallEnter;
+  (void)emitRet;
+  (void)emitMarker;
+
+#if SPT_INTERP_THREADED
+  // Label table indexed by the raw DOp value — order must match the enum.
+  const void *const Tbl[] = {
+      &&L_Add,     &&L_Sub,     &&L_Mul,     &&L_Div,     &&L_Rem,
+      &&L_Neg,     &&L_And,     &&L_Or,      &&L_Xor,     &&L_Shl,
+      &&L_Shr,     &&L_Not,     &&L_Min,     &&L_Max,     &&L_Abs,
+      &&L_FAdd,    &&L_FSub,    &&L_FMul,    &&L_FDiv,    &&L_FNeg,
+      &&L_FAbs,    &&L_FMin,    &&L_FMax,    &&L_IntToFp, &&L_FpToInt,
+      &&L_CmpEq,   &&L_CmpNe,   &&L_CmpLt,   &&L_CmpLe,   &&L_CmpGt,
+      &&L_CmpGe,   &&L_FCmpEq,  &&L_FCmpNe,  &&L_FCmpLt,  &&L_FCmpLe,
+      &&L_FCmpGt,  &&L_FCmpGe,  &&L_Copy,    &&L_ConstInt, &&L_ConstFp,
+      &&L_Select,  &&L_Load,    &&L_Store,   &&L_Call,    &&L_CallExt,
+      &&L_Br,      &&L_Jmp,     &&L_Ret,     &&L_SptFork, &&L_SptKill,
+      &&L_CmpEqBr, &&L_CmpNeBr, &&L_CmpLtBr, &&L_CmpLeBr, &&L_CmpGtBr,
+      &&L_CmpGeBr, &&L_ConstAdd, &&L_MulAdd, &&L_AddLoad, &&L_AddStore,
+  };
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) ==
+                    static_cast<size_t>(DOp::kCount),
+                "label table out of sync with DOp");
+
+#define SPT_CASE(Name) L_##Name:
+#define SPT_NEXT()                                                             \
+  do {                                                                         \
+    if (SPT_LIKELY(Go && Steps < FastBudget))                                  \
+      goto *Tbl[static_cast<unsigned>(Code[PC].Op)];                           \
+    goto ExitLoop;                                                             \
+  } while (0)
+
+  if (!(Go && Steps < FastBudget))
+    goto ExitLoop;
+  goto *Tbl[static_cast<unsigned>(Code[PC].Op)];
+#else
+#define SPT_CASE(Name) case DOp::Name:
+#define SPT_NEXT() break
+
+  while (Go && Steps < FastBudget) {
+    switch (Code[PC].Op) {
+#endif
+
+// One IR instruction writing a value: A = dst, operands per Expr.
+#define SPT_VALOP(Name, Expr)                                                  \
+  SPT_CASE(Name) {                                                             \
+    const DecOp &O = Code[PC];                                                 \
+    ++In.InstrsExecuted;                                                       \
+    ++Steps;                                                                   \
+    const Value V = (Expr);                                                    \
+    R[O.A] = V;                                                                \
+    if constexpr (Rec)                                                         \
+      emitVal(O.I0, O.Block, O.Index, V);                                      \
+    ++PC;                                                                      \
+  }                                                                            \
+  SPT_NEXT()
+
+  SPT_VALOP(Add, Value::ofInt(wrapAdd(R[O.B].I, R[O.C].I)));
+  SPT_VALOP(Sub, Value::ofInt(wrapSub(R[O.B].I, R[O.C].I)));
+  SPT_VALOP(Mul, Value::ofInt(wrapMul(R[O.B].I, R[O.C].I)));
+  SPT_VALOP(Div, Value::ofInt(wrapDiv(R[O.B].I, R[O.C].I)));
+  SPT_VALOP(Rem, Value::ofInt(wrapRem(R[O.B].I, R[O.C].I)));
+  SPT_VALOP(Neg, Value::ofInt(wrapNeg(R[O.B].I)));
+  SPT_VALOP(And, Value::ofInt(R[O.B].I & R[O.C].I));
+  SPT_VALOP(Or, Value::ofInt(R[O.B].I | R[O.C].I));
+  SPT_VALOP(Xor, Value::ofInt(R[O.B].I ^ R[O.C].I));
+  SPT_VALOP(Shl, Value::ofInt(wrapShl(R[O.B].I, R[O.C].I)));
+  SPT_VALOP(Shr, Value::ofInt(R[O.B].I >> (R[O.C].I & 63)));
+  SPT_VALOP(Not, Value::ofInt(~R[O.B].I));
+  SPT_VALOP(Min, Value::ofInt(R[O.B].I < R[O.C].I ? R[O.B].I : R[O.C].I));
+  SPT_VALOP(Max, Value::ofInt(R[O.B].I > R[O.C].I ? R[O.B].I : R[O.C].I));
+  SPT_VALOP(Abs, Value::ofInt(wrapAbs(R[O.B].I)));
+
+  SPT_VALOP(FAdd, Value::ofFp(R[O.B].F + R[O.C].F));
+  SPT_VALOP(FSub, Value::ofFp(R[O.B].F - R[O.C].F));
+  SPT_VALOP(FMul, Value::ofFp(R[O.B].F * R[O.C].F));
+  SPT_VALOP(FDiv,
+            Value::ofFp(R[O.C].F == 0.0 ? 0.0 : R[O.B].F / R[O.C].F));
+  SPT_VALOP(FNeg, Value::ofFp(-R[O.B].F));
+  SPT_VALOP(FAbs, Value::ofFp(std::fabs(R[O.B].F)));
+  SPT_VALOP(FMin, Value::ofFp(R[O.B].F < R[O.C].F ? R[O.B].F : R[O.C].F));
+  SPT_VALOP(FMax, Value::ofFp(R[O.B].F > R[O.C].F ? R[O.B].F : R[O.C].F));
+
+  SPT_VALOP(IntToFp, Value::ofFp(static_cast<double>(R[O.B].I)));
+  SPT_VALOP(FpToInt, Value::ofInt(static_cast<int64_t>(R[O.B].F)));
+
+  SPT_VALOP(CmpEq, Value::ofInt(R[O.B].I == R[O.C].I));
+  SPT_VALOP(CmpNe, Value::ofInt(R[O.B].I != R[O.C].I));
+  SPT_VALOP(CmpLt, Value::ofInt(R[O.B].I < R[O.C].I));
+  SPT_VALOP(CmpLe, Value::ofInt(R[O.B].I <= R[O.C].I));
+  SPT_VALOP(CmpGt, Value::ofInt(R[O.B].I > R[O.C].I));
+  SPT_VALOP(CmpGe, Value::ofInt(R[O.B].I >= R[O.C].I));
+  SPT_VALOP(FCmpEq, Value::ofInt(R[O.B].F == R[O.C].F));
+  SPT_VALOP(FCmpNe, Value::ofInt(R[O.B].F != R[O.C].F));
+  SPT_VALOP(FCmpLt, Value::ofInt(R[O.B].F < R[O.C].F));
+  SPT_VALOP(FCmpLe, Value::ofInt(R[O.B].F <= R[O.C].F));
+  SPT_VALOP(FCmpGt, Value::ofInt(R[O.B].F > R[O.C].F));
+  SPT_VALOP(FCmpGe, Value::ofInt(R[O.B].F >= R[O.C].F));
+
+  SPT_VALOP(Copy, R[O.B]);
+  SPT_VALOP(ConstInt, Value::ofInt(O.Imm));
+  SPT_VALOP(ConstFp, Value::ofFp(O.FImm));
+  SPT_VALOP(Select, R[O.B].I != 0 ? R[O.C] : R[O.T0]);
+
+  SPT_CASE(Load) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const int64_t Idx = R[O.B].I;
+    const std::vector<Value> &Arr = (*In.Mem)[O.C];
+    uint64_t Addr;
+    bool OOB;
+    Value V;
+    if (static_cast<uint64_t>(Idx) >= Arr.size()) {
+      OOB = true;
+      Addr = O.UImm; // Clamped address for the cache model.
+      V = Value();
+    } else {
+      OOB = false;
+      Addr = O.UImm + static_cast<uint64_t>(Idx) * 8;
+      V = Arr[static_cast<size_t>(Idx)];
+    }
+    if (In.Hooks_)
+      V = In.Hooks_->onLoad(Addr, V);
+    R[O.A] = V;
+    if constexpr (Rec)
+      emitMem(O.I0, O.Block, O.Index, /*IsLoad=*/true, Addr, OOB, V);
+    ++PC;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(Store) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const int64_t Idx = R[O.B].I;
+    const Value V = R[O.C];
+    std::vector<Value> &Arr = (*In.Mem)[O.A];
+    uint64_t Addr;
+    bool OOB;
+    if (static_cast<uint64_t>(Idx) >= Arr.size()) {
+      OOB = true;
+      Addr = O.UImm;
+      if (In.Hooks_)
+        In.Hooks_->onStore(Addr, V); // Buffered even when out of bounds.
+    } else {
+      OOB = false;
+      Addr = O.UImm + static_cast<uint64_t>(Idx) * 8;
+      const bool Consumed = In.Hooks_ && In.Hooks_->onStore(Addr, V);
+      if (!Consumed)
+        Arr[static_cast<size_t>(Idx)] = V;
+    }
+    if constexpr (Rec)
+      emitMem(O.I0, O.Block, O.Index, /*IsLoad=*/false, Addr, OOB, V);
+    ++PC;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(CallExt) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Reg *ArgRegs = Img->SrcPool.data() + O.B;
+    In.ArgScratch.clear();
+    for (uint32_t K = 0; K != O.T0; ++K)
+      In.ArgScratch.push_back(R[ArgRegs[K]]);
+    const Value V = In.evalBuiltinKind(
+        static_cast<Interpreter::BuiltinKind>(O.C), In.ArgScratch.data());
+    R[O.A] = V;
+    if constexpr (Rec)
+      emitVal(O.I0, O.Block, O.Index, V);
+    ++PC;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(Call) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Function *Callee = static_cast<const Function *>(O.P);
+    const Reg *ArgRegs = Img->SrcPool.data() + O.B;
+    In.ArgScratch.clear();
+    for (uint32_t K = 0; K != O.T0; ++K)
+      In.ArgScratch.push_back(R[ArgRegs[K]]);
+    // Suspend the caller at its resume position, then enter the callee.
+    Frame &Cur = In.Stack.back();
+    Cur.Block = O.Block;
+    Cur.Index = O.Index + 1;
+    In.pushFrame(Callee, static_cast<Reg>(O.A), In.ArgScratch.data(),
+                 In.ArgScratch.size());
+    Imgs.push_back(In.imageByIndex(O.C));
+    if constexpr (Rec)
+      emitCallEnter(O.I0, O.Block, O.Index); // CurF is still the caller.
+    refreshTop();
+    PC = Img->offsetOf(Callee->entry(), 0);
+  }
+  SPT_NEXT();
+
+  SPT_CASE(Ret) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    Value V;
+    if (O.NSrcs)
+      V = R[O.B];
+    Frame &Cur = In.Stack.back();
+    const Reg Dst = Cur.RetDst;
+    In.ArenaTop = Cur.RegBase;
+    const Instr *RetI = O.I0;
+    const BlockId RetBlk = O.Block;
+    const uint32_t RetIdx = O.Index;
+    In.Stack.pop_back();
+    Imgs.pop_back();
+    if (In.Stack.empty()) {
+      In.RetValue = V;
+      if constexpr (Rec)
+        emitRet(RetI, RetBlk, RetIdx, V);
+      goto ExitDone; // Nothing left to sync.
+    }
+    const Frame &Caller = In.Stack.back();
+    if (Dst != NoReg)
+      In.RegArena[Caller.RegBase + Dst] = V;
+    if constexpr (Rec)
+      emitRet(RetI, RetBlk, RetIdx, V); // CurF is still the returning fn.
+    refreshTop();
+    PC = Img->offsetOf(Caller.Block, Caller.Index);
+  }
+  SPT_NEXT();
+
+  SPT_CASE(Br) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const bool Taken = R[O.B].I != 0;
+    PC = Taken ? O.T0 : O.T1;
+    if constexpr (Rec)
+      emitBranch(O.I0, O.Block, O.Index, Taken,
+                 static_cast<BlockId>(Taken ? (O.UImm & 0xffffffffu)
+                                            : (O.UImm >> 32)));
+  }
+  SPT_NEXT();
+
+  SPT_CASE(Jmp) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    PC = O.T0;
+    if constexpr (Rec)
+      emitBranch(O.I0, O.Block, O.Index, /*Taken=*/true,
+                 static_cast<BlockId>(O.UImm));
+  }
+  SPT_NEXT();
+
+  SPT_CASE(SptFork) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    if constexpr (Rec)
+      emitMarker(O.I0, O.Block, O.Index, /*Fork=*/true);
+    ++PC;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(SptKill) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    if constexpr (Rec)
+      emitMarker(O.I0, O.Block, O.Index, /*Fork=*/false);
+    ++PC;
+  }
+  SPT_NEXT();
+
+// Fused integer compare + conditional branch. The branch condition is the
+// compare's destination by construction, so the freshly computed value is
+// the condition.
+#define SPT_CMPBR(Name, CmpExpr)                                               \
+  SPT_CASE(Name) {                                                             \
+    const DecOp &O = Code[PC];                                                 \
+    ++In.InstrsExecuted;                                                       \
+    ++Steps;                                                                   \
+    const Value CV = Value::ofInt(CmpExpr);                                    \
+    R[O.A] = CV;                                                               \
+    if constexpr (Rec) {                                                       \
+      emitVal(O.I0, O.Block, O.Index, CV);                                     \
+      if (!Go) {                                                               \
+        ++PC; /* sink stopped mid-pair: resume at the plain branch slot */     \
+        goto ExitLoop;                                                         \
+      }                                                                        \
+    }                                                                          \
+    ++In.InstrsExecuted;                                                       \
+    ++Steps;                                                                   \
+    const bool Taken = CV.I != 0;                                              \
+    PC = Taken ? O.T0 : O.T1;                                                  \
+    if constexpr (Rec)                                                         \
+      emitBranch(O.I1, O.Block, O.Index + 1, Taken,                            \
+                 static_cast<BlockId>(Taken ? (O.UImm & 0xffffffffu)           \
+                                            : (O.UImm >> 32)));                \
+  }                                                                            \
+  SPT_NEXT()
+
+  SPT_CMPBR(CmpEqBr, R[O.B].I == R[O.C].I);
+  SPT_CMPBR(CmpNeBr, R[O.B].I != R[O.C].I);
+  SPT_CMPBR(CmpLtBr, R[O.B].I < R[O.C].I);
+  SPT_CMPBR(CmpLeBr, R[O.B].I <= R[O.C].I);
+  SPT_CMPBR(CmpGtBr, R[O.B].I > R[O.C].I);
+  SPT_CMPBR(CmpGeBr, R[O.B].I >= R[O.C].I);
+
+  SPT_CASE(ConstAdd) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Value CV = Value::ofInt(O.Imm);
+    R[O.C] = CV;
+    if constexpr (Rec) {
+      emitVal(O.I0, O.Block, O.Index, CV);
+      if (!Go) {
+        ++PC; // Sink stopped mid-pair: resume at the plain second half.
+        goto ExitLoop;
+      }
+    }
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Value V = Value::ofInt(wrapAdd(R[O.B].I, R[O.C].I));
+    R[O.A] = V;
+    if constexpr (Rec)
+      emitVal(O.I1, O.Block, O.Index + 1, V);
+    PC += 2;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(MulAdd) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Value MV = Value::ofInt(wrapMul(R[O.B].I, R[O.C].I));
+    R[O.T0] = MV;
+    if constexpr (Rec) {
+      emitVal(O.I0, O.Block, O.Index, MV);
+      if (!Go) {
+        ++PC; // Sink stopped mid-pair: resume at the plain second half.
+        goto ExitLoop;
+      }
+    }
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Value V = Value::ofInt(wrapAdd(R[O.T0].I, R[O.T1].I));
+    R[O.A] = V;
+    if constexpr (Rec)
+      emitVal(O.I1, O.Block, O.Index + 1, V);
+    PC += 2;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(AddLoad) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Value AV = Value::ofInt(wrapAdd(R[O.B].I, R[O.C].I));
+    R[O.T0] = AV;
+    if constexpr (Rec) {
+      emitVal(O.I0, O.Block, O.Index, AV);
+      if (!Go) {
+        ++PC; // Sink stopped mid-pair: resume at the plain second half.
+        goto ExitLoop;
+      }
+    }
+    ++In.InstrsExecuted;
+    ++Steps;
+    const int64_t Idx = R[O.T0].I;
+    const std::vector<Value> &Arr = (*In.Mem)[O.T1];
+    uint64_t Addr;
+    bool OOB;
+    Value V;
+    if (static_cast<uint64_t>(Idx) >= Arr.size()) {
+      OOB = true;
+      Addr = O.UImm;
+      V = Value();
+    } else {
+      OOB = false;
+      Addr = O.UImm + static_cast<uint64_t>(Idx) * 8;
+      V = Arr[static_cast<size_t>(Idx)];
+    }
+    if (In.Hooks_)
+      V = In.Hooks_->onLoad(Addr, V);
+    R[O.A] = V;
+    if constexpr (Rec)
+      emitMem(O.I1, O.Block, O.Index + 1, /*IsLoad=*/true, Addr, OOB, V);
+    PC += 2;
+  }
+  SPT_NEXT();
+
+  SPT_CASE(AddStore) {
+    const DecOp &O = Code[PC];
+    ++In.InstrsExecuted;
+    ++Steps;
+    const Value AV = Value::ofInt(wrapAdd(R[O.B].I, R[O.C].I));
+    R[O.T0] = AV;
+    if constexpr (Rec) {
+      emitVal(O.I0, O.Block, O.Index, AV);
+      if (!Go) {
+        ++PC; // Sink stopped mid-pair: resume at the plain second half.
+        goto ExitLoop;
+      }
+    }
+    ++In.InstrsExecuted;
+    ++Steps;
+    const int64_t Idx = R[O.T0].I;
+    const Value V = R[O.A]; // Read after the add: sequential semantics.
+    std::vector<Value> &Arr = (*In.Mem)[O.T1];
+    uint64_t Addr;
+    bool OOB;
+    if (static_cast<uint64_t>(Idx) >= Arr.size()) {
+      OOB = true;
+      Addr = O.UImm;
+      if (In.Hooks_)
+        In.Hooks_->onStore(Addr, V);
+    } else {
+      OOB = false;
+      Addr = O.UImm + static_cast<uint64_t>(Idx) * 8;
+      const bool Consumed = In.Hooks_ && In.Hooks_->onStore(Addr, V);
+      if (!Consumed)
+        Arr[static_cast<size_t>(Idx)] = V;
+    }
+    if constexpr (Rec)
+      emitMem(O.I1, O.Block, O.Index + 1, /*IsLoad=*/false, Addr, OOB, V);
+    PC += 2;
+  }
+  SPT_NEXT();
+
+#if !SPT_INTERP_THREADED
+    case DOp::kCount:
+      spt_fatal("corrupt decoded stream");
+    }
+  }
+#endif
+
+#undef SPT_CASE
+#undef SPT_NEXT
+#undef SPT_VALOP
+#undef SPT_CMPBR
+
+ExitLoop:
+  // Control leaves the dispatch loop with PC at the next op to execute;
+  // re-establish the Block/Index view every out-of-loop consumer relies on.
+  if (!In.Stack.empty()) {
+    Frame &Fr = In.Stack.back();
+    const DecOp &O = Code[PC];
+    Fr.Block = O.Block;
+    Fr.Index = O.Index;
+  }
+ExitDone:
+  // At most one step of budget can remain (the fast loop keeps a 2-step
+  // margin so superinstructions never overshoot); retire it through the
+  // reference engine, which is single-step by construction.
+  while (Go && !In.Stack.empty() && Steps < MaxSteps) {
+    const StepResult Rc = In.step();
+    ++Steps;
+    if constexpr (Rec) {
+      if (!S.onStep(Rc))
+        Go = false;
+    }
+  }
+  return Steps;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine entry points.
+//===----------------------------------------------------------------------===//
+
+uint64_t Interpreter::run(uint64_t MaxSteps) {
+  if (Opts.Dispatch == InterpDispatch::Decoded) {
+    NullSink S;
+    return DecodeEngine::run(*this, S, MaxSteps);
+  }
+  uint64_t Steps = 0;
+  while (!done() && Steps < MaxSteps) {
+    step();
+    ++Steps;
+  }
+  return Steps;
+}
+
+uint64_t Interpreter::runBatch(StepSink &Sink, uint64_t MaxSteps) {
+  if (Opts.Dispatch == InterpDispatch::Decoded) {
+    VirtualSink S{Sink};
+    return DecodeEngine::run(*this, S, MaxSteps);
+  }
+  uint64_t Steps = 0;
+  while (!done() && Steps < MaxSteps) {
+    const StepResult R = step();
+    ++Steps;
+    if (!Sink.onStep(R))
+      break;
+  }
+  return Steps;
+}

@@ -2,40 +2,63 @@
 //
 // Part of the SPT framework (PLDI 2004 reproduction). MIT license.
 //
+// This file implements the machine state and the *reference* engine — the
+// tree-walking switch over ir::Instr behind step(). The decoded engine
+// (run()/runBatch() under InterpDispatch::Decoded) lives in Decode.cpp;
+// both operate on the same state and must stay byte-identical in every
+// observable (tests/interp_decode_test.cpp).
+//
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
 
+#include "interp/Decode.h"
 #include "support/Debug.h"
 #include "support/WrapMath.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 using namespace spt;
 
 Interpreter::MemHooks::~MemHooks() = default;
+StepSink::~StepSink() = default;
 
-Interpreter::Interpreter(const Module &M, InterpOptions Opts)
-    : M(M), Mem(&OwnMemory), Rng(Opts.RngSeed), Opts(Opts) {
-  OwnMemory.resize(M.numArrays());
-  ArrayBase.resize(M.numArrays());
+std::vector<uint64_t> spt::arrayBaseLayout(const Module &M) {
+  std::vector<uint64_t> Bases(M.numArrays());
   uint64_t Base = 0x1000;
   for (size_t I = 0; I != M.numArrays(); ++I) {
     const ArrayDecl &A = M.array(static_cast<uint32_t>(I));
-    OwnMemory[I].assign(A.Size, Value());
-    ArrayBase[I] = Base;
+    Bases[I] = Base;
     Base += A.Size * 8;
     // Pad between arrays so streaming through one never prefetches
     // another's line in the cache model.
     Base = (Base + 255) & ~uint64_t(255);
   }
+  return Bases;
+}
+
+Interpreter::Interpreter(const Module &M, InterpOptions Opts)
+    : M(M), Mem(&OwnMemory), ArrayBase(arrayBaseLayout(M)), Rng(Opts.RngSeed),
+      Opts(Opts) {
+  OwnMemory.resize(M.numArrays());
+  for (size_t I = 0; I != M.numArrays(); ++I)
+    OwnMemory[I].assign(M.array(static_cast<uint32_t>(I)).Size, Value());
+  // Pre-size the register arena so the first frames of a run never
+  // reallocate: one activation of every function covers the common
+  // shallow call trees.
+  size_t Slots = 0;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    Slots += M.function(static_cast<uint32_t>(I))->numRegs() + 1;
+  RegArena.reserve(Slots + 64);
 }
 
 Interpreter::Interpreter(const Module &M, Interpreter &Other)
-    : M(M), Mem(Other.Mem), ArrayBase(Other.ArrayBase),
-      Rng(Other.Rng), Opts(Other.Opts) {
+    : M(M), Mem(Other.Mem), ArrayBase(Other.ArrayBase), Rng(Other.Rng),
+      Opts(Other.Opts), FnImages(Other.FnImages) {
   assert(&M == &Other.M && "memory sharing requires the same module");
+  RegArena.reserve(Other.RegArena.capacity());
 }
 
 void Interpreter::reset() {
@@ -44,63 +67,105 @@ void Interpreter::reset() {
     (*Mem)[I].assign(A.Size, Value());
   }
   Stack.clear();
+  ArenaTop = 0;
   RetValue = Value();
   InstrsExecuted = 0;
   Output.clear();
+  if (Output.capacity() < 256)
+    Output.reserve(256);
   Rng.reseed(Opts.RngSeed);
 }
 
+void Interpreter::pushFrame(const Function *Callee, Reg RetDst,
+                            const Value *Args, size_t NArgs) {
+  Frame Fr;
+  Fr.F = Callee;
+  Fr.Block = Callee->entry();
+  Fr.Index = 0;
+  Fr.RetDst = RetDst;
+  Fr.RegBase = ArenaTop;
+  // One extra slot past numRegs: the decoded engine redirects writes whose
+  // IR destination is NoReg (legal for value-producing dead code) there
+  // instead of branching on every op.
+  const size_t N = Callee->numRegs() + 1;
+  assert(NArgs <= Callee->numRegs() && "more arguments than registers");
+  if (RegArena.size() < ArenaTop + N)
+    RegArena.resize(ArenaTop + N);
+  std::fill(RegArena.begin() + Fr.RegBase, RegArena.begin() + Fr.RegBase + N,
+            Value());
+  std::copy(Args, Args + NArgs, RegArena.begin() + Fr.RegBase);
+  ArenaTop += N;
+  Stack.push_back(Fr);
+}
+
 void Interpreter::startAt(const Function *F, BlockId Block, uint32_t Index,
-                          std::vector<Value> Regs) {
+                          const std::vector<Value> &Regs) {
   assert(Stack.empty() && "previous call still active");
   assert(Regs.size() == F->numRegs() && "register file size mismatch");
-  Frame Fr;
-  Fr.F = F;
-  Fr.Block = Block;
-  Fr.Index = Index;
-  Fr.Regs = std::move(Regs);
-  Stack.push_back(std::move(Fr));
+  pushFrame(F, NoReg, Regs.data(), Regs.size());
+  Stack.back().Block = Block;
+  Stack.back().Index = Index;
 }
 
 void Interpreter::startCall(const Function *F, const std::vector<Value> &Args) {
   assert(Stack.empty() && "previous call still active");
   assert(!F->isExternal() && "cannot start an external function");
   assert(Args.size() == F->numParams() && "wrong argument count");
-  Frame Fr;
-  Fr.F = F;
-  Fr.Block = F->entry();
-  Fr.Index = 0;
-  Fr.Regs.assign(F->numRegs(), Value());
-  for (size_t I = 0; I != Args.size(); ++I)
-    Fr.Regs[I] = Args[I];
-  Stack.push_back(std::move(Fr));
+  pushFrame(F, NoReg, Args.data(), Args.size());
 }
 
-Value Interpreter::evalBuiltin(const Function &Callee,
-                               const std::vector<Value> &Args) {
+Interpreter::BuiltinKind Interpreter::builtinKindOf(const Function &Callee) {
   const std::string &Name = Callee.name();
   if (Name == "sqrt")
-    return Value::ofFp(Args[0].F <= 0.0 ? 0.0 : std::sqrt(Args[0].F));
+    return BuiltinKind::Sqrt;
   if (Name == "log")
-    return Value::ofFp(Args[0].F <= 0.0 ? 0.0 : std::log(Args[0].F));
+    return BuiltinKind::Log;
   if (Name == "exp")
+    return BuiltinKind::Exp;
+  if (Name == "rnd")
+    return BuiltinKind::Rnd;
+  if (Name == "print_int")
+    return BuiltinKind::PrintInt;
+  if (Name == "print_fp")
+    return BuiltinKind::PrintFp;
+  return BuiltinKind::Unknown;
+}
+
+void Interpreter::appendOutput(const char *Buf, size_t Len) {
+  // Geometric growth: snprintf chunks are tiny, and print-heavy programs
+  // (the paper's trace workloads) would otherwise reallocate per line.
+  if (Output.size() + Len > Output.capacity())
+    Output.reserve(std::max(Output.capacity() * 2, Output.size() + Len));
+  Output.append(Buf, Len);
+}
+
+Value Interpreter::evalBuiltinKind(BuiltinKind K, const Value *Args) {
+  switch (K) {
+  case BuiltinKind::Sqrt:
+    return Value::ofFp(Args[0].F <= 0.0 ? 0.0 : std::sqrt(Args[0].F));
+  case BuiltinKind::Log:
+    return Value::ofFp(Args[0].F <= 0.0 ? 0.0 : std::log(Args[0].F));
+  case BuiltinKind::Exp:
     return Value::ofFp(std::exp(Args[0].F));
-  if (Name == "rnd") {
+  case BuiltinKind::Rnd: {
     const int64_t Bound = Args[0].I;
     return Value::ofInt(Bound <= 0 ? 0 : Rng.nextBelow(Bound));
   }
-  if (Name == "print_int") {
+  case BuiltinKind::PrintInt: {
     char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "%lld\n",
-                  static_cast<long long>(Args[0].I));
-    Output += Buf;
+    const int N = std::snprintf(Buf, sizeof(Buf), "%lld\n",
+                                static_cast<long long>(Args[0].I));
+    appendOutput(Buf, static_cast<size_t>(N));
     return Value();
   }
-  if (Name == "print_fp") {
+  case BuiltinKind::PrintFp: {
     char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%.6f\n", Args[0].F);
-    Output += Buf;
+    const int N = std::snprintf(Buf, sizeof(Buf), "%.6f\n", Args[0].F);
+    appendOutput(Buf, static_cast<size_t>(N));
     return Value();
+  }
+  case BuiltinKind::Unknown:
+    break;
   }
   spt_fatal("unknown external function called");
 }
@@ -111,6 +176,7 @@ StepResult Interpreter::step() {
   const BasicBlock *BB = Fr.F->block(Fr.Block);
   assert(Fr.Index < BB->Instrs.size() && "frame position out of range");
   const Instr &I = BB->Instrs[Fr.Index];
+  Value *Regs = RegArena.data() + Fr.RegBase;
 
   StepResult R;
   R.F = Fr.F;
@@ -119,10 +185,10 @@ StepResult Interpreter::step() {
   R.Index = Fr.Index;
   ++InstrsExecuted;
 
-  auto RegV = [&](size_t SrcIdx) -> Value & { return Fr.Regs[I.Srcs[SrcIdx]]; };
+  auto RegV = [&](size_t SrcIdx) -> Value & { return Regs[I.Srcs[SrcIdx]]; };
   auto setDst = [&](Value V) {
     if (I.Dst != NoReg)
-      Fr.Regs[I.Dst] = V;
+      Regs[I.Dst] = V;
     R.Result = V;
   };
   auto advance = [&]() { ++Fr.Index; };
@@ -343,27 +409,19 @@ StepResult Interpreter::step() {
 
   case Opcode::Call: {
     const Function *Callee = M.function(I.calleeIndex());
-    std::vector<Value> Args;
-    Args.reserve(I.Srcs.size());
+    ArgScratch.clear();
     for (size_t A = 0; A != I.Srcs.size(); ++A)
-      Args.push_back(Fr.Regs[I.Srcs[A]]);
+      ArgScratch.push_back(Regs[I.Srcs[A]]);
     if (Callee->isExternal()) {
-      const Value V = evalBuiltin(*Callee, Args);
+      const Value V = evalBuiltinKind(builtinKindOf(*Callee),
+                                      ArgScratch.data());
       setDst(V);
       advance();
       break;
     }
     R.IsCallEnter = true;
     advance(); // Return will resume after the call.
-    Frame New;
-    New.F = Callee;
-    New.Block = Callee->entry();
-    New.Index = 0;
-    New.RetDst = I.Dst;
-    New.Regs.assign(Callee->numRegs(), Value());
-    for (size_t A = 0; A != Args.size(); ++A)
-      New.Regs[A] = Args[A];
-    Stack.push_back(std::move(New));
+    pushFrame(Callee, I.Dst, ArgScratch.data(), ArgScratch.size());
     break;
   }
 
@@ -392,11 +450,12 @@ StepResult Interpreter::step() {
     if (!I.Srcs.empty())
       V = RegV(0);
     const Reg Dst = Fr.RetDst;
+    ArenaTop = Fr.RegBase;
     Stack.pop_back();
     if (Stack.empty())
       RetValue = V;
     else if (Dst != NoReg)
-      Stack.back().Regs[Dst] = V;
+      RegArena[Stack.back().RegBase + Dst] = V;
     R.Result = V;
     break;
   }
@@ -415,13 +474,25 @@ StepResult Interpreter::step() {
   return R;
 }
 
-uint64_t Interpreter::run(uint64_t MaxSteps) {
-  uint64_t Steps = 0;
-  while (!done() && Steps < MaxSteps) {
-    step();
-    ++Steps;
-  }
-  return Steps;
+uint64_t spt::hashStepResult(uint64_t H, const StepResult &R) {
+  auto mix = [&H](uint64_t Bits) {
+    for (int Byte = 0; Byte != 8; ++Byte) {
+      H ^= (Bits >> (Byte * 8)) & 0xffu;
+      H *= 0x100000001b3ull;
+    }
+  };
+  mix(reinterpret_cast<uintptr_t>(R.F));
+  mix(reinterpret_cast<uintptr_t>(R.I));
+  mix((uint64_t(R.Block) << 32) | R.Index);
+  mix(uint64_t(R.IsLoad) | (uint64_t(R.IsStore) << 1) |
+      (uint64_t(R.OutOfBounds) << 2) | (uint64_t(R.IsBranch) << 3) |
+      (uint64_t(R.BranchTaken) << 4) | (uint64_t(R.IsCallEnter) << 5) |
+      (uint64_t(R.IsReturn) << 6) | (uint64_t(R.IsFork) << 7) |
+      (uint64_t(R.IsKill) << 8));
+  mix(R.Addr);
+  mix(R.NextBlock);
+  mix(static_cast<uint64_t>(R.Result.I));
+  return H;
 }
 
 RunOutcome spt::runFunction(const Module &M, const std::string &FnName,

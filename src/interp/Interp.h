@@ -8,9 +8,22 @@
 /// A precise, steppable interpreter for the SPT IR. One Interpreter instance
 /// is one hardware context: a call stack, a register file per frame, and a
 /// view of the module's array memory. Profilers (edge, dependence, value)
-/// and the SPT simulator drive it one instruction at a time through step(),
-/// which reports everything they need: the executed instruction, memory
-/// addresses touched and taken branch directions.
+/// and the SPT simulator drive it through two engines that are observably
+/// byte-identical:
+///
+///   Reference engine — step(): a tree-walking switch over ir::Instr that
+///   executes exactly one instruction and returns a full StepResult. It is
+///   the semantic baseline every other engine is differenced against
+///   (tests/interp_decode_test.cpp, the interp-decode-diff fuzzing oracle).
+///
+///   Decoded engine — run()/runBatch(): executes a pre-decoded flat code
+///   stream (interp/Decode.h) with threaded dispatch and superinstruction
+///   fusion. runBatch() streams the same StepResult records into a StepSink
+///   callback instead of materializing and returning one per call; run()
+///   skips record construction entirely. Drivers that used to call step()
+///   150M+ times per simulation (Profiler, SeqSim, SptSim) go through
+///   runBatch. InterpOptions::Dispatch selects the engine; both see the
+///   same machine state, so they can even be interleaved.
 ///
 /// Design notes:
 ///  - Arrays live in a flat byte-address space (8 bytes per element) so the
@@ -22,6 +35,8 @@
 ///  - Division by zero yields 0 for the same reason.
 ///  - rnd() is deterministic (support/Random.h) and part of the machine
 ///    state, so a context snapshot (used by speculative runs) clones it.
+///  - Register files live in one flat arena (RegArena) indexed by each
+///    frame's RegBase, so a call pushes a frame without allocating.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +51,9 @@
 #include <vector>
 
 namespace spt {
+
+struct DecodedFunction;
+struct DecodeEngine;
 
 /// A dynamically typed 8-byte value. The static type is always known from
 /// the consuming instruction, so no tag is stored.
@@ -84,19 +102,58 @@ struct StepResult {
   Value Result;
 };
 
-/// One activation record.
+/// Folds every observable field of \p R into an FNV-1a accumulator. Used by
+/// the decode differential test and the interp-decode-diff oracle to compare
+/// whole StepResult streams without memcmp'ing padding bytes.
+uint64_t hashStepResult(uint64_t H, const StepResult &R);
+
+/// One activation record. Register values live in the interpreter's flat
+/// arena at [RegBase, RegBase + F->numRegs()); use Interpreter::frameRegs.
 struct Frame {
   const Function *F = nullptr;
   BlockId Block = 0;
   uint32_t Index = 0;
-  Reg RetDst = NoReg; // Caller register awaiting our return value.
-  std::vector<Value> Regs;
+  Reg RetDst = NoReg;  // Caller register awaiting our return value.
+  size_t RegBase = 0;  // First register slot in the interpreter's arena.
+};
+
+/// Which execution engine drives run()/runBatch().
+enum class InterpDispatch : uint8_t {
+  Decoded,   ///< Pre-decoded stream, threaded dispatch, superinstructions.
+  Reference, ///< The tree-walking switch engine (differential baseline).
 };
 
 /// Interpreter options.
 struct InterpOptions {
   uint64_t RngSeed = 0x5eed5eed5eedull;
+  InterpDispatch Dispatch = InterpDispatch::Decoded;
 };
+
+/// Synchronous consumer of StepResult records for Interpreter::runBatch.
+/// onStep is invoked after each IR instruction retires, at the exact point
+/// step() would have returned, so a sink may inspect interpreter state
+/// (stackDepth, topFrame, memory) and sees what a step() driver saw.
+/// Returning false stops the run after the current record.
+class StepSink {
+public:
+  virtual ~StepSink();
+  virtual bool onStep(const StepResult &R) = 0;
+};
+
+/// Adapts a callable to a StepSink, for drivers whose per-step handling is
+/// a local lambda over driver state.
+template <class Fn> class LambdaSink final : public StepSink {
+public:
+  explicit LambdaSink(Fn F) : F(std::move(F)) {}
+  bool onStep(const StepResult &R) override { return F(R); }
+
+private:
+  Fn F;
+};
+
+template <class Fn> LambdaSink<Fn> makeStepSink(Fn F) {
+  return LambdaSink<Fn>(std::move(F));
+}
 
 /// The steppable machine. Memory (arrays) is owned by the interpreter;
 /// speculative contexts share it read-mostly via the SPT simulator's
@@ -108,7 +165,8 @@ public:
   /// Creates an interpreter that *shares* \p Other's array memory (used
   /// for speculative ghost contexts, which redirect their writes through
   /// MemHooks while reading the shared image). The ghost's RNG state is
-  /// cloned from \p Other at construction.
+  /// cloned from \p Other at construction, and the decoded images \p Other
+  /// already resolved are shared so per-fork ghosts never re-decode.
   Interpreter(const Module &M, Interpreter &Other);
 
   const Module &module() const { return M; }
@@ -147,21 +205,35 @@ public:
   /// (\p Block, \p Index) with the given register file. Used to launch
   /// speculative ghost contexts at a loop's iteration entry.
   void startAt(const Function *F, BlockId Block, uint32_t Index,
-               std::vector<Value> Regs);
+               const std::vector<Value> &Regs);
 
   /// True when the call stack is empty (the start call returned).
   bool done() const { return Stack.empty(); }
 
-  /// Executes exactly one instruction. Must not be called when done().
+  /// Executes exactly one instruction through the reference engine. Must
+  /// not be called when done(). Kept as the compatibility shim and the
+  /// differential baseline; state is shared with the decoded engine, so
+  /// step() and runBatch() may be interleaved freely.
   StepResult step();
 
   /// Runs until done() or \p MaxSteps executed; returns steps executed.
+  /// Under InterpDispatch::Decoded no StepResult records are built at all —
+  /// this is the fastest way through a program.
   uint64_t run(uint64_t MaxSteps = ~0ull);
+
+  /// Runs like run() but delivers every StepResult to \p Sink, exactly the
+  /// records a step() loop would have produced, in the same order. Returns
+  /// the number of instructions executed. Stops when the sink returns
+  /// false, done(), or \p MaxSteps.
+  uint64_t runBatch(StepSink &Sink, uint64_t MaxSteps = ~0ull);
 
   /// The value returned by the finished start call.
   Value returnValue() const { return RetValue; }
 
-  /// Total instructions executed since construction/reset.
+  /// Total instructions executed since construction/reset. Incremented
+  /// *before* each instruction executes, so during execution (e.g. inside
+  /// a MemHooks callback) instrCount()-1 is the index of the current
+  /// instruction in the dynamic trace.
   uint64_t instrCount() const { return InstrsExecuted; }
 
   /// Text emitted by print_int/print_fp since reset.
@@ -172,10 +244,6 @@ public:
     assert(!Stack.empty() && "no active frame");
     return Stack.back();
   }
-  Frame &topFrame() {
-    assert(!Stack.empty() && "no active frame");
-    return Stack.back();
-  }
 
   size_t stackDepth() const { return Stack.size(); }
 
@@ -183,6 +251,19 @@ public:
   const Frame &frame(size_t Depth) const {
     assert(Depth < Stack.size() && "frame depth out of range");
     return Stack[Depth];
+  }
+
+  /// Register file of \p Fr (contiguous, F->numRegs() entries).
+  const Value *frameRegs(const Frame &Fr) const {
+    return RegArena.data() + Fr.RegBase;
+  }
+
+  /// Copies the top frame's registers into \p Out, reusing its capacity
+  /// (the SPT simulator snapshots registers at every fork).
+  void copyTopRegs(std::vector<Value> &Out) const {
+    const Frame &Fr = topFrame();
+    const Value *R = RegArena.data() + Fr.RegBase;
+    Out.assign(R, R + Fr.F->numRegs());
   }
 
   /// The machine's deterministic RNG (rnd() builtin state).
@@ -203,7 +284,32 @@ public:
   void setMemHooks(MemHooks *Hooks) { Hooks_ = Hooks; }
 
 private:
-  Value evalBuiltin(const Function &Callee, const std::vector<Value> &Args);
+  friend struct DecodeEngine;
+
+  /// The builtins the frontend knows. Decode resolves external callees to
+  /// a kind once; the reference engine resolves by name per call.
+  enum class BuiltinKind : uint8_t {
+    Sqrt,
+    Log,
+    Exp,
+    Rnd,
+    PrintInt,
+    PrintFp,
+    Unknown, ///< Faults when executed (not at decode time).
+  };
+  static BuiltinKind builtinKindOf(const Function &Callee);
+  Value evalBuiltinKind(BuiltinKind K, const Value *Args);
+  void appendOutput(const char *Buf, size_t Len);
+
+  /// Pushes a frame for \p Callee, zeroing its arena slice and copying
+  /// \p NArgs argument values from \p Args. Invalidates RegArena pointers.
+  void pushFrame(const Function *Callee, Reg RetDst, const Value *Args,
+                 size_t NArgs);
+
+  /// Resolved decoded image for module function index \p Idx, memoized per
+  /// interpreter (defined in interp/Decode.cpp).
+  const DecodedFunction *imageByIndex(uint32_t Idx);
+  const DecodedFunction *imageOf(const Function *F);
 
   const Module &M;
   std::vector<std::vector<Value>> OwnMemory;
@@ -211,12 +317,21 @@ private:
   std::vector<std::vector<Value>> *Mem;
   std::vector<uint64_t> ArrayBase;
   std::vector<Frame> Stack;
+  /// Flat register-file arena; frame Fr owns [RegBase, RegBase+numRegs).
+  std::vector<Value> RegArena;
+  size_t ArenaTop = 0;
   Value RetValue;
   uint64_t InstrsExecuted = 0;
   std::string Output;
   Random Rng;
   InterpOptions Opts;
   MemHooks *Hooks_ = nullptr;
+  /// Reused argument buffer for Call instructions (reference engine).
+  std::vector<Value> ArgScratch;
+  /// Per-interpreter memo of fingerprint-validated decoded images, indexed
+  /// by module function index. shared_ptr keeps an image alive across the
+  /// module-level cache rebuilding it for a mutated sibling function.
+  std::vector<std::shared_ptr<const DecodedFunction>> FnImages;
 };
 
 /// Convenience: interprets \p FnName(\p Args) in a fresh interpreter and

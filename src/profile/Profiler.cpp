@@ -69,12 +69,18 @@ struct ValueWatchState {
   std::map<int64_t, uint64_t> Diffs; ///< Capped in size.
 };
 
-class ProfilerRun {
+/// The profiler is a StepSink: the interpreter's batched runner streams
+/// every StepResult into onStep, which does exactly what the old
+/// step()-loop body did (edge/dep/value collection, shadow-stack upkeep,
+/// cancellation polling).
+class ProfilerRun final : public StepSink {
 public:
   ProfilerRun(const Module &M, const ProfilerOptions &Opts)
       : M(M), Opts(Opts) {}
 
   ProfileBundle run(const std::string &FnName, const std::vector<Value> &Args);
+
+  bool onStep(const StepResult &R) override;
 
 private:
   const FuncAnalyses &analysesFor(const Function *F) {
@@ -114,6 +120,8 @@ private:
   std::map<uint64_t, std::vector<WriteTag>> LastWriter;
   std::map<std::pair<const Function *, StmtId>, ValueWatchState> ValueState;
   uint64_t NextActivationId = 1;
+  Interpreter *In = nullptr; ///< The machine runBatch is driving.
+  uint64_t Steps = 0;
 };
 
 void ProfilerRun::enterBlock(ShadowFrame &Sh, BlockId To) {
@@ -225,92 +233,21 @@ ProfileBundle ProfilerRun::run(const std::string &FnName,
 
   InterpOptions IOpts;
   IOpts.RngSeed = Opts.RngSeed;
-  Interpreter In(M, IOpts);
-  In.startCall(F, Args);
+  Interpreter Machine(M, IOpts);
+  In = &Machine;
+  Machine.startCall(F, Args);
   Shadow.push_back(ShadowFrame{F, &analysesFor(F), {}, NoStmt});
   enterBlock(Shadow.back(), F->entry());
 
-  uint64_t Steps = 0;
-  // Token poll stride: cheap relative to an interpreted step, frequent
-  // enough that a request deadline stops a runaway profile within
-  // microseconds rather than after the full step budget.
-  constexpr uint64_t CancelCheckStride = 16384;
-  while (!In.done() && Steps < Opts.MaxSteps) {
-    if (Opts.Cancel && Steps % CancelCheckStride == 0 &&
-        Opts.Cancel->cancelled()) {
-      Bundle.Completed = false;
-      Bundle.Error = "profileRun: cancelled after " +
-                     std::to_string(Steps) + " steps";
-      break;
-    }
-    const StepResult R = In.step();
-    ++Steps;
-    const StmtId TopStmt = R.I->Id;
-
-    // Edge profile.
-    if (Opts.CollectEdges) {
-      FunctionEdgeCounts &EC = edgeCountsFor(R.F);
-      if (R.Index == 0)
-        ++EC.Block[R.Block];
-      if (R.IsBranch) {
-        const uint32_t SuccIdx =
-            R.I->Op == Opcode::Br ? (R.BranchTaken ? 0u : 1u) : 0u;
-        ++EC.Edge[R.Block][SuccIdx];
-      }
-    }
-
-    // Dependence profile.
-    if (Opts.CollectDeps) {
-      if (R.IsLoad) {
-        bumpStmtExec(TopStmt);
-        onMemRead(In, R.Addr, TopStmt);
-      } else if (R.IsStore) {
-        bumpStmtExec(TopStmt);
-        onMemWrite(In, R.Addr, TopStmt);
-      } else if (R.I->Op == Opcode::Call) {
-        bumpStmtExec(TopStmt);
-        const Function *Callee = M.function(R.I->calleeIndex());
-        if (Callee->isExternal()) {
-          if (Callee->name() == "rnd") {
-            onMemRead(In, RngAddr, TopStmt);
-            onMemWrite(In, RngAddr, TopStmt);
-          } else if (Callee->name() == "print_int" ||
-                     Callee->name() == "print_fp") {
-            onMemRead(In, IoAddr, TopStmt);
-            onMemWrite(In, IoAddr, TopStmt);
-          }
-        }
-      }
-    }
-
-    // Value profile (integer results only). Calls into defined functions
-    // produce their value at the matching return, not at call entry.
-    if (Opts.CollectValues && !Opts.ValueWatch.empty()) {
-      if (!R.IsCallEnter && R.I->Dst != NoReg && R.I->Ty == Type::Int &&
-          Opts.ValueWatch.count({R.F, TopStmt}))
-        onValueSample(R.F, TopStmt, R.Result.I);
-      if (R.IsReturn && Shadow.size() >= 2 && !R.I->Srcs.empty()) {
-        const StmtId CallSite = Shadow.back().CallSiteInParent;
-        const Function *Caller = Shadow[Shadow.size() - 2].F;
-        if (CallSite != NoStmt &&
-            Opts.ValueWatch.count({Caller, CallSite}))
-          onValueSample(Caller, CallSite, R.Result.I);
-      }
-    }
-
-    // Stack and control-flow shadowing.
-    if (R.IsCallEnter) {
-      const Function *Callee = In.topFrame().F;
-      Shadow.push_back(
-          ShadowFrame{Callee, &analysesFor(Callee), {}, TopStmt});
-      enterBlock(Shadow.back(), Callee->entry());
-    } else if (R.IsReturn) {
-      Shadow.pop_back();
-    } else if (R.IsBranch) {
-      enterBlock(Shadow.back(), R.NextBlock);
-    }
+  // A token cancelled before the run starts stops it at zero steps, the
+  // same answer the old pre-step poll gave.
+  if (Opts.Cancel && Opts.Cancel->cancelled()) {
+    Bundle.Completed = false;
+    Bundle.Error = "profileRun: cancelled after 0 steps";
+  } else {
+    Machine.runBatch(*this, Opts.MaxSteps);
   }
-  if (!In.done() && Bundle.Completed) {
+  if (!Machine.done() && Bundle.Completed) {
     // Budget exhaustion is survivable: the caller gets whatever was
     // measured so far, flagged as incomplete, and decides whether partial
     // profiles are usable (the driver degrades to static analysis).
@@ -334,10 +271,91 @@ ProfileBundle ProfilerRun::run(const std::string &FnName,
     Bundle.Values.PerStmt[Key] = Stats;
   }
 
-  Bundle.Result = In.returnValue();
-  Bundle.Output = In.output();
+  Bundle.Result = Machine.returnValue();
+  Bundle.Output = Machine.output();
   Bundle.Instrs = Steps;
+  In = nullptr;
   return Bundle;
+}
+
+bool ProfilerRun::onStep(const StepResult &R) {
+  ++Steps;
+  const StmtId TopStmt = R.I->Id;
+
+  // Edge profile.
+  if (Opts.CollectEdges) {
+    FunctionEdgeCounts &EC = edgeCountsFor(R.F);
+    if (R.Index == 0)
+      ++EC.Block[R.Block];
+    if (R.IsBranch) {
+      const uint32_t SuccIdx =
+          R.I->Op == Opcode::Br ? (R.BranchTaken ? 0u : 1u) : 0u;
+      ++EC.Edge[R.Block][SuccIdx];
+    }
+  }
+
+  // Dependence profile.
+  if (Opts.CollectDeps) {
+    if (R.IsLoad) {
+      bumpStmtExec(TopStmt);
+      onMemRead(*In, R.Addr, TopStmt);
+    } else if (R.IsStore) {
+      bumpStmtExec(TopStmt);
+      onMemWrite(*In, R.Addr, TopStmt);
+    } else if (R.I->Op == Opcode::Call) {
+      bumpStmtExec(TopStmt);
+      const Function *Callee = M.function(R.I->calleeIndex());
+      if (Callee->isExternal()) {
+        if (Callee->name() == "rnd") {
+          onMemRead(*In, RngAddr, TopStmt);
+          onMemWrite(*In, RngAddr, TopStmt);
+        } else if (Callee->name() == "print_int" ||
+                   Callee->name() == "print_fp") {
+          onMemRead(*In, IoAddr, TopStmt);
+          onMemWrite(*In, IoAddr, TopStmt);
+        }
+      }
+    }
+  }
+
+  // Value profile (integer results only). Calls into defined functions
+  // produce their value at the matching return, not at call entry.
+  if (Opts.CollectValues && !Opts.ValueWatch.empty()) {
+    if (!R.IsCallEnter && R.I->Dst != NoReg && R.I->Ty == Type::Int &&
+        Opts.ValueWatch.count({R.F, TopStmt}))
+      onValueSample(R.F, TopStmt, R.Result.I);
+    if (R.IsReturn && Shadow.size() >= 2 && !R.I->Srcs.empty()) {
+      const StmtId CallSite = Shadow.back().CallSiteInParent;
+      const Function *Caller = Shadow[Shadow.size() - 2].F;
+      if (CallSite != NoStmt && Opts.ValueWatch.count({Caller, CallSite}))
+        onValueSample(Caller, CallSite, R.Result.I);
+    }
+  }
+
+  // Stack and control-flow shadowing.
+  if (R.IsCallEnter) {
+    const Function *Callee = In->topFrame().F;
+    Shadow.push_back(ShadowFrame{Callee, &analysesFor(Callee), {}, TopStmt});
+    enterBlock(Shadow.back(), Callee->entry());
+  } else if (R.IsReturn) {
+    Shadow.pop_back();
+  } else if (R.IsBranch) {
+    enterBlock(Shadow.back(), R.NextBlock);
+  }
+
+  // Token poll stride: cheap relative to an interpreted step, frequent
+  // enough that a request deadline stops a runaway profile within
+  // microseconds rather than after the full step budget. Polled after the
+  // record so "cancelled after N steps" matches the old pre-step check.
+  constexpr uint64_t CancelCheckStride = 16384;
+  if (Opts.Cancel && Steps % CancelCheckStride == 0 &&
+      Opts.Cancel->cancelled()) {
+    Bundle.Completed = false;
+    Bundle.Error =
+        "profileRun: cancelled after " + std::to_string(Steps) + " steps";
+    return false;
+  }
+  return true;
 }
 
 } // namespace

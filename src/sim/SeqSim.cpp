@@ -115,10 +115,7 @@ SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
     SegSteps = 0;
   };
 
-  uint64_t Steps = 0;
-  while (!In.done() && Steps < MaxSteps) {
-    const StepResult R = In.step();
-    ++Steps;
+  auto Sink = makeStepSink([&](const StepResult &R) {
     ++SegSteps;
     BT.onStep(R, In.stackDepth());
 
@@ -134,7 +131,9 @@ SeqSimResult spt::runSequential(const Module &M, const std::string &FnName,
       closeSegment();
       enterBlock(Shadow.back(), R.NextBlock);
     }
-  }
+    return true;
+  });
+  In.runBatch(Sink, MaxSteps);
   if (!In.done())
     spt_fatal("runSequential: step budget exhausted (infinite loop?)");
   BT.sync();

@@ -137,9 +137,10 @@ private:
 /// writes are buffered.
 class GhostMemHooks final : public Interpreter::MemHooks {
 public:
-  GhostMemHooks(SpecAddrMap &SpecBuffer, const SpecAddrMap &UndoLog,
-                FaultInjector *Injector)
-      : SpecBuffer(SpecBuffer), UndoLog(UndoLog), Injector(Injector) {}
+  GhostMemHooks(const Interpreter &Ghost, SpecAddrMap &SpecBuffer,
+                const SpecAddrMap &UndoLog, FaultInjector *Injector)
+      : Ghost(Ghost), SpecBuffer(SpecBuffer), UndoLog(UndoLog),
+        Injector(Injector) {}
 
   Value onLoad(uint64_t Addr, Value Fallback) override {
     LastLoadViolated = false;
@@ -164,18 +165,23 @@ public:
   }
 
   bool onStore(uint64_t Addr, Value V) override {
-    SpecBuffer.insertOrAssign(Addr, V, CurrentEntry);
+    // The producing trace entry: the ghost runs from instrCount()==0 and
+    // the count is bumped before each instruction executes, so the
+    // instruction doing this store is entry instrCount()-1. (The batched
+    // runner retires fused pairs in one dispatch, so a driver-maintained
+    // "current entry" would go stale inside a pair.)
+    SpecBuffer.insertOrAssign(Addr, V,
+                              static_cast<int32_t>(Ghost.instrCount() - 1));
     return true; // Never reaches shared memory.
   }
 
-  /// Set by the driver loop before each ghost step.
-  int32_t CurrentEntry = -1;
   /// Outputs of the last load.
   bool LastLoadViolated = false;
   bool LastLoadInjected = false;
   int32_t LastLoadSpecWriter = -1;
 
 private:
+  const Interpreter &Ghost;
   SpecAddrMap &SpecBuffer;
   const SpecAddrMap &UndoLog;
   FaultInjector *Injector;
@@ -309,7 +315,7 @@ GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
   Ghost.startAt(Spec.Desc->F, Spec.Desc->PreForkEntry, 0, Spec.Regs);
 
   SpecBuffer.reset();
-  GhostMemHooks Hooks(SpecBuffer, Spec.UndoLog, Injector);
+  GhostMemHooks Hooks(Ghost, SpecBuffer, Spec.UndoLog, Injector);
   Ghost.setMemHooks(&Hooks);
 
   Core.resetFor(Spec.ForkSubtick);
@@ -317,11 +323,12 @@ GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
   A.beginRun(Spec.Desc->F->numRegs());
 
   uint32_t N = 0;
-  while (!Ghost.done() && N < MaxGhostSteps) {
-    const size_t DepthBefore = Ghost.stackDepth();
-    Hooks.CurrentEntry = static_cast<int32_t>(N);
-    const StepResult R = Ghost.step();
+  auto Sink = makeStepSink([&](const StepResult &R) {
     const size_t Depth = Ghost.stackDepth();
+    // Depth before the step: calls push their frame before the record,
+    // returns pop theirs.
+    const size_t DepthBefore =
+        R.IsCallEnter ? Depth - 1 : (R.IsReturn ? Depth + 1 : Depth);
     BT.onStep(R, Depth);
 
     // Frame the instruction read its operands in: always the top frame
@@ -370,15 +377,17 @@ GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
     if (R.IsBranch && Depth == 1 &&
         R.NextBlock == Spec.Desc->PreForkEntry) {
       Out.Completed = true;
-      break;
+      return false;
     }
     if (R.IsKill && R.I->IntImm == Spec.LoopId) {
       Out.Completed = true; // Speculated that the loop ends.
-      break;
+      return false;
     }
     if (R.IsReturn && Depth == 0)
-      break; // Fell out of the loop frame: treat as squashed.
-  }
+      return false; // Fell out of the loop frame: treat as squashed.
+    return true;
+  });
+  Ghost.runBatch(Sink, MaxGhostSteps);
 
   Ghost.setMemHooks(nullptr);
   BT.sync();
@@ -482,10 +491,7 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
   // Wall-time attribution per loop.
   std::map<int64_t, uint64_t> LoopEnterSubtick;
 
-  uint64_t Steps = 0;
-  while (!In.done() && Steps < MaxSteps) {
-    const StepResult R = In.step();
-    ++Steps;
+  auto Sink = makeStepSink([&](const StepResult &R) {
     const size_t Depth = In.stackDepth();
 
     if (State != Mode::Replay)
@@ -516,7 +522,7 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
           if (FI)
             Core.charge(FI->forkJitterSubticks());
           Spec.resetFor(R.I->IntImm, &Desc, Depth);
-          Spec.Regs = In.topFrame().Regs;
+          In.copyTopRegs(Spec.Regs);
           if (FI && !Spec.Regs.empty() && FI->shouldFlipReg()) {
             // Corrupt one snapshot register — the speculative thread's
             // input state, where SVP's predicted values live. Marking it
@@ -622,7 +628,9 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
           break;
         }
     }
-  }
+    return true;
+  });
+  In.runBatch(Sink, MaxSteps);
   if (!In.done())
     spt_fatal("runSpt: step budget exhausted (infinite loop?)");
   BT.sync();

@@ -47,6 +47,7 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/ProfileData.h"
 #include "cost/CostModel.h"
+#include "interp/Decode.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
 #include "ir/IRPrinter.h"

@@ -261,6 +261,87 @@ OracleResult oracleInterp(const Prepared &P, const OracleOptions &Opts) {
   return R;
 }
 
+/// Differential between the interpreter's two engines: the decoded
+/// (threaded-dispatch, superinstruction-fused) engine must produce the
+/// exact StepResult record stream, output, return value and final memory
+/// image of the reference switch engine — on the baseline module and on
+/// every transformed mode (the SPT transform changes which instruction
+/// pairs fuse).
+OracleResult oracleInterpDecodeDiff(const Prepared &P,
+                                    const OracleOptions &Opts) {
+  OracleResult R{"interp-decode-diff", OracleStatus::Pass, ""};
+  const Module *Mods[] = {P.BaseM.get(), P.Modes[0].M.get(),
+                          P.Modes[1].M.get(), P.Modes[2].M.get()};
+  for (unsigned MI = 0; MI != 4; ++MI) {
+    const Module &M = *Mods[MI];
+    const std::string Tag =
+        MI == 0 ? std::string(" [base]") : modeTag(MI - 1);
+    const Function *F = M.findFunction("main");
+    if (!F)
+      continue;
+
+    InterpOptions IO;
+    IO.RngSeed = P.SimSeed;
+    IO.Dispatch = InterpDispatch::Decoded;
+    Interpreter Dec(M, IO);
+    Dec.startCall(F, {});
+    uint64_t DecHash = 0xcbf29ce484222325ull;
+    uint64_t DecRecords = 0;
+    auto Sink = makeStepSink([&](const StepResult &S) {
+      DecHash = hashStepResult(DecHash, S);
+      ++DecRecords;
+      return true;
+    });
+    Dec.runBatch(Sink, Opts.MaxSteps);
+
+    IO.Dispatch = InterpDispatch::Reference;
+    Interpreter Ref(M, IO);
+    Ref.startCall(F, {});
+    uint64_t RefHash = 0xcbf29ce484222325ull;
+    uint64_t RefRecords = 0;
+    while (!Ref.done() && RefRecords < Opts.MaxSteps) {
+      RefHash = hashStepResult(RefHash, Ref.step());
+      ++RefRecords;
+    }
+
+    // Both interpreters walk the same module, so record hashes (which
+    // fold in Function/Instr identities) are directly comparable.
+    if (DecRecords != RefRecords) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "decoded engine retired " + std::to_string(DecRecords) +
+                 " records, reference " + std::to_string(RefRecords) + Tag;
+      return R;
+    }
+    if (DecHash != RefHash) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "StepResult streams diverged after " +
+                 std::to_string(DecRecords) + " records" + Tag;
+      return R;
+    }
+    if (Dec.done() != Ref.done()) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "termination diverged" + Tag;
+      return R;
+    }
+    if (Dec.output() != Ref.output()) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "program output diverged between engines" + Tag;
+      return R;
+    }
+    if (Dec.memoryHash() != Ref.memoryHash()) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "memory image diverged between engines" + Tag;
+      return R;
+    }
+    if (Dec.done() && Dec.returnValue().I != Ref.returnValue().I) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "return value diverged between engines" + Tag;
+      return R;
+    }
+  }
+  return R;
+}
+
 OracleResult oracleSeqSim(const Prepared &P, const OracleOptions &) {
   OracleResult R{"seqsim", OracleStatus::Pass, ""};
   if (!P.HaveSeqRef) {
@@ -640,6 +721,10 @@ const OracleEntry kOracles[] = {
     {{"interp", "interpretation of the transformed module preserves the "
                 "baseline checksum, output and memory image"},
      oracleInterp},
+    {{"interp-decode-diff",
+      "the decoded (threaded, fused) interpreter engine produces the "
+      "reference engine's exact record stream, output and memory image"},
+     oracleInterpDecodeDiff},
     {{"seqsim", "sequential simulation matches plain interpretation"},
      oracleSeqSim},
     {{"sptsim", "speculative simulation matches the sequential reference"},

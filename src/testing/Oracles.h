@@ -20,6 +20,11 @@
 ///                   loops searched, loop-id map consistent).
 ///   interp          interpretation of the transformed module preserves
 ///                   the baseline checksum and output, per mode.
+///   interp-decode-diff
+///                   the interpreter's decoded (threaded-dispatch,
+///                   superinstruction-fused) engine emits the reference
+///                   switch engine's exact StepResult stream, output and
+///                   memory image, on the base and transformed modules.
 ///   seqsim          the sequential simulator computes the same result,
 ///                   output and final memory image as plain
 ///                   interpretation.

@@ -1,0 +1,390 @@
+//===- tests/interp_decode_test.cpp - Decoded-engine differential ------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lockstep differential between the interpreter's decoded engine (threaded
+// dispatch, superinstruction fusion) and the reference switch engine. The
+// decoded engine's contract is total observational identity: the same
+// StepResult record stream, the same output, return value and memory image,
+// under every entry mode the drivers use — startCall, mid-function startAt
+// (including a resume aimed at the second half of a fused pair), ghost
+// contexts with MemHooks redirection, and truncating MaxSteps budgets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Decode.h"
+#include "interp/Interp.h"
+#include "lang/Frontend.h"
+#include "lang/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace spt;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Everything one engine run observed: the per-step chained record hashes
+/// (index i = hash of records 0..i), plus the architectural tail state.
+struct Trace {
+  std::vector<uint64_t> Chain;
+  bool Done = false;
+  Value Ret;
+  std::string Output;
+  uint64_t MemHash = 0;
+  uint64_t Steps = 0;
+};
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+
+Trace referenceTrace(Interpreter &In, uint64_t MaxSteps) {
+  Trace T;
+  uint64_t H = kFnvBasis;
+  while (!In.done() && T.Steps < MaxSteps) {
+    H = hashStepResult(H, In.step());
+    T.Chain.push_back(H);
+    ++T.Steps;
+  }
+  T.Done = In.done();
+  T.Ret = In.returnValue();
+  T.Output = In.output();
+  T.MemHash = In.memoryHash();
+  return T;
+}
+
+Trace decodedTrace(Interpreter &In, uint64_t MaxSteps) {
+  Trace T;
+  uint64_t H = kFnvBasis;
+  auto Sink = makeStepSink([&](const StepResult &R) {
+    H = hashStepResult(H, R);
+    T.Chain.push_back(H);
+    ++T.Steps;
+    return true;
+  });
+  In.runBatch(Sink, MaxSteps);
+  T.Done = In.done();
+  T.Ret = In.returnValue();
+  T.Output = In.output();
+  T.MemHash = In.memoryHash();
+  return T;
+}
+
+/// Compares two traces record-for-record and reports the first diverging
+/// dynamic index, which pins the culprit instruction immediately.
+void expectTracesEqual(const Trace &Ref, const Trace &Dec,
+                       const std::string &What) {
+  size_t Common = std::min(Ref.Chain.size(), Dec.Chain.size());
+  for (size_t I = 0; I != Common; ++I)
+    ASSERT_EQ(Ref.Chain[I], Dec.Chain[I])
+        << What << ": record streams diverge at dynamic index " << I;
+  EXPECT_EQ(Ref.Steps, Dec.Steps) << What << ": step counts differ";
+  EXPECT_EQ(Ref.Done, Dec.Done) << What << ": termination differs";
+  EXPECT_EQ(Ref.Output, Dec.Output) << What << ": output differs";
+  EXPECT_EQ(Ref.MemHash, Dec.MemHash) << What << ": memory image differs";
+  if (Ref.Done && Dec.Done) {
+    EXPECT_EQ(Ref.Ret.I, Dec.Ret.I) << What << ": return value differs";
+  }
+}
+
+/// Full differential on \p M's main(): fresh reference engine vs fresh
+/// decoded engine, same seed, same budget.
+void runDifferential(const Module &M, const std::string &What,
+                     uint64_t MaxSteps = 4000000ull) {
+  const Function *F = M.findFunction("main");
+  ASSERT_NE(F, nullptr) << What;
+
+  InterpOptions IO;
+  IO.Dispatch = InterpDispatch::Reference;
+  Interpreter Ref(M, IO);
+  Ref.startCall(F, {});
+  Trace RT = referenceTrace(Ref, MaxSteps);
+
+  IO.Dispatch = InterpDispatch::Decoded;
+  Interpreter Dec(M, IO);
+  Dec.startCall(F, {});
+  Trace DT = decodedTrace(Dec, MaxSteps);
+
+  expectTracesEqual(RT, DT, What);
+}
+
+/// Ghost-context hooks: buffer every store, serve buffered values on load.
+/// Records an event log so the differential can additionally require that
+/// both engines drove the hooks with identical addresses and values.
+struct BufferingHooks final : Interpreter::MemHooks {
+  std::map<uint64_t, Value> Buffer;
+  std::vector<uint64_t> Log;
+
+  Value onLoad(uint64_t Addr, Value Fallback) override {
+    Log.push_back(Addr * 2);
+    auto It = Buffer.find(Addr);
+    return It == Buffer.end() ? Fallback : It->second;
+  }
+  bool onStore(uint64_t Addr, Value V) override {
+    Log.push_back(Addr * 2 + 1);
+    Log.push_back(static_cast<uint64_t>(V.I));
+    Buffer[Addr] = V;
+    return true; // Consumed: main memory stays untouched.
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Seed corpus and generated programs.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpDecodeDiffTest, SeedCorpusLockstep) {
+  const std::string Dir = std::string(SPT_SOURCE_DIR) + "/tests/corpus";
+  unsigned N = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".sptc")
+      continue;
+    auto M = compileOrDie(readFile(Entry.path().string()));
+    runDifferential(*M, Entry.path().filename().string());
+    ++N;
+  }
+  EXPECT_GE(N, 5u) << "seed corpus went missing";
+}
+
+TEST(InterpDecodeDiffTest, GeneratedProgramsLockstep) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    auto M = compileOrDie(generateProgram(Seed));
+    runDifferential(*M, "generated seed " + std::to_string(Seed));
+  }
+}
+
+TEST(InterpDecodeDiffTest, TruncatingBudgetsAgreeAtEveryBoundary) {
+  // MaxSteps cuts the fast loop mid-block, possibly between the two halves
+  // of a fused pair; the reference tail must keep both engines identical
+  // at *every* budget, including the frame position left behind.
+  auto M = compileOrDie("int a[8];\n"
+                        "int main() { int i; int s;\n"
+                        "  for (i = 0; i < 8; i = i + 1) { a[i] = i * 3; "
+                        "s = s + a[i]; }\n"
+                        "  return s; }\n");
+  const Function *F = M->findFunction("main");
+  ASSERT_NE(F, nullptr);
+  for (uint64_t Budget = 1; Budget <= 40; ++Budget) {
+    InterpOptions IO;
+    IO.Dispatch = InterpDispatch::Reference;
+    Interpreter Ref(*M, IO);
+    Ref.startCall(F, {});
+    Trace RT = referenceTrace(Ref, Budget);
+
+    IO.Dispatch = InterpDispatch::Decoded;
+    Interpreter Dec(*M, IO);
+    Dec.startCall(F, {});
+    Trace DT = decodedTrace(Dec, Budget);
+
+    const std::string What = "budget " + std::to_string(Budget);
+    expectTracesEqual(RT, DT, What);
+    ASSERT_EQ(Ref.done(), Dec.done()) << What;
+    if (!Ref.done()) {
+      // The decoded engine syncs the frame position on every exit; a
+      // step() driver may resume either machine from here.
+      EXPECT_EQ(Ref.topFrame().Block, Dec.topFrame().Block) << What;
+      EXPECT_EQ(Ref.topFrame().Index, Dec.topFrame().Index) << What;
+    }
+  }
+}
+
+TEST(InterpDecodeDiffTest, SinkStopEveryRecordIncludingMidFusedPair) {
+  // A sink returning false must stop the run after the current record —
+  // even when that record is the first half of a fused pair. The machine
+  // must then hold exactly as many retired instructions as a step() driver
+  // that stopped there, positioned so a step() resume replays the rest of
+  // the program identically.
+  auto M = compileOrDie("int a[8];\n"
+                        "int main() { int i; int s;\n"
+                        "  for (i = 0; i < 6; i = i + 1) { a[i % 8] = s + i; "
+                        "s = s + a[i % 8] * 2; }\n"
+                        "  return s; }\n");
+  const Function *F = M->findFunction("main");
+  ASSERT_NE(F, nullptr);
+  ASSERT_GT(M->decodeCache().imageFor(F)->NumFused, 0u);
+
+  // Total record count from a clean reference run.
+  InterpOptions IO;
+  IO.Dispatch = InterpDispatch::Reference;
+  Interpreter Probe(*M, IO);
+  Probe.startCall(F, {});
+  const uint64_t Total = referenceTrace(Probe, 100000).Steps;
+  ASSERT_GT(Total, 10u);
+
+  for (uint64_t Stop = 1; Stop < Total; ++Stop) {
+    const std::string What = "stop after record " + std::to_string(Stop);
+
+    Interpreter Ref(*M, IO);
+    Ref.startCall(F, {});
+    uint64_t RH = kFnvBasis;
+    for (uint64_t I = 0; I != Stop; ++I)
+      RH = hashStepResult(RH, Ref.step());
+
+    InterpOptions DO;
+    DO.Dispatch = InterpDispatch::Decoded;
+    Interpreter Dec(*M, DO);
+    Dec.startCall(F, {});
+    uint64_t DH = kFnvBasis, Seen = 0;
+    auto Sink = makeStepSink([&](const StepResult &R) {
+      DH = hashStepResult(DH, R);
+      return ++Seen < Stop;
+    });
+    Dec.runBatch(Sink, 100000);
+
+    ASSERT_EQ(Seen, Stop) << What << ": extra records after the stop";
+    ASSERT_EQ(DH, RH) << What;
+    ASSERT_EQ(Dec.instrCount(), Ref.instrCount()) << What;
+    ASSERT_EQ(Dec.topFrame().Block, Ref.topFrame().Block) << What;
+    ASSERT_EQ(Dec.topFrame().Index, Ref.topFrame().Index) << What;
+
+    // Resume both through the reference shim; the tails must agree too.
+    uint64_t RT = kFnvBasis, DT = kFnvBasis;
+    while (!Ref.done())
+      RT = hashStepResult(RT, Ref.step());
+    while (!Dec.done())
+      DT = hashStepResult(DT, Dec.step());
+    ASSERT_EQ(DT, RT) << What << ": resumed tails diverge";
+    EXPECT_EQ(Dec.returnValue().I, Ref.returnValue().I) << What;
+    EXPECT_EQ(Dec.memoryHash(), Ref.memoryHash()) << What;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-function entry.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpDecodeDiffTest, MidFunctionStartAtIncludingFusedSecondHalf) {
+  auto M = compileOrDie("int a[16];\n"
+                        "int main() { int i; int s;\n"
+                        "  for (i = 0; i < 12; i = i + 1) { a[i] = s + i; "
+                        "s = s + a[i] * 2; }\n"
+                        "  return s; }\n");
+  const Function *F = M->findFunction("main");
+  ASSERT_NE(F, nullptr);
+
+  // The loop compare feeding the backedge branch guarantees fusion.
+  auto Img = M->decodeCache().imageFor(F);
+  ASSERT_GT(Img->NumFused, 0u) << "expected at least one fused pair";
+
+  // Start positions: every (block, index) in the function, which includes
+  // the second-half slots of fused pairs (normal flow skips them; startAt
+  // must still enter there and agree with the reference engine).
+  std::vector<Value> Regs(F->numRegs());
+  for (size_t I = 0; I != Regs.size(); ++I)
+    Regs[I] = Value::ofInt(static_cast<int64_t>(I % 5) - 1);
+
+  unsigned Positions = 0;
+  for (BlockId B = 0; B != static_cast<BlockId>(F->numBlocks()); ++B) {
+    const uint32_t NInstrs =
+        static_cast<uint32_t>(F->block(B)->Instrs.size());
+    for (uint32_t Idx = 0; Idx != NInstrs; ++Idx) {
+      InterpOptions IO;
+      IO.Dispatch = InterpDispatch::Reference;
+      Interpreter Ref(*M, IO);
+      Ref.startAt(F, B, Idx, Regs);
+      Trace RT = referenceTrace(Ref, 100000);
+
+      IO.Dispatch = InterpDispatch::Decoded;
+      Interpreter Dec(*M, IO);
+      Dec.startAt(F, B, Idx, Regs);
+      Trace DT = decodedTrace(Dec, 100000);
+
+      expectTracesEqual(RT, DT,
+                        "startAt block " + std::to_string(B) + " index " +
+                            std::to_string(Idx));
+      ++Positions;
+    }
+  }
+  EXPECT_GT(Positions, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ghost contexts (MemHooks redirection).
+//===----------------------------------------------------------------------===//
+
+TEST(InterpDecodeDiffTest, GhostContextWithMemHooks) {
+  auto M = compileOrDie("int a[32];\n"
+                        "int main() { int i; int s;\n"
+                        "  for (i = 0; i < 24; i = i + 1) {\n"
+                        "    a[i % 8] = a[i % 8] + i;\n"
+                        "    s = s + a[(i + 3) % 8];\n"
+                        "  }\n"
+                        "  return s; }\n");
+  const Function *F = M->findFunction("main");
+  ASSERT_NE(F, nullptr);
+
+  InterpOptions IO;
+  IO.Dispatch = InterpDispatch::Reference;
+  Interpreter Ref(*M, IO);
+  BufferingHooks RefHooks;
+  Ref.setMemHooks(&RefHooks);
+  Ref.startCall(F, {});
+  Trace RT = referenceTrace(Ref, 1000000);
+
+  IO.Dispatch = InterpDispatch::Decoded;
+  Interpreter Dec(*M, IO);
+  BufferingHooks DecHooks;
+  Dec.setMemHooks(&DecHooks);
+  Dec.startCall(F, {});
+  Trace DT = decodedTrace(Dec, 1000000);
+
+  expectTracesEqual(RT, DT, "hooked run");
+  // Both engines must have driven the hooks with the same access sequence,
+  // and (all stores buffered) both memory images must still be pristine.
+  EXPECT_EQ(RefHooks.Log, DecHooks.Log);
+  EXPECT_EQ(Ref.memoryHash(), Dec.memoryHash());
+}
+
+TEST(InterpDecodeDiffTest, GhostSharingConstructorSharesMemory) {
+  // A ghost built from a host must read the host's array image through the
+  // decoded engine exactly as it does through the reference engine.
+  auto M = compileOrDie("int a[8];\n"
+                        "int seedmem() { int i; for (i = 0; i < 8; i = i + 1)"
+                        " a[i] = i * 7; return 0; }\n"
+                        "int main() { int i; int s;\n"
+                        "  for (i = 0; i < 8; i = i + 1) s = s + a[i];\n"
+                        "  return s; }\n");
+  const Function *Seed = M->findFunction("seedmem");
+  const Function *Main = M->findFunction("main");
+  ASSERT_NE(Seed, nullptr);
+  ASSERT_NE(Main, nullptr);
+
+  // Ghosts inherit their host's options, so each engine gets its own
+  // host+ghost pair; the hosts compute identical memory images.
+  InterpOptions IO;
+  IO.Dispatch = InterpDispatch::Reference;
+  Interpreter RefHost(*M, IO);
+  RefHost.startCall(Seed, {});
+  RefHost.run();
+  ASSERT_TRUE(RefHost.done());
+  Interpreter RefGhost(*M, RefHost);
+  RefGhost.startCall(Main, {});
+  Trace RT = referenceTrace(RefGhost, 100000);
+
+  IO.Dispatch = InterpDispatch::Decoded;
+  Interpreter DecHost(*M, IO);
+  DecHost.startCall(Seed, {});
+  DecHost.run();
+  ASSERT_TRUE(DecHost.done());
+  Interpreter DecGhost(*M, DecHost);
+  DecGhost.startCall(Main, {});
+  Trace DT = decodedTrace(DecGhost, 100000);
+
+  expectTracesEqual(RT, DT, "ghost over shared memory");
+  ASSERT_TRUE(DecGhost.done());
+  EXPECT_EQ(DecGhost.returnValue().I, 7 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}

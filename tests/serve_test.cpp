@@ -23,6 +23,7 @@
 #include "lang/Frontend.h"
 #include "lang/ProgramGenerator.h"
 #include "partition/Partition.h"
+#include "profile/Profiler.h"
 #include "serve/CompileCache.h"
 #include "support/CancelToken.h"
 
@@ -145,6 +146,31 @@ TEST(ServeCancelTest, UncancelledTokenDoesNotPerturbTheReport) {
       compileSpt(*M, SptCompilerOptions().withCancel(&Tok));
   EXPECT_FALSE(Got.Cancelled);
   EXPECT_EQ(renderReportDeterministic(Got), renderReportDeterministic(Want));
+}
+
+TEST(ServeCancelTest, DeadlineFiresMidBatchInTheProfiler) {
+  // The profiler drives the interpreter's batched decoded engine and polls
+  // its token every 16384 retired instructions. A deadline that expires
+  // while the batch is in flight must stop the run at a poll boundary —
+  // partial bundle, explanatory error — not run the batch to completion.
+  auto M = compileOrDie("int main() { int i; int j; int s;\n"
+                        "  for (i = 0; i < 100000; i = i + 1) {\n"
+                        "    for (j = 0; j < 1000; j = j + 1) {\n"
+                        "      s = s + i * j;\n"
+                        "    }\n"
+                        "  }\n"
+                        "  return s; }\n");
+  CancelToken Tok;
+  ProfilerOptions PO;
+  PO.Cancel = &Tok;
+  Tok.armDeadlineAfter(0.02); // Expires a few million steps in.
+  ProfileBundle B = profileRun(*M, "main", {}, PO);
+  EXPECT_FALSE(B.Completed);
+  EXPECT_NE(B.Error.find("cancelled after"), std::string::npos) << B.Error;
+  // Mid-batch, not pre-run: some instructions retired, and the stop landed
+  // exactly on the documented poll stride.
+  EXPECT_GT(B.Instrs, 0u);
+  EXPECT_EQ(B.Instrs % 16384u, 0u) << B.Instrs;
 }
 
 TEST(ServeCancelTest, PartitionSearchHonorsCancelMidSearch) {

@@ -169,16 +169,17 @@ TEST(KnownBadMutationTest, NoLoopMeansNoApplication) {
 // Oracle suite.
 //===----------------------------------------------------------------------===//
 
-TEST(OracleSuiteTest, CatalogueHasTenDistinctOracles) {
+TEST(OracleSuiteTest, CatalogueHasElevenDistinctOracles) {
   const auto &Cat = oracleCatalogue();
-  ASSERT_EQ(Cat.size(), 10u);
+  ASSERT_EQ(Cat.size(), 11u);
   std::set<std::string> Names;
   for (const OracleInfo &O : Cat) {
     Names.insert(O.Name);
     EXPECT_FALSE(std::string(O.Description).empty()) << O.Name;
   }
-  EXPECT_EQ(Names.size(), 10u);
+  EXPECT_EQ(Names.size(), 11u);
   EXPECT_TRUE(Names.count("interp"));
+  EXPECT_TRUE(Names.count("interp-decode-diff"));
   EXPECT_TRUE(Names.count("chaos"));
   EXPECT_TRUE(Names.count("sim-fidelity-diff"));
   EXPECT_TRUE(Names.count("report-diff"));
