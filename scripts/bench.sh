@@ -15,6 +15,10 @@
 #                                      # its "simulator" block (nodes/s per
 #                                      # fidelity, memo hit rate) into the
 #                                      # perf_compile JSON
+#   ./scripts/bench.sh --kway          # also run bench/fig14_kway and merge
+#                                      # its "kway" block (speedup at 1/2/4/8
+#                                      # cores, two-core byte-identity gate)
+#                                      # into the perf_compile JSON
 #
 # Extra flags are passed through to perf_compile (--jobs=N, --repeat=N).
 
@@ -25,20 +29,22 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== [release] configure"
 cmake --preset release
-echo "== [release] build perf_compile perf_serve perf_sim"
+echo "== [release] build perf_compile perf_serve perf_sim fig14_kway"
 cmake --build --preset release -j "$JOBS" --target perf_compile perf_serve \
-  perf_sim
+  perf_sim fig14_kway
 
 OUT_PATH="$PWD/BENCH_compile.json"
 OUT_SET=0
 QUICK=0
 SIM=0
+KWAY=0
 ARGS=()
 for arg in "$@"; do
   case "$arg" in
     --out=*) OUT_SET=1; OUT_PATH="${arg#--out=}"; ARGS+=("$arg") ;;
     --quick) QUICK=1; ARGS+=("$arg") ;;
     --sim) SIM=1 ;;
+    --kway) KWAY=1 ;;
     *) ARGS+=("$arg") ;;
   esac
 done
@@ -81,6 +87,32 @@ if [ "$SIM" -eq 1 ]; then
     exit 1
   }
   echo "== simulator block recorded in $OUT_PATH"
+fi
+
+# K-way core sweep (opt-in with --kway): bench/fig14_kway compiles and
+# simulates every workload at 1, 2, 4 and 8 cores and merges a "kway"
+# block into the perf_compile JSON. The binary exits nonzero itself when
+# the generalized engine is not byte-identical to the two-core reference
+# at Cores=2 or no workload scales monotonically from 2 to 4 cores, and
+# the block's own reports_identical flag is double-checked here.
+if [ "$KWAY" -eq 1 ]; then
+  KWAY_ARGS=()
+  if [ "$QUICK" -eq 1 ]; then
+    KWAY_ARGS+=("--quick")
+  fi
+  echo "== fig14_kway ${KWAY_ARGS[*]:-} --out=$OUT_PATH"
+  ./build-release/bench/fig14_kway "${KWAY_ARGS[@]:+${KWAY_ARGS[@]}}" \
+    "--out=$OUT_PATH"
+  grep -q '"kway"' "$OUT_PATH" || {
+    echo "== ERROR: $OUT_PATH is missing the kway block" >&2
+    exit 1
+  }
+  grep -q '"reports_identical": true, "any_speedup_monotone_2_to_4": true' \
+    "$OUT_PATH" || {
+    echo "== ERROR: $OUT_PATH kway block failed its gates" >&2
+    exit 1
+  }
+  echo "== kway block recorded in $OUT_PATH"
 fi
 
 # Batch-service throughput. perf_serve exits nonzero itself when any

@@ -65,6 +65,15 @@ for preset in "${PRESETS[@]}"; do
   "./$builddir/tests/interp_decode_test"
   "./$builddir/bench/perf_interp" --quick \
     --out="$builddir/BENCH_interp_quick.json"
+  # K-way differential smoke: the generalized N-core engine against the
+  # retained two-core reference (byte-identity at Cores=2, architectural
+  # equality and in-order commit accounting at 4 and 8 cores), then a
+  # quick cores=1,2,4,8 sweep whose exit code gates both the byte-identity
+  # and the 2->4 scaling claim (see docs/simulation.md).
+  echo "== [$preset] k-way differential smoke"
+  "./$builddir/tests/kway_sim_test"
+  "./$builddir/bench/fig14_kway" --quick \
+    --out="$builddir/BENCH_kway_quick.json"
 done
 
 # Smoke-run the compile-time benchmark (small stress graphs, one repeat)

@@ -612,6 +612,8 @@ void Compilation::evaluateLoopCandidate(const Function &F,
       Rec.Reason = RejectReason::TooManyVcs;
       return;
     }
+    if (Opts.Machine.Cores > 2)
+      Rec.Kway = Search.runKway(Rec.Partition, Opts.Machine.Cores - 1);
     if (Rec.Partition.Cost > Opts.Selection.CostFraction * Rec.BodyWeight) {
       Rec.Reason = RejectReason::HighCost;
       return;
@@ -643,12 +645,29 @@ void Compilation::evaluateLoopCandidate(const Function &F,
     const double SeqIter =
         std::max(Rec.BodyWeight * 0.55, CriticalPath * 0.8);
     const double SpecLeg = std::max(Rec.BodyWeight * 0.5, CriticalPath);
-    const double ParPair = Rec.Partition.PreForkWeight + SpecLeg +
-                           Opts.Machine.ForkOverheadWeight +
-                           Opts.Machine.CommitOverheadWeight +
-                           Opts.Machine.JoinSerializationWeight +
-                           Rec.Partition.Cost;
-    Rec.GainEstimate = (2.0 * SeqIter) / ParPair;
+    if (Opts.Machine.Cores == 2) {
+      const double ParPair = Rec.Partition.PreForkWeight + SpecLeg +
+                             Opts.Machine.ForkOverheadWeight +
+                             Opts.Machine.CommitOverheadWeight +
+                             Opts.Machine.JoinSerializationWeight +
+                             Rec.Partition.Cost;
+      Rec.GainEstimate = (2.0 * SeqIter) / ParPair;
+    } else {
+      // Chained machine: each of the C-1 speculative threads pays its
+      // fork, commit, serial prefix and expected re-execution; the group
+      // of C iterations otherwise overlaps down to one speculative leg.
+      // At C=1 the group degenerates to no overlap at all, so the
+      // estimate falls below the gain floor and the loop is rejected —
+      // speculation is off on a one-core machine.
+      const double C = static_cast<double>(Opts.Machine.Cores);
+      const double ParGroup =
+          (C - 1.0) * (Rec.Partition.PreForkWeight +
+                       Opts.Machine.ForkOverheadWeight +
+                       Opts.Machine.CommitOverheadWeight +
+                       Rec.Partition.Cost) +
+          Opts.Machine.JoinSerializationWeight + SpecLeg;
+      Rec.GainEstimate = (C * SeqIter) / ParGroup;
+    }
     if (Rec.GainEstimate <= Opts.Selection.MinGainEstimate) {
       Rec.Reason = RejectReason::NoGain;
       return;
@@ -852,6 +871,7 @@ CompilationReport Compilation::run() {
   ObsSpan CompileSpan(Obs, "compile");
   Report.Mode = Opts.Mode;
   Report.EffectiveMode = Opts.Mode;
+  Report.Cores = Opts.Machine.Cores;
   // Validate external profile data against the pristine module: stage A
   // reshapes functions, and counts collected before compilation can only
   // be checked against the shapes they were collected on.
@@ -919,6 +939,10 @@ std::string spt::renderReportDeterministic(const CompilationReport &Report) {
   Out += compilationModeName(Report.EffectiveMode);
   Out += " degraded=";
   Out += Report.Degraded ? '1' : '0';
+  // Historical (paper-machine) reports never mentioned the core count;
+  // emitting it only off the default keeps two-core renders byte-stable.
+  if (Report.Cores != 2)
+    Out += " cores=" + std::to_string(Report.Cores);
   Out += '\n';
 
   for (const LoopRecord &R : Report.Loops) {
@@ -983,6 +1007,35 @@ std::string spt::renderReportDeterministic(const CompilationReport &Report) {
         First = false;
       }
     Out += "]\n";
+
+    if (Report.Cores != 2) {
+      const KwayPartitionResult &K = R.Kway;
+      Out += "  kway searched=";
+      Out += K.Searched ? '1' : '0';
+      Out += " levels=" + std::to_string(K.Levels);
+      Out += " chainCost=";
+      appendDouble(Out, K.ChainCost);
+      Out += " nodes=" + std::to_string(K.NodesVisited);
+      Out += " costEvals=" + std::to_string(K.CostEvals);
+      Out += '\n';
+      for (size_t CI = 0; CI != K.Cuts.size(); ++CI) {
+        const KwayCutRecord &Cut = K.Cuts[CI];
+        Out += "    cut " + std::to_string(CI + 1);
+        Out += " cost=";
+        appendDouble(Out, Cut.Cost);
+        Out += " preForkWeight=";
+        appendDouble(Out, Cut.PreForkWeight);
+        Out += " objective=";
+        appendDouble(Out, Cut.Objective);
+        Out += " chosen=[";
+        for (size_t I = 0; I != Cut.ChosenVcs.size(); ++I) {
+          if (I)
+            Out += ',';
+          Out += std::to_string(Cut.ChosenVcs[I]);
+        }
+        Out += "]\n";
+      }
+    }
   }
 
   Out += "sptLoops=[";

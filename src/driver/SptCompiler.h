@@ -123,6 +123,12 @@ struct SptCompilerOptions {
     /// Pipeline-restart cost the speculative core pays per thread (its
     /// scheduling window starts cold at each fork).
     double JoinSerializationWeight = 20.0;
+    /// Total cores of the target machine (main + speculative), mirroring
+    /// MachineConfig::Cores. 2 (the default) is the paper's machine and
+    /// keeps the historical gain estimate and report rendering
+    /// byte-identical; >2 switches the gain estimate to the chained
+    /// group form and runs the k-way partition search per selected loop.
+    uint32_t Cores = 2;
   } Machine;
 
   /// Stage B/C enabling techniques and their ablation switches.
@@ -237,6 +243,11 @@ struct SptCompilerOptions {
     O.Cancel = Token;
     return O;
   }
+  SptCompilerOptions withCores(uint32_t Cores) const {
+    SptCompilerOptions O = *this;
+    O.Machine.Cores = Cores;
+    return O;
+  }
   /// Enables observability; recording goes to \p Ctx when given, else to
   /// a per-compilation context.
   SptCompilerOptions withTracing(ObsContext *Ctx = nullptr) const {
@@ -264,6 +275,9 @@ struct LoopRecord {
   double Work = 0.0;
 
   PartitionResult Partition;
+  /// K-way partition chain (Cores > 2 only; default-empty otherwise so
+  /// two-core reports stay byte-identical).
+  KwayPartitionResult Kway;
   double GainEstimate = 0.0; ///< Analytic speedup estimate (>= 0).
   RejectReason Reason = RejectReason::Selected;
   /// Human-readable detail for TransformFailed/StageError rejections and
@@ -278,6 +292,11 @@ struct LoopRecord {
 /// Everything the compilation produced.
 struct CompilationReport {
   CompilationMode Mode = CompilationMode::Best;
+  /// The machine's core count the compilation targeted
+  /// (SptCompilerOptions::Machine.Cores). renderReportDeterministic emits
+  /// it — and the per-loop k-way chain records — only when it differs
+  /// from the historical 2, so two-core reports are byte-stable.
+  uint32_t Cores = 2;
   /// The semantics actually compiled with: equals Mode unless profile
   /// validation failed and the run degraded to Basic.
   CompilationMode EffectiveMode = CompilationMode::Best;

@@ -487,6 +487,301 @@ void PartitionSearch::searchReference(uint32_t MinNext,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// K-way chain search (machines with more than one speculative core)
+//===----------------------------------------------------------------------===//
+
+void PartitionSearch::recordKwayIncumbent(
+    const std::vector<uint8_t> &Picked, const std::vector<uint8_t> &CurMarks,
+    double Cost, double CurWeight, double Mult, double Threshold,
+    KwayCutRecord &Best) const {
+  const double J = CurWeight + Mult * Cost;
+  if (!(CurWeight <= Threshold + 1e-12 && J < Best.Objective - 1e-12))
+    return;
+  Best.Objective = J;
+  Best.Cost = Cost;
+  Best.PreForkWeight = CurWeight;
+  Best.InPreFork.assign(CurMarks.begin(), CurMarks.end());
+  Best.ChosenVcs.clear();
+  for (uint32_t NI = 0; NI != Nodes.size(); ++NI)
+    if (Picked[NI])
+      Best.ChosenVcs.insert(Best.ChosenVcs.end(), Nodes[NI].Vcs.begin(),
+                            Nodes[NI].Vcs.end());
+  std::sort(Best.ChosenVcs.begin(), Best.ChosenVcs.end());
+}
+
+// Mirrors searchFast: the committed Scratch holds the current node's
+// partition, LbScratch slides over the movable *unpicked* suffix, and the
+// lower-bound prune compares NewWeight + Mult * cost-lower-bound against
+// the incumbent objective (weights only grow and costs only shrink along
+// a branch, so the bound is sound for the chain objective too). Nodes the
+// base cut already picked are committed, not part of the suffix, and are
+// skipped without an LbScratch advance.
+void PartitionSearch::kwaySearchFast(uint32_t MinNext,
+                                     std::vector<uint8_t> &Picked,
+                                     double Mult, double Threshold,
+                                     KwayCutRecord &Best) {
+  ++Stats.NodesVisited;
+
+  recordKwayIncumbent(Picked, Marks, Scratch.Cost, Weight, Mult, Threshold,
+                      Best);
+
+  if (outOfBudget())
+    return;
+
+  uint32_t LbAdvances = 0;
+  const auto AdvanceLb = [&](uint32_t Next) {
+    if (Opts.EnableLowerBoundPrune) {
+      Model.commitUntoggleDeferred(LbScratch, NodePlans[Next]);
+      ++LbAdvances;
+    }
+  };
+
+  for (uint32_t Next = MinNext; Next < Nodes.size(); ++Next) {
+    const VcNode &N = Nodes[Next];
+    if (!N.Movable || Picked[Next])
+      continue;
+    bool PredsSatisfied = true;
+    for (uint32_t P : N.Preds)
+      if (!Picked[P]) {
+        PredsSatisfied = false;
+        break;
+      }
+    if (!PredsSatisfied) {
+      AdvanceLb(Next);
+      continue;
+    }
+
+    const size_t AddedBase = AddedBuf.size();
+    double NewWeight = Weight;
+    for (uint32_t StmtIdx : N.Closure)
+      if (!Marks[StmtIdx]) {
+        AddedBuf.push_back(StmtIdx);
+        NewWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+      }
+    if (Opts.EnableSizePrune && NewWeight > Threshold + 1e-12) {
+      AddedBuf.resize(AddedBase);
+      ++Stats.SizePrunes;
+      AdvanceLb(Next);
+      continue;
+    }
+
+    if (Opts.EnableLowerBoundPrune) {
+      ++Stats.CostEvals;
+      const double LbJ = NewWeight + Mult * Model.refreshCost(LbScratch);
+      if (LbJ >= Best.Objective - 1e-12) {
+        AddedBuf.resize(AddedBase);
+        ++Stats.LowerBoundPrunes;
+        AdvanceLb(Next);
+        continue;
+      }
+    }
+
+    Picked[Next] = 1;
+    for (size_t K = AddedBase; K != AddedBuf.size(); ++K)
+      Marks[AddedBuf[K]] = 1;
+    const double OldWeight = Weight;
+    Weight = NewWeight;
+    ++Stats.CostEvals;
+    Model.commitToggle(Scratch, NodePlans[Next]);
+    kwaySearchFast(Next + 1, Picked, Mult, Threshold, Best);
+    Model.undoToggle(Scratch);
+    Weight = OldWeight;
+    for (size_t K = AddedBase; K != AddedBuf.size(); ++K)
+      Marks[AddedBuf[K]] = 0;
+    AddedBuf.resize(AddedBase);
+    Picked[Next] = 0;
+    AdvanceLb(Next);
+
+    if (outOfBudget())
+      break;
+  }
+
+  for (; LbAdvances != 0; --LbAdvances)
+    Model.undoToggle(LbScratch);
+}
+
+// Mirrors searchReference: per-node closure rebuild and allocating cost
+// calls, walking exactly the tree kwaySearchFast walks (same prunes on
+// the same bit-identical values).
+void PartitionSearch::kwaySearchReference(uint32_t MinNext,
+                                          std::vector<uint8_t> &Picked,
+                                          std::vector<uint32_t> &UnionClosure,
+                                          double Mult, double Threshold,
+                                          KwayCutRecord &Best) {
+  ++Stats.NodesVisited;
+
+  std::vector<uint8_t> CurMarks(G.size(), 0);
+  double CurWeight = 0.0;
+  for (uint32_t StmtIdx : UnionClosure) {
+    CurMarks[StmtIdx] = 1;
+    CurWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+  }
+  const double Cost = evaluate(CurMarks);
+  recordKwayIncumbent(Picked, CurMarks, Cost, CurWeight, Mult, Threshold,
+                      Best);
+
+  if (outOfBudget())
+    return;
+
+  for (uint32_t Next = MinNext; Next < Nodes.size(); ++Next) {
+    const VcNode &N = Nodes[Next];
+    if (!N.Movable || Picked[Next])
+      continue;
+    bool PredsSatisfied = true;
+    for (uint32_t P : N.Preds)
+      if (!Picked[P]) {
+        PredsSatisfied = false;
+        break;
+      }
+    if (!PredsSatisfied)
+      continue;
+
+    double NewWeight = CurWeight;
+    std::vector<uint32_t> Added;
+    for (uint32_t StmtIdx : N.Closure)
+      if (!CurMarks[StmtIdx]) {
+        Added.push_back(StmtIdx);
+        NewWeight += G.stmt(StmtIdx).Weight * G.stmt(StmtIdx).IterFreq;
+      }
+    if (Opts.EnableSizePrune && NewWeight > Threshold + 1e-12) {
+      ++Stats.SizePrunes;
+      continue;
+    }
+
+    if (Opts.EnableLowerBoundPrune) {
+      Picked[Next] = 1;
+      const double Lb = lowerBound(Picked, Next + 1);
+      Picked[Next] = 0;
+      const double LbJ = NewWeight + Mult * Lb;
+      if (LbJ >= Best.Objective - 1e-12) {
+        ++Stats.LowerBoundPrunes;
+        continue;
+      }
+    }
+
+    Picked[Next] = 1;
+    for (uint32_t StmtIdx : Added) {
+      CurMarks[StmtIdx] = 1;
+      UnionClosure.push_back(StmtIdx);
+    }
+    kwaySearchReference(Next + 1, Picked, UnionClosure, Mult, Threshold,
+                        Best);
+    for (size_t K = 0; K != Added.size(); ++K)
+      UnionClosure.pop_back();
+    for (uint32_t StmtIdx : Added)
+      CurMarks[StmtIdx] = 0;
+    Picked[Next] = 0;
+
+    if (outOfBudget())
+      return;
+  }
+}
+
+KwayPartitionResult PartitionSearch::runKway(const PartitionResult &Base,
+                                             uint32_t Levels) {
+  KwayPartitionResult Out;
+  Out.Levels = std::max(Levels, 1u);
+  if (!Base.Searched)
+    return Out;
+  Out.Searched = true;
+
+  // Level 1 is the machine-independent base cut, verbatim; its objective
+  // under the chain metric is PreForkWeight + 1 * Cost.
+  KwayCutRecord First;
+  First.ChosenVcs = Base.ChosenVcs;
+  First.InPreFork = Base.InPreFork;
+  First.Cost = Base.Cost;
+  First.PreForkWeight = Base.PreForkWeight;
+  First.Objective = Base.PreForkWeight + Base.Cost;
+  Out.Cuts.push_back(std::move(First));
+  Out.ChainCost = Base.Cost;
+
+  Stats = PartitionResult();
+  if (Opts.MaxSearchSeconds > 0.0) {
+    const uint64_t NowNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    DeadlineNs = NowNs + static_cast<uint64_t>(Opts.MaxSearchSeconds * 1e9);
+  } else {
+    DeadlineNs = 0;
+  }
+
+  // Node-level picks of a cut: a node is picked iff every one of its VCs
+  // is among the cut's chosen candidates (the search always picks whole
+  // condensed nodes, so this round-trips exactly).
+  std::vector<uint8_t> Picked(Nodes.size(), 0);
+  const auto PickFromVcs = [&](const std::vector<uint32_t> &Vcs) {
+    std::vector<uint8_t> InCut(G.size(), 0);
+    for (uint32_t Vc : Vcs)
+      InCut[Vc] = 1;
+    for (uint32_t NI = 0; NI != Nodes.size(); ++NI) {
+      bool All = !Nodes[NI].Vcs.empty();
+      for (uint32_t Vc : Nodes[NI].Vcs)
+        if (!InCut[Vc])
+          All = false;
+      Picked[NI] = All ? 1 : 0;
+    }
+  };
+  PickFromVcs(Base.ChosenVcs);
+
+  for (uint32_t D = 2; D <= Out.Levels; ++D) {
+    const double Mult = static_cast<double>(D);
+    const double Threshold = std::min(Base.BodyWeight, Mult * SizeThreshold);
+    const KwayCutRecord &Prev = Out.Cuts.back();
+    KwayCutRecord BestCut;
+    if (Opts.ReferenceEvaluation) {
+      std::vector<uint32_t> UnionClosure;
+      for (uint32_t SI = 0; SI != Prev.InPreFork.size(); ++SI)
+        if (Prev.InPreFork[SI])
+          UnionClosure.push_back(SI);
+      kwaySearchReference(0, Picked, UnionClosure, Mult, Threshold, BestCut);
+    } else {
+      // Seed the branch state from the previous cut, summing weights in
+      // ascending statement order — the same order the reference path's
+      // root rebuild uses, so both start from bit-identical weights.
+      Marks.assign(G.size(), 0);
+      Weight = 0.0;
+      AddedBuf.clear();
+      for (uint32_t SI = 0; SI != G.size(); ++SI)
+        if (SI < Prev.InPreFork.size() && Prev.InPreFork[SI]) {
+          Marks[SI] = 1;
+          Weight += G.stmt(SI).Weight * G.stmt(SI).IterFreq;
+        }
+      PartitionSet PrevP(G.size(), 0);
+      for (uint32_t Vc : Prev.ChosenVcs)
+        PrevP[Vc] = 1;
+      ++Stats.CostEvals;
+      Model.initScratch(Scratch, PrevP);
+      if (Opts.EnableLowerBoundPrune && !Nodes.empty()) {
+        Model.initScratch(LbScratch, PrevP);
+        std::vector<uint32_t> Acc;
+        for (uint32_t NI = 0; NI != Nodes.size(); ++NI)
+          if (Nodes[NI].Movable && !Picked[NI])
+            Acc.insert(Acc.end(), Nodes[NI].Vcs.begin(),
+                       Nodes[NI].Vcs.end());
+        Model.commitToggle(LbScratch, Model.planToggle(std::move(Acc)));
+      }
+      kwaySearchFast(0, Picked, Mult, Threshold, BestCut);
+    }
+    PickFromVcs(BestCut.ChosenVcs);
+    Out.ChainCost += BestCut.Cost;
+    Out.Cuts.push_back(std::move(BestCut));
+  }
+
+  Out.NodesVisited = Stats.NodesVisited;
+  Out.CostEvals = Stats.CostEvals;
+
+  if (ObsContext *Obs = Opts.Obs) {
+    obsAdd(Obs, "partition.kway.searches", 1);
+    obsAdd(Obs, "partition.kway.levels", Out.Cuts.size());
+    obsAdd(Obs, "partition.kway.nodes.visited", Out.NodesVisited);
+    obsAdd(Obs, "partition.kway.cost.evals", Out.CostEvals);
+  }
+  return Out;
+}
+
 PartitionResult PartitionSearch::run() {
   PartitionResult Best;
   Best.BodyWeight = G.dynamicBodyWeight();

@@ -127,6 +127,39 @@ struct PartitionResult {
   uint32_t NumViolationCandidates = 0;
 };
 
+/// One cut of a k-way partition chain (see PartitionSearch::runKway).
+/// Cut d's pre-fork region is a superset of cut d-1's: on a machine with
+/// more than one speculative core, the d-th chained speculative thread
+/// forks after the statements of cut d, so deeper cuts trade a larger
+/// serial prefix for a cheaper misspeculation exposure.
+struct KwayCutRecord {
+  /// Chosen violation candidates (statement indices, sorted).
+  std::vector<uint32_t> ChosenVcs;
+  /// Stmt-level pre-fork membership (dependence closure of ChosenVcs).
+  PartitionSet InPreFork;
+  /// Misspeculation cost of this cut's partition.
+  double Cost = std::numeric_limits<double>::infinity();
+  /// Dynamic weight of this cut's pre-fork region.
+  double PreForkWeight = 0.0;
+  /// The level objective the search minimized:
+  /// PreForkWeight + level * Cost.
+  double Objective = std::numeric_limits<double>::infinity();
+};
+
+/// Result of the k-way chain search: one cut per level, Cuts[0] being
+/// the machine-independent base partition from run().
+struct KwayPartitionResult {
+  bool Searched = false;
+  uint32_t Levels = 0;
+  std::vector<KwayCutRecord> Cuts;
+  /// Sum of the cuts' misspeculation costs — the chain's total exposure.
+  double ChainCost = 0.0;
+  /// Search statistics over all levels (for the equivalence tests and
+  /// the partition.kway.* observability counters).
+  uint64_t NodesVisited = 0;
+  uint64_t CostEvals = 0;
+};
+
 /// The violation-candidate dependence graph plus the search driver.
 class PartitionSearch {
 public:
@@ -135,6 +168,20 @@ public:
 
   /// Runs the branch-and-bound search.
   PartitionResult run();
+
+  /// Generalizes \p Base (a result of run() on this same search) to a
+  /// k-way partition chain for a machine with \p Levels speculative
+  /// cores: level 1 is the base cut verbatim; each deeper level d runs
+  /// the same branch-and-bound over *supersets* of level d-1's chosen
+  /// candidates, minimizing the chain objective
+  ///   J_d(P) = PreForkWeight(P) + d * cost(P)
+  /// subject to the relaxed size threshold min(BodyWeight,
+  /// d * SizeThreshold) — the d-th chained thread forks later, so its
+  /// serial prefix may be proportionally larger, but its misspeculation
+  /// cost is paid by every downstream segment. Both evaluation
+  /// strategies (PartitionOptions::ReferenceEvaluation) walk the same
+  /// tree and return bit-identical cuts, like run().
+  KwayPartitionResult runKway(const PartitionResult &Base, uint32_t Levels);
 
   /// Number of VC-dep-graph nodes (condensed strongly-connected
   /// components of violation candidates).
@@ -191,6 +238,18 @@ private:
   void recordIncumbent(const std::vector<uint8_t> &Picked,
                        const std::vector<uint8_t> &CurMarks, double Cost,
                        double CurWeight, PartitionResult &Best) const;
+
+  // K-way chain search (one level; supersets of the already-Picked base
+  // nodes, minimizing CurWeight + Mult * cost under Threshold).
+  void kwaySearchFast(uint32_t MinNext, std::vector<uint8_t> &Picked,
+                      double Mult, double Threshold, KwayCutRecord &Best);
+  void kwaySearchReference(uint32_t MinNext, std::vector<uint8_t> &Picked,
+                           std::vector<uint32_t> &UnionClosure, double Mult,
+                           double Threshold, KwayCutRecord &Best);
+  void recordKwayIncumbent(const std::vector<uint8_t> &Picked,
+                           const std::vector<uint8_t> &CurMarks, double Cost,
+                           double CurWeight, double Mult, double Threshold,
+                           KwayCutRecord &Best) const;
 
   const LoopDepGraph &G;
   const MisspecCostModel &Model;

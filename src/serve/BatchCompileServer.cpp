@@ -77,6 +77,7 @@ uint64_t spt::compilerOptionsFingerprint(const SptCompilerOptions &O) {
   appendField(S, "fork", O.Machine.ForkOverheadWeight);
   appendField(S, "commit", O.Machine.CommitOverheadWeight);
   appendField(S, "join", O.Machine.JoinSerializationWeight);
+  appendField(S, "cores", static_cast<uint64_t>(O.Machine.Cores));
   appendField(S, "svp", static_cast<uint64_t>(O.Enabling.EnableSvp));
   appendField(S, "deps", static_cast<uint64_t>(O.Enabling.EnableDepProfiles));
   appendField(S, "calleff",

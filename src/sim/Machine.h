@@ -38,6 +38,13 @@ struct CacheLevelConfig {
 
 /// The whole machine.
 struct MachineConfig {
+  /// Total cores: one main core plus Cores-1 speculative cores. The
+  /// paper's machine is Cores=2 (the default); the generalized SPT
+  /// engine chains up to Cores-1 speculative threads per fork, each
+  /// committing in program order. Cores=1 disables speculation entirely
+  /// (the main core still executes every iteration).
+  uint32_t Cores = 2;
+
   /// In-order issue bandwidth per core (instructions per cycle).
   uint32_t IssueWidth = 2;
 

@@ -35,6 +35,18 @@ enum class SimFidelity : uint8_t {
   FastForward,
 };
 
+/// Which SPT engine implementation runs the speculation machinery.
+enum class SptSimEngine : uint8_t {
+  /// The N-core chained-ghost engine (MachineConfig::Cores speculative
+  /// chain). At Cores=2 it is byte-identical — reports, MemoryHash,
+  /// every speculation counter — to the retained two-core reference;
+  /// the kway-diff oracle and tests/kway_sim_test.cpp enforce this.
+  Generalized,
+  /// The original one-main-one-spec engine, kept verbatim as the
+  /// differential baseline. Ignores MachineConfig::Cores (always 2).
+  TwoCoreReference,
+};
+
 /// Simulator options. The defaults reproduce the historical behaviour
 /// (exact fidelity) bit-for-bit.
 struct SimOptions {
@@ -44,6 +56,8 @@ struct SimOptions {
   /// whose microarchitectural inputs are verified equal, so results are
   /// byte-identical to the unmemoized reference by construction.
   bool Memo = true;
+  /// SPT engine selection (SeqSim ignores this field).
+  SptSimEngine Engine = SptSimEngine::Generalized;
 
   static SimOptions exact() { return SimOptions{}; }
   static SimOptions exactNoMemo() {
@@ -54,6 +68,11 @@ struct SimOptions {
   static SimOptions fastForward() {
     SimOptions O;
     O.Fidelity = SimFidelity::FastForward;
+    return O;
+  }
+  static SimOptions twoCoreReference() {
+    SimOptions O;
+    O.Engine = SptSimEngine::TwoCoreReference;
     return O;
   }
 };

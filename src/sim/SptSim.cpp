@@ -15,6 +15,24 @@
 // pass is order-equivalent to the former inline closure because producers
 // always precede consumers in the trace.
 //
+// Two engines share this machinery (SimOptions::Engine):
+//
+//   * TwoCoreReference — the original one-main-one-spec driver, kept
+//     verbatim below as the differential baseline.
+//   * Generalized — MachineConfig::Cores-1 speculative chain slots. A
+//     ghost's own fork marker arms the next slot (snapshot registers +
+//     RNG at the ghost's clock, fork overhead charged on the arming
+//     core); slots are simulated in order at the join, reading through
+//     their own buffer, then every earlier slot's buffer (newest first —
+//     a hit whose producing store re-executes is a cross-core
+//     violation), then the main core's undo log, then memory. Committed
+//     slots fold into the main clock in program order (commit overhead +
+//     re-execution slice each); the first squashed slot cuts the chain
+//     and discards everything later. At Cores=2 the chain degenerates to
+//     exactly the reference engine — byte-identical reports, MemoryHash
+//     and counters, enforced by the kway-diff oracle and
+//     tests/kway_sim_test.cpp.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sim/SptSim.h"
@@ -190,6 +208,9 @@ private:
 /// Result of simulating one speculative thread.
 struct GhostOutcome {
   bool Completed = false;
+  /// Completed by speculating the loop's end (SPT_KILL). Generalized
+  /// engine only: cuts the chain — no later iteration exists.
+  bool CompletedByKill = false;
   bool Violated = false;
   uint64_t EndSubtick = 0;
   uint64_t Instrs = 0;
@@ -429,14 +450,15 @@ GhostOutcome runGhost(const Module &M, Interpreter &MainIn,
   return Out;
 }
 
-} // namespace
-
-SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
-                         const std::vector<Value> &Args,
-                         const std::map<int64_t, SptLoopDesc> &Loops,
-                         const MachineConfig &Machine, uint64_t MaxSteps,
-                         uint64_t RngSeed, FaultInjector *Injector,
-                         ObsContext *Obs, const SimOptions &Sim) {
+/// The original one-main-one-spec driver, retained verbatim as the
+/// SptSimEngine::TwoCoreReference baseline the generalized engine must
+/// match byte-for-byte at Cores=2. Ignores MachineConfig::Cores.
+SptSimResult runSptTwoCore(const Module &M, const std::string &FnName,
+                           const std::vector<Value> &Args,
+                           const std::map<int64_t, SptLoopDesc> &Loops,
+                           const MachineConfig &Machine, uint64_t MaxSteps,
+                           uint64_t RngSeed, FaultInjector *Injector,
+                           ObsContext *Obs, const SimOptions &Sim) {
   ObsSpan RunSpan(Obs, "sim.runSpt");
   const Function *F = M.findFunction(FnName);
   if (!F)
@@ -679,4 +701,605 @@ SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
     obsAdd(Obs, "sim.violation.batch", Result.Perf.ViolationBatches);
   }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Generalized N-core engine
+//===----------------------------------------------------------------------===//
+
+/// One speculative chain slot of the generalized engine: the snapshot a
+/// fork captured, the staleness of that snapshot relative to committed
+/// sequential state, and the slot's speculative writes. Slot s
+/// speculates iteration i+s+1 of a fork taken in iteration i; slot 0 is
+/// armed by the main core's fork, slot s+1 by slot s's own fork marker.
+/// Arena-reused across joins.
+struct ChainSlot {
+  bool Armed = false;
+  std::vector<Value> Regs;
+  Random Rng;
+  uint64_t ForkSubtick = 0;
+  /// Loop registers whose snapshot value may differ from committed
+  /// sequential state (the generalization of the reference engine's
+  /// main-wrote-post-fork set). Reads of these are violations.
+  std::vector<uint64_t> StaleBits;
+  /// The snapshot RNG state races an earlier thread's rnd() use.
+  bool StaleRnd = false;
+  /// This slot's buffered speculative stores.
+  SpecAddrMap Buffer;
+  /// Closure output, persisted while later slots run: a load forwarded
+  /// from a re-executed store is a cross-core violation.
+  std::vector<uint8_t> Reexec;
+  GhostOutcome Out;
+  /// Trace index of this ghost's fork marker (arms the next slot), or
+  /// -1. Writes after it post-date the next slot's snapshot.
+  int32_t ArmIndex = -1;
+  uint64_t RndCallsAfterArm = 0;
+
+  bool staleReg(Reg R) const {
+    return (R >> 6) < StaleBits.size() &&
+           (StaleBits[R >> 6] >> (R & 63)) & 1;
+  }
+  void setStaleReg(Reg R) {
+    if ((R >> 6) >= StaleBits.size())
+      StaleBits.resize((R >> 6) + 1, 0);
+    StaleBits[R >> 6] |= 1ull << (R & 63);
+  }
+};
+
+/// Ghost memory semantics for a chain slot: reads hit the slot's own
+/// buffer, then every earlier slot's buffer newest-first (program order:
+/// main < slot 0 < slot 1 < ...; a hit forwarded from a re-executed
+/// store is a cross-core violation), then the main core's undo log (a
+/// stale value: violation), then shared memory. Writes are buffered. At
+/// slot 0 the predecessor walk is empty and this is exactly the
+/// reference engine's GhostMemHooks.
+class ChainMemHooks final : public Interpreter::MemHooks {
+public:
+  ChainMemHooks(const Interpreter &Ghost, std::vector<ChainSlot> &Chain,
+                uint32_t SlotIdx, const SpecAddrMap &UndoLog,
+                FaultInjector *Injector)
+      : Ghost(Ghost), Chain(Chain), SlotIdx(SlotIdx), UndoLog(UndoLog),
+        Injector(Injector) {}
+
+  Value onLoad(uint64_t Addr, Value Fallback) override {
+    LastLoadViolated = false;
+    LastLoadInjected = false;
+    LastLoadSpecWriter = -1;
+    Value V = Fallback;
+    if (const SpecAddrMap::Slot *Spec = Chain[SlotIdx].Buffer.find(Addr)) {
+      LastLoadSpecWriter = Spec->Writer;
+      V = Spec->V;
+    } else {
+      bool Hit = false;
+      for (uint32_t P = SlotIdx; P-- > 0;) {
+        if (const SpecAddrMap::Slot *Pred = Chain[P].Buffer.find(Addr)) {
+          V = Pred->V;
+          // Cross-core violation closure: the forwarded value comes from
+          // a store the main core will re-execute.
+          if (Pred->Writer >= 0 &&
+              Chain[P].Reexec[static_cast<uint32_t>(Pred->Writer)])
+            LastLoadViolated = true;
+          Hit = true;
+          break;
+        }
+      }
+      if (!Hit) {
+        if (const SpecAddrMap::Slot *Undo = UndoLog.find(Addr)) {
+          LastLoadViolated = true;
+          V = Undo->V;
+        }
+      }
+    }
+    if (Injector && Injector->shouldFlipLoad()) {
+      LastLoadInjected = true;
+      V = Injector->corrupt(V);
+    }
+    return V;
+  }
+
+  bool onStore(uint64_t Addr, Value V) override {
+    Chain[SlotIdx].Buffer.insertOrAssign(
+        Addr, V, static_cast<int32_t>(Ghost.instrCount() - 1));
+    return true; // Never reaches shared memory.
+  }
+
+  bool LastLoadViolated = false;
+  bool LastLoadInjected = false;
+  int32_t LastLoadSpecWriter = -1;
+
+private:
+  const Interpreter &Ghost;
+  std::vector<ChainSlot> &Chain;
+  const uint32_t SlotIdx;
+  const SpecAddrMap &UndoLog;
+  FaultInjector *Injector;
+};
+
+/// Simulates chain slot \p SlotIdx as a ghost. Structured exactly like
+/// the reference engine's runGhost, with three additions: staleness
+/// comes from the slot (not the main-thread write set), loads walk the
+/// predecessor buffers, and the slot's own fork marker arms \p Next.
+GhostOutcome runChainGhost(const Module &M, Interpreter &MainIn,
+                           const PendingSpec &Spec,
+                           std::vector<ChainSlot> &Chain, uint32_t SlotIdx,
+                           ChainSlot *Next, const MachineConfig &Machine,
+                           CoreTiming &Core, TimingMemo *Memo,
+                           GhostArena &A, uint64_t MaxGhostSteps,
+                           FaultInjector *Injector, SimPerfCounters &Perf) {
+  GhostOutcome Out;
+  ChainSlot &Slot = Chain[SlotIdx];
+
+  Interpreter Ghost(M, MainIn);
+  Ghost.rng() = Slot.Rng;
+  Ghost.startAt(Spec.Desc->F, Spec.Desc->PreForkEntry, 0, Slot.Regs);
+
+  Slot.Buffer.reset();
+  ChainMemHooks Hooks(Ghost, Chain, SlotIdx, Spec.UndoLog, Injector);
+  Ghost.setMemHooks(&Hooks);
+
+  Core.resetFor(Slot.ForkSubtick);
+  BlockTimer BT(Core, Memo);
+  A.beginRun(Spec.Desc->F->numRegs());
+  Slot.ArmIndex = -1;
+  Slot.RndCallsAfterArm = 0;
+
+  uint32_t N = 0;
+  auto Sink = makeStepSink([&](const StepResult &R) {
+    const size_t Depth = Ghost.stackDepth();
+    const size_t DepthBefore =
+        R.IsCallEnter ? Depth - 1 : (R.IsReturn ? Depth + 1 : Depth);
+    BT.onStep(R, Depth);
+    const size_t SrcFrame = DepthBefore - 1;
+
+    uint8_t Direct = 0;
+    A.SrcBegin.push_back(static_cast<uint32_t>(A.SrcWriters.size()));
+    for (Reg S : R.I->Srcs) {
+      A.SrcWriters.push_back(A.writerOf(SrcFrame, S));
+      // Violations: stale register reads at the loop frame.
+      if (SrcFrame == 0 && !A.ghostWrote(S) && Slot.staleReg(S))
+        Direct = 1;
+    }
+
+    if (R.IsLoad && (Hooks.LastLoadViolated || Hooks.LastLoadInjected))
+      Direct = 1;
+
+    if (R.I->Op == Opcode::Call) {
+      const Function *Callee = M.function(R.I->calleeIndex());
+      if (Callee->isExternal()) {
+        if (Callee->name() == "rnd") {
+          if (Slot.StaleRnd)
+            Direct = 1;
+          if (Slot.ArmIndex >= 0)
+            ++Slot.RndCallsAfterArm;
+        }
+        if (Callee->name() == "print_int" || Callee->name() == "print_fp")
+          Direct = 1; // I/O cannot speculate.
+      }
+    }
+
+    A.Direct.push_back(Direct);
+    A.IsLoad.push_back(R.IsLoad);
+    A.SpecWriter.push_back(R.IsLoad ? Hooks.LastLoadSpecWriter : -1);
+
+    if (R.I->Dst != NoReg && !R.IsCallEnter) {
+      A.setWriter(SrcFrame, R.I->Dst, static_cast<int32_t>(N));
+      if (SrcFrame == 0)
+        A.setGhostWrote(R.I->Dst);
+    }
+
+    // Chain arming: this ghost's own fork marker spawns the next slot,
+    // exactly as the main core's fork spawned this one. Fork markers are
+    // block-timer barriers, so the clock is exact here.
+    if (R.IsFork && R.I->IntImm == Spec.LoopId && SrcFrame == 0 && Next &&
+        !Next->Armed) {
+      Core.charge(Machine.ForkOverhead);
+      if (Injector)
+        Core.charge(Injector->forkJitterSubticks());
+      Next->Armed = true;
+      Ghost.copyTopRegs(Next->Regs);
+      if (Injector && !Next->Regs.empty() && Injector->shouldFlipReg()) {
+        const size_t Idx = Injector->pickIndex(Next->Regs.size());
+        Next->Regs[Idx] = Injector->corrupt(Next->Regs[Idx]);
+        Next->setStaleReg(static_cast<Reg>(Idx));
+      }
+      Next->Rng = Ghost.rng();
+      Next->ForkSubtick = Core.now();
+      Slot.ArmIndex = static_cast<int32_t>(N);
+    }
+    ++N;
+
+    if (R.IsBranch && Depth == 1 &&
+        R.NextBlock == Spec.Desc->PreForkEntry) {
+      Out.Completed = true;
+      return false;
+    }
+    if (R.IsKill && R.I->IntImm == Spec.LoopId) {
+      Out.Completed = true; // Speculated that the loop ends.
+      Out.CompletedByKill = true;
+      return false;
+    }
+    if (R.IsReturn && Depth == 0)
+      return false; // Fell out of the loop frame: treat as squashed.
+    return true;
+  });
+  Ghost.runBatch(Sink, MaxGhostSteps);
+
+  Ghost.setMemHooks(nullptr);
+  BT.sync();
+  Out.EndSubtick = Core.now();
+  Out.Instrs = N;
+  A.SrcBegin.push_back(static_cast<uint32_t>(A.SrcWriters.size()));
+
+  // Batched violation closure, computed into the slot's persistent
+  // Reexec column (later slots' loads consult it).
+  ++Perf.ViolationBatches;
+  Slot.Reexec.assign(N, 0);
+  const uint64_t IssueSlot = SubticksPerCycle / Machine.IssueWidth;
+  for (uint32_t I = 0; I != N; ++I) {
+    uint8_t Rx = A.Direct[I];
+    if (!Rx) {
+      for (uint32_t S = A.SrcBegin[I]; S != A.SrcBegin[I + 1]; ++S) {
+        const int32_t W = A.SrcWriters[S];
+        if (W >= 0 && Slot.Reexec[static_cast<uint32_t>(W)]) {
+          Rx = 1;
+          break;
+        }
+      }
+      if (!Rx && A.SpecWriter[I] >= 0 &&
+          Slot.Reexec[static_cast<uint32_t>(A.SpecWriter[I])])
+        Rx = 1;
+    }
+    Slot.Reexec[I] = Rx;
+    if (Rx) {
+      ++Out.ReexecInstrs;
+      Out.ReexecSubticks +=
+          IssueSlot + (A.IsLoad[I] ? Machine.L1.HitLatencyCycles *
+                                         SubticksPerCycle
+                                   : 0);
+    }
+  }
+  Out.Violated = Out.ReexecInstrs != 0;
+  return Out;
+}
+
+/// Propagates snapshot staleness from a committed ghost to the slot it
+/// armed: a loop register the ghost wrote after the arm point is stale
+/// (the snapshot predates the write); one written before is stale iff
+/// the producing instruction re-executes; an untouched one inherits the
+/// ghost's own staleness. Must run while \p A still holds the ghost's
+/// writer tables (before the next ghost's beginRun).
+void propagateStaleness(const ChainSlot &Slot, ChainSlot &Next,
+                        const GhostArena &A, unsigned LoopRegs) {
+  for (unsigned R = 0; R != LoopRegs; ++R) {
+    const int32_t W = A.writerOf(0, static_cast<Reg>(R));
+    bool Stale;
+    if (W < 0)
+      Stale = Slot.staleReg(static_cast<Reg>(R));
+    else if (Slot.ArmIndex >= 0 && W > Slot.ArmIndex)
+      Stale = true;
+    else
+      Stale = Slot.Reexec[static_cast<uint32_t>(W)] != 0;
+    if (Stale)
+      Next.setStaleReg(static_cast<Reg>(R));
+  }
+  if (Slot.StaleRnd || Slot.RndCallsAfterArm > 0)
+    Next.StaleRnd = true;
+}
+
+/// The generalized SptSimEngine::Generalized driver: Cores-1 chained
+/// speculative slots per fork, in-order commit with cross-core violation
+/// closure, per-slot CoreTiming/BranchPredictor over the shared cache
+/// hierarchy and TimingMemo. Cores=1 disables speculation; Cores=2 is
+/// byte-identical to runSptTwoCore.
+SptSimResult runSptGeneralized(const Module &M, const std::string &FnName,
+                               const std::vector<Value> &Args,
+                               const std::map<int64_t, SptLoopDesc> &Loops,
+                               const MachineConfig &Machine,
+                               uint64_t MaxSteps, uint64_t RngSeed,
+                               FaultInjector *Injector, ObsContext *Obs,
+                               const SimOptions &Sim) {
+  ObsSpan RunSpan(Obs, "sim.runSpt");
+  const Function *F = M.findFunction(FnName);
+  if (!F)
+    spt_fatal("runSpt: no such function");
+  FaultInjector *FI = Injector && Injector->enabled() ? Injector : nullptr;
+
+  InterpOptions IOpts;
+  IOpts.RngSeed = RngSeed;
+  Interpreter In(M, IOpts);
+  In.startCall(F, Args);
+
+  // One main core plus K speculative chain slots. The predictors and
+  // core clocks persist across joins (slot s always runs on core s), the
+  // cache hierarchy and timing memo are shared by every core.
+  const uint32_t K = Machine.Cores > 0 ? Machine.Cores - 1 : 0;
+  CacheHierarchy Cache(Machine);
+  BranchPredictor MainPredictor;
+  CoreTiming Core(Machine, Cache, MainPredictor, Sim.Fidelity);
+  std::vector<BranchPredictor> GhostPredictors(K);
+  std::vector<CoreTiming> GhostCores;
+  GhostCores.reserve(K);
+  for (uint32_t S = 0; S != K; ++S)
+    GhostCores.emplace_back(Machine, Cache, GhostPredictors[S],
+                            Sim.Fidelity);
+  TimingMemo Memo;
+  TimingMemo *MemoPtr = Sim.Memo ? &Memo : nullptr;
+  BlockTimer BT(Core, MemoPtr);
+
+  SptSimResult Result;
+  Result.CoreStats.resize(K);
+
+  struct BoundaryEntry {
+    const Function *F;
+    BlockId B;
+    int64_t Id;
+  };
+  std::vector<BoundaryEntry> Boundaries;
+  for (const auto &[Id, Desc] : Loops) {
+    bool Replaced = false;
+    for (BoundaryEntry &BE : Boundaries)
+      if (BE.F == Desc.F && BE.B == Desc.PreForkEntry) {
+        BE.Id = Id;
+        Replaced = true;
+        break;
+      }
+    if (!Replaced)
+      Boundaries.push_back({Desc.F, Desc.PreForkEntry, Id});
+  }
+
+  enum class Mode { Normal, PostFork, Replay };
+  Mode State = Mode::Normal;
+  PendingSpec Spec;
+  GhostArena Arena;
+  std::vector<ChainSlot> Chain(K);
+  std::unique_ptr<MainPostForkHooks> PostForkHooks;
+  uint64_t ReplayInstrs = 0;
+  uint64_t ReexecInstrsTotal = 0;
+  uint32_t ReplayRemaining = 0;
+
+  std::map<int64_t, uint64_t> LoopEnterSubtick;
+
+  auto Sink = makeStepSink([&](const StepResult &R) {
+    const size_t Depth = In.stackDepth();
+
+    if (State != Mode::Replay)
+      BT.onStep(R, Depth);
+    else
+      ++ReplayInstrs;
+
+    if (R.IsFork && Loops.count(R.I->IntImm) &&
+        !LoopEnterSubtick.count(R.I->IntImm))
+      LoopEnterSubtick[R.I->IntImm] = Core.now();
+    if (R.IsKill && Loops.count(R.I->IntImm)) {
+      auto It = LoopEnterSubtick.find(R.I->IntImm);
+      if (It != LoopEnterSubtick.end()) {
+        Result.PerLoop[R.I->IntImm].Subticks += Core.now() - It->second;
+        LoopEnterSubtick.erase(It);
+      }
+    }
+
+    switch (State) {
+    case Mode::Normal:
+      if (K != 0 && R.IsFork && Loops.count(R.I->IntImm)) {
+        const SptLoopDesc &Desc = Loops.at(R.I->IntImm);
+        if (In.topFrame().F == Desc.F) {
+          Core.charge(Machine.ForkOverhead);
+          if (FI)
+            Core.charge(FI->forkJitterSubticks());
+          Spec.resetFor(R.I->IntImm, &Desc, Depth);
+          In.copyTopRegs(Spec.Regs);
+          if (FI && !Spec.Regs.empty() && FI->shouldFlipReg()) {
+            const size_t Idx = FI->pickIndex(Spec.Regs.size());
+            Spec.Regs[Idx] = FI->corrupt(Spec.Regs[Idx]);
+            Spec.setMainWrote(static_cast<Reg>(Idx));
+          }
+          Spec.Rng = In.rng();
+          Spec.ForkSubtick = Core.now();
+          PostForkHooks = std::make_unique<MainPostForkHooks>(In, Spec);
+          In.setMemHooks(PostForkHooks.get());
+          State = Mode::PostFork;
+          ++Result.PerLoop[Spec.LoopId].Forks;
+          ++Result.CoreStats[0].Forks;
+        }
+      }
+      break;
+
+    case Mode::PostFork: {
+      if (R.I->Dst != NoReg && !R.IsCallEnter && Depth == Spec.FrameDepth)
+        Spec.setMainWrote(R.I->Dst);
+      if (R.I->Op == Opcode::Call) {
+        const Function *Callee = M.function(R.I->calleeIndex());
+        if (Callee->isExternal()) {
+          if (Callee->name() == "rnd")
+            ++Spec.MainRndCalls;
+          else if (Callee->name() == "print_int" ||
+                   Callee->name() == "print_fp")
+            ++Spec.MainIoCalls;
+        }
+      }
+
+      if (R.IsKill && R.I->IntImm == Spec.LoopId) {
+        ++Result.PerLoop[Spec.LoopId].KilledBeforeJoin;
+        In.setMemHooks(nullptr);
+        PostForkHooks.reset();
+        State = Mode::Normal;
+        break;
+      }
+
+      // Join: the main thread reached the next iteration's entry.
+      // Simulate the speculative chain in order, each committed slot
+      // arming (possibly) the next.
+      if (R.IsBranch && Depth == Spec.FrameDepth &&
+          R.NextBlock == Spec.Desc->PreForkEntry) {
+        SptLoopRunStats &Stats = Result.PerLoop[Spec.LoopId];
+        In.setMemHooks(nullptr);
+        PostForkHooks.reset();
+
+        // Slot 0 inherits the main fork's snapshot; later slots reset
+        // until their predecessor arms them.
+        const unsigned LoopRegs = Spec.Desc->F->numRegs();
+        Chain[0].Armed = true;
+        Chain[0].Regs = Spec.Regs;
+        Chain[0].Rng = Spec.Rng;
+        Chain[0].ForkSubtick = Spec.ForkSubtick;
+        Chain[0].StaleBits = Spec.MainRegWriteBits;
+        Chain[0].StaleRnd = Spec.MainRndCalls > 0;
+        for (uint32_t S = 1; S < K; ++S) {
+          Chain[S].Armed = false;
+          Chain[S].StaleBits.assign((LoopRegs + 63) / 64, 0);
+          Chain[S].StaleRnd = false;
+        }
+
+        uint32_t Committed = 0;
+        bool Cut = false;
+        for (uint32_t S = 0; S != K && Chain[S].Armed && !Cut; ++S) {
+          ChainSlot *Next = S + 1 < K ? &Chain[S + 1] : nullptr;
+          Chain[S].Out = runChainGhost(M, In, Spec, Chain, S, Next,
+                                       Machine, GhostCores[S], MemoPtr,
+                                       Arena, /*MaxGhostSteps=*/1u << 20,
+                                       FI, Memo.Stats);
+          if (Next && Next->Armed) {
+            ++Stats.Forks;
+            ++Result.CoreStats[S + 1].Forks;
+          }
+          if (Chain[S].Out.Completed && FI && FI->shouldForceSquash())
+            Chain[S].Out.Completed = false;
+          if (!Chain[S].Out.Completed) {
+            Cut = true; // First failure cuts the chain.
+            break;
+          }
+          ++Committed;
+          if (Chain[S].Out.CompletedByKill)
+            Cut = true; // Loop predicted to end: no later iteration.
+          else if (Next && Next->Armed)
+            propagateStaleness(Chain[S], *Next, Arena, LoopRegs);
+        }
+
+        // In-order commit fold over the committed prefix.
+        for (uint32_t S = 0; S != Committed; ++S) {
+          const GhostOutcome &O = Chain[S].Out;
+          ++Stats.Joins;
+          Stats.SpecInstrs += O.Instrs;
+          Stats.ReexecInstrs += O.ReexecInstrs;
+          ReexecInstrsTotal += O.ReexecInstrs;
+          if (O.Violated)
+            ++Stats.ViolatedThreads;
+          ++Result.CoreStats[S].Commits;
+          Core.advanceTo(std::max(Core.now(), O.EndSubtick));
+          Core.charge(Machine.CommitOverhead);
+          if (FI)
+            Core.charge(FI->commitJitterSubticks());
+          Core.advanceTo(Core.now() + O.ReexecSubticks);
+        }
+        // Everything armed beyond the committed prefix is squashed.
+        for (uint32_t S = Committed; S != K; ++S)
+          if (Chain[S].Armed) {
+            ++Stats.Squashed;
+            ++Result.CoreStats[S].Squashes;
+          }
+
+        if (Committed == 0) {
+          State = Mode::Normal;
+        } else {
+          ReplayRemaining = Committed;
+          State = Mode::Replay;
+        }
+      }
+      break;
+    }
+
+    case Mode::Replay:
+      // Speculatively executed iterations are replayed functionally with
+      // the clock frozen, one boundary visit per committed slot.
+      if (R.IsBranch && Depth == Spec.FrameDepth &&
+          R.NextBlock == Spec.Desc->PreForkEntry) {
+        if (--ReplayRemaining == 0)
+          State = Mode::Normal;
+      } else if (R.IsKill && R.I->IntImm == Spec.LoopId) {
+        ReplayRemaining = 0;
+        State = Mode::Normal;
+      }
+      break;
+    }
+
+    if (R.IsBranch && !Boundaries.empty()) {
+      const Function *TopF = In.done() ? nullptr : In.topFrame().F;
+      for (const BoundaryEntry &BE : Boundaries)
+        if (BE.F == TopF && BE.B == R.NextBlock) {
+          ++Result.PerLoop[BE.Id].Iterations;
+          break;
+        }
+    }
+    return true;
+  });
+  In.runBatch(Sink, MaxSteps);
+  if (!In.done())
+    spt_fatal("runSpt: step budget exhausted (infinite loop?)");
+  BT.sync();
+
+  Result.Subticks = Core.now();
+  Result.Instrs = Core.retired() + ReplayInstrs + ReexecInstrsTotal;
+  Result.Result = In.returnValue();
+  Result.Output = In.output();
+  Result.MemoryHash = In.memoryHash();
+  Result.Perf = Memo.Stats;
+
+  if (Obs) {
+    obsAdd(Obs, "sim.runs", 1);
+    obsAdd(Obs, "sim.chaos_runs", FI ? 1 : 0);
+    SptLoopRunStats Tot;
+    for (const auto &[Id, S] : Result.PerLoop) {
+      (void)Id;
+      Tot.Forks += S.Forks;
+      Tot.Joins += S.Joins;
+      Tot.KilledBeforeJoin += S.KilledBeforeJoin;
+      Tot.Squashed += S.Squashed;
+      Tot.ViolatedThreads += S.ViolatedThreads;
+      Tot.SpecInstrs += S.SpecInstrs;
+      Tot.ReexecInstrs += S.ReexecInstrs;
+      Tot.Iterations += S.Iterations;
+    }
+    obsAdd(Obs, "sim.forks", Tot.Forks);
+    obsAdd(Obs, "sim.joins", Tot.Joins);
+    obsAdd(Obs, "sim.killed_before_join", Tot.KilledBeforeJoin);
+    obsAdd(Obs, "sim.squashes", Tot.Squashed);
+    obsAdd(Obs, "sim.recoveries", Tot.ViolatedThreads);
+    obsAdd(Obs, "sim.clean_joins", Tot.Joins - Tot.ViolatedThreads);
+    obsAdd(Obs, "sim.spec_instrs", Tot.SpecInstrs);
+    obsAdd(Obs, "sim.reexec_instrs", Tot.ReexecInstrs);
+    obsAdd(Obs, "sim.iterations", Tot.Iterations);
+    obsSample(Obs, "sim.reexec_per_run", Tot.ReexecInstrs);
+    obsAdd(Obs, "sim.memo.hits", Result.Perf.MemoHits);
+    obsAdd(Obs, "sim.memo.misses", Result.Perf.MemoMisses);
+    obsAdd(Obs, "sim.memo.invalidations", Result.Perf.MemoInvalidations);
+    obsAdd(Obs, "sim.violation.batch", Result.Perf.ViolationBatches);
+    // Generalized-engine chain telemetry (sim.core.*): per-slot arm /
+    // commit / squash totals, flushed batched like everything else.
+    uint64_t CommitsTot = 0, SquashTot = 0, ChainForks = 0;
+    for (uint32_t S = 0; S != K; ++S) {
+      CommitsTot += Result.CoreStats[S].Commits;
+      SquashTot += Result.CoreStats[S].Squashes;
+      if (S > 0)
+        ChainForks += Result.CoreStats[S].Forks;
+    }
+    obsAdd(Obs, "sim.core.commits", CommitsTot);
+    obsAdd(Obs, "sim.core.squashes", SquashTot);
+    obsAdd(Obs, "sim.core.chain_forks", ChainForks);
+  }
+  return Result;
+}
+
+} // namespace
+
+SptSimResult spt::runSpt(const Module &M, const std::string &FnName,
+                         const std::vector<Value> &Args,
+                         const std::map<int64_t, SptLoopDesc> &Loops,
+                         const MachineConfig &Machine, uint64_t MaxSteps,
+                         uint64_t RngSeed, FaultInjector *Injector,
+                         ObsContext *Obs, const SimOptions &Sim) {
+  if (Sim.Engine == SptSimEngine::TwoCoreReference)
+    return runSptTwoCore(M, FnName, Args, Loops, Machine, MaxSteps, RngSeed,
+                         Injector, Obs, Sim);
+  return runSptGeneralized(M, FnName, Args, Loops, Machine, MaxSteps,
+                           RngSeed, Injector, Obs, Sim);
 }

@@ -88,6 +88,18 @@ struct SptLoopRunStats {
   }
 };
 
+/// Per-speculative-core statistics from the generalized (N-core) engine.
+/// Core 0 is the first speculative chain slot (iteration i+1 after a
+/// fork in iteration i), core k speculates iteration i+k+1. Like Perf,
+/// this is telemetry, not architectural state: differential comparisons
+/// against the two-core reference engine exclude it (the reference
+/// engine leaves it empty).
+struct SptCoreStats {
+  uint64_t Forks = 0;    ///< Chain slots armed for this core.
+  uint64_t Commits = 0;  ///< Slots committed in order at a join.
+  uint64_t Squashes = 0; ///< Slots squashed (own failure or chain cut).
+};
+
 /// Result of one SPT simulation.
 struct SptSimResult {
   uint64_t Subticks = 0;
@@ -103,6 +115,11 @@ struct SptSimResult {
   /// violation closures). Not part of the architectural report;
   /// differential comparisons exclude it.
   SimPerfCounters Perf;
+
+  /// Generalized-engine per-speculative-core telemetry (size Cores-1;
+  /// empty from the two-core reference engine). Excluded from
+  /// differential comparisons, like Perf.
+  std::vector<SptCoreStats> CoreStats;
 
   double cycles() const {
     return static_cast<double>(Subticks) / SubticksPerCycle;

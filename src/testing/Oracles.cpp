@@ -437,6 +437,33 @@ OracleResult oracleChaos(const Prepared &P, const OracleOptions &Opts) {
   return R;
 }
 
+/// True when both results carry the same per-loop speculation counters
+/// (and, when \p Timing, the same per-loop Subticks). Shared by the
+/// simulator differential oracles; Perf and CoreStats are telemetry and
+/// deliberately excluded.
+bool samePerLoop(const SptSimResult &A, const SptSimResult &B, bool Timing) {
+  if (A.PerLoop.size() != B.PerLoop.size())
+    return false;
+  auto IA = A.PerLoop.begin();
+  auto IB = B.PerLoop.begin();
+  for (; IA != A.PerLoop.end(); ++IA, ++IB) {
+    if (IA->first != IB->first)
+      return false;
+    const SptLoopRunStats &SA = IA->second, &SB = IB->second;
+    if (SA.Forks != SB.Forks || SA.Joins != SB.Joins ||
+        SA.KilledBeforeJoin != SB.KilledBeforeJoin ||
+        SA.Squashed != SB.Squashed ||
+        SA.ViolatedThreads != SB.ViolatedThreads ||
+        SA.SpecInstrs != SB.SpecInstrs ||
+        SA.ReexecInstrs != SB.ReexecInstrs ||
+        SA.Iterations != SB.Iterations)
+      return false;
+    if (Timing && SA.Subticks != SB.Subticks)
+      return false;
+  }
+  return true;
+}
+
 /// Compares SptSimResult reports across the simulator's fidelities and
 /// fast paths (sim/SimOptions.h): the default exact+memo run must be
 /// bit-identical to the exact-no-memo reference in every report field,
@@ -451,29 +478,6 @@ OracleResult oracleSimFidelityDiff(const Prepared &P,
     R.Detail = "no sequential reference";
     return R;
   }
-  auto samePerLoop = [](const SptSimResult &A, const SptSimResult &B,
-                        bool Timing) {
-    if (A.PerLoop.size() != B.PerLoop.size())
-      return false;
-    auto IA = A.PerLoop.begin();
-    auto IB = B.PerLoop.begin();
-    for (; IA != A.PerLoop.end(); ++IA, ++IB) {
-      if (IA->first != IB->first)
-        return false;
-      const SptLoopRunStats &SA = IA->second, &SB = IB->second;
-      if (SA.Forks != SB.Forks || SA.Joins != SB.Joins ||
-          SA.KilledBeforeJoin != SB.KilledBeforeJoin ||
-          SA.Squashed != SB.Squashed ||
-          SA.ViolatedThreads != SB.ViolatedThreads ||
-          SA.SpecInstrs != SB.SpecInstrs ||
-          SA.ReexecInstrs != SB.ReexecInstrs ||
-          SA.Iterations != SB.Iterations)
-        return false;
-      if (Timing && SA.Subticks != SB.Subticks)
-        return false;
-    }
-    return true;
-  };
   for (unsigned MI = 0; MI != 3; ++MI) {
     auto run = [&](const SimOptions &Sim) {
       return runSpt(*P.Modes[MI].M, "main", {}, P.Modes[MI].Report.SptLoops,
@@ -708,6 +712,56 @@ OracleResult oracleCacheDiff(const Prepared &P, const OracleOptions &Opts) {
   return R;
 }
 
+/// Differential guard on the generalized N-core SPT engine
+/// (sim/SimOptions.h). At Cores=2 the generalized engine must be
+/// byte-identical to the retained two-core reference engine in every
+/// report field — timing, instruction counts, architectural state and
+/// all per-loop speculation counters. At Cores=4 and Cores=8 the chain
+/// has no reference engine, but architectural state is a function of the
+/// main interpreter alone, so checksum, output and the memory image must
+/// still equal the sequential reference.
+OracleResult oracleKwayDiff(const Prepared &P, const OracleOptions &Opts) {
+  OracleResult R{"kway-diff", OracleStatus::Pass, ""};
+  if (!P.HaveSeqRef) {
+    R.Status = OracleStatus::Skipped;
+    R.Detail = "no sequential reference";
+    return R;
+  }
+  for (unsigned MI = 0; MI != 3; ++MI) {
+    auto run = [&](const MachineConfig &MC, const SimOptions &Sim) {
+      return runSpt(*P.Modes[MI].M, "main", {}, P.Modes[MI].Report.SptLoops,
+                    MC, Opts.MaxSteps, P.SimSeed, nullptr, Opts.Obs, Sim);
+    };
+    const SptSimResult Gen = run(MachineConfig(), SimOptions::exact());
+    const SptSimResult Ref =
+        run(MachineConfig(), SimOptions::twoCoreReference());
+    if (Gen.Subticks != Ref.Subticks || Gen.Instrs != Ref.Instrs ||
+        Gen.Result.I != Ref.Result.I || Gen.Output != Ref.Output ||
+        Gen.MemoryHash != Ref.MemoryHash ||
+        !samePerLoop(Gen, Ref, /*Timing=*/true)) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "generalized engine diverged from the two-core reference "
+                 "at Cores=2" +
+                 modeTag(MI);
+      return R;
+    }
+    for (uint32_t Cores : {4u, 8u}) {
+      MachineConfig MC;
+      MC.Cores = Cores;
+      const SptSimResult Wide = run(MC, SimOptions::exact());
+      if (Wide.Result.I != P.SeqRef.Result.I ||
+          Wide.Output != P.SeqRef.Output ||
+          Wide.MemoryHash != P.SeqRef.MemoryHash) {
+        R.Status = OracleStatus::Fail;
+        R.Detail = "architectural state diverged at Cores=" +
+                   std::to_string(Cores) + modeTag(MI);
+        return R;
+      }
+    }
+  }
+  return R;
+}
+
 using OracleFn = OracleResult (*)(const Prepared &, const OracleOptions &);
 
 struct OracleEntry {
@@ -746,6 +800,10 @@ const OracleEntry kOracles[] = {
     {{"cache-diff", "warm-cache compile reports byte-equal to cold "
                     "compiles; corrupt entries detected, never served"},
      oracleCacheDiff},
+    {{"kway-diff",
+      "generalized N-core engine byte-identical to the two-core reference "
+      "at Cores=2; architectural state preserved at Cores=4/8"},
+     oracleKwayDiff},
 };
 
 bool wanted(const OracleOptions &Opts, const char *Name) {
@@ -858,7 +916,7 @@ OracleRunReport spt::runOracleSuite(const std::string &Source,
   // oracles; a restricted run (e.g. the reducer re-checking "interp")
   // skips it.
   if (wanted(Opts, "seqsim") || wanted(Opts, "sptsim") ||
-      wanted(Opts, "chaos")) {
+      wanted(Opts, "chaos") || wanted(Opts, "kway-diff")) {
     SeqSimResult Seq = runSequential(*P.BaseM, "main", {}, MachineConfig(),
                                      Opts.MaxSteps, P.SimSeed);
     // The sequential simulator has no explicit termination flag; a run

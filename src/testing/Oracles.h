@@ -39,6 +39,11 @@
 ///                   return bit-identical results on the program's loops.
 ///   report-diff     whole-pipeline reference vs incremental evaluation:
 ///                   renderReportDeterministic is byte-equal.
+///   cache-diff      warm-cache compiles byte-equal to cold compiles;
+///                   corrupted cache entries are detected, never served.
+///   kway-diff       the generalized N-core SPT engine is byte-identical
+///                   to the retained two-core reference at Cores=2, and
+///                   preserves architectural state at Cores=4 and 8.
 ///
 /// Every oracle is deterministic given (Source, OracleOptions): internal
 /// randomness derives from the source's content hash.

@@ -466,6 +466,70 @@ TEST(PipelineObsTest, SimFastPathCountersFlushedAndPinned) {
   EXPECT_EQ(RA.Perf.ViolationBatches, Ghosts);
 }
 
+TEST(PipelineObsTest, KwayCountersFlushedAndJobsInvariant) {
+  // Compiling for a 4-core machine runs the k-way chain search on every
+  // searched loop; its telemetry must be Jobs-invariant like the rest of
+  // the snapshot, and pinned to the report's own Kway records.
+  auto compileKway = [](ObsContext &Ctx, uint32_t Jobs) {
+    auto M = compileWorkload(allWorkloads()[0]);
+    return compileSpt(*M, SptCompilerOptions::best()
+                              .withJobs(Jobs)
+                              .withCores(4)
+                              .withTracing(&Ctx));
+  };
+  ObsContext J1, J4;
+  const CompilationReport R1 = compileKway(J1, 1);
+  compileKway(J4, 4);
+  const StatsSnapshot S1 = J1.snapshot();
+  EXPECT_EQ(renderStatsText(S1), renderStatsText(J4.snapshot()));
+
+  uint64_t Searches = 0, Levels = 0, Nodes = 0, Evals = 0;
+  for (const LoopRecord &L : R1.Loops) {
+    if (!L.Kway.Searched)
+      continue;
+    ++Searches;
+    Levels += L.Kway.Cuts.size();
+    Nodes += L.Kway.NodesVisited;
+    Evals += L.Kway.CostEvals;
+  }
+  ASSERT_GT(Searches, 0u);
+  EXPECT_EQ(S1.Counters.at("partition.kway.searches"), Searches);
+  EXPECT_EQ(S1.Counters.at("partition.kway.levels"), Levels);
+  EXPECT_EQ(S1.Counters.at("partition.kway.nodes.visited"), Nodes);
+  EXPECT_EQ(S1.Counters.at("partition.kway.cost.evals"), Evals);
+}
+
+TEST(PipelineObsTest, CoreChainCountersPinnedToCoreStats) {
+  // The generalized engine's chain telemetry (sim.core.*) is flushed once
+  // per run and must equal the per-slot SptCoreStats totals in the result.
+  auto M = compileWorkload(allWorkloads()[0]);
+  const CompilationReport Rep = compileSpt(*M, SptCompilerOptions::best());
+  ObsContext Ctx;
+  MachineConfig MC;
+  MC.Cores = 4;
+  const SptSimResult R = runSpt(*M, "main", {}, Rep.SptLoops, MC,
+                                500000000ull, 0x5eed5eed5eedull,
+                                /*Injector=*/nullptr, &Ctx);
+  const StatsSnapshot S = Ctx.snapshot();
+  auto Get = [&](const char *Key) {
+    auto It = S.Counters.find(Key);
+    return It == S.Counters.end() ? uint64_t(0) : It->second;
+  };
+  // chain_forks counts only slots beyond the first — the primary fork is
+  // already reported through sim.forks.
+  uint64_t ChainForks = 0, Commits = 0, Squashes = 0;
+  for (size_t I = 0; I != R.CoreStats.size(); ++I) {
+    if (I > 0)
+      ChainForks += R.CoreStats[I].Forks;
+    Commits += R.CoreStats[I].Commits;
+    Squashes += R.CoreStats[I].Squashes;
+  }
+  EXPECT_EQ(Get("sim.core.chain_forks"), ChainForks);
+  EXPECT_EQ(Get("sim.core.commits"), Commits);
+  EXPECT_EQ(Get("sim.core.squashes"), Squashes);
+  EXPECT_GT(ChainForks, 0u) << "the workload must chain beyond two cores";
+}
+
 TEST(PipelineObsTest, ExportedTraceValidatesAndNests) {
   ObsContext Ctx;
   compileInto(Ctx, 4, 2); // Parallel pass 1: multiple trace lanes.

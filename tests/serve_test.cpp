@@ -439,3 +439,27 @@ TEST(ServeCacheTest, DuplicateRequestIsServedFromCacheByteIdentically) {
   EXPECT_EQ(R.Outcomes[0].Report, R.Outcomes[1].Report);
   EXPECT_EQ(R.Cache.Hits, 1u);
 }
+
+TEST(ServeCacheTest, MachineWidthIsPartOfTheCacheKey) {
+  // Reports compiled for different machine widths differ (k-way chains,
+  // gain estimates), so Cores must be folded into the options
+  // fingerprint: a 2-core entry must never satisfy a 4-core request.
+  EXPECT_NE(
+      compilerOptionsFingerprint(SptCompilerOptions().withCores(2)),
+      compilerOptionsFingerprint(SptCompilerOptions().withCores(4)));
+  EXPECT_EQ(compilerOptionsFingerprint(SptCompilerOptions().withCores(2)),
+            compilerOptionsFingerprint(SptCompilerOptions()));
+
+  // End to end: the same source served under each width produces
+  // distinct reports, and only the wide one renders the core count.
+  const std::string Src = genProgram(11);
+  ServeBatchReport Narrow = serveBatch(baseOptions(), {{1, "narrow", Src}});
+  ServeOptions SO = baseOptions();
+  SO.Compiler = SO.Compiler.withCores(4);
+  ServeBatchReport Wide = serveBatch(SO, {{1, "wide", Src}});
+  ASSERT_EQ(Narrow.Outcomes.size(), 1u);
+  ASSERT_EQ(Wide.Outcomes.size(), 1u);
+  EXPECT_NE(Narrow.Outcomes[0].Report, Wide.Outcomes[0].Report);
+  EXPECT_NE(Wide.Outcomes[0].Report.find("cores=4"), std::string::npos);
+  EXPECT_EQ(Narrow.Outcomes[0].Report.find("cores="), std::string::npos);
+}
