@@ -19,6 +19,11 @@
 #                                      # its "kway" block (speedup at 1/2/4/8
 #                                      # cores, two-core byte-identity gate)
 #                                      # into the perf_compile JSON
+#   ./scripts/bench.sh --oracle        # also run bench/perf_oracle and merge
+#                                      # its "oracle" block (profile cost,
+#                                      # static vs in-run vs measured-artifact
+#                                      # partition quality) into the
+#                                      # perf_compile JSON
 #
 # Extra flags are passed through to perf_compile (--jobs=N, --repeat=N).
 
@@ -29,15 +34,16 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== [release] configure"
 cmake --preset release
-echo "== [release] build perf_compile perf_serve perf_sim fig14_kway"
+echo "== [release] build perf_compile perf_serve perf_sim fig14_kway perf_oracle"
 cmake --build --preset release -j "$JOBS" --target perf_compile perf_serve \
-  perf_sim fig14_kway
+  perf_sim fig14_kway perf_oracle
 
 OUT_PATH="$PWD/BENCH_compile.json"
 OUT_SET=0
 QUICK=0
 SIM=0
 KWAY=0
+ORACLE=0
 ARGS=()
 for arg in "$@"; do
   case "$arg" in
@@ -45,6 +51,7 @@ for arg in "$@"; do
     --quick) QUICK=1; ARGS+=("$arg") ;;
     --sim) SIM=1 ;;
     --kway) KWAY=1 ;;
+    --oracle) ORACLE=1 ;;
     *) ARGS+=("$arg") ;;
   esac
 done
@@ -113,6 +120,35 @@ if [ "$KWAY" -eq 1 ]; then
     exit 1
   }
   echo "== kway block recorded in $OUT_PATH"
+fi
+
+# Measured dependence-oracle quality (opt-in with --oracle): for every
+# workload bench/perf_oracle profiles a dependence artifact, compiles
+# three ways (static-only oracle, in-run default, measured artifact) and
+# simulates each against the sequential baseline, merging an "oracle"
+# block into the perf_compile JSON. The binary exits nonzero itself when
+# the measurements change no chosen partition vs static-only, the
+# artifact regresses any workload vs the in-run default, or any
+# simulation's architectural results diverge; the summary gates are
+# double-checked here (docs/profiling.md explains the three configs).
+if [ "$ORACLE" -eq 1 ]; then
+  ORACLE_ARGS=()
+  if [ "$QUICK" -eq 1 ]; then
+    ORACLE_ARGS+=("--quick")
+  fi
+  echo "== perf_oracle ${ORACLE_ARGS[*]:-} --out=$OUT_PATH"
+  ./build-release/bench/perf_oracle "${ORACLE_ARGS[@]:+${ORACLE_ARGS[@]}}" \
+    "--out=$OUT_PATH"
+  grep -q '"oracle"' "$OUT_PATH" || {
+    echo "== ERROR: $OUT_PATH is missing the oracle block" >&2
+    exit 1
+  }
+  grep -q '"no_regression_vs_inrun": true, "checksums_match": true' \
+    "$OUT_PATH" || {
+    echo "== ERROR: $OUT_PATH oracle block failed its gates" >&2
+    exit 1
+  }
+  echo "== oracle block recorded in $OUT_PATH"
 fi
 
 # Batch-service throughput. perf_serve exits nonzero itself when any

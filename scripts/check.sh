@@ -46,6 +46,12 @@ for preset in "${PRESETS[@]}"; do
   # byte-identical to a fault-free single-worker reference).
   echo "== [$preset] sptserve selfcheck + chaos smoke"
   "./$builddir/tools/sptserve" --selfcheck --seed 1
+  # Dependence-profile artifact smoke: determinism, round-trip with
+  # corruption rejection, drift separation of shifted input
+  # distributions, and the compile-cache/module-handshake integration
+  # (see docs/profiling.md).
+  echo "== [$preset] sptprof selfcheck (dependence-profile artifacts)"
+  "./$builddir/tools/sptprof" --selfcheck
   "./$builddir/tools/sptserve" --batch --corpus tests/corpus \
     --programs 50 --jobs 4 --chaos 0.3 --seed 1 --verify
   # Simulator fast-path smoke: perf_sim --quick exits nonzero when the

@@ -20,6 +20,8 @@
 
 #include "analysis/DepGraph.h"
 
+#include "analysis/oracle/DepOracle.h"
+
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -57,8 +59,6 @@ double spt::opClassWeight(OpClass C) {
 }
 
 namespace {
-
-double clamp01(double X) { return X < 0.0 ? 0.0 : (X > 1.0 ? 1.0 : X); }
 
 /// Fixed-width bitset helpers over std::vector<uint64_t>.
 using BitVec = std::vector<uint64_t>;
@@ -325,13 +325,31 @@ LoopDepGraph LoopDepGraph::build(const Module &M, const Function &F,
   std::vector<BitVec> CarriedIn;
   solve(CarryIn, /*WithGen=*/false, CarriedIn);
 
+  // Every probability annotation on an edge is sourced from the oracle
+  // (the default ensemble reproduces the historical flowProb/memProb
+  // formulas byte for byte). A query no member answers models "no
+  // dependence worth pricing".
+  const DepOracle &Orc = Opts.Oracle ? *Opts.Oracle : defaultDepOracle();
+  auto oracleProb = [&](uint32_t SrcSI, uint32_t DstSI, DepChannel Channel,
+                        bool Cross) -> double {
+    DepQuery Q;
+    Q.F = &F;
+    Q.L = &L;
+    Q.Channel = Channel;
+    Q.Src = G.Stmts[SrcSI].Id;
+    Q.Dst = G.Stmts[DstSI].Id;
+    Q.Cross = Cross;
+    Q.SrcIterFreq = G.Stmts[SrcSI].IterFreq;
+    Q.DstIterFreq = G.Stmts[DstSI].IterFreq;
+    Q.Profile = Opts.DepProfile;
+    if (std::optional<DepEstimate> E = Orc.dependence(Q))
+      return E->Prob;
+    return 0.0;
+  };
+
   // Walk blocks to resolve uses against both reaching sets.
-  auto flowProb = [&](uint32_t DefSI, uint32_t UseSI) {
-    const double FD = G.Stmts[DefSI].IterFreq;
-    const double FU = G.Stmts[UseSI].IterFreq;
-    if (FD <= 1e-12)
-      return 0.0;
-    return clamp01(FU / FD);
+  auto flowProb = [&](uint32_t DefSI, uint32_t UseSI, bool Cross) {
+    return oracleProb(DefSI, UseSI, DepChannel::Register, Cross);
   };
 
   for (uint32_t Local = 0; Local != NB; ++Local) {
@@ -348,10 +366,10 @@ LoopDepGraph LoopDepGraph::build(const Module &M, const Function &F,
           const uint32_t DefSI = DefStmt[D];
           if (testBit(Intra, D) && DefSI != UseSI)
             G.addEdge(DefSI, UseSI, DepKind::FlowReg, /*Cross=*/false,
-                      flowProb(DefSI, UseSI));
+                      flowProb(DefSI, UseSI, /*Cross=*/false));
           if (testBit(Carried, D))
             G.addEdge(DefSI, UseSI, DepKind::FlowReg, /*Cross=*/true,
-                      flowProb(DefSI, UseSI));
+                      flowProb(DefSI, UseSI, /*Cross=*/true));
         }
       }
       if (I.Dst != NoReg) {
@@ -434,27 +452,14 @@ LoopDepGraph LoopDepGraph::build(const Module &M, const Function &F,
     }
   }
 
-  const LoopDepProfileData *Prof = Opts.DepProfile;
   auto memProb = [&](uint32_t WSI, uint32_t RSI, bool Cross) -> double {
     // Calls excluded from cost estimation when configured (the paper's
     // "globals modified by callees unknown to the caller" blind spot).
+    // This is a structural exclusion, not a probability estimate, so it
+    // stays in front of the oracle.
     if (!Opts.ModelCallEffectsInCost && (StmtIsCall[WSI] || StmtIsCall[RSI]))
       return 0.0;
-    if (Prof) {
-      auto ExecIt = Prof->StmtExec.find(G.Stmts[WSI].Id);
-      const uint64_t WExec =
-          ExecIt == Prof->StmtExec.end() ? 0 : ExecIt->second;
-      if (WExec == 0)
-        return 0.0; // Writer never observed: assume cold.
-      auto PairIt = Prof->Pairs.find({G.Stmts[WSI].Id, G.Stmts[RSI].Id});
-      if (PairIt == Prof->Pairs.end())
-        return 0.0;
-      const uint64_t Hits =
-          Cross ? PairIt->second.Cross : PairIt->second.Intra;
-      return clamp01(static_cast<double>(Hits) /
-                     static_cast<double>(WExec));
-    }
-    return flowProb(WSI, RSI); // Type-based: same class => may alias.
+    return oracleProb(WSI, RSI, DepChannel::Memory, Cross);
   };
 
   for (uint32_t C = 0; C != Effects.numAliasClasses(); ++C) {
@@ -491,7 +496,8 @@ LoopDepGraph LoopDepGraph::build(const Module &M, const Function &F,
       if (BranchSI == SI)
         continue;
       G.addEdge(BranchSI, SI, DepKind::Control, /*Cross=*/false,
-                flowProb(BranchSI, SI));
+                oracleProb(BranchSI, SI, DepChannel::Control,
+                           /*Cross=*/false));
     }
   }
 

@@ -78,10 +78,18 @@ struct DepEdge {
   double Prob = 1.0;
 };
 
+class DepOracle;
+
 /// Inputs that vary by compilation mode (Section 8's basic/best).
 struct DepGraphOptions {
   /// Dependence profile for this loop; null => static type-based aliasing.
   const LoopDepProfileData *DepProfile = nullptr;
+  /// Probability source for edge annotation. Every flow/control
+  /// probability estimate routes through this oracle (DepProfile is
+  /// handed to it as the in-run profile); null uses the process-wide
+  /// default ensemble, which reproduces the historical hard-wired
+  /// behavior byte for byte. See analysis/oracle/DepOracle.h.
+  const DepOracle *Oracle = nullptr;
   /// When false, memory effects of calls are ignored while *estimating*
   /// probabilities (legality stays conservative). Mirrors the paper's
   /// observed cost-underestimation for loops with calls (Figure 19).

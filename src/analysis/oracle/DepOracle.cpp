@@ -1,0 +1,236 @@
+//===- analysis/oracle/DepOracle.cpp - Pluggable dependence oracles -------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/oracle/DepOracle.h"
+
+#include <algorithm>
+
+using namespace spt;
+
+namespace {
+
+double clamp01(double X) { return X < 0.0 ? 0.0 : (X > 1.0 ? 1.0 : X); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// StaticDepOracle
+//===----------------------------------------------------------------------===//
+
+std::optional<DepEstimate>
+StaticDepOracle::dependence(const DepQuery &Q) const {
+  // The historical flowProb: if the source runs FD times per iteration
+  // and the sink FU times, one source execution feeds a sink execution
+  // with probability min(1, FU/FD). A dead source can't feed anything.
+  DepEstimate E;
+  E.Confidence = StaticOracleConfidence;
+  E.Source = name();
+  if (Q.SrcIterFreq <= 1e-12)
+    E.Prob = 0.0;
+  else
+    E.Prob = clamp01(Q.DstIterFreq / Q.SrcIterFreq);
+  return E;
+}
+
+std::optional<BranchProbEstimate>
+StaticDepOracle::branchProbabilities(const BranchProbQuery &Q) const {
+  BranchProbEstimate E;
+  E.Probs = CfgProbabilities::staticHeuristic(*Q.F, *Q.Cfg, *Q.Nest);
+  E.Measured = false;
+  E.Confidence = StaticOracleConfidence;
+  E.Source = name();
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// ProfiledDepOracle
+//===----------------------------------------------------------------------===//
+
+std::optional<DepEstimate>
+ProfiledDepOracle::dependence(const DepQuery &Q) const {
+  if (Q.Channel != DepChannel::Memory || !Q.Profile)
+    return std::nullopt;
+  const LoopDepProfileData &P = *Q.Profile;
+  DepEstimate E;
+  E.Confidence = std::min(
+      1.0, static_cast<double>(P.Iterations) / ProfiledSaturationIters);
+  E.Source = name();
+  // A profiled zero is an *answer*, not an abstention: the writer never
+  // ran, or the pair never conflicted in the observed run. This is what
+  // lets a profile erase conservative may-alias edges.
+  auto ExecIt = P.StmtExec.find(Q.Src);
+  const uint64_t WExec = ExecIt == P.StmtExec.end() ? 0 : ExecIt->second;
+  if (WExec == 0) {
+    E.Prob = 0.0;
+    return E;
+  }
+  auto PairIt = P.Pairs.find({Q.Src, Q.Dst});
+  if (PairIt == P.Pairs.end()) {
+    E.Prob = 0.0;
+    return E;
+  }
+  const uint64_t Hits = Q.Cross ? PairIt->second.Cross : PairIt->second.Intra;
+  E.Prob = clamp01(static_cast<double>(Hits) / static_cast<double>(WExec));
+  return E;
+}
+
+std::optional<BranchProbEstimate>
+ProfiledDepOracle::branchProbabilities(const BranchProbQuery &Q) const {
+  // Counts from a function whose shape changed since profiling, or from
+  // a run that never reached the function, carry no signal — decline and
+  // let the static member answer (the historical fallback).
+  if (!Q.Counts || Q.Counts->Block.size() != Q.F->numBlocks())
+    return std::nullopt;
+  bool Executed = false;
+  for (uint64_t C : Q.Counts->Block)
+    Executed |= C != 0;
+  if (!Executed)
+    return std::nullopt;
+  BranchProbEstimate E;
+  E.Probs = CfgProbabilities::fromEdgeCounts(*Q.F, *Q.Counts);
+  E.Measured = true;
+  E.Confidence = 1.0;
+  E.Source = name();
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// SpeculationFallbackOracle
+//===----------------------------------------------------------------------===//
+
+std::optional<DepEstimate>
+SpeculationFallbackOracle::dependence(const DepQuery &Q) const {
+  DepEstimate E;
+  E.Prob = Q.Cross ? FallbackCrossProb : 1.0;
+  E.Confidence = FallbackOracleConfidence;
+  E.Source = name();
+  return E;
+}
+
+std::optional<BranchProbEstimate>
+SpeculationFallbackOracle::branchProbabilities(const BranchProbQuery &) const {
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// DepOracleEnsemble
+//===----------------------------------------------------------------------===//
+
+DepOracleEnsemble::DepOracleEnsemble(
+    std::string Name, std::vector<std::shared_ptr<const DepOracle>> Members,
+    double ConfidenceFloor)
+    : EnsembleName(std::move(Name)), Members(std::move(Members)),
+      Floor(ConfidenceFloor) {}
+
+std::optional<DepEstimate>
+DepOracleEnsemble::dependence(const DepQuery &Q) const {
+  std::optional<DepEstimate> Last;
+  for (const auto &M : Members) {
+    if (std::optional<DepEstimate> E = M->dependence(Q)) {
+      if (E->Confidence >= Floor)
+        return E;
+      Last = E; // Below the floor: remember, keep looking.
+    }
+  }
+  return Last;
+}
+
+std::optional<BranchProbEstimate>
+DepOracleEnsemble::branchProbabilities(const BranchProbQuery &Q) const {
+  std::optional<BranchProbEstimate> Last;
+  for (const auto &M : Members) {
+    if (std::optional<BranchProbEstimate> E = M->branchProbabilities(Q)) {
+      if (E->Confidence >= Floor)
+        return E;
+      Last = std::move(E);
+    }
+  }
+  return Last;
+}
+
+//===----------------------------------------------------------------------===//
+// DepOracleRegistry
+//===----------------------------------------------------------------------===//
+
+DepOracleRegistry::DepOracleRegistry() {
+  auto Static = std::make_shared<StaticDepOracle>();
+  auto Profiled = std::make_shared<ProfiledDepOracle>();
+  auto Fallback = std::make_shared<SpeculationFallbackOracle>();
+
+  Factories["ensemble"] = [Static, Profiled,
+                           Fallback](const DepOracleConfig &C) {
+    std::vector<std::shared_ptr<const DepOracle>> Ms;
+    if (C.Measured)
+      Ms.push_back(C.Measured);
+    Ms.push_back(Profiled);
+    Ms.push_back(Static);
+    Ms.push_back(Fallback);
+    return std::make_shared<DepOracleEnsemble>("ensemble", std::move(Ms),
+                                               C.ConfidenceFloor);
+  };
+  Factories["static"] = [Static](const DepOracleConfig &C) {
+    return std::make_shared<DepOracleEnsemble>(
+        "static", std::vector<std::shared_ptr<const DepOracle>>{Static},
+        C.ConfidenceFloor);
+  };
+  Factories["profile"] = [Static, Profiled](const DepOracleConfig &C) {
+    return std::make_shared<DepOracleEnsemble>(
+        "profile",
+        std::vector<std::shared_ptr<const DepOracle>>{Profiled, Static},
+        C.ConfidenceFloor);
+  };
+  Factories["fallback"] = [Fallback](const DepOracleConfig &C) {
+    return std::make_shared<DepOracleEnsemble>(
+        "fallback", std::vector<std::shared_ptr<const DepOracle>>{Fallback},
+        C.ConfidenceFloor);
+  };
+  Factories["measured"] = [Static](const DepOracleConfig &C) {
+    std::vector<std::shared_ptr<const DepOracle>> Ms;
+    if (C.Measured)
+      Ms.push_back(C.Measured);
+    Ms.push_back(Static);
+    return std::make_shared<DepOracleEnsemble>("measured", std::move(Ms),
+                                               C.ConfidenceFloor);
+  };
+}
+
+DepOracleRegistry &DepOracleRegistry::instance() {
+  static DepOracleRegistry R;
+  return R;
+}
+
+bool DepOracleRegistry::add(const std::string &Name, Factory F) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Factories.emplace(Name, std::move(F)).second;
+}
+
+std::shared_ptr<const DepOracle>
+DepOracleRegistry::create(const std::string &Name,
+                          const DepOracleConfig &Config) const {
+  Factory F;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Factories.find(Name);
+    if (It == Factories.end())
+      return nullptr;
+    F = It->second;
+  }
+  return F(Config);
+}
+
+std::vector<std::string> DepOracleRegistry::names() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  for (const auto &KV : Factories)
+    Out.push_back(KV.first);
+  return Out;
+}
+
+const DepOracle &spt::defaultDepOracle() {
+  static std::shared_ptr<const DepOracle> O =
+      DepOracleRegistry::instance().create("ensemble", DepOracleConfig{});
+  return *O;
+}

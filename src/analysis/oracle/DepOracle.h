@@ -1,0 +1,255 @@
+//===- analysis/oracle/DepOracle.h - Pluggable dependence oracles ---------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SCAF-style dependence oracles: every probability the cost model and
+/// partition search consume — memory-dependence probabilities on
+/// violation-candidate edges, register-flow and control-dependence
+/// probabilities, and the branch probabilities behind block frequencies —
+/// is sourced from a `DepOracle` instead of hard-wired formulas scattered
+/// through DepGraph/SptCompiler.
+///
+/// An oracle member answers a query with an estimate carrying a
+/// *probability* and a *confidence*; the `DepOracleEnsemble` runs its
+/// members in a fixed priority order and picks, deterministically, the
+/// first answer whose confidence clears the configured floor (falling
+/// back to the last answer when none does). The stock ensemble is
+///
+///   measured artifact > in-run profile > static heuristic > speculation
+///
+/// which with the default floor of 0.0 reproduces the historical
+/// behavior byte for byte: the in-run dependence profile when stage B
+/// collected one, the static frequency heuristic otherwise, and the
+/// speculation fallback never (something earlier always answers).
+/// Raising the floor above the static confidence (0.25) makes the
+/// ensemble *refuse* modeled guesses and speculate blindly instead —
+/// the SCAF trade of analysis effort against misspeculation cost.
+///
+/// Members are pure functions of the query (no hidden state), so a given
+/// ensemble is deterministic and safe to share across threads. The
+/// measured member is built from a serialized profile artifact by
+/// profile/DepProfiler.h; analysis/ itself has no profile/ dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPT_ANALYSIS_ORACLE_DEPORACLE_H
+#define SPT_ANALYSIS_ORACLE_DEPORACLE_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Freq.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ProfileData.h"
+#include "ir/IR.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spt {
+
+/// Which kind of dependence edge a query is about. Profile-backed members
+/// only speak for memory (that is what the dependence profiler records);
+/// the static member answers every channel with the frequency-ratio
+/// heuristic the cost model has always used.
+enum class DepChannel : uint8_t {
+  Memory,   ///< store→load through memory (the speculative may-deps).
+  Register, ///< register flow from a def to a use.
+  Control,  ///< branch → control-dependent statement.
+};
+
+/// One dependence-probability question: "how often does Dst observe a
+/// value Src produced, per execution of Src?" for the given channel and
+/// iteration-crossing direction.
+struct DepQuery {
+  const Function *F = nullptr;
+  const Loop *L = nullptr;
+  DepChannel Channel = DepChannel::Memory;
+  /// Source (writer / def / branch) and sink (reader / use / dependent).
+  StmtId Src = 0;
+  StmtId Dst = 0;
+  /// True for a loop-carried (cross-iteration) dependence.
+  bool Cross = false;
+  /// Expected executions per loop iteration of each endpoint (FreqInfo).
+  double SrcIterFreq = 0.0;
+  double DstIterFreq = 0.0;
+  /// In-run dependence profile for this loop when stage B collected one;
+  /// null otherwise. Only the in-run profiled member reads it.
+  const LoopDepProfileData *Profile = nullptr;
+};
+
+/// One member's answer: a probability in [0,1] plus how much the member
+/// trusts it. Source names the member for diagnostics/observability.
+struct DepEstimate {
+  double Prob = 0.0;
+  double Confidence = 0.0;
+  const char *Source = "";
+};
+
+/// Branch-probability question for a whole function. Counts is the edge
+/// profile when one exists for this function — including counts whose
+/// shape no longer matches the function (members must validate).
+struct BranchProbQuery {
+  const Function *F = nullptr;
+  const CfgInfo *Cfg = nullptr;
+  const LoopNest *Nest = nullptr;
+  const FunctionEdgeCounts *Counts = nullptr;
+};
+
+/// A full per-edge probability table for one function. Measured is true
+/// when the answer consumed Q.Counts — callers then derive frequencies
+/// with FreqInfo::fromBlockCounts instead of analytic propagation,
+/// preserving the historical profiled-mode behavior exactly.
+struct BranchProbEstimate {
+  CfgProbabilities Probs;
+  bool Measured = false;
+  double Confidence = 0.0;
+  const char *Source = "";
+};
+
+/// Abstract probability source. Members return std::nullopt for queries
+/// they have nothing to say about (wrong channel, no data); the ensemble
+/// then moves on to the next member. Implementations must be pure
+/// functions of the query: no mutation, no hidden state, thread-safe.
+class DepOracle {
+public:
+  virtual ~DepOracle() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Probability that the dependence in \p Q occurs.
+  virtual std::optional<DepEstimate> dependence(const DepQuery &Q) const = 0;
+
+  /// Per-edge branch probabilities for Q.F, or nullopt when this member
+  /// has no basis for an answer.
+  virtual std::optional<BranchProbEstimate>
+  branchProbabilities(const BranchProbQuery &Q) const = 0;
+};
+
+/// Static member confidences / fallback constants, exposed so tests and
+/// callers picking a ConfidenceFloor can position themselves relative to
+/// the stock members without magic numbers.
+inline constexpr double StaticOracleConfidence = 0.25;
+inline constexpr double FallbackOracleConfidence = 0.1;
+/// Speculation fallback: assume loop-carried deps basically never fire
+/// (speculate everything) and same-iteration deps always hold.
+inline constexpr double FallbackCrossProb = 0.05;
+/// Profile-backed confidence saturates at this many observed iterations.
+inline constexpr double ProfiledSaturationIters = 8.0;
+
+/// The frequency-ratio heuristic DepGraph has always used: the sink runs
+/// DstIterFreq times per iteration, the source SrcIterFreq times, so the
+/// chance one source execution reaches the sink is min(1, Dst/Src).
+/// Answers every channel; branch probabilities come from
+/// CfgProbabilities::staticHeuristic.
+class StaticDepOracle final : public DepOracle {
+public:
+  const char *name() const override { return "static"; }
+  std::optional<DepEstimate> dependence(const DepQuery &Q) const override;
+  std::optional<BranchProbEstimate>
+  branchProbabilities(const BranchProbQuery &Q) const override;
+};
+
+/// The in-run profile member: speaks only when the compilation's own
+/// stage-B dependence profile (DepQuery::Profile) is present, and only
+/// for the memory channel; reproduces the historical profiled formula
+/// including its confident zero answers (writer never observed, or pair
+/// never conflicted ⇒ probability 0). Branch probabilities come from
+/// CfgProbabilities::fromEdgeCounts when the counts still match the
+/// function's shape and show at least one executed block.
+class ProfiledDepOracle final : public DepOracle {
+public:
+  const char *name() const override { return "profile"; }
+  std::optional<DepEstimate> dependence(const DepQuery &Q) const override;
+  std::optional<BranchProbEstimate>
+  branchProbabilities(const BranchProbQuery &Q) const override;
+};
+
+/// The speculation member: always answers memory queries with "just
+/// speculate" (cross-iteration deps almost never fire, intra-iteration
+/// deps always hold) at low confidence. Last resort when the floor
+/// disqualifies modeled guesses. Never answers branch probabilities.
+class SpeculationFallbackOracle final : public DepOracle {
+public:
+  const char *name() const override { return "fallback"; }
+  std::optional<DepEstimate> dependence(const DepQuery &Q) const override;
+  std::optional<BranchProbEstimate>
+  branchProbabilities(const BranchProbQuery &Q) const override;
+};
+
+/// Priority-ordered combiner. For each query: the first member whose
+/// answer's confidence clears the floor wins; if every answer falls
+/// short, the last answer wins (better a low-confidence estimate than
+/// none); if no member answers, neither does the ensemble.
+class DepOracleEnsemble final : public DepOracle {
+public:
+  DepOracleEnsemble(std::string Name,
+                    std::vector<std::shared_ptr<const DepOracle>> Members,
+                    double ConfidenceFloor);
+
+  const char *name() const override { return EnsembleName.c_str(); }
+  std::optional<DepEstimate> dependence(const DepQuery &Q) const override;
+  std::optional<BranchProbEstimate>
+  branchProbabilities(const BranchProbQuery &Q) const override;
+
+  const std::vector<std::shared_ptr<const DepOracle>> &members() const {
+    return Members;
+  }
+  double confidenceFloor() const { return Floor; }
+
+private:
+  std::string EnsembleName;
+  std::vector<std::shared_ptr<const DepOracle>> Members;
+  double Floor;
+};
+
+/// Everything a registry factory may want: the combiner floor and the
+/// measured-artifact member (built by profile/DepProfiler.h from a
+/// deserialized artifact; null when no artifact was supplied).
+struct DepOracleConfig {
+  double ConfidenceFloor = 0.0;
+  std::shared_ptr<const DepOracle> Measured;
+};
+
+/// Name → oracle factory. Built-ins: "ensemble" (measured > profile >
+/// static > fallback), "static", "profile" (profile > static),
+/// "fallback", "measured" (measured > static). create() returns null for
+/// unknown names — callers degrade to the default ensemble and diagnose.
+class DepOracleRegistry {
+public:
+  using Factory =
+      std::function<std::shared_ptr<const DepOracle>(const DepOracleConfig &)>;
+
+  static DepOracleRegistry &instance();
+
+  /// Register a factory; returns false (and changes nothing) when the
+  /// name is already taken.
+  bool add(const std::string &Name, Factory F);
+
+  std::shared_ptr<const DepOracle> create(const std::string &Name,
+                                          const DepOracleConfig &Config) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+private:
+  DepOracleRegistry();
+
+  mutable std::mutex Mu;
+  std::map<std::string, Factory> Factories;
+};
+
+/// The process-wide default: the stock ensemble with no measured member
+/// and a 0.0 floor — byte-identical to the pre-oracle hard-wired
+/// behavior. Used whenever a caller does not supply an oracle.
+const DepOracle &defaultDepOracle();
+
+} // namespace spt
+
+#endif // SPT_ANALYSIS_ORACLE_DEPORACLE_H

@@ -11,8 +11,10 @@
 #include "analysis/DepGraph.h"
 #include "analysis/Freq.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/oracle/DepOracle.h"
 #include "cost/CostModel.h"
 #include "ir/Verifier.h"
+#include "profile/DepProfiler.h"
 #include "profile/Profiler.h"
 #include "support/Debug.h"
 #include "transform/Cleanup.h"
@@ -81,22 +83,31 @@ struct FuncAnalysis {
   FreqInfo Freq;
   const FunctionEdgeCounts *Counts = nullptr;
 
-  FuncAnalysis(const Function &F, const EdgeProfileData *Prof)
-      : Cfg(CfgInfo::compute(F)), Nest(LoopNest::compute(F, Cfg)),
-        Probs(CfgProbabilities::staticHeuristic(F, Cfg, Nest)),
-        Freq(FreqInfo::compute(F, Cfg, Nest, Probs)) {
-    if (!Prof)
-      return;
-    Counts = Prof->countsFor(&F);
-    if (!Counts || Counts->Block.size() != F.numBlocks())
-      return; // The function changed since profiling; keep static.
-    bool Executed = false;
-    for (uint64_t C : Counts->Block)
-      Executed |= C != 0;
-    if (!Executed)
-      return;
-    Probs = CfgProbabilities::fromEdgeCounts(F, *Counts);
-    Freq = FreqInfo::fromBlockCounts(F, *Counts);
+  FuncAnalysis(const Function &F, const EdgeProfileData *Prof,
+               const DepOracle &Oracle)
+      : Cfg(CfgInfo::compute(F)), Nest(LoopNest::compute(F, Cfg)) {
+    if (Prof)
+      Counts = Prof->countsFor(&F);
+    // Branch probabilities come from the oracle; its profiled member
+    // validates Counts (shape match, at least one executed block) and
+    // the static member answers otherwise. Counts stays raw either way —
+    // downstream guards (SVP sampling, trip-count reporting) apply their
+    // own shape checks.
+    BranchProbQuery Q;
+    Q.F = &F;
+    Q.Cfg = &Cfg;
+    Q.Nest = &Nest;
+    Q.Counts = Counts;
+    if (std::optional<BranchProbEstimate> E = Oracle.branchProbabilities(Q)) {
+      Probs = std::move(E->Probs);
+      Freq = E->Measured ? FreqInfo::fromBlockCounts(F, *Counts)
+                         : FreqInfo::compute(F, Cfg, Nest, Probs);
+    } else {
+      // No member answered (e.g. the pure-fallback oracle): keep the
+      // static heuristic so frequencies stay well-defined.
+      Probs = CfgProbabilities::staticHeuristic(F, Cfg, Nest);
+      Freq = FreqInfo::compute(F, Cfg, Nest, Probs);
+    }
   }
 
   const Loop *loopByHeader(BlockId Header) const {
@@ -113,7 +124,8 @@ struct FuncAnalysis {
 /// sizing a loop body for the hardware's speculative-buffer limit — a flat
 /// per-call weight would make a loop that calls the whole program look
 /// tiny.
-std::map<const Function *, double> computeFunctionWeights(const Module &M) {
+std::map<const Function *, double>
+computeFunctionWeights(const Module &M, const DepOracle &Oracle) {
   std::map<const Function *, double> Weights;
   constexpr double Clamp = 1e7;
   for (int Round = 0; Round != 6; ++Round) {
@@ -125,8 +137,14 @@ std::map<const Function *, double> computeFunctionWeights(const Module &M) {
       }
       CfgInfo Cfg = CfgInfo::compute(*F);
       LoopNest Nest = LoopNest::compute(*F, Cfg);
+      BranchProbQuery Q;
+      Q.F = F;
+      Q.Cfg = &Cfg;
+      Q.Nest = &Nest;
+      std::optional<BranchProbEstimate> E = Oracle.branchProbabilities(Q);
       CfgProbabilities Probs =
-          CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
+          E ? std::move(E->Probs)
+            : CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
       FreqInfo Freq = FreqInfo::compute(*F, Cfg, Nest, Probs);
       double W = 0.0;
       for (const auto &BB : *F) {
@@ -196,6 +214,7 @@ public:
         Obs = OwnedObs.get();
       }
     }
+    buildOracle();
   }
 
   CompilationReport run();
@@ -228,8 +247,57 @@ private:
 
   void validateExternalProfile();
 
+  /// Builds the dependence-oracle ensemble the whole compilation queries.
+  /// Unknown registry names and artifacts measured on a different module
+  /// degrade gracefully: diagnostic + the default configuration.
+  void buildOracle() {
+    DepOracleConfig Config;
+    Config.ConfidenceFloor = Opts.Analysis.ConfidenceFloor;
+    if (Opts.Analysis.Profile) {
+      if (Opts.Analysis.Profile->ModuleHash != moduleReprintHash(M)) {
+        const std::string From = Opts.Analysis.ProfilePath.empty()
+                                     ? std::string("artifact")
+                                     : "artifact '" + Opts.Analysis.ProfilePath +
+                                           "'";
+        Report.Diags.warn(DiagStage::Profile,
+                          "measured dependence " + From +
+                              " was built from a different module; ignoring "
+                              "its measurements");
+      } else {
+        Config.Measured = makeMeasuredDepOracle(Opts.Analysis.Profile);
+      }
+    }
+    Oracle = DepOracleRegistry::instance().create(
+        Opts.Analysis.DependenceOracle, Config);
+    if (!Oracle) {
+      Report.Diags.warn(DiagStage::Driver,
+                        "unknown dependence oracle '" +
+                            Opts.Analysis.DependenceOracle +
+                            "'; using the default ensemble");
+      Oracle = DepOracleRegistry::instance().create("ensemble", Config);
+    }
+    // Twin ensemble without the measured member, routed to loops whose
+    // bodies unrolling reshapes after the artifact was measured: their
+    // pre-unroll per-iteration frequencies no longer describe the
+    // compiled shape, so the in-run profile (collected post-unroll) or
+    // static analysis must answer instead. Mirrors the FuncAnalysis
+    // size guard that screens stale external edge counts.
+    if (Config.Measured) {
+      DepOracleConfig Bare = Config;
+      Bare.Measured = nullptr;
+      OracleNoMeasured = DepOracleRegistry::instance().create(
+          Opts.Analysis.DependenceOracle, Bare);
+      if (!OracleNoMeasured)
+        OracleNoMeasured = DepOracleRegistry::instance().create("ensemble", Bare);
+    } else {
+      OracleNoMeasured = Oracle;
+    }
+  }
+
   DepGraphOptions depGraphOptions(const Function &F, const Loop &L) const {
     DepGraphOptions DG;
+    DG.Oracle = Unrolled.count({F.name(), L.Header}) ? OracleNoMeasured.get()
+                                                     : Oracle.get();
     if (wantDepProfiles() && Profile)
       DG.DepProfile = Profile->Deps.profileFor(&F, L.Id);
     DG.ModelCallEffectsInCost = Opts.Enabling.ModelCallEffectsInCost;
@@ -281,6 +349,14 @@ private:
   ObsContext *Obs = nullptr;
   std::unique_ptr<ObsContext> OwnedObs;
   CompilationReport Report;
+  /// The probability source every stage queries (never null after the
+  /// constructor). Shared so the registry can hand out one ensemble to
+  /// many concurrent compilations.
+  std::shared_ptr<const DepOracle> Oracle;
+  /// Oracle minus the measured artifact member; consulted for loops
+  /// unrolling reshaped (see buildOracle). Aliases Oracle when no
+  /// artifact is installed.
+  std::shared_ptr<const DepOracle> OracleNoMeasured;
   std::unique_ptr<ProfileBundle> Profile;
   /// Set once profile data proved unusable; flips the mode-dependent
   /// switches above to Basic semantics for the rest of the run.
@@ -306,13 +382,13 @@ void Compilation::stageUnroll() {
     // Gather candidate headers innermost-first from a snapshot.
     std::vector<BlockId> Headers;
     {
-      FuncAnalysis A(*F, nullptr);
+      FuncAnalysis A(*F, nullptr, *Oracle);
       for (const Loop *L : A.Nest.innermostFirst())
         Headers.push_back(L->Header);
     }
     for (BlockId Header : Headers) {
       try {
-        FuncAnalysis A(*F, nullptr);
+        FuncAnalysis A(*F, nullptr, *Oracle);
         const Loop *L = A.loopByHeader(Header);
         if (!L)
           continue;
@@ -420,7 +496,7 @@ void Compilation::stageProfile() {
     CallEffects Effects = CallEffects::compute(M);
     for (Function *F : definedFunctions()) {
       try {
-        FuncAnalysis A(*F, nullptr);
+        FuncAnalysis A(*F, nullptr, *Oracle);
         for (uint32_t LI = 0; LI != A.Nest.numLoops(); ++LI) {
           const Loop *L = A.Nest.loop(LI);
           LoopDepGraph G = LoopDepGraph::build(M, *F, A.Cfg, A.Nest, *L,
@@ -464,7 +540,7 @@ void Compilation::stageSvp() {
     for (unsigned Round = 0; Round != 8; ++Round) {
       bool Applied = false;
       try {
-      FuncAnalysis A(*F, &Profile->Edges);
+      FuncAnalysis A(*F, &Profile->Edges, *Oracle);
       for (uint32_t LI = 0; LI != A.Nest.numLoops() && !Applied; ++LI) {
         const Loop *L = A.Nest.loop(LI);
         if (SvpByLoop.count({F->name(), L->Header}))
@@ -696,7 +772,7 @@ void Compilation::passOne() {
   };
   std::vector<Candidate> Cands;
   for (Function *F : definedFunctions()) {
-    auto A = std::make_shared<FuncAnalysis>(*F, &Profile->Edges);
+    auto A = std::make_shared<FuncAnalysis>(*F, &Profile->Edges, *Oracle);
     for (uint32_t LI = 0; LI != A->Nest.numLoops(); ++LI)
       Cands.push_back(Candidate{F, A, A->Nest.loop(LI)});
   }
@@ -790,7 +866,7 @@ void Compilation::passTwo() {
     }
     Function *F = M.findFunction(Rec.FuncName);
     try {
-    FuncAnalysis A(*F, &Profile->Edges);
+    FuncAnalysis A(*F, &Profile->Edges, *Oracle);
     const Loop *L = A.loopByHeader(Rec.Header);
     if (!L) {
       Rec.Reason = RejectReason::TransformFailed;
@@ -877,7 +953,7 @@ CompilationReport Compilation::run() {
   // be checked against the shapes they were collected on.
   if (Opts.ExternalProfile)
     validateExternalProfile();
-  FuncWeights = computeFunctionWeights(M);
+  FuncWeights = computeFunctionWeights(M, *Oracle);
   // Stage boundaries double as cancellation points. Once the token
   // fires, every remaining stage is skipped — in particular passOne and
   // passTwo require stage B's Profile, so a cancellation before or
@@ -886,7 +962,7 @@ CompilationReport Compilation::run() {
   if (!Cancelled()) {
     ObsSpan S(Obs, "stageA.unroll");
     stageUnroll();
-    FuncWeights = computeFunctionWeights(M); // Unrolling grew some bodies.
+    FuncWeights = computeFunctionWeights(M, *Oracle); // Unrolling grew some bodies.
   }
   if (!Cancelled()) {
     ObsSpan S(Obs, "stageB.profile");

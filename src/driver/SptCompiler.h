@@ -47,12 +47,14 @@
 #include "svp/Svp.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace spt {
 
 struct ProfileBundle;
+struct DepProfileArtifact;
 
 /// The paper's three evaluated compilations (Section 8).
 enum class CompilationMode {
@@ -143,6 +145,34 @@ struct SptCompilerOptions {
     /// Attribute callee memory accesses to call sites while profiling.
     bool AttributeCalleeAccesses = true;
   } Enabling;
+
+  /// Probability sourcing for the cost model: which dependence-oracle
+  /// ensemble to build, the measured profile artifact to feed its
+  /// measured member, and the combiner thresholds. See
+  /// analysis/oracle/DepOracle.h and docs/profiling.md.
+  struct AnalysisOptions {
+    /// Registry name of the oracle to build ("ensemble", "static",
+    /// "profile", "fallback", "measured", or a caller-registered name).
+    /// Unknown names degrade to the default ensemble with a diagnostic.
+    std::string DependenceOracle = "ensemble";
+    /// Measured dependence-profile artifact for the ensemble's measured
+    /// member; null compiles without one (the historical behavior).
+    /// Ignored with a diagnostic when the artifact's ModuleHash does not
+    /// match the module being compiled. Shared, not copied: callers keep
+    /// the artifact alive via the shared_ptr.
+    std::shared_ptr<const DepProfileArtifact> Profile;
+    /// Provenance of Profile (file path or label) for diagnostics only.
+    std::string ProfilePath;
+    /// Minimum member confidence the ensemble combiner accepts before
+    /// falling through to lower-priority members. 0.0 (default)
+    /// reproduces the pre-oracle behavior byte for byte.
+    double ConfidenceFloor = 0.0;
+    /// depProfileDrift level above which serving infrastructure should
+    /// consider Profile stale and recompile with a fresh one. The
+    /// compiler itself does not act on it; sptserve's drift scenario and
+    /// custom schedulers read it from the options.
+    double DriftThreshold = 0.25;
+  } Analysis;
 
   /// The span/counter observability layer (docs/observability.md).
   struct ObservabilityOptions {
@@ -254,6 +284,25 @@ struct SptCompilerOptions {
     SptCompilerOptions O = *this;
     O.Observability.Enabled = true;
     O.Observability.Context = Ctx;
+    return O;
+  }
+  /// Select the dependence-oracle ensemble by registry name, optionally
+  /// raising the combiner's confidence floor.
+  SptCompilerOptions withDependenceOracle(std::string Name,
+                                          double ConfidenceFloor = 0.0) const {
+    SptCompilerOptions O = *this;
+    O.Analysis.DependenceOracle = std::move(Name);
+    O.Analysis.ConfidenceFloor = ConfidenceFloor;
+    return O;
+  }
+  /// Attach a measured dependence-profile artifact (the ensemble's
+  /// measured member). Path is provenance for diagnostics.
+  SptCompilerOptions
+  withProfileArtifact(std::shared_ptr<const DepProfileArtifact> A,
+                      std::string Path = std::string()) const {
+    SptCompilerOptions O = *this;
+    O.Analysis.Profile = std::move(A);
+    O.Analysis.ProfilePath = std::move(Path);
     return O;
   }
 };

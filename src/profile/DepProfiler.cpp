@@ -1,0 +1,403 @@
+//===- profile/DepProfiler.cpp - Dependence-profile artifacts -------------===//
+//
+// Part of the SPT framework (PLDI 2004 reproduction). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/DepProfiler.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IR.h"
+#include "ir/IRPrinter.h"
+#include "profile/Profiler.h"
+#include "support/Hash.h"
+#include "support/OStream.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+using namespace spt;
+
+uint64_t spt::moduleReprintHash(const Module &M) {
+  StringOStream OS;
+  printModule(OS, M);
+  return fnv1a(OS.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Profiling run → artifact
+//===----------------------------------------------------------------------===//
+
+StatusOr<DepProfileArtifact>
+spt::profileDependenceArtifact(const Module &M, const DepProfilerOptions &O) {
+  ProfilerOptions PO;
+  PO.CollectEdges = false;
+  PO.CollectDeps = true;
+  PO.CollectValues = false;
+  PO.AttributeCalleeAccesses = O.AttributeCalleeAccesses;
+  PO.MaxSteps = O.MaxSteps;
+  PO.RngSeed = O.RngSeed;
+  PO.Cancel = O.Cancel;
+
+  ProfileBundle B = profileRun(M, O.Entry, O.Args, PO);
+  if (!B.Completed)
+    return Status::error("dependence profiling failed: " + B.Error);
+
+  DepProfileArtifact A;
+  A.ModuleHash = moduleReprintHash(M);
+  A.Workload = O.Workload;
+  A.Steps = B.Instrs;
+
+  // The raw profile is keyed by (Function*, LoopId); re-derive the loop
+  // nest per function to translate into the structural (name, header)
+  // identity — and emit in sorted order so the artifact is deterministic
+  // regardless of pointer values.
+  for (const auto &KV : B.Deps.PerLoop) {
+    const Function *F = KV.first.first;
+    const uint32_t LoopId = KV.first.second;
+    CfgInfo Cfg = CfgInfo::compute(*F);
+    LoopNest Nest = LoopNest::compute(*F, Cfg);
+    if (LoopId >= Nest.numLoops())
+      continue; // Profile from a stale analysis; drop defensively.
+    DepArtifactLoop L;
+    L.Func = F->name();
+    L.Header = Nest.loop(LoopId)->Header;
+    L.Activations = KV.second.Activations;
+    L.Iterations = KV.second.Iterations;
+    L.StmtExec = KV.second.StmtExec;
+    L.Pairs = KV.second.Pairs;
+    A.Loops.push_back(std::move(L));
+  }
+  std::sort(A.Loops.begin(), A.Loops.end(),
+            [](const DepArtifactLoop &X, const DepArtifactLoop &Y) {
+              if (X.Func != Y.Func)
+                return X.Func < Y.Func;
+              return X.Header < Y.Header;
+            });
+
+  // Self-serialize once to pin the checksum.
+  const std::string Text = serializeDepProfile(A);
+  StatusOr<DepProfileArtifact> Round = parseDepProfile(Text);
+  if (!Round)
+    return Status::error("dependence profile failed self-verification: " +
+                         Round.message());
+  return Round;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string hex16(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016" PRIx64, V);
+  return Buf;
+}
+
+/// Everything above the checksum line. Labels with whitespace or
+/// newlines would corrupt the line format; sanitize them on the way out
+/// (parse never needs to reverse this — the label is provenance only).
+std::string payloadOf(const DepProfileArtifact &A) {
+  std::string S;
+  S += "sptprof 1\n";
+  S += "module " + hex16(A.ModuleHash) + "\n";
+  std::string Label = A.Workload.empty() ? "-" : A.Workload;
+  for (char &C : Label)
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+      C = '_';
+  S += "workload " + Label + "\n";
+  S += "steps " + std::to_string(A.Steps) + "\n";
+  for (const DepArtifactLoop &L : A.Loops) {
+    S += "loop " + L.Func + " " + std::to_string(L.Header) + " " +
+         std::to_string(L.Activations) + " " + std::to_string(L.Iterations) +
+         "\n";
+    for (const auto &KV : L.StmtExec)
+      S += "exec " + std::to_string(KV.first) + " " +
+           std::to_string(KV.second) + "\n";
+    for (const auto &KV : L.Pairs)
+      S += "pair " + std::to_string(KV.first.first) + " " +
+           std::to_string(KV.first.second) + " " +
+           std::to_string(KV.second.Intra) + " " +
+           std::to_string(KV.second.Cross) + " " +
+           std::to_string(KV.second.Far) + "\n";
+  }
+  return S;
+}
+
+} // namespace
+
+std::string spt::serializeDepProfile(const DepProfileArtifact &A) {
+  std::string S = payloadOf(A);
+  const uint64_t Sum = fnv1a(S) ^ A.ModuleHash;
+  S += "checksum " + hex16(Sum) + "\n";
+  return S;
+}
+
+StatusOr<DepProfileArtifact> spt::parseDepProfile(const std::string &Text) {
+  DepProfileArtifact A;
+  DepArtifactLoop *Cur = nullptr;
+  size_t ChecksumAt = std::string::npos;
+  uint64_t Declared = 0;
+  bool SawHeader = false, SawModule = false, SawSteps = false;
+
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      return Status::error("dep profile: unterminated final line");
+    const std::string Line = Text.substr(Pos, Eol - Pos);
+    const size_t LineStart = Pos;
+    Pos = Eol + 1;
+    if (Line.empty())
+      return Status::error("dep profile: empty line");
+
+    char Key[16] = {0};
+    if (std::sscanf(Line.c_str(), "%15s", Key) != 1)
+      return Status::error("dep profile: malformed line '" + Line + "'");
+
+    if (std::strcmp(Key, "sptprof") == 0) {
+      unsigned Version = 0;
+      if (std::sscanf(Line.c_str(), "sptprof %u", &Version) != 1 ||
+          Version != 1)
+        return Status::error("dep profile: unsupported version line '" + Line +
+                             "'");
+      SawHeader = true;
+    } else if (std::strcmp(Key, "module") == 0) {
+      if (std::sscanf(Line.c_str(), "module %" SCNx64, &A.ModuleHash) != 1)
+        return Status::error("dep profile: bad module line");
+      SawModule = true;
+    } else if (std::strcmp(Key, "workload") == 0) {
+      const size_t Sp = Line.find(' ');
+      if (Sp == std::string::npos)
+        return Status::error("dep profile: bad workload line");
+      A.Workload = Line.substr(Sp + 1);
+      if (A.Workload == "-")
+        A.Workload.clear();
+    } else if (std::strcmp(Key, "steps") == 0) {
+      if (std::sscanf(Line.c_str(), "steps %" SCNu64, &A.Steps) != 1)
+        return Status::error("dep profile: bad steps line");
+      SawSteps = true;
+    } else if (std::strcmp(Key, "loop") == 0) {
+      char Func[256] = {0};
+      uint32_t Header = 0;
+      uint64_t Act = 0, Iter = 0;
+      if (std::sscanf(Line.c_str(),
+                      "loop %255s %" SCNu32 " %" SCNu64 " %" SCNu64, Func,
+                      &Header, &Act, &Iter) != 4)
+        return Status::error("dep profile: bad loop line '" + Line + "'");
+      DepArtifactLoop L;
+      L.Func = Func;
+      L.Header = Header;
+      L.Activations = Act;
+      L.Iterations = Iter;
+      A.Loops.push_back(std::move(L));
+      Cur = &A.Loops.back();
+    } else if (std::strcmp(Key, "exec") == 0) {
+      uint32_t Stmt = 0;
+      uint64_t Count = 0;
+      if (!Cur ||
+          std::sscanf(Line.c_str(), "exec %" SCNu32 " %" SCNu64, &Stmt,
+                      &Count) != 2)
+        return Status::error("dep profile: bad exec line '" + Line + "'");
+      Cur->StmtExec[Stmt] = Count;
+    } else if (std::strcmp(Key, "pair") == 0) {
+      uint32_t W = 0, R = 0;
+      MemDepCounts C;
+      if (!Cur || std::sscanf(Line.c_str(),
+                              "pair %" SCNu32 " %" SCNu32 " %" SCNu64
+                              " %" SCNu64 " %" SCNu64,
+                              &W, &R, &C.Intra, &C.Cross, &C.Far) != 5)
+        return Status::error("dep profile: bad pair line '" + Line + "'");
+      Cur->Pairs[{W, R}] = C;
+    } else if (std::strcmp(Key, "checksum") == 0) {
+      if (std::sscanf(Line.c_str(), "checksum %" SCNx64, &Declared) != 1)
+        return Status::error("dep profile: bad checksum line");
+      if (Pos != Text.size())
+        return Status::error("dep profile: trailing data after checksum");
+      ChecksumAt = LineStart;
+    } else {
+      return Status::error("dep profile: unknown record '" + std::string(Key) +
+                           "'");
+    }
+  }
+
+  if (!SawHeader || !SawModule || !SawSteps)
+    return Status::error("dep profile: missing header records");
+  if (ChecksumAt == std::string::npos)
+    return Status::error("dep profile: missing checksum");
+
+  const uint64_t Actual =
+      fnv1a(std::string_view(Text.data(), ChecksumAt)) ^ A.ModuleHash;
+  if (Actual != Declared)
+    return Status::error("dep profile: checksum mismatch (stored " +
+                         hex16(Declared) + ", computed " + hex16(Actual) +
+                         ") — corrupted artifact or wrong module");
+  A.Checksum = Declared;
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Drift
+//===----------------------------------------------------------------------===//
+
+double spt::depProfileDrift(const DepProfileArtifact &A,
+                            const DepProfileArtifact &B) {
+  // Index both sides by structural loop identity.
+  using LoopKey = std::pair<std::string, BlockId>;
+  std::map<LoopKey, const DepArtifactLoop *> IA, IB;
+  for (const DepArtifactLoop &L : A.Loops)
+    IA[{L.Func, L.Header}] = &L;
+  for (const DepArtifactLoop &L : B.Loops)
+    IB[{L.Func, L.Header}] = &L;
+
+  std::set<LoopKey> Keys;
+  for (const auto &KV : IA)
+    Keys.insert(KV.first);
+  for (const auto &KV : IB)
+    Keys.insert(KV.first);
+  if (Keys.empty())
+    return 0.0;
+
+  auto crossRate = [](const DepArtifactLoop *L,
+                      std::pair<StmtId, StmtId> Pair) -> double {
+    if (!L)
+      return 0.0;
+    auto It = L->Pairs.find(Pair);
+    if (It == L->Pairs.end())
+      return 0.0;
+    auto ExecIt = L->StmtExec.find(Pair.first);
+    const uint64_t WExec =
+        ExecIt == L->StmtExec.end() ? 0 : ExecIt->second;
+    if (WExec == 0)
+      return 0.0;
+    const double R =
+        static_cast<double>(It->second.Cross) / static_cast<double>(WExec);
+    return R > 1.0 ? 1.0 : R;
+  };
+
+  // A loop's weight is its cross-iteration conflict mass (the larger of
+  // the two sides), not its iteration count: staleness is about conflict
+  // *structure* changing, and iteration-weighting would let large
+  // conflict-free loops (init sweeps, inner compute loops) dilute a
+  // complete reversal in the one loop the speculation decision hinges
+  // on. A loop with no cross conflicts on either side carries no weight;
+  // when no loop has any, the profiles agree that nothing conflicts and
+  // the drift is zero.
+  auto crossMass = [](const DepArtifactLoop *L) -> uint64_t {
+    uint64_t Mass = 0;
+    if (L)
+      for (const auto &KV : L->Pairs)
+        Mass += KV.second.Cross;
+    return Mass;
+  };
+
+  double WeightSum = 0.0, Acc = 0.0;
+  for (const LoopKey &K : Keys) {
+    const DepArtifactLoop *LA = IA.count(K) ? IA[K] : nullptr;
+    const DepArtifactLoop *LB = IB.count(K) ? IB[K] : nullptr;
+    const uint64_t Mass = std::max(crossMass(LA), crossMass(LB));
+    if (Mass == 0)
+      continue; // No cross conflicts on either side: no drift signal.
+    const double W = static_cast<double>(Mass);
+    WeightSum += W;
+
+    // A loop only one side observed is maximal drift for its weight.
+    if (!LA || !LB) {
+      Acc += W;
+      continue;
+    }
+
+    std::set<std::pair<StmtId, StmtId>> PairKeys;
+    for (const auto &KV : LA->Pairs)
+      PairKeys.insert(KV.first);
+    for (const auto &KV : LB->Pairs)
+      PairKeys.insert(KV.first);
+
+    double D = 0.0;
+    for (const auto &P : PairKeys) {
+      const double RA = crossRate(LA, P);
+      const double RB = crossRate(LB, P);
+      D += RA > RB ? RA - RB : RB - RA;
+    }
+    Acc += W * (D / static_cast<double>(PairKeys.size()));
+  }
+  return WeightSum <= 0.0 ? 0.0 : Acc / WeightSum;
+}
+
+//===----------------------------------------------------------------------===//
+// Measured oracle member
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double clamp01(double X) { return X < 0.0 ? 0.0 : (X > 1.0 ? 1.0 : X); }
+
+class MeasuredDepOracle final : public DepOracle {
+public:
+  explicit MeasuredDepOracle(std::shared_ptr<const DepProfileArtifact> A)
+      : Artifact(std::move(A)) {
+    for (const DepArtifactLoop &L : Artifact->Loops)
+      Index[{L.Func, L.Header}] = &L;
+  }
+
+  const char *name() const override { return "measured"; }
+
+  std::optional<DepEstimate> dependence(const DepQuery &Q) const override {
+    if (Q.Channel != DepChannel::Memory || !Q.F || !Q.L)
+      return std::nullopt;
+    auto It = Index.find({Q.F->name(), Q.L->Header});
+    if (It == Index.end())
+      return std::nullopt; // Loop never observed: abstain.
+    const DepArtifactLoop &L = *It->second;
+    DepEstimate E;
+    E.Confidence = std::min(
+        1.0, static_cast<double>(L.Iterations) / ProfiledSaturationIters);
+    E.Source = name();
+    // A measured zero is only evidence if the profiling run actually
+    // watched both statements execute. Queries naming statements with no
+    // execution record — typically clones minted by unrolling *after*
+    // the artifact was measured — must abstain so the ensemble falls
+    // through to static analysis, not report "no conflict" with
+    // saturated confidence and green-light speculation the measurements
+    // never covered.
+    auto ExecIt = L.StmtExec.find(Q.Src);
+    const uint64_t WExec = ExecIt == L.StmtExec.end() ? 0 : ExecIt->second;
+    auto RExecIt = L.StmtExec.find(Q.Dst);
+    const uint64_t RExec = RExecIt == L.StmtExec.end() ? 0 : RExecIt->second;
+    if (WExec == 0 || RExec == 0)
+      return std::nullopt;
+    auto PairIt = L.Pairs.find({Q.Src, Q.Dst});
+    if (PairIt == L.Pairs.end()) {
+      E.Prob = 0.0;
+      return E;
+    }
+    const uint64_t Hits =
+        Q.Cross ? PairIt->second.Cross : PairIt->second.Intra;
+    E.Prob = clamp01(static_cast<double>(Hits) / static_cast<double>(WExec));
+    return E;
+  }
+
+  std::optional<BranchProbEstimate>
+  branchProbabilities(const BranchProbQuery &) const override {
+    return std::nullopt; // Artifacts carry no edge counts.
+  }
+
+private:
+  std::shared_ptr<const DepProfileArtifact> Artifact;
+  std::map<std::pair<std::string, BlockId>, const DepArtifactLoop *> Index;
+};
+
+} // namespace
+
+std::shared_ptr<const DepOracle>
+spt::makeMeasuredDepOracle(std::shared_ptr<const DepProfileArtifact> A) {
+  if (!A)
+    return nullptr;
+  return std::make_shared<MeasuredDepOracle>(std::move(A));
+}

@@ -9,6 +9,7 @@
 #include "lang/AstPrinter.h"
 #include "lang/Frontend.h"
 #include "lang/Parser.h"
+#include "profile/DepProfiler.h"
 #include "sim/FaultInjector.h"
 #include "support/CancelToken.h"
 #include "support/Hash.h"
@@ -87,6 +88,16 @@ uint64_t spt::compilerOptionsFingerprint(const SptCompilerOptions &O) {
   appendField(S, "svphit", O.Enabling.Svp.MinHitRatio);
   appendField(S, "svpsamples", O.Enabling.Svp.MinSamples);
   appendField(S, "svpprefork", O.Enabling.Svp.PreForkSizeFraction);
+  // Analysis group: the oracle selection and — crucially — the measured
+  // profile artifact's checksum. A report compiled against one artifact
+  // must never be served for a request carrying another (or none): the
+  // probabilities, and therefore the chosen partitions, can differ.
+  // ProfilePath is provenance only and deliberately excluded.
+  S += "oracle=" + O.Analysis.DependenceOracle + ";";
+  appendField(S, "conffloor", O.Analysis.ConfidenceFloor);
+  appendField(S, "drift", O.Analysis.DriftThreshold);
+  appendField(S, "artifact",
+              O.Analysis.Profile ? O.Analysis.Profile->Checksum : uint64_t(0));
   return fnv1a(S);
 }
 

@@ -46,6 +46,7 @@
 #include "analysis/Freq.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/ProfileData.h"
+#include "analysis/oracle/DepOracle.h"
 #include "cost/CostModel.h"
 #include "interp/Decode.h"
 #include "interp/Interp.h"
@@ -55,6 +56,7 @@
 #include "lang/Frontend.h"
 #include "lang/ProgramGenerator.h"
 #include "partition/Partition.h"
+#include "profile/DepProfiler.h"
 #include "profile/Profiler.h"
 #include "sim/FaultInjector.h"
 #include "sim/Machine.h"

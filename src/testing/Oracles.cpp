@@ -11,6 +11,8 @@
 #include "analysis/DepGraph.h"
 #include "analysis/Freq.h"
 #include "analysis/LoopInfo.h"
+#include "analysis/oracle/DepOracle.h"
+#include "profile/DepProfiler.h"
 #include "cost/CostModel.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
@@ -148,7 +150,18 @@ unsigned forEachLoopGraph(const Module &M, unsigned MaxLoops, FnT Fn) {
       continue;
     CfgInfo Cfg = CfgInfo::compute(*F);
     LoopNest Nest = LoopNest::compute(*F, Cfg);
-    CfgProbabilities Probs = CfgProbabilities::staticHeuristic(*F, Cfg, Nest);
+    // Probability sourcing goes through the oracle layer like the real
+    // pipeline (the default ensemble's static member reproduces the old
+    // staticHeuristic call exactly).
+    BranchProbQuery BQ;
+    BQ.F = F;
+    BQ.Cfg = &Cfg;
+    BQ.Nest = &Nest;
+    std::optional<BranchProbEstimate> BE =
+        defaultDepOracle().branchProbabilities(BQ);
+    CfgProbabilities Probs = BE ? std::move(BE->Probs)
+                                : CfgProbabilities::staticHeuristic(*F, Cfg,
+                                                                    Nest);
     FreqInfo Freq = FreqInfo::compute(*F, Cfg, Nest, Probs);
     for (uint32_t LI = 0; LI != Nest.numLoops() && Visited < MaxLoops;
          ++LI) {
@@ -712,6 +725,106 @@ OracleResult oracleCacheDiff(const Prepared &P, const OracleOptions &Opts) {
   return R;
 }
 
+/// End-to-end guard on measured dependence-profile artifacts
+/// (profile/DepProfiler.h). Profiling the canonical reprint must yield a
+/// deterministic artifact that survives serialize→parse→serialize byte
+/// for byte; a corrupted payload byte must be rejected by the checksum;
+/// and compiling against the artifact must stay deterministic and must
+/// never change program semantics — measured probabilities steer the
+/// partition search, the speculation hardware guarantees correctness.
+OracleResult oracleProfileDiff(const Prepared &P, const OracleOptions &Opts) {
+  OracleResult R{"profile-diff", OracleStatus::Pass, ""};
+  Parser Pr(P.PipelineSource);
+  ProgramAst Ast = Pr.parseProgram();
+  if (!Pr.errors().empty()) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "pipeline source stopped parsing: " + Pr.errors().front();
+    return R;
+  }
+  const std::string Canonical = programToSource(Ast);
+  CompileResult CR = compileSource(Canonical);
+  if (!CR.ok()) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "canonical reprint stopped compiling";
+    return R;
+  }
+
+  DepProfilerOptions DPO;
+  DPO.MaxSteps = Opts.MaxSteps;
+  DPO.RngSeed = P.SimSeed;
+  DPO.Workload = "fuzz";
+  StatusOr<DepProfileArtifact> A1 = profileDependenceArtifact(*CR.M, DPO);
+  if (!A1) {
+    R.Status = OracleStatus::Skipped;
+    R.Detail = "profiling run did not complete: " + A1.message();
+    return R;
+  }
+  StatusOr<DepProfileArtifact> A2 = profileDependenceArtifact(*CR.M, DPO);
+  const std::string T1 = serializeDepProfile(A1.value());
+  if (!A2 || serializeDepProfile(A2.value()) != T1) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "re-profiling the same module produced a different artifact";
+    return R;
+  }
+  StatusOr<DepProfileArtifact> RT = parseDepProfile(T1);
+  if (!RT || serializeDepProfile(RT.value()) != T1) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "artifact does not round-trip through serialize/parse";
+    return R;
+  }
+  if (depProfileDrift(A1.value(), RT.value()) != 0.0) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "artifact drifts against its own round-trip";
+    return R;
+  }
+
+  // One flipped payload digit must fail the checksum. "steps " is always
+  // present and inside the checksummed payload.
+  std::string Corrupt = T1;
+  const size_t StepsAt = Corrupt.find("\nsteps ");
+  if (StepsAt == std::string::npos) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "artifact is missing its steps record";
+    return R;
+  }
+  char &Digit = Corrupt[StepsAt + 7];
+  Digit = Digit == '9' ? '0' : Digit + 1;
+  if (parseDepProfile(Corrupt)) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "corrupted artifact passed checksum verification";
+    return R;
+  }
+
+  // Compile twice against the artifact: byte-identical reports, and the
+  // transformed module still computes what the untransformed one does.
+  auto Shared = std::make_shared<DepProfileArtifact>(RT.value());
+  SptCompilerOptions SO;
+  SO.Mode = CompilationMode::Best;
+  SO.RngSeed = P.CompilerSeed;
+  SO.ProfileMaxSteps = Opts.MaxSteps;
+  SO = SO.withProfileArtifact(Shared, "fuzz-artifact");
+  CompileResult CRb = compileSource(Canonical);
+  CompilationReport Rep1 = compileSpt(*CR.M, SO);
+  CompilationReport Rep2 = compileSpt(*CRb.M, SO);
+  if (renderReportDeterministic(Rep1) != renderReportDeterministic(Rep2)) {
+    R.Status = OracleStatus::Fail;
+    R.Detail = "measured-artifact compilation is not deterministic";
+    return R;
+  }
+  CompileResult Ref = compileSource(Canonical);
+  InterpRun Want = interpWithHash(*Ref.M, Opts.MaxSteps, P.SimSeed);
+  InterpRun Got = interpWithHash(*CR.M, Opts.MaxSteps, P.SimSeed);
+  if (Want.Done) {
+    if (!Got.Done || Got.Result.I != Want.Result.I ||
+        Got.Output != Want.Output || Got.MemHash != Want.MemHash) {
+      R.Status = OracleStatus::Fail;
+      R.Detail = "measured-artifact compilation changed program semantics";
+      return R;
+    }
+  }
+  return R;
+}
+
 /// Differential guard on the generalized N-core SPT engine
 /// (sim/SimOptions.h). At Cores=2 the generalized engine must be
 /// byte-identical to the retained two-core reference engine in every
@@ -804,6 +917,10 @@ const OracleEntry kOracles[] = {
       "generalized N-core engine byte-identical to the two-core reference "
       "at Cores=2; architectural state preserved at Cores=4/8"},
      oracleKwayDiff},
+    {{"profile-diff",
+      "dependence-profile artifacts are deterministic, round-trip with "
+      "checksum verification, and never change program semantics"},
+     oracleProfileDiff},
 };
 
 bool wanted(const OracleOptions &Opts, const char *Name) {

@@ -23,6 +23,7 @@
 #include "lang/Frontend.h"
 #include "lang/ProgramGenerator.h"
 #include "partition/Partition.h"
+#include "profile/DepProfiler.h"
 #include "profile/Profiler.h"
 #include "serve/CompileCache.h"
 #include "support/CancelToken.h"
@@ -462,4 +463,63 @@ TEST(ServeCacheTest, MachineWidthIsPartOfTheCacheKey) {
   EXPECT_NE(Narrow.Outcomes[0].Report, Wide.Outcomes[0].Report);
   EXPECT_NE(Wide.Outcomes[0].Report.find("cores=4"), std::string::npos);
   EXPECT_EQ(Narrow.Outcomes[0].Report.find("cores="), std::string::npos);
+}
+
+TEST(ServeCacheTest, ProfileArtifactIsPartOfTheCacheKey) {
+  // A report compiled against one measured dependence-profile artifact
+  // must never be served for a request carrying a different artifact (or
+  // none): the measured probabilities steer the partition search, so a
+  // stale profile could otherwise pin a stale plan forever. The artifact
+  // checksum is folded into the options fingerprint.
+  const std::string Src = genProgram(11);
+  CompileResult CR = compileSource(Src);
+  ASSERT_TRUE(CR.ok());
+
+  DepProfilerOptions DPO;
+  DPO.MaxSteps = 4000000ull;
+  DPO.Workload = "keytest";
+  StatusOr<DepProfileArtifact> A = profileDependenceArtifact(*CR.M, DPO);
+  ASSERT_TRUE(A.isOk()) << A.message();
+  auto Artifact = std::make_shared<DepProfileArtifact>(A.value());
+
+  // A second artifact with different contents (and so a different
+  // checksum): reuse the first but perturb the observed step count.
+  auto Artifact2 = std::make_shared<DepProfileArtifact>(A.value());
+  Artifact2->Steps += 1;
+  StatusOr<DepProfileArtifact> Reparsed =
+      parseDepProfile(serializeDepProfile(*Artifact2));
+  ASSERT_TRUE(Reparsed.isOk());
+  *Artifact2 = Reparsed.value();
+  ASSERT_NE(Artifact->Checksum, Artifact2->Checksum);
+
+  const SptCompilerOptions Plain;
+  EXPECT_NE(compilerOptionsFingerprint(Plain),
+            compilerOptionsFingerprint(Plain.withProfileArtifact(Artifact)));
+  EXPECT_NE(compilerOptionsFingerprint(Plain.withProfileArtifact(Artifact)),
+            compilerOptionsFingerprint(Plain.withProfileArtifact(Artifact2)));
+  // The provenance path is deliberately not part of the key; the same
+  // artifact under two paths must share cache entries.
+  EXPECT_EQ(compilerOptionsFingerprint(
+                Plain.withProfileArtifact(Artifact, "a.sptprof")),
+            compilerOptionsFingerprint(
+                Plain.withProfileArtifact(Artifact, "b.sptprof")));
+  // Oracle selection and the confidence floor split the key too.
+  EXPECT_NE(compilerOptionsFingerprint(Plain),
+            compilerOptionsFingerprint(Plain.withDependenceOracle("static")));
+  EXPECT_NE(compilerOptionsFingerprint(Plain),
+            compilerOptionsFingerprint(
+                Plain.withDependenceOracle("ensemble", 0.5)));
+
+  // End to end: one batch with the artifact, one without, same source.
+  // The cache must compile twice (no cross-key hit), and both runs must
+  // complete.
+  ServeOptions SO = baseOptions();
+  ServeBatchReport Without = serveBatch(SO, {{1, "plain", Src}});
+  SO.Compiler = SO.Compiler.withProfileArtifact(Artifact, "keytest.sptprof");
+  ServeBatchReport With = serveBatch(SO, {{1, "measured", Src}});
+  ASSERT_EQ(Without.Outcomes.size(), 1u);
+  ASSERT_EQ(With.Outcomes.size(), 1u);
+  EXPECT_EQ(Without.Outcomes[0].State, ServeState::Completed);
+  EXPECT_EQ(With.Outcomes[0].State, ServeState::Completed);
+  EXPECT_EQ(With.Cache.Hits, 0u);
 }

@@ -169,15 +169,15 @@ TEST(KnownBadMutationTest, NoLoopMeansNoApplication) {
 // Oracle suite.
 //===----------------------------------------------------------------------===//
 
-TEST(OracleSuiteTest, CatalogueHasTwelveDistinctOracles) {
+TEST(OracleSuiteTest, CatalogueHasThirteenDistinctOracles) {
   const auto &Cat = oracleCatalogue();
-  ASSERT_EQ(Cat.size(), 12u);
+  ASSERT_EQ(Cat.size(), 13u);
   std::set<std::string> Names;
   for (const OracleInfo &O : Cat) {
     Names.insert(O.Name);
     EXPECT_FALSE(std::string(O.Description).empty()) << O.Name;
   }
-  EXPECT_EQ(Names.size(), 12u);
+  EXPECT_EQ(Names.size(), 13u);
   EXPECT_TRUE(Names.count("interp"));
   EXPECT_TRUE(Names.count("interp-decode-diff"));
   EXPECT_TRUE(Names.count("chaos"));
@@ -185,6 +185,7 @@ TEST(OracleSuiteTest, CatalogueHasTwelveDistinctOracles) {
   EXPECT_TRUE(Names.count("report-diff"));
   EXPECT_TRUE(Names.count("cache-diff"));
   EXPECT_TRUE(Names.count("kway-diff"));
+  EXPECT_TRUE(Names.count("profile-diff"));
 }
 
 TEST(OracleSuiteTest, PassesOnGeneratedPrograms) {

@@ -9,7 +9,8 @@
 //   sptserve --selfcheck     deterministic acceptance sweep over every
 //                            robustness feature (ladder, quarantine,
 //                            backpressure, cache corruption, deadlines,
-//                            chaos byte-identity); CI entry point
+//                            chaos byte-identity, profile drift); CI
+//                            entry point
 //   sptserve --batch         compile a batch (generated and/or corpus
 //                            programs) through the server and print the
 //                            summary; --verify re-runs fault-free and
@@ -421,6 +422,154 @@ bool selfcheckDeadline(const CliOptions &Cli) {
                    " error=" + O.Error.message());
 }
 
+/// The profile-drift scenario (docs/profiling.md): a dependence-profile
+/// artifact measured under one input distribution goes stale when the
+/// distribution shifts, the drift metric detects it, the artifact's
+/// fingerprint keeps the stale plan out of the compile cache's way, and
+/// recompiling against a fresh profile beats keeping the stale plan
+/// running.
+bool selfcheckProfileDrift(const CliOptions &Cli) {
+  // work(d) reads a[i-d] and feeds the whole loop body from it: d=1 is a
+  // distance-1 recurrence (a cross-iteration conflict every iteration),
+  // d=1024 never conflicts inside the loop. The body is straight-line on
+  // purpose: its heuristic weight equals its measured weight and sits
+  // inside [MinBodyWeight, MaxBodyWeight], so the loop is never
+  // unrolled. That keeps the measured oracle member authoritative for
+  // it — an unrolled body is routed away from the artifact (its clones
+  // carry statement ids the measurements never observed), which would
+  // defeat the very coverage this scenario exercises.
+  static const char *Src =
+      "int a[2048];\n"
+      "int work(int d) {\n"
+      "  int i; int t; int v;\n"
+      "  for (i = 0; i < 1024; i = i + 1) { a[i] = i * 7 % 97; }\n"
+      "  for (i = 1024; i < 1536; i = i + 1) {\n"
+      "    v = a[i - d];\n"
+      "    t = v + 1;\n"
+      "    t = t * 3 % 1009;\n"
+      "    t = t + v;\n"
+      "    t = t * 5 % 1013;\n"
+      "    t = t + (v ^ 2);\n"
+      "    t = t * 7 % 1019;\n"
+      "    t = t + v;\n"
+      "    t = t * 11 % 1021;\n"
+      "    t = t + (v ^ 5);\n"
+      "    t = t * 13 % 1031;\n"
+      "    t = t + v;\n"
+      "    t = t * 17 % 1033;\n"
+      "    t = t + (v ^ 9);\n"
+      "    t = t * 19 % 1039;\n"
+      "    t = t + v;\n"
+      "    t = t * 23 % 1049;\n"
+      "    t = t + (v ^ 3);\n"
+      "    t = t * 29 % 1051;\n"
+      "    t = t + v;\n"
+      "    t = t * 31 % 1061;\n"
+      "    a[i] = t % 997 + 3;\n"
+      "  }\n"
+      "  return a[1535] + a[1100];\n"
+      "}\n"
+      "int main() { return work(1); }\n";
+
+  CompileResult CR = compileSource(Src);
+  if (!CR.ok())
+    return check(false, "drift: scenario program compiles");
+  auto profileAt = [&](int64_t D) {
+    DepProfilerOptions O;
+    O.Entry = "work";
+    O.Args = {Value::ofInt(D)};
+    O.Workload = D == 1 ? "dense" : "sparse";
+    return profileDependenceArtifact(*CR.M, O);
+  };
+  // The stale plan was measured while the input was dense (a conflict
+  // every iteration); the distribution then shifts to conflict-free.
+  StatusOr<DepProfileArtifact> StaleOr = profileAt(1);
+  StatusOr<DepProfileArtifact> FreshOr = profileAt(1024);
+  if (!check(StaleOr.isOk() && FreshOr.isOk(),
+             "drift: profiling both input distributions",
+             (StaleOr.isOk() ? FreshOr : StaleOr).message()))
+    return false;
+  auto Stale = std::make_shared<DepProfileArtifact>(StaleOr.value());
+  auto Fresh = std::make_shared<DepProfileArtifact>(FreshOr.value());
+
+  const double Threshold = SptCompilerOptions().Analysis.DriftThreshold;
+  if (!check(depProfileDrift(*Stale, *Stale) == 0.0 &&
+                 depProfileDrift(*Stale, *Fresh) > Threshold,
+             "drift: shifted distribution clears the staleness threshold",
+             "drift=" + std::to_string(depProfileDrift(*Stale, *Fresh))))
+    return false;
+
+  // The artifact is part of the cache key, so a recompile against the
+  // fresh profile can never be satisfied by the stale plan's entry.
+  SptCompilerOptions Plain;
+  if (!check(compilerOptionsFingerprint(Plain.withProfileArtifact(Stale)) !=
+                 compilerOptionsFingerprint(Plain.withProfileArtifact(Fresh)),
+             "drift: stale and fresh artifacts key the cache differently"))
+    return false;
+
+  // Serve the program under both plans: the stale-profiled server
+  // refuses to speculate the recurrence loop, the fresh one selects it —
+  // different reports for the same source, each internally cacheable.
+  auto serveWith = [&](std::shared_ptr<const DepProfileArtifact> A) {
+    CliOptions C = Cli;
+    C.Jobs = 1;
+    ServeOptions SO = serveOptionsFromCli(C);
+    SO.Compiler = SO.Compiler.withProfileArtifact(A, "drift-artifact");
+    return runBatch(SO, {{1, "drift", Src}, {2, "drift-dup", Src}});
+  };
+  ServeBatchReport SR = serveWith(Stale);
+  ServeBatchReport FR = serveWith(Fresh);
+  if (SR.Outcomes.size() != 2 || FR.Outcomes.size() != 2 ||
+      SR.Outcomes[0].Report.empty() || FR.Outcomes[0].Report.empty())
+    return check(false, "drift: both plans serve cleanly");
+  if (!check(SR.Outcomes[1].CacheHit && FR.Outcomes[1].CacheHit,
+             "drift: each plan is served from cache on repeat"))
+    return false;
+  if (!check(SR.Outcomes[0].Report != FR.Outcomes[0].Report,
+             "drift: stale and fresh plans produce different reports"))
+    return false;
+
+  // Compile both plans locally and simulate under the *shifted* (sparse)
+  // distribution: keeping the stale plan running leaves the recurrence
+  // loop sequential; the fresh recompile speculates it violation-free.
+  auto compileWith = [&](std::shared_ptr<const DepProfileArtifact> A) {
+    CompileResult C = compileSource(Src);
+    CompilationReport R =
+        compileSpt(*C.M, Plain.withProfileArtifact(A, "drift-artifact"));
+    return std::make_pair(std::move(C.M), std::move(R));
+  };
+  auto [StaleM, StaleR] = compileWith(Stale);
+  auto [FreshM, FreshR] = compileWith(Fresh);
+  if (!check(FreshR.SptLoops.size() > StaleR.SptLoops.size(),
+             "drift: the fresh profile unlocks a speculative loop",
+             "stale=" + std::to_string(StaleR.SptLoops.size()) +
+                 " fresh=" + std::to_string(FreshR.SptLoops.size())))
+    return false;
+
+  const std::vector<Value> Shifted = {Value::ofInt(1024)};
+  SeqSimResult Seq = runSequential(*CR.M, "work", Shifted);
+  SptSimResult KeepRunning =
+      runSpt(*StaleM, "work", Shifted, StaleR.SptLoops);
+  SptSimResult Recompiled = runSpt(*FreshM, "work", Shifted, FreshR.SptLoops);
+  uint64_t FreshViolations = 0;
+  for (const auto &KV : Recompiled.PerLoop)
+    FreshViolations += KV.second.ViolatedThreads;
+  if (!check(Seq.Result.I == KeepRunning.Result.I &&
+                 Seq.Result.I == Recompiled.Result.I &&
+                 Seq.MemoryHash == KeepRunning.MemoryHash &&
+                 Seq.MemoryHash == Recompiled.MemoryHash,
+             "drift: architectural state identical under every plan"))
+    return false;
+  return check(Recompiled.Subticks < KeepRunning.Subticks &&
+                   FreshViolations == 0,
+               "drift: recompiling against the fresh profile beats "
+               "keeping the stale plan running",
+               "keep-running=" + std::to_string(KeepRunning.cycles()) +
+                   " recompiled=" + std::to_string(Recompiled.cycles()) +
+                   " cycles, violations=" +
+                   std::to_string(FreshViolations));
+}
+
 int runSelfCheck(const CliOptions &Cli) {
   bool Ok = true;
   Ok &= selfcheckChaosIdentity(Cli);
@@ -429,6 +578,7 @@ int runSelfCheck(const CliOptions &Cli) {
   Ok &= selfcheckQuarantine(Cli);
   Ok &= selfcheckBackpressure(Cli);
   Ok &= selfcheckDeadline(Cli);
+  Ok &= selfcheckProfileDrift(Cli);
   std::fprintf(stderr, "sptserve: selfcheck %s\n", Ok ? "passed" : "FAILED");
   return Ok ? 0 : 1;
 }
